@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the cryptographic substrate: ChaCha20, the NTT,
+//! CKKS operations and the transciphering step.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quhe_crypto::prelude::*;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_chacha20(c: &mut Criterion) {
+    let cipher = ChaCha20::new(&[7u8; 32], &[1u8; 12]).unwrap();
+    let data = vec![0xABu8; 64 * 1024];
+    let mut group = c.benchmark_group("chacha20");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("encrypt_64kib", |b| {
+        b.iter(|| cipher.encrypt(black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let modulus = Modulus::new(576_460_752_300_015_617).unwrap();
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("ntt_multiply");
+    for degree in [256usize, 1024] {
+        let table = NttTable::new(modulus, degree).unwrap();
+        let a = Polynomial::sample_uniform(degree, modulus, &mut rng).unwrap();
+        let b = Polynomial::sample_uniform(degree, modulus, &mut rng).unwrap();
+        group.bench_function(format!("degree_{degree}"), |bench| {
+            bench.iter(|| table.multiply(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ckks(c: &mut Criterion) {
+    let context = CkksContext::new(CkksParameters::demo_parameters()).unwrap();
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(2);
+    let keys = context.generate_keys(&mut rng);
+    let values: Vec<f64> = (0..context.slots()).map(|i| (i as f64) * 0.01).collect();
+    let plaintext = context.encode(&values).unwrap();
+    let ciphertext = context.encrypt(&plaintext, &keys.public, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("ckks_degree_1024");
+    group.sample_size(20);
+    group.bench_function("encode", |b| b.iter(|| context.encode(black_box(&values)).unwrap()));
+    group.bench_function("encrypt", |b| {
+        b.iter(|| context.encrypt(black_box(&plaintext), &keys.public, &mut rng).unwrap())
+    });
+    group.bench_function("decrypt", |b| {
+        b.iter(|| context.decrypt(black_box(&ciphertext), &keys.secret).unwrap())
+    });
+    group.bench_function("add", |b| {
+        b.iter(|| context.add(black_box(&ciphertext), black_box(&ciphertext)).unwrap())
+    });
+    group.bench_function("multiply_plain", |b| {
+        b.iter(|| context.multiply_plain(black_box(&ciphertext), black_box(&plaintext)).unwrap())
+    });
+    group.bench_function("multiply_relinearize", |b| {
+        b.iter(|| {
+            context
+                .multiply(black_box(&ciphertext), black_box(&ciphertext), &keys.relinearization)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_transcipher(c: &mut Criterion) {
+    let context = CkksContext::new(CkksParameters::insecure_test_parameters()).unwrap();
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(3);
+    let keys = context.generate_keys(&mut rng);
+    let session = TranscipherSession::new(&[0x42u8; 32], 0);
+    let samples: Vec<f64> = (0..context.slots()).map(|i| i as f64 * 0.1).collect();
+    let masked = session.mask(&samples);
+    let mut group = c.benchmark_group("transcipher");
+    group.sample_size(20);
+    group.bench_function("server_transcipher", |b| {
+        b.iter(|| {
+            session
+                .transcipher(&context, &keys.public, black_box(&masked), &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chacha20, bench_ntt, bench_ckks, bench_transcipher);
+criterion_main!(benches);

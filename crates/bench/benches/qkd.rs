@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the QKD substrate: utility evaluation on the
+//! SURFnet topology and the entanglement-protocol simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use quhe_qkd::prelude::*;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_utility(c: &mut Criterion) {
+    let network = surfnet_scenario();
+    let phi = vec![1.0; network.num_clients()];
+    let betas = network.betas();
+    let mut group = c.benchmark_group("qkd_utility");
+    group.bench_function("optimal_werner_eq18", |b| {
+        b.iter(|| optimal_werner(network.incidence(), black_box(&phi), &betas).unwrap())
+    });
+    let w = optimal_werner(network.incidence(), &phi, &betas).unwrap();
+    group.bench_function("network_utility_eq6", |b| {
+        b.iter(|| network_utility(network.incidence(), black_box(&phi), black_box(&w)).unwrap())
+    });
+    group.bench_function("log_network_utility", |b| {
+        b.iter(|| log_network_utility(network.incidence(), black_box(&phi), black_box(&w)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entanglement_protocol");
+    let pairs = 50_000usize;
+    group.throughput(Throughput::Elements(pairs as u64));
+    group.sample_size(20);
+    for hops in [1usize, 3, 6] {
+        let config = ProtocolConfig::new(vec![0.98; hops], pairs).unwrap();
+        let protocol = EntanglementProtocol::new(config);
+        group.bench_function(format!("{hops}_hops_50k_pairs"), |b| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                protocol.run(black_box(&mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_secret_key_fraction(c: &mut Criterion) {
+    c.bench_function("secret_key_fraction", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..1000 {
+                let w = 0.78 + 0.00022 * i as f64;
+                total += secret_key_fraction(WernerParameter::new(w).unwrap());
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_utility, bench_protocol, bench_secret_key_fraction);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Regenerates Fig. 6 of the paper: the objective achieved by AA, OLAA, OCCR
+//! and QuHE under varying resource budgets —
+//! (a) total bandwidth, (b) maximum transmit power, (c) client CPU budget,
+//! (d) server CPU budget.
+//!
+//! ```bash
+//! # quick run (4 points per sweep):
+//! cargo run --release -p quhe-bench --bin fig6_sweeps
+//! # denser sweep:
+//! QUHE_POINTS=7 cargo run --release -p quhe-bench --bin fig6_sweeps
+//! ```
+
+use quhe_bench::{default_scenario, env_usize, experiment_config, fmt, print_header, print_row};
+use quhe_core::prelude::*;
+use quhe_mec::scenario::MecScenario;
+
+struct SweepPoint {
+    label: String,
+    scenario: SystemScenario,
+}
+
+fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    if points <= 1 {
+        return vec![lo];
+    }
+    (0..points)
+        .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+fn run_sweep(title: &str, points: Vec<SweepPoint>, config: &QuheConfig) {
+    println!("{title}\n");
+    let widths = [14, 10, 10, 10, 10];
+    print_header(&["Setting", "AA", "OLAA", "OCCR", "QuHE"], &widths);
+    for point in points {
+        let aa = average_allocation(&point.scenario, config).expect("AA runs");
+        let olaa_r = olaa(&point.scenario, config).expect("OLAA runs");
+        let occr_r = occr(&point.scenario, config).expect("OCCR runs");
+        let quhe = QuheAlgorithm::new(*config)
+            .solve(&point.scenario)
+            .expect("QuHE solves");
+        print_row(
+            &[
+                point.label,
+                fmt(aa.metrics.objective, 4),
+                fmt(olaa_r.metrics.objective, 4),
+                fmt(occr_r.metrics.objective, 4),
+                fmt(quhe.objective, 4),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let base = default_scenario();
+    let config = experiment_config();
+    let points = env_usize("QUHE_POINTS", 4);
+    let with_mec = |mec: MecScenario| -> SystemScenario {
+        base.with_mec(mec).expect("client count unchanged")
+    };
+
+    // Fig. 6(a): total bandwidth 0.5e7 .. 1.5e7 Hz.
+    run_sweep(
+        "Fig. 6(a): objective vs. total bandwidth B_total",
+        linspace(0.5e7, 1.5e7, points)
+            .into_iter()
+            .map(|b| SweepPoint {
+                label: format!("{:.1} MHz", b / 1e6),
+                scenario: with_mec(base.mec().clone().with_total_bandwidth(b)),
+            })
+            .collect(),
+        &config,
+    );
+
+    // Fig. 6(b): maximum transmit power 0.2 .. 1.0 W.
+    run_sweep(
+        "Fig. 6(b): objective vs. maximum transmit power p_max",
+        linspace(0.2, 1.0, points)
+            .into_iter()
+            .map(|p| SweepPoint {
+                label: format!("{p:.2} W"),
+                scenario: with_mec(base.mec().clone().with_max_power(p)),
+            })
+            .collect(),
+        &config,
+    );
+
+    // Fig. 6(c): client CPU budget 0.5e10 .. 1.5e10 Hz (the paper sweeps
+    // f^(c)_max over this range).
+    run_sweep(
+        "Fig. 6(c): objective vs. client CPU budget f^(c)_max",
+        linspace(0.5e10, 1.5e10, points)
+            .into_iter()
+            .map(|f| SweepPoint {
+                label: format!("{:.1} GHz", f / 1e9),
+                scenario: with_mec(base.mec().clone().with_max_client_frequency(f)),
+            })
+            .collect(),
+        &config,
+    );
+
+    // Fig. 6(d): server CPU budget 2e10 .. 3e10 Hz.
+    run_sweep(
+        "Fig. 6(d): objective vs. server CPU budget f_total",
+        linspace(2e10, 3e10, points)
+            .into_iter()
+            .map(|f| SweepPoint {
+                label: format!("{:.1} GHz", f / 1e9),
+                scenario: with_mec(base.mec().clone().with_total_server_frequency(f)),
+            })
+            .collect(),
+        &config,
+    );
+
+    println!("(paper shape: QuHE dominates at every point; OCCR tracks QuHE on the bandwidth");
+    println!(" and server-CPU sweeps; AA and OLAA benefit little from larger budgets)");
+}

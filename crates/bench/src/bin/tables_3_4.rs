@@ -1,0 +1,55 @@
+//! Regenerates the scenario-input tables of the paper: Table III (routes with
+//! end nodes and links) and Table IV (link lengths and rate coefficients
+//! `beta_l`), plus the derived link-route incidence summary.
+//!
+//! ```bash
+//! cargo run -p quhe-bench --bin tables_3_4
+//! ```
+
+use quhe_bench::{fmt, print_header, print_row};
+use quhe_qkd::topology::surfnet_scenario;
+
+fn main() {
+    let network = surfnet_scenario();
+
+    println!("Table III: routes with end nodes and links (key center: {})\n", network.key_center());
+    let widths = [8, 26, 24];
+    print_header(&["Route ID", "End nodes", "Links"], &widths);
+    for route in network.routes() {
+        print_row(
+            &[
+                route.id.to_string(),
+                format!("({}, {})", route.source, route.destination),
+                format!("{:?}", route.link_ids),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nTable IV: link lengths and beta_j for various links\n");
+    let widths = [7, 12, 8];
+    print_header(&["Link ID", "Length (km)", "beta_j"], &widths);
+    for link in network.links() {
+        print_row(
+            &[
+                link.id.to_string(),
+                fmt(link.length_km, 1),
+                fmt(link.beta, 2),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nDerived link-route incidence (routes using each link):\n");
+    let widths = [7, 20];
+    print_header(&["Link ID", "Routes"], &widths);
+    for l in 0..network.num_links() {
+        let routes: Vec<usize> = network
+            .incidence()
+            .routes_using_link(l)
+            .into_iter()
+            .map(|r| r + 1)
+            .collect();
+        print_row(&[(l + 1).to_string(), format!("{routes:?}")], &widths);
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates Tables V and VI of the paper: the optimal entanglement rates
+//! `phi` and Werner parameters `w` obtained by QuHE Stage 1, gradient
+//! descent, simulated annealing and random selection.
+//!
+//! ```bash
+//! cargo run --release -p quhe-bench --bin tables_5_6
+//! ```
+
+use quhe_bench::{default_scenario, env_u64, experiment_config, fmt, print_header, print_row};
+use quhe_core::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let scenario = default_scenario();
+    let config = experiment_config();
+    let problem = Problem::new(scenario, config).expect("valid configuration");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(env_u64("QUHE_SEED", 42));
+
+    let quhe = Stage1Solver::new().solve(&problem).expect("stage 1 solves");
+    let gd = stage1_gradient_descent(&problem).expect("gradient descent runs");
+    let sa = stage1_simulated_annealing(&problem, &mut rng).expect("simulated annealing runs");
+    let rs = stage1_random_selection(&problem, &mut rng).expect("random selection runs");
+
+    println!("Table V: phi values of different methods\n");
+    let widths = [8, 14, 18, 16, 14];
+    print_header(
+        &["phi_n", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"],
+        &widths,
+    );
+    for n in 0..quhe.phi.len() {
+        print_row(
+            &[
+                format!("phi_{}", n + 1),
+                fmt(quhe.phi[n], 4),
+                fmt(gd.phi[n], 4),
+                fmt(sa.phi[n], 4),
+                fmt(rs.phi[n], 4),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nTable VI: w values of different methods\n");
+    print_header(
+        &["w_l", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"],
+        &widths,
+    );
+    for l in 0..quhe.w.len() {
+        print_row(
+            &[
+                format!("w_{}", l + 1),
+                fmt(quhe.w[l], 4),
+                fmt(gd.w[l], 4),
+                fmt(sa.w[l], 4),
+                fmt(rs.w[l], 4),
+            ],
+            &widths,
+        );
+    }
+
+    println!("\nP3 objective values: QuHE {:.4}, GD {:.4}, SA {:.4}, RS {:.4}",
+        quhe.objective, gd.objective, sa.objective, rs.objective);
+    println!("(paper shape: QuHE and GD coincide; RS picks larger phi but a worse objective;");
+    println!(" unused link 6 keeps w = 1 for every method)");
+}

@@ -1,0 +1,346 @@
+//! Baseline methods of the paper's evaluation (Section VI-B).
+//!
+//! Whole-procedure baselines:
+//! * **AA** (average allocation): smallest polynomial degree, maximum power
+//!   and client CPU, equal splits of bandwidth and server CPU.
+//! * **OLAA** (optimize lambda only, average allocation): Stage 2 on top of
+//!   the AA resource allocation.
+//! * **OCCR** (optimize computation and communication resources only):
+//!   Stage 3 on top of the AA allocation with `lambda` fixed at `2^15`.
+//!
+//! All three share the Stage-1 `(phi, w)` solution, matching the paper's
+//! Fig. 5(d) setup ("assuming the optimal `U_qkd` is obtained in Stage 1").
+//!
+//! Stage-1 baselines (Fig. 5(b)/(c), Tables V and VI): plain gradient descent
+//! with learning rate 0.01, simulated annealing, and random selection over
+//! `10^4` uniform samples — all optimizing exactly the same P3 objective as
+//! QuHE's Stage 1.
+
+use std::time::Instant;
+
+use quhe_opt::annealing::{SimulatedAnnealing, SimulatedAnnealingConfig};
+use quhe_opt::gradient::{GradientDescent, GradientDescentConfig};
+use quhe_opt::projection::BoxProjection;
+use quhe_opt::random_search::{RandomSearch, RandomSearchConfig};
+use quhe_qkd::allocation::optimal_werner;
+use rand::Rng;
+
+use crate::error::{QuheError, QuheResult};
+use crate::metrics::MethodMetrics;
+use crate::params::QuheConfig;
+use crate::problem::Problem;
+use crate::scenario::SystemScenario;
+use crate::stage1::{Stage1Result, Stage1Solver};
+use crate::stage2::Stage2Solver;
+use crate::stage3::Stage3Solver;
+use crate::variables::DecisionVariables;
+
+/// Result of one whole-procedure baseline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaselineResult {
+    /// Name of the baseline ("AA", "OLAA", "OCCR").
+    pub name: String,
+    /// The variable assignment the baseline produces.
+    pub variables: DecisionVariables,
+    /// The evaluation metrics of that assignment.
+    pub metrics: MethodMetrics,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+fn shared_stage1_start(problem: &Problem) -> QuheResult<(DecisionVariables, Stage1Result)> {
+    let stage1 = Stage1Solver::new().solve(problem)?;
+    let mut vars = problem.initial_point()?;
+    vars.phi = stage1.phi.clone();
+    vars.w = stage1.w.clone();
+    vars.delay_bound = problem.system_cost(&vars)?.total_delay_s;
+    Ok((vars, stage1))
+}
+
+/// The **AA** baseline: `lambda = 2^15`, `p = p^(max)`, `b = B_total / N`,
+/// `f^(c) = f^(max)`, `f^(s) = f_total / N`.
+///
+/// # Errors
+/// Propagates substrate and solver errors.
+pub fn average_allocation(
+    scenario: &SystemScenario,
+    config: &QuheConfig,
+) -> QuheResult<BaselineResult> {
+    let start = Instant::now();
+    let problem = Problem::new(scenario.clone(), *config)?;
+    let (vars, _) = shared_stage1_start(&problem)?;
+    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
+    Ok(BaselineResult {
+        name: "AA".to_string(),
+        variables: vars,
+        metrics,
+        runtime_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// The **OLAA** baseline: optimize `lambda` with Stage 2, keep the
+/// average-allocated communication and computation resources.
+///
+/// # Errors
+/// Propagates substrate and solver errors.
+pub fn olaa(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<BaselineResult> {
+    let start = Instant::now();
+    let problem = Problem::new(scenario.clone(), *config)?;
+    let (mut vars, _) = shared_stage1_start(&problem)?;
+    let stage2 = Stage2Solver::new().solve(&problem, &vars)?;
+    vars.lambda = stage2.lambda;
+    vars.delay_bound = stage2.delay_bound;
+    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
+    Ok(BaselineResult {
+        name: "OLAA".to_string(),
+        variables: vars,
+        metrics,
+        runtime_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// The **OCCR** baseline: optimize the communication and computation
+/// resources with Stage 3, keep `lambda = 2^15`.
+///
+/// # Errors
+/// Propagates substrate and solver errors.
+pub fn occr(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<BaselineResult> {
+    let start = Instant::now();
+    let problem = Problem::new(scenario.clone(), *config)?;
+    let (mut vars, _) = shared_stage1_start(&problem)?;
+    let stage3 =
+        Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2).solve(&problem, &vars)?;
+    vars.power = stage3.power;
+    vars.bandwidth = stage3.bandwidth;
+    vars.client_frequency = stage3.client_frequency;
+    vars.server_frequency = stage3.server_frequency;
+    vars.delay_bound = stage3.delay_bound;
+    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
+    Ok(BaselineResult {
+        name: "OCCR".to_string(),
+        variables: vars,
+        metrics,
+        runtime_s: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Result of one Stage-1 baseline (Fig. 5(b)/(c), Tables V and VI).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stage1BaselineResult {
+    /// Name of the method ("Gradient descent", "Simulated annealing",
+    /// "Random selection").
+    pub name: String,
+    /// The rate vector found.
+    pub phi: Vec<f64>,
+    /// The Werner assignment implied by Eq. (18).
+    pub w: Vec<f64>,
+    /// The P3 objective value at the solution.
+    pub objective: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+fn stage1_baseline_result(
+    problem: &Problem,
+    name: &str,
+    phi: Vec<f64>,
+    runtime_s: f64,
+) -> QuheResult<Stage1BaselineResult> {
+    let objective = Stage1Solver::p3_objective(problem, &phi);
+    if !objective.is_finite() {
+        return Err(QuheError::ConstraintViolation {
+            reason: format!("{name} produced an infeasible rate vector"),
+        });
+    }
+    let w = optimal_werner(
+        problem.scenario().qkd().incidence(),
+        &phi,
+        &problem.scenario().qkd().betas(),
+    )?;
+    Ok(Stage1BaselineResult {
+        name: name.to_string(),
+        phi,
+        w,
+        objective,
+        runtime_s,
+    })
+}
+
+/// The box the sampling-based Stage-1 baselines search over. The lower bound
+/// is the minimum rate; the upper bound is twice the largest symmetric rate
+/// that keeps every route above the secret-key threshold (found by
+/// bisection), capped by the per-route link-capacity bound. This keeps a
+/// substantial fraction of the box feasible — mirroring the paper's
+/// "uniform samples from the feasible space" — while still containing the
+/// asymmetric optima of Table V.
+fn stage1_search_box(problem: &Problem) -> BoxProjection {
+    let n = problem.num_clients();
+    let phi_min = problem.config().min_entanglement_rate;
+    let capacity_bounds = Stage1Solver::phi_upper_bounds(problem);
+    // Bisection for the largest symmetric feasible rate.
+    let mut lo = phi_min;
+    let mut hi = capacity_bounds.iter().cloned().fold(f64::INFINITY, f64::min);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if Stage1Solver::p3_objective(problem, &vec![mid; n]).is_finite() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let symmetric_max = lo;
+    let lower = vec![phi_min; n];
+    let upper: Vec<f64> = capacity_bounds
+        .iter()
+        .map(|&cap| cap.min(phi_min + 2.0 * (symmetric_max - phi_min)).max(phi_min * 1.5))
+        .collect();
+    BoxProjection::new(lower, upper).expect("upper bounds exceed the minimum rate")
+}
+
+/// Stage-1 baseline: plain gradient descent with learning rate 0.01 on the
+/// P3 objective (the paper's "gradient descent" method).
+///
+/// # Errors
+/// Propagates solver errors and reports infeasible outputs.
+pub fn stage1_gradient_descent(problem: &Problem) -> QuheResult<Stage1BaselineResult> {
+    let start = Instant::now();
+    let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
+    let bounds = stage1_search_box(problem);
+    let solver = GradientDescent::new(GradientDescentConfig {
+        learning_rate: 0.01,
+        max_iterations: 20_000,
+        tolerance: 1e-10,
+        ..GradientDescentConfig::default()
+    });
+    let start_point = vec![problem.config().min_entanglement_rate * 1.05; problem.num_clients()];
+    let outcome = solver.minimize(&objective, &bounds, &start_point)?;
+    stage1_baseline_result(
+        problem,
+        "Gradient descent",
+        outcome.solution,
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+/// Stage-1 baseline: simulated annealing (the paper uses Matlab's
+/// `simulannealbnd`).
+///
+/// # Errors
+/// Propagates solver errors and reports infeasible outputs.
+pub fn stage1_simulated_annealing<R: Rng + ?Sized>(
+    problem: &Problem,
+    rng: &mut R,
+) -> QuheResult<Stage1BaselineResult> {
+    let start = Instant::now();
+    let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
+    let bounds = stage1_search_box(problem);
+    let solver = SimulatedAnnealing::new(SimulatedAnnealingConfig {
+        iterations: 20_000,
+        ..SimulatedAnnealingConfig::default()
+    });
+    let start_point = vec![problem.config().min_entanglement_rate * 1.05; problem.num_clients()];
+    let outcome = solver.minimize(&objective, &bounds, &start_point, rng)?;
+    stage1_baseline_result(
+        problem,
+        "Simulated annealing",
+        outcome.solution,
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+/// Stage-1 baseline: random selection — `10^4` uniform samples from the
+/// feasible box, keeping the best.
+///
+/// # Errors
+/// Propagates solver errors and reports infeasible outputs.
+pub fn stage1_random_selection<R: Rng + ?Sized>(
+    problem: &Problem,
+    rng: &mut R,
+) -> QuheResult<Stage1BaselineResult> {
+    let start = Instant::now();
+    let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
+    let bounds = stage1_search_box(problem);
+    let solver = RandomSearch::new(RandomSearchConfig { samples: 10_000 });
+    let outcome = solver.minimize(&objective, &bounds, rng)?;
+    stage1_baseline_result(
+        problem,
+        "Random selection",
+        outcome.solution,
+        start.elapsed().as_secs_f64(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scenario() -> SystemScenario {
+        SystemScenario::paper_default(1)
+    }
+
+    fn problem() -> Problem {
+        Problem::new(scenario(), QuheConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn baselines_produce_feasible_assignments() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let problem = problem();
+        for result in [
+            average_allocation(&scenario, &config).unwrap(),
+            olaa(&scenario, &config).unwrap(),
+            occr(&scenario, &config).unwrap(),
+        ] {
+            problem.check_feasible(&result.variables).unwrap();
+            assert!(result.metrics.objective.is_finite(), "{}", result.name);
+        }
+    }
+
+    #[test]
+    fn olaa_has_at_least_the_security_of_aa() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let aa = average_allocation(&scenario, &config).unwrap();
+        let olaa = olaa(&scenario, &config).unwrap();
+        assert!(olaa.metrics.security_utility >= aa.metrics.security_utility - 1e-12);
+        assert!(olaa.metrics.objective >= aa.metrics.objective - 1e-9);
+    }
+
+    #[test]
+    fn occr_reduces_energy_relative_to_aa() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let aa = average_allocation(&scenario, &config).unwrap();
+        let occr = occr(&scenario, &config).unwrap();
+        assert!(occr.metrics.energy_j <= aa.metrics.energy_j + 1e-9);
+        assert!(occr.metrics.objective >= aa.metrics.objective - 1e-9);
+    }
+
+    #[test]
+    fn stage1_baselines_return_feasible_rates() {
+        let problem = problem();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let gd = stage1_gradient_descent(&problem).unwrap();
+        let sa = stage1_simulated_annealing(&problem, &mut rng).unwrap();
+        let rs = stage1_random_selection(&problem, &mut rng).unwrap();
+        for result in [&gd, &sa, &rs] {
+            assert_eq!(result.phi.len(), 6);
+            assert_eq!(result.w.len(), 18);
+            assert!(result.objective.is_finite(), "{}", result.name);
+            assert!(result.phi.iter().all(|&p| p >= 0.5 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn quhe_stage1_is_at_least_as_good_as_the_baselines() {
+        let problem = problem();
+        let quhe = Stage1Solver::new().solve(&problem).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let rs = stage1_random_selection(&problem, &mut rng).unwrap();
+        // Random selection over a coarse sample cannot beat the convex solve
+        // by more than numerical noise.
+        assert!(quhe.objective <= rs.objective + 1e-6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the QuHE core crate.
+
+use std::fmt;
+
+use quhe_mec::MecError;
+use quhe_opt::OptError;
+use quhe_qkd::QkdError;
+
+/// Convenient alias for `Result<T, QuheError>`.
+pub type QuheResult<T> = Result<T, QuheError>;
+
+/// Errors produced by the QuHE algorithm and its problem definition.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QuheError {
+    /// A configuration value is outside its admissible range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// The decision variables violate a constraint of problem P1.
+    ConstraintViolation {
+        /// Which constraint (paper numbering, e.g. "17c") was violated and how.
+        reason: String,
+    },
+    /// Vectors describing per-client or per-link quantities have inconsistent
+    /// lengths.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An error bubbled up from the QKD substrate.
+    Qkd(QkdError),
+    /// An error bubbled up from the MEC substrate.
+    Mec(MecError),
+    /// An error bubbled up from the optimization toolkit.
+    Opt(OptError),
+}
+
+impl fmt::Display for QuheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuheError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            QuheError::ConstraintViolation { reason } => {
+                write!(f, "constraint violation: {reason}")
+            }
+            QuheError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            QuheError::Qkd(e) => write!(f, "qkd substrate error: {e}"),
+            QuheError::Mec(e) => write!(f, "mec substrate error: {e}"),
+            QuheError::Opt(e) => write!(f, "optimization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuheError::Qkd(e) => Some(e),
+            QuheError::Mec(e) => Some(e),
+            QuheError::Opt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QkdError> for QuheError {
+    fn from(value: QkdError) -> Self {
+        QuheError::Qkd(value)
+    }
+}
+
+impl From<MecError> for QuheError {
+    fn from(value: MecError) -> Self {
+        QuheError::Mec(value)
+    }
+}
+
+impl From<OptError> for QuheError {
+    fn from(value: OptError) -> Self {
+        QuheError::Opt(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_substrate_errors() {
+        let e: QuheError = QkdError::InvalidWerner { value: 2.0 }.into();
+        assert!(matches!(e, QuheError::Qkd(_)));
+        assert!(e.to_string().contains("qkd"));
+        let e: QuheError = OptError::SingularSystem.into();
+        assert!(matches!(e, QuheError::Opt(_)));
+        let e: QuheError = MecError::InvalidParameter {
+            reason: "x".to_string(),
+        }
+        .into();
+        assert!(matches!(e, QuheError::Mec(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuheError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! # quhe-core — the QuHE utility-cost resource allocation algorithm
+//!
+//! This crate implements the primary contribution of the paper: the joint
+//! optimization of QKD network utility, homomorphic-encryption security level
+//! and system cost in a QKD + HE enabled mobile edge computing network, and
+//! the three-stage **QuHE** algorithm that solves it.
+//!
+//! * [`params`] / [`scenario`] — the weighted objective configuration and the
+//!   combined QKD + MEC evaluation scenario of Section VI-A.
+//! * [`variables`] — the decision variables
+//!   `(phi, w, lambda, p, b, f^(c), f^(s), T)`.
+//! * [`problem`] — problem P1 (Eq. 17): objective evaluation, constraint
+//!   checking and feasible-point construction.
+//! * [`stage1`] — entanglement rates and Werner parameters via the convex
+//!   log-transformed problem P3 (Eq. 20) plus the closed-form Eq. (18).
+//! * [`stage2`] — CKKS polynomial degrees via branch-and-bound (Algorithm 2).
+//! * [`stage3`] — transmit powers, bandwidths and CPU frequencies via
+//!   quadratic-transform fractional programming (Eqs. 25–28, Algorithm 3).
+//! * [`quhe`] — the complete alternating procedure (Algorithm 4).
+//! * [`baselines`] — AA, OLAA and OCCR, plus the Stage-1 baselines (gradient
+//!   descent, simulated annealing, random selection) of Section VI-B.
+//! * [`metrics`] — energy / delay / security / utility decomposition used by
+//!   the figures.
+//! * [`sampling`] — random initial configurations for the Fig. 3 optimality
+//!   study.
+//!
+//! # Example
+//!
+//! ```
+//! use quhe_core::prelude::*;
+//!
+//! let scenario = SystemScenario::paper_default(7);
+//! let config = QuheConfig::default();
+//! let result = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+//! assert!(result.objective.is_finite());
+//! let problem = Problem::new(scenario, config).unwrap();
+//! assert!(problem.check_feasible(&result.variables).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod error;
+pub mod metrics;
+pub mod params;
+pub mod problem;
+pub mod quhe;
+pub mod sampling;
+pub mod scenario;
+pub mod stage1;
+pub mod stage2;
+pub mod stage3;
+pub mod variables;
+
+pub use error::{QuheError, QuheResult};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::baselines::{
+        average_allocation, occr, olaa, stage1_gradient_descent, stage1_random_selection,
+        stage1_simulated_annealing, BaselineResult,
+    };
+    pub use crate::error::{QuheError, QuheResult};
+    pub use crate::metrics::MethodMetrics;
+    pub use crate::params::{ObjectiveWeights, QuheConfig};
+    pub use crate::problem::Problem;
+    pub use crate::quhe::{QuheAlgorithm, QuheOutcome};
+    pub use crate::sampling::{sample_initial_points, OptimalityStudy};
+    pub use crate::scenario::SystemScenario;
+    pub use crate::stage1::{Stage1Result, Stage1Solver};
+    pub use crate::stage2::{Stage2Result, Stage2Solver};
+    pub use crate::stage3::{Stage3Result, Stage3Solver};
+    pub use crate::variables::DecisionVariables;
+}

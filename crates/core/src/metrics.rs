@@ -1,0 +1,74 @@
+//! Evaluation metrics reported by the figures: energy, delay, security
+//! utility, QKD utility and the overall objective.
+
+use crate::error::QuheResult;
+use crate::problem::Problem;
+use crate::variables::DecisionVariables;
+
+/// The metric bundle the paper reports for each method (Fig. 5(d), Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MethodMetrics {
+    /// Total system energy `E_total` in joules (Eq. 16).
+    pub energy_j: f64,
+    /// System delay `T_total` in seconds (Eq. 15).
+    pub delay_s: f64,
+    /// Weighted minimum-security-level utility `U_msl` (Eq. 9).
+    pub security_utility: f64,
+    /// QKD network utility `U_qkd` (Eq. 6).
+    pub qkd_utility: f64,
+    /// The overall objective of Eq. (17) with `T` tightened to the actual
+    /// maximum delay.
+    pub objective: f64,
+}
+
+impl MethodMetrics {
+    /// Evaluates the metric bundle of a variable assignment.
+    ///
+    /// # Errors
+    /// Propagates substrate errors for malformed variables.
+    pub fn evaluate(problem: &Problem, vars: &DecisionVariables) -> QuheResult<Self> {
+        let cost = problem.system_cost(vars)?;
+        Ok(Self {
+            energy_j: cost.total_energy_j,
+            delay_s: cost.total_delay_s,
+            security_utility: problem.security_utility(&vars.lambda),
+            qkd_utility: problem.qkd_utility(vars)?,
+            objective: problem.objective_with_max_delay(vars)?,
+        })
+    }
+}
+
+impl std::fmt::Display for MethodMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "energy = {:.3e} J, delay = {:.3e} s, U_msl = {:.4}, U_qkd = {:.4e}, objective = {:.4}",
+            self.energy_j, self.delay_s, self.security_utility, self.qkd_utility, self.objective
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QuheConfig;
+    use crate::scenario::SystemScenario;
+
+    #[test]
+    fn metrics_match_problem_decomposition() {
+        let problem =
+            Problem::new(SystemScenario::paper_default(1), QuheConfig::default()).unwrap();
+        let vars = problem.initial_point().unwrap();
+        let metrics = MethodMetrics::evaluate(&problem, &vars).unwrap();
+        let weights = problem.config().weights;
+        let reconstructed = weights.qkd_utility * metrics.qkd_utility
+            + weights.security * metrics.security_utility
+            - weights.delay * metrics.delay_s
+            - weights.energy * metrics.energy_j;
+        assert!((metrics.objective - reconstructed).abs() < 1e-9);
+        assert!(metrics.energy_j > 0.0);
+        assert!(metrics.delay_s > 0.0);
+        let text = metrics.to_string();
+        assert!(text.contains("objective"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Objective weights and algorithm configuration.
+
+use crate::error::{QuheError, QuheResult};
+
+/// The weights `alpha_qkd`, `alpha_msl`, `alpha_t`, `alpha_e` of the
+/// objective in Eq. (17).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight of the QKD network utility `U_qkd`.
+    pub qkd_utility: f64,
+    /// Weight of the minimum-security-level utility `U_msl`.
+    pub security: f64,
+    /// Weight of the system delay `T_total`.
+    pub delay: f64,
+    /// Weight of the system energy `E_total`.
+    pub energy: f64,
+}
+
+impl Default for ObjectiveWeights {
+    /// The paper's weights: `alpha_qkd = 1`, `alpha_msl = 10^-2`,
+    /// `alpha_t = 10^-4`, `alpha_e = 10^-4`.
+    fn default() -> Self {
+        Self {
+            qkd_utility: 1.0,
+            security: 1e-2,
+            delay: 1e-4,
+            energy: 1e-4,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// Validates that all weights are non-negative and finite (zero weights
+    /// are allowed to ablate individual terms).
+    ///
+    /// # Errors
+    /// Returns [`QuheError::InvalidConfig`] otherwise.
+    pub fn validate(&self) -> QuheResult<()> {
+        for (name, value) in [
+            ("qkd_utility", self.qkd_utility),
+            ("security", self.security),
+            ("delay", self.delay),
+            ("energy", self.energy),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(QuheError::InvalidConfig {
+                    reason: format!("weight {name} must be non-negative and finite, got {value}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the QuHE algorithm (Algorithm 4) and its stages.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuheConfig {
+    /// Objective weights.
+    pub weights: ObjectiveWeights,
+    /// Minimum entanglement rate `phi^(min)` required by every client, in
+    /// pairs per second (the paper uses 0.5).
+    pub min_entanglement_rate: f64,
+    /// Solution accuracy tolerance `epsilon` (the paper uses `10^-4`).
+    pub tolerance: f64,
+    /// Maximum number of outer (Algorithm 4) iterations.
+    pub max_outer_iterations: usize,
+    /// Maximum number of inner iterations for the Stage-3 fractional
+    /// programming loop.
+    pub max_stage3_iterations: usize,
+}
+
+impl Default for QuheConfig {
+    fn default() -> Self {
+        Self {
+            weights: ObjectiveWeights::default(),
+            min_entanglement_rate: 0.5,
+            tolerance: 1e-4,
+            max_outer_iterations: 20,
+            max_stage3_iterations: 40,
+        }
+    }
+}
+
+impl QuheConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`QuheError::InvalidConfig`] for out-of-range values.
+    pub fn validate(&self) -> QuheResult<()> {
+        self.weights.validate()?;
+        if !(self.min_entanglement_rate > 0.0 && self.min_entanglement_rate.is_finite()) {
+            return Err(QuheError::InvalidConfig {
+                reason: "min_entanglement_rate must be positive".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0) {
+            return Err(QuheError::InvalidConfig {
+                reason: "tolerance must be positive".to_string(),
+            });
+        }
+        if self.max_outer_iterations == 0 || self.max_stage3_iterations == 0 {
+            return Err(QuheError::InvalidConfig {
+                reason: "iteration budgets must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_match_the_paper() {
+        let w = ObjectiveWeights::default();
+        assert_eq!(w.qkd_utility, 1.0);
+        assert_eq!(w.security, 1e-2);
+        assert_eq!(w.delay, 1e-4);
+        assert_eq!(w.energy, 1e-4);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let w = ObjectiveWeights {
+            delay: -1.0,
+            ..ObjectiveWeights::default()
+        };
+        assert!(w.validate().is_err());
+        let w = ObjectiveWeights {
+            energy: f64::NAN,
+            ..ObjectiveWeights::default()
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn default_config_is_valid_and_matches_the_paper() {
+        let c = QuheConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.min_entanglement_rate, 0.5);
+        assert_eq!(c.tolerance, 1e-4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = QuheConfig {
+            min_entanglement_rate: 0.0,
+            ..QuheConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = QuheConfig {
+            tolerance: -1.0,
+            ..QuheConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = QuheConfig {
+            max_outer_iterations: 0,
+            ..QuheConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! The complete QuHE algorithm (Algorithm 4 of the paper): alternating
+//! optimization over the three blocks `(phi, w)`, `(lambda, T)` and
+//! `(p, b, f^(c), f^(s), T)` until the objective converges.
+
+use std::time::Instant;
+
+use crate::error::QuheResult;
+use crate::metrics::MethodMetrics;
+use crate::params::QuheConfig;
+use crate::problem::Problem;
+use crate::scenario::SystemScenario;
+use crate::stage1::{Stage1Result, Stage1Solver};
+use crate::stage2::{Stage2Result, Stage2Solver};
+use crate::stage3::{Stage3Result, Stage3Solver};
+use crate::variables::DecisionVariables;
+
+/// Per-outer-iteration record of the alternating optimization.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OuterIterationRecord {
+    /// Outer iteration index (0-based).
+    pub iteration: usize,
+    /// Objective after Stage 1 of this iteration.
+    pub after_stage1: f64,
+    /// Objective after Stage 2 of this iteration.
+    pub after_stage2: f64,
+    /// Objective after Stage 3 of this iteration.
+    pub after_stage3: f64,
+}
+
+/// Result of a full QuHE run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuheOutcome {
+    /// The final variable assignment.
+    pub variables: DecisionVariables,
+    /// The objective of Eq. (17) at the final assignment (with `T` tightened
+    /// to the actual maximum delay).
+    pub objective: f64,
+    /// The evaluation metric bundle at the final assignment.
+    pub metrics: MethodMetrics,
+    /// Number of outer (Algorithm 4) iterations performed.
+    pub outer_iterations: usize,
+    /// Whether the outer loop met the tolerance before its iteration cap.
+    pub converged: bool,
+    /// Objective after each stage of each outer iteration.
+    pub outer_trace: Vec<OuterIterationRecord>,
+    /// The Stage-1 result of the final outer iteration (per-stage convergence
+    /// traces for Fig. 4(a)).
+    pub stage1: Stage1Result,
+    /// The Stage-2 result of the final outer iteration (Fig. 4(b)).
+    pub stage2: Stage2Result,
+    /// The Stage-3 result of the final outer iteration (Fig. 4(c)/(d)).
+    pub stage3: Stage3Result,
+    /// Number of calls made to each stage, `[stage1, stage2, stage3]`
+    /// (Fig. 5(a)).
+    pub stage_calls: [usize; 3],
+    /// Total wall-clock runtime in seconds (Fig. 5(a)).
+    pub runtime_s: f64,
+}
+
+/// The QuHE algorithm driver.
+#[derive(Debug, Clone, Copy)]
+pub struct QuheAlgorithm {
+    config: QuheConfig,
+}
+
+impl QuheAlgorithm {
+    /// Creates the driver with the given configuration.
+    pub fn new(config: QuheConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &QuheConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 4 on the scenario, starting from the deterministic
+    /// feasible point of [`Problem::initial_point`].
+    ///
+    /// # Errors
+    /// Propagates configuration, substrate and solver errors.
+    pub fn solve(&self, scenario: &SystemScenario) -> QuheResult<QuheOutcome> {
+        let problem = Problem::new(scenario.clone(), self.config)?;
+        let start = problem.initial_point()?;
+        self.solve_from(&problem, start)
+    }
+
+    /// Runs Algorithm 4 from an explicit starting point (used by the Fig. 3
+    /// optimality study, which samples random initial resource
+    /// configurations).
+    ///
+    /// # Errors
+    /// Propagates configuration, substrate and solver errors.
+    pub fn solve_from(
+        &self,
+        problem: &Problem,
+        start: DecisionVariables,
+    ) -> QuheResult<QuheOutcome> {
+        self.config.validate()?;
+        let wall_clock = Instant::now();
+        let stage1_solver = Stage1Solver::new();
+        let stage2_solver = Stage2Solver::new();
+        let stage3_solver =
+            Stage3Solver::new(self.config.max_stage3_iterations, self.config.tolerance * 1e-2);
+
+        let mut vars = start;
+        let mut best_objective = problem.objective_with_max_delay(&vars)?;
+        let mut outer_trace = Vec::new();
+        let mut stage_calls = [0usize; 3];
+        let mut converged = false;
+
+        // Stage 1 does not depend on the other blocks (the paper drops the
+        // constant terms), so its result is computed once and reused; the
+        // loop below still re-records it per iteration for the trace.
+        let stage1 = stage1_solver.solve(problem)?;
+        stage_calls[0] += 1;
+        vars.phi = stage1.phi.clone();
+        vars.w = stage1.w.clone();
+        let mut last_stage2 = None;
+        let mut last_stage3 = None;
+
+        let mut iterations = 0;
+        for iteration in 0..self.config.max_outer_iterations {
+            iterations = iteration + 1;
+            let objective_before = best_objective;
+            let after_stage1 = problem.objective_with_max_delay(&vars)?;
+
+            // Stage 2: polynomial degrees.
+            let stage2 = stage2_solver.solve(problem, &vars)?;
+            stage_calls[1] += 1;
+            vars.lambda = stage2.lambda.clone();
+            vars.delay_bound = stage2.delay_bound;
+            let after_stage2 = problem.objective_with_max_delay(&vars)?;
+            last_stage2 = Some(stage2);
+
+            // Stage 3: communication and computation resources.
+            let stage3 = stage3_solver.solve(problem, &vars)?;
+            stage_calls[2] += 1;
+            vars.power = stage3.power.clone();
+            vars.bandwidth = stage3.bandwidth.clone();
+            vars.client_frequency = stage3.client_frequency.clone();
+            vars.server_frequency = stage3.server_frequency.clone();
+            vars.delay_bound = stage3.delay_bound;
+            let after_stage3 = problem.objective_with_max_delay(&vars)?;
+            last_stage3 = Some(stage3);
+
+            outer_trace.push(OuterIterationRecord {
+                iteration,
+                after_stage1,
+                after_stage2,
+                after_stage3,
+            });
+            best_objective = after_stage3;
+            if (best_objective - objective_before).abs() < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let stage2 = last_stage2.expect("at least one outer iteration ran");
+        let stage3 = last_stage3.expect("at least one outer iteration ran");
+        let metrics = MethodMetrics::evaluate(problem, &vars)?;
+        Ok(QuheOutcome {
+            objective: metrics.objective,
+            metrics,
+            variables: vars,
+            outer_iterations: iterations,
+            converged,
+            outer_trace,
+            stage1,
+            stage2,
+            stage3,
+            stage_calls,
+            runtime_s: wall_clock.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::average_allocation;
+
+    fn scenario() -> SystemScenario {
+        SystemScenario::paper_default(1)
+    }
+
+    #[test]
+    fn quhe_produces_a_feasible_solution() {
+        let result = QuheAlgorithm::new(QuheConfig::default())
+            .solve(&scenario())
+            .unwrap();
+        let problem = Problem::new(scenario(), QuheConfig::default()).unwrap();
+        problem.check_feasible(&result.variables).unwrap();
+        assert!(result.objective.is_finite());
+        assert!(result.outer_iterations >= 1);
+        assert_eq!(result.stage_calls[0], 1);
+        assert!(result.stage_calls[1] >= 1);
+        assert!(result.stage_calls[2] >= 1);
+        assert!(result.runtime_s > 0.0);
+    }
+
+    #[test]
+    fn objective_is_monotone_across_stages_and_iterations() {
+        let result = QuheAlgorithm::new(QuheConfig::default())
+            .solve(&scenario())
+            .unwrap();
+        let mut previous = f64::NEG_INFINITY;
+        for record in &result.outer_trace {
+            assert!(record.after_stage2 >= record.after_stage1 - 1e-6);
+            assert!(record.after_stage3 >= record.after_stage2 - 1e-6);
+            assert!(record.after_stage3 >= previous - 1e-6);
+            previous = record.after_stage3;
+        }
+    }
+
+    #[test]
+    fn quhe_beats_the_average_allocation_baseline() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+        let aa = average_allocation(&scenario, &config).unwrap();
+        assert!(
+            quhe.objective >= aa.metrics.objective - 1e-6,
+            "QuHE ({}) should not lose to AA ({})",
+            quhe.objective,
+            aa.metrics.objective
+        );
+    }
+
+    #[test]
+    fn quhe_converges_within_the_iteration_budget() {
+        let result = QuheAlgorithm::new(QuheConfig::default())
+            .solve(&scenario())
+            .unwrap();
+        assert!(result.converged, "did not converge in {} iterations", result.outer_iterations);
+    }
+}

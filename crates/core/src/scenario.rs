@@ -1,0 +1,146 @@
+//! The combined QKD + MEC evaluation scenario.
+
+use quhe_mec::scenario::MecScenario;
+use quhe_qkd::topology::{surfnet_scenario, NetworkScenario};
+
+use crate::error::{QuheError, QuheResult};
+
+/// A complete system scenario: the QKD network serving the clients plus the
+/// MEC-side description of the same clients.
+///
+/// The paper's evaluation pairs the six SURFnet routes of Table III with six
+/// MEC clients placed in a 1 km cell (Section VI-A); route `n` serves client
+/// `n`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemScenario {
+    qkd: NetworkScenario,
+    mec: MecScenario,
+    /// The discrete CKKS polynomial-degree choices (constraint 17d).
+    lambda_choices: Vec<u64>,
+}
+
+impl SystemScenario {
+    /// Combines a QKD network scenario and an MEC scenario.
+    ///
+    /// # Errors
+    /// * [`QuheError::DimensionMismatch`] if the number of QKD routes differs
+    ///   from the number of MEC clients.
+    /// * [`QuheError::InvalidConfig`] if `lambda_choices` is empty or not
+    ///   sorted ascending.
+    pub fn new(
+        qkd: NetworkScenario,
+        mec: MecScenario,
+        lambda_choices: Vec<u64>,
+    ) -> QuheResult<Self> {
+        if qkd.num_clients() != mec.num_clients() {
+            return Err(QuheError::DimensionMismatch {
+                expected: qkd.num_clients(),
+                actual: mec.num_clients(),
+            });
+        }
+        if lambda_choices.is_empty() {
+            return Err(QuheError::InvalidConfig {
+                reason: "lambda_choices must not be empty".to_string(),
+            });
+        }
+        if lambda_choices.windows(2).any(|w| w[0] > w[1]) {
+            return Err(QuheError::InvalidConfig {
+                reason: "lambda_choices must be sorted ascending".to_string(),
+            });
+        }
+        Ok(Self {
+            qkd,
+            mec,
+            lambda_choices,
+        })
+    }
+
+    /// Builds the paper's Section VI-A scenario: the SURFnet QKD network, six
+    /// MEC clients with the paper's parameters (placement seeded by `seed`)
+    /// and `lambda in {2^15, 2^16, 2^17}`.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(
+            surfnet_scenario(),
+            MecScenario::paper_default(seed),
+            vec![1 << 15, 1 << 16, 1 << 17],
+        )
+        .expect("the paper scenario is internally consistent")
+    }
+
+    /// The QKD side of the scenario.
+    pub fn qkd(&self) -> &NetworkScenario {
+        &self.qkd
+    }
+
+    /// The MEC side of the scenario.
+    pub fn mec(&self) -> &MecScenario {
+        &self.mec
+    }
+
+    /// The discrete polynomial-degree choices.
+    pub fn lambda_choices(&self) -> &[u64] {
+        &self.lambda_choices
+    }
+
+    /// Number of clients (= number of QKD routes).
+    pub fn num_clients(&self) -> usize {
+        self.mec.num_clients()
+    }
+
+    /// Number of QKD links.
+    pub fn num_links(&self) -> usize {
+        self.qkd.num_links()
+    }
+
+    /// Replaces the MEC side (used by the Fig. 6 resource sweeps, which keep
+    /// the QKD network fixed while varying budgets).
+    ///
+    /// # Errors
+    /// Returns [`QuheError::DimensionMismatch`] if the new MEC scenario has a
+    /// different number of clients.
+    pub fn with_mec(&self, mec: MecScenario) -> QuheResult<Self> {
+        Self::new(self.qkd.clone(), mec, self.lambda_choices.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_consistent() {
+        let s = SystemScenario::paper_default(1);
+        assert_eq!(s.num_clients(), 6);
+        assert_eq!(s.num_links(), 18);
+        assert_eq!(s.lambda_choices(), &[1 << 15, 1 << 16, 1 << 17]);
+        assert_eq!(s.qkd().num_clients(), s.mec().num_clients());
+    }
+
+    #[test]
+    fn mismatched_sides_are_rejected() {
+        let qkd = surfnet_scenario();
+        let mec = MecScenario::paper_with_num_clients(4, 1);
+        assert!(matches!(
+            SystemScenario::new(qkd, mec, vec![1 << 15]),
+            Err(QuheError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_choices_are_validated() {
+        let qkd = surfnet_scenario();
+        let mec = MecScenario::paper_default(1);
+        assert!(SystemScenario::new(qkd.clone(), mec.clone(), vec![]).is_err());
+        assert!(SystemScenario::new(qkd, mec, vec![1 << 16, 1 << 15]).is_err());
+    }
+
+    #[test]
+    fn with_mec_swaps_budgets() {
+        let s = SystemScenario::paper_default(1);
+        let swapped = s
+            .with_mec(s.mec().clone().with_total_bandwidth(5e6))
+            .unwrap();
+        assert_eq!(swapped.mec().total_bandwidth_hz(), 5e6);
+        assert_eq!(swapped.qkd(), s.qkd());
+    }
+}

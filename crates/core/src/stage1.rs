@@ -1,0 +1,281 @@
+//! Stage 1 of the QuHE algorithm: entanglement rates and Werner parameters.
+//!
+//! With the other blocks fixed, the objective of problem P1 depends on
+//! `(phi, w)` only through the QKD network utility, which is monotone in
+//! every `w_l`; therefore each link operates at the largest Werner parameter
+//! its capacity allows (Eq. 18), and the remaining problem in `phi` is made
+//! convex by the substitution `varphi_n = ln(phi_n)` (problem P3, Eq. 20).
+//! This module solves P3 with the log-barrier interior-point method of
+//! `quhe-opt` — the role CVX plays in the paper — and exposes the P3
+//! objective so the Stage-1 baselines (gradient descent, simulated annealing,
+//! random selection) can optimize exactly the same function.
+
+use std::time::Instant;
+
+use quhe_opt::barrier::{BarrierSolver, FnProblem};
+use quhe_qkd::allocation::optimal_werner;
+use quhe_qkd::secret_key::{secret_key_fraction_raw, SKF_THRESHOLD};
+
+use crate::error::{QuheError, QuheResult};
+use crate::problem::Problem;
+
+/// Small margin keeping iterates strictly inside open constraints.
+const STRICT_MARGIN: f64 = 1e-6;
+
+/// Result of Stage 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stage1Result {
+    /// Optimal entanglement rates `phi*`.
+    pub phi: Vec<f64>,
+    /// Optimal Werner parameters `w*` from Eq. (18).
+    pub w: Vec<f64>,
+    /// The P3 (minimization) objective value at the solution.
+    pub objective: f64,
+    /// P3 objective after each outer iteration of the interior-point solve
+    /// (reproduces the paper's Fig. 4(a)).
+    pub trace: Vec<f64>,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// Number of solver iterations.
+    pub iterations: usize,
+}
+
+/// The Stage-1 solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stage1Solver;
+
+impl Stage1Solver {
+    /// Creates a Stage-1 solver.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The P3 minimization objective
+    /// `-sum_n ln F_skf(varpi_n(phi)) - sum_n ln phi_n`
+    /// evaluated at a rate vector `phi`, returning `+inf` when `phi` is
+    /// infeasible (violates the minimum rate, a link capacity, or the
+    /// secret-key-fraction threshold). The constant `-ln(alpha_qkd)` of
+    /// Eq. (19) is omitted exactly as the paper does.
+    pub fn p3_objective(problem: &Problem, phi: &[f64]) -> f64 {
+        let scenario = problem.scenario();
+        let incidence = scenario.qkd().incidence();
+        let betas = scenario.qkd().betas();
+        let phi_min = problem.config().min_entanglement_rate;
+        if phi.len() != incidence.num_routes() {
+            return f64::INFINITY;
+        }
+        if phi.iter().any(|&p| !(p.is_finite() && p >= phi_min)) {
+            return f64::INFINITY;
+        }
+        // Werner parameters implied by Eq. (18); infeasible if a link is
+        // saturated.
+        let w = match optimal_werner(incidence, phi, &betas) {
+            Ok(w) => w,
+            Err(_) => return f64::INFINITY,
+        };
+        let mut total = 0.0;
+        for (n, &p) in phi.iter().enumerate() {
+            let varpi: f64 = incidence
+                .links_on_route(n)
+                .into_iter()
+                .map(|l| w[l])
+                .product();
+            if varpi <= SKF_THRESHOLD {
+                return f64::INFINITY;
+            }
+            let skf = secret_key_fraction_raw(varpi);
+            total -= skf.ln() + p.ln();
+        }
+        total
+    }
+
+    /// Per-route upper bounds on `phi` used by the sampling-based baselines:
+    /// route `n` can never exceed `min_l beta_l / |routes sharing l|` over its
+    /// links without saturating a link.
+    pub fn phi_upper_bounds(problem: &Problem) -> Vec<f64> {
+        let scenario = problem.scenario();
+        let incidence = scenario.qkd().incidence();
+        let betas = scenario.qkd().betas();
+        (0..incidence.num_routes())
+            .map(|n| {
+                incidence
+                    .links_on_route(n)
+                    .into_iter()
+                    .map(|l| betas[l] / incidence.routes_using_link(l).len().max(1) as f64)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// Solves Stage 1: problem P3 in `varphi = ln(phi)` via the interior-point
+    /// solver, then recovers `phi* = exp(varphi*)` and `w*` from Eq. (18)
+    /// (Algorithm 1 of the paper).
+    ///
+    /// # Errors
+    /// * [`QuheError::Opt`] if the convex solver fails.
+    /// * [`QuheError::Qkd`] if the scenario is inconsistent (minimum rates
+    ///   saturating a link).
+    pub fn solve(&self, problem: &Problem) -> QuheResult<Stage1Result> {
+        let start = Instant::now();
+        let scenario = problem.scenario();
+        let incidence = scenario.qkd().incidence().clone();
+        let betas = scenario.qkd().betas();
+        let phi_min = problem.config().min_entanglement_rate;
+        let n_routes = incidence.num_routes();
+        let n_links = incidence.num_links();
+
+        // Objective in varphi = ln(phi).
+        let incidence_obj = incidence.clone();
+        let betas_obj = betas.clone();
+        let objective = move |varphi: &[f64]| -> f64 {
+            let phi: Vec<f64> = varphi.iter().map(|v| v.exp()).collect();
+            let mut total = 0.0;
+            for (n, &p) in phi.iter().enumerate() {
+                let mut varpi = 1.0;
+                for l in incidence_obj.links_on_route(n) {
+                    let load = incidence_obj
+                        .link_load(l, &phi)
+                        .expect("phi has the right length");
+                    varpi *= 1.0 - load / betas_obj[l];
+                }
+                if varpi <= SKF_THRESHOLD {
+                    return f64::INFINITY;
+                }
+                total -= secret_key_fraction_raw(varpi).ln() + p.ln();
+            }
+            total
+        };
+
+        // Constraints (20a)-(20c) as g(x) <= 0.
+        let incidence_con = incidence.clone();
+        let betas_con = betas.clone();
+        let constraints = move |varphi: &[f64]| -> Vec<f64> {
+            let phi: Vec<f64> = varphi.iter().map(|v| v.exp()).collect();
+            let mut g = Vec::with_capacity(n_routes + n_links + n_routes);
+            // (20a) phi_min - phi_n <= 0.
+            for &p in &phi {
+                g.push(phi_min - p);
+            }
+            // (20b) load_l / beta_l - (1 - margin) <= 0.
+            for l in 0..n_links {
+                let load = incidence_con
+                    .link_load(l, &phi)
+                    .expect("phi has the right length");
+                g.push(load / betas_con[l] - (1.0 - STRICT_MARGIN));
+            }
+            // (20c) threshold - varpi_n <= 0.
+            for n in 0..n_routes {
+                let mut varpi = 1.0;
+                for l in incidence_con.links_on_route(n) {
+                    let load = incidence_con
+                        .link_load(l, &phi)
+                        .expect("phi has the right length");
+                    varpi *= 1.0 - load / betas_con[l];
+                }
+                g.push(SKF_THRESHOLD + STRICT_MARGIN - varpi);
+            }
+            g
+        };
+
+        // Strictly feasible start: slightly above the minimum rate.
+        let start_point = vec![(phi_min * 1.05).ln(); n_routes];
+        let barrier_problem =
+            FnProblem::new(n_routes, objective, constraints).with_start(start_point);
+        let solver = BarrierSolver::default();
+        let solution = solver.solve(&barrier_problem, None)?;
+
+        let phi: Vec<f64> = solution.inner.solution.iter().map(|v| v.exp()).collect();
+        let w = optimal_werner(&incidence, &phi, &betas)?;
+        let objective_value = Self::p3_objective(problem, &phi);
+        if !objective_value.is_finite() {
+            return Err(QuheError::ConstraintViolation {
+                reason: "stage 1 produced an infeasible rate vector".to_string(),
+            });
+        }
+
+        Ok(Stage1Result {
+            phi,
+            w,
+            objective: objective_value,
+            trace: solution.inner.trace,
+            runtime_s: start.elapsed().as_secs_f64(),
+            iterations: solution.inner.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QuheConfig;
+    use crate::scenario::SystemScenario;
+
+    fn problem() -> Problem {
+        Problem::new(SystemScenario::paper_default(1), QuheConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn stage1_produces_feasible_rates_and_werners() {
+        let p = problem();
+        let result = Stage1Solver::new().solve(&p).unwrap();
+        assert_eq!(result.phi.len(), 6);
+        assert_eq!(result.w.len(), 18);
+        // Rates respect the minimum.
+        assert!(result.phi.iter().all(|&phi| phi >= 0.5 - 1e-6));
+        // Werner parameters in (0, 1].
+        assert!(result.w.iter().all(|&w| w > 0.0 && w <= 1.0));
+        // Every route stays above the secret-key threshold.
+        let incidence = p.scenario().qkd().incidence();
+        for n in 0..6 {
+            let varpi: f64 = incidence
+                .links_on_route(n)
+                .into_iter()
+                .map(|l| result.w[l])
+                .product();
+            assert!(varpi > SKF_THRESHOLD, "route {n} below threshold: {varpi}");
+        }
+        assert!(result.objective.is_finite());
+        assert!(result.runtime_s >= 0.0);
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn stage1_improves_over_the_minimum_rate_point() {
+        let p = problem();
+        let result = Stage1Solver::new().solve(&p).unwrap();
+        let at_minimum = Stage1Solver::p3_objective(&p, &vec![0.5; 6]);
+        assert!(
+            result.objective < at_minimum,
+            "stage 1 ({}) should beat the trivial point ({})",
+            result.objective,
+            at_minimum
+        );
+    }
+
+    #[test]
+    fn stage1_trace_is_nonincreasing() {
+        let result = Stage1Solver::new().solve(&problem()).unwrap();
+        for pair in result.trace.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn p3_objective_flags_infeasible_points() {
+        let p = problem();
+        assert!(Stage1Solver::p3_objective(&p, &[0.1; 6]).is_infinite());
+        assert!(Stage1Solver::p3_objective(&p, &[100.0; 6]).is_infinite());
+        assert!(Stage1Solver::p3_objective(&p, &[1.0; 5]).is_infinite());
+        assert!(Stage1Solver::p3_objective(&p, &[1.0; 6]).is_finite());
+    }
+
+    #[test]
+    fn phi_upper_bounds_reflect_shared_links() {
+        let p = problem();
+        let bounds = Stage1Solver::phi_upper_bounds(&p);
+        assert_eq!(bounds.len(), 6);
+        // Routes 4-6 share link 15 (beta 80.54 over three routes).
+        assert!(bounds[3] <= 80.54 / 3.0 + 1e-9);
+        assert!(bounds.iter().all(|&b| b > 0.5));
+    }
+}

@@ -1,0 +1,294 @@
+//! Stage 2 of the QuHE algorithm: CKKS polynomial degrees via
+//! branch-and-bound (Algorithm 2 of the paper).
+//!
+//! With `(phi, w)` and the communication/computation resources fixed, the
+//! objective of problem P1 depends on the discrete degrees `lambda` through
+//! the security utility `U_msl`, the server computation energy, and the
+//! system delay `T` (whose optimal value, Eq. 21/23, is the largest per-client
+//! end-to-end delay). The resulting maximization over the finite set
+//! `{lambda^(set)_1, …, lambda^(set)_M}^N` is solved with the best-first
+//! branch-and-bound engine of `quhe-opt`; an exhaustive-search variant is
+//! kept for the ablation benches and for verifying optimality in tests.
+
+use std::time::Instant;
+
+use quhe_crypto::cost_model::min_security_level;
+use quhe_opt::bnb::{BranchAndBound, DiscreteProblem};
+
+use crate::error::QuheResult;
+use crate::problem::Problem;
+use crate::variables::DecisionVariables;
+
+/// Result of Stage 2.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stage2Result {
+    /// Optimal polynomial degree per client.
+    pub lambda: Vec<u64>,
+    /// The delay bound `T*_s2` implied by the chosen degrees (Eq. 23): the
+    /// largest per-client end-to-end delay.
+    pub delay_bound: f64,
+    /// The Stage-2 objective `F_s2(lambda*)` (Eq. 22).
+    pub objective: f64,
+    /// Incumbent objective after each improvement found by the search
+    /// (reproduces the paper's Fig. 4(b)).
+    pub trace: Vec<f64>,
+    /// Number of search nodes expanded.
+    pub nodes_expanded: usize,
+    /// Number of complete assignments evaluated.
+    pub leaves_evaluated: usize,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// Precomputed per-client tables for the Stage-2 search.
+struct Stage2Tables {
+    /// `g[n][m]`: the lambda-dependent, delay-independent part of the
+    /// objective for client `n` at choice `m`
+    /// (`alpha_msl varsigma_n f_msl - alpha_e E^(cmp)`).
+    gains: Vec<Vec<f64>>,
+    /// `d[n][m]`: the end-to-end delay of client `n` at choice `m`.
+    delays: Vec<Vec<f64>>,
+    /// The lambda-independent part of the objective
+    /// (`alpha_qkd U_qkd - alpha_e (E^(enc) + E^(tr))`).
+    constant: f64,
+    /// Weight of the delay term.
+    alpha_t: f64,
+    /// The discrete degree choices.
+    choices: Vec<u64>,
+}
+
+impl Stage2Tables {
+    fn build(problem: &Problem, vars: &DecisionVariables) -> QuheResult<Self> {
+        let choices = problem.scenario().lambda_choices().to_vec();
+        let weights = problem.config().weights;
+        let n_clients = problem.num_clients();
+        let privacy = problem.scenario().mec().privacy_weights();
+
+        let mut gains = vec![vec![0.0; choices.len()]; n_clients];
+        let mut delays = vec![vec![0.0; choices.len()]; n_clients];
+        let mut lambda_independent_energy = 0.0;
+        let mut probe = vars.clone();
+        for n in 0..n_clients {
+            // The encryption and transmission parts do not depend on lambda.
+            probe.lambda[n] = choices[0];
+            let base = problem.client_cost(&probe, n)?;
+            lambda_independent_energy += base.encryption_energy_j + base.transmission_energy_j;
+            for (m, &lambda) in choices.iter().enumerate() {
+                probe.lambda[n] = lambda;
+                let cost = problem.client_cost(&probe, n)?;
+                gains[n][m] = weights.security * privacy[n] * min_security_level(lambda as f64)
+                    - weights.energy * cost.computation_energy_j;
+                delays[n][m] = cost.total_delay_s();
+            }
+            probe.lambda[n] = vars.lambda[n];
+        }
+        let constant = weights.qkd_utility * problem.qkd_utility(vars)?
+            - weights.energy * lambda_independent_energy;
+        Ok(Self {
+            gains,
+            delays,
+            constant,
+            alpha_t: weights.delay,
+            choices,
+        })
+    }
+
+    fn objective(&self, assignment: &[usize]) -> f64 {
+        let gain: f64 = assignment
+            .iter()
+            .enumerate()
+            .map(|(n, &m)| self.gains[n][m])
+            .sum();
+        let delay = assignment
+            .iter()
+            .enumerate()
+            .map(|(n, &m)| self.delays[n][m])
+            .fold(0.0_f64, f64::max);
+        self.constant + gain - self.alpha_t * delay
+    }
+}
+
+impl DiscreteProblem for Stage2Tables {
+    fn num_variables(&self) -> usize {
+        self.gains.len()
+    }
+
+    fn choices(&self, _index: usize) -> Vec<usize> {
+        (0..self.choices.len()).collect()
+    }
+
+    fn evaluate(&self, assignment: &[usize]) -> f64 {
+        self.objective(assignment)
+    }
+
+    fn upper_bound(&self, partial: &[usize]) -> f64 {
+        // Assigned clients contribute their exact gains; unassigned clients
+        // contribute their best possible gain. The max-delay term is bounded
+        // from below by the assigned delays and by each unassigned client's
+        // smallest achievable delay, giving a valid optimistic bound.
+        let assigned_gain: f64 = partial
+            .iter()
+            .enumerate()
+            .map(|(n, &m)| self.gains[n][m])
+            .sum();
+        let optimistic_gain: f64 = self.gains[partial.len()..]
+            .iter()
+            .map(|row| row.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .sum();
+        let assigned_delay = partial
+            .iter()
+            .enumerate()
+            .map(|(n, &m)| self.delays[n][m])
+            .fold(0.0_f64, f64::max);
+        let unassigned_min_delay = self.delays[partial.len()..]
+            .iter()
+            .map(|row| row.iter().cloned().fold(f64::INFINITY, f64::min))
+            .fold(0.0_f64, f64::max);
+        let delay_lower_bound = assigned_delay.max(unassigned_min_delay);
+        self.constant + assigned_gain + optimistic_gain - self.alpha_t * delay_lower_bound
+    }
+}
+
+/// The Stage-2 solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stage2Solver;
+
+impl Stage2Solver {
+    /// Creates a Stage-2 solver.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Solves Stage 2 by best-first branch-and-bound (Algorithm 2).
+    ///
+    /// # Errors
+    /// Propagates substrate errors for malformed variables and
+    /// [`crate::error::QuheError::Opt`] if the search space is empty.
+    pub fn solve(&self, problem: &Problem, vars: &DecisionVariables) -> QuheResult<Stage2Result> {
+        self.run(problem, vars, false)
+    }
+
+    /// Solves Stage 2 by exhaustive enumeration (the ablation baseline the
+    /// paper mentions before opting for branch-and-bound).
+    ///
+    /// # Errors
+    /// Same conditions as [`Stage2Solver::solve`].
+    pub fn solve_exhaustive(
+        &self,
+        problem: &Problem,
+        vars: &DecisionVariables,
+    ) -> QuheResult<Stage2Result> {
+        self.run(problem, vars, true)
+    }
+
+    fn run(
+        &self,
+        problem: &Problem,
+        vars: &DecisionVariables,
+        exhaustive: bool,
+    ) -> QuheResult<Stage2Result> {
+        let start = Instant::now();
+        let tables = Stage2Tables::build(problem, vars)?;
+        let solver = BranchAndBound::default();
+        let outcome = if exhaustive {
+            solver.exhaustive(&tables)?
+        } else {
+            solver.maximize(&tables)?
+        };
+        let lambda: Vec<u64> = outcome
+            .assignment
+            .iter()
+            .map(|&m| tables.choices[m])
+            .collect();
+        let delay_bound = outcome
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(n, &m)| tables.delays[n][m])
+            .fold(0.0_f64, f64::max);
+        Ok(Stage2Result {
+            lambda,
+            delay_bound,
+            objective: outcome.objective,
+            trace: outcome.incumbent_trace,
+            nodes_expanded: outcome.nodes_expanded,
+            leaves_evaluated: outcome.leaves_evaluated,
+            runtime_s: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QuheConfig;
+    use crate::scenario::SystemScenario;
+
+    fn setup() -> (Problem, DecisionVariables) {
+        let problem =
+            Problem::new(SystemScenario::paper_default(1), QuheConfig::default()).unwrap();
+        let vars = problem.initial_point().unwrap();
+        (problem, vars)
+    }
+
+    #[test]
+    fn stage2_selects_degrees_from_the_choice_set() {
+        let (problem, vars) = setup();
+        let result = Stage2Solver::new().solve(&problem, &vars).unwrap();
+        assert_eq!(result.lambda.len(), 6);
+        for l in &result.lambda {
+            assert!(problem.scenario().lambda_choices().contains(l));
+        }
+        assert!(result.delay_bound > 0.0);
+        assert!(result.objective.is_finite());
+    }
+
+    #[test]
+    fn branch_and_bound_matches_exhaustive_search() {
+        let (problem, vars) = setup();
+        let solver = Stage2Solver::new();
+        let bnb = solver.solve(&problem, &vars).unwrap();
+        let exhaustive = solver.solve_exhaustive(&problem, &vars).unwrap();
+        assert!((bnb.objective - exhaustive.objective).abs() < 1e-9);
+        assert_eq!(bnb.lambda, exhaustive.lambda);
+        // Pruning should not expand more leaves than exhaustive enumeration.
+        assert!(bnb.leaves_evaluated <= exhaustive.leaves_evaluated);
+    }
+
+    #[test]
+    fn stage2_objective_matches_problem_objective() {
+        let (problem, vars) = setup();
+        let result = Stage2Solver::new().solve(&problem, &vars).unwrap();
+        let mut updated = vars.clone();
+        updated.lambda = result.lambda.clone();
+        updated.delay_bound = result.delay_bound;
+        let direct = problem.objective_with_max_delay(&updated).unwrap();
+        assert!(
+            (result.objective - direct).abs() < 1e-6 * direct.abs().max(1.0),
+            "stage-2 objective {} vs direct {}",
+            result.objective,
+            direct
+        );
+    }
+
+    #[test]
+    fn stage2_never_worsens_the_starting_assignment() {
+        let (problem, vars) = setup();
+        let result = Stage2Solver::new().solve(&problem, &vars).unwrap();
+        let tables_objective_at_start = {
+            let mut updated = vars.clone();
+            updated.delay_bound = problem.system_cost(&vars).unwrap().total_delay_s;
+            problem.objective_with_max_delay(&updated).unwrap()
+        };
+        assert!(result.objective >= tables_objective_at_start - 1e-9);
+    }
+
+    #[test]
+    fn incumbent_trace_is_increasing() {
+        let (problem, vars) = setup();
+        let result = Stage2Solver::new().solve(&problem, &vars).unwrap();
+        for pair in result.trace.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Stage 3 of the QuHE algorithm: transmit powers, bandwidths and CPU
+//! frequencies via quadratic-transform fractional programming
+//! (Eqs. 24–28, Algorithm 3 of the paper).
+//!
+//! With `(phi, w, lambda)` fixed, the remaining objective is the (negated)
+//! cost
+//!
+//! ```text
+//! G(p, b, f^(c), f^(s)) = alpha_e sum_n kappa^(c) f^(se) (f^(c)_n)^2
+//!                       + alpha_e sum_n kappa^(s) C_n(lambda) (f^(s)_n)^2 / rho_n
+//!                       + alpha_e sum_n p_n d_n / r_n(b_n, p_n)
+//!                       + alpha_t T
+//! ```
+//!
+//! subject to the per-variable boxes (17e, 17g) and budgets (17f, 17h), with
+//! `T` equal to the largest per-client delay (constraint 17i holds with
+//! equality at the optimum). The only non-convex term is the transmission
+//! energy ratio `p_n d_n / r_n`; following the paper, it is handled by the
+//! quadratic transform of Shen & Yu (Eqs. 25–27): an auxiliary variable
+//! `z_n = 1 / (2 p_n d_n r_n)` is updated in closed form, and the remaining
+//! convex subproblem is solved numerically. The inner solver here is the
+//! projected-gradient method of `quhe-opt` (fast; used inside the alternating
+//! loop); [`Stage3Solver::solve_with_gap_trace`] additionally runs a final
+//! interior-point polish to produce the duality-gap trace of the paper's
+//! Fig. 4(d).
+
+use std::time::Instant;
+
+use quhe_opt::barrier::{BarrierConfig, BarrierSolver, FnProblem};
+use quhe_opt::fractional::{QuadraticTransform, QuadraticTransformConfig, RatioTerm};
+use quhe_opt::gradient::{ProjectedGradient, ProjectedGradientConfig};
+use quhe_opt::newton::NewtonConfig;
+use quhe_opt::projection::{BoxProjection, Projection, SimplexCapProjection};
+
+use crate::error::QuheResult;
+use crate::problem::Problem;
+use crate::variables::DecisionVariables;
+
+/// Relative lower bound applied to every resource so that rates and delays
+/// stay finite (resources of exactly zero are never optimal: they would make
+/// the delay infinite).
+const RELATIVE_FLOOR: f64 = 1e-3;
+
+/// Result of Stage 3.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stage3Result {
+    /// Optimal transmit powers `p*`.
+    pub power: Vec<f64>,
+    /// Optimal bandwidth allocation `b*`.
+    pub bandwidth: Vec<f64>,
+    /// Optimal client CPU frequencies `(f^(c))*`.
+    pub client_frequency: Vec<f64>,
+    /// Optimal server CPU allocation `(f^(s))*`.
+    pub server_frequency: Vec<f64>,
+    /// Optimal delay bound `T*` (the largest per-client delay).
+    pub delay_bound: f64,
+    /// The Stage-3 cost `G` at the solution (the quantity minimized here;
+    /// the paper's Fig. 4(c) plots this "POBJ" trace).
+    pub cost: f64,
+    /// Cost after each outer (quadratic-transform) iteration.
+    pub trace: Vec<f64>,
+    /// Duality-gap trace of the final interior-point polish (only populated
+    /// by [`Stage3Solver::solve_with_gap_trace`]; reproduces Fig. 4(d)).
+    pub gap_trace: Vec<f64>,
+    /// Number of outer iterations of the fractional-programming loop.
+    pub iterations: usize,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// Per-client constants of the Stage-3 cost.
+#[derive(Debug, Clone)]
+struct Stage3Constants {
+    /// `kappa^(c) f^(se)` per client.
+    client_energy_coeff: Vec<f64>,
+    /// `kappa^(s) C_n(lambda) d^(cmp)_n / rho_n` per client (the coefficient
+    /// of `(f^(s))^2` in the computation energy, equivalently the total
+    /// server cycles times `kappa^(s)`).
+    server_energy_coeff: Vec<f64>,
+    /// Total server cycles for client `n` (delay numerator).
+    server_cycles: Vec<f64>,
+    /// Client encryption cycles `f^(se)_n`.
+    encryption_cycles: Vec<f64>,
+    /// Uplink payload `d^(tr)_n` in bits.
+    upload_bits: Vec<f64>,
+    /// Channel gains `g_n`.
+    gains: Vec<f64>,
+    /// Noise PSD.
+    noise_psd: f64,
+    /// Objective weights.
+    alpha_e: f64,
+    alpha_t: f64,
+}
+
+impl Stage3Constants {
+    fn build(problem: &Problem, lambda: &[u64]) -> QuheResult<Self> {
+        let mec = problem.scenario().mec();
+        let weights = problem.config().weights;
+        let n = problem.num_clients();
+        let mut client_energy_coeff = Vec::with_capacity(n);
+        let mut server_energy_coeff = Vec::with_capacity(n);
+        let mut server_cycles = Vec::with_capacity(n);
+        let mut encryption_cycles = Vec::with_capacity(n);
+        let mut upload_bits = Vec::with_capacity(n);
+        let mut gains = Vec::with_capacity(n);
+        for (i, client) in mec.clients().iter().enumerate() {
+            let cycles_per_sample =
+                quhe_crypto::cost_model::total_server_cycles_per_sample(lambda[i] as f64);
+            let total_cycles = cycles_per_sample * client.tokens / client.tokens_per_sample;
+            client_energy_coeff.push(client.client_capacitance * client.encryption_cycles);
+            server_energy_coeff.push(mec.server_capacitance() * total_cycles);
+            server_cycles.push(total_cycles);
+            encryption_cycles.push(client.encryption_cycles);
+            upload_bits.push(client.upload_bits);
+            gains.push(client.channel_gain);
+        }
+        Ok(Self {
+            client_energy_coeff,
+            server_energy_coeff,
+            server_cycles,
+            encryption_cycles,
+            upload_bits,
+            gains,
+            noise_psd: mec.noise_psd(),
+            alpha_e: weights.energy,
+            alpha_t: weights.delay,
+        })
+    }
+
+    fn num_clients(&self) -> usize {
+        self.gains.len()
+    }
+
+    /// Uplink rate of client `n` at the packed decision vector `x`.
+    fn rate(&self, x: &[f64], n: usize) -> f64 {
+        let num = self.num_clients();
+        let p = x[n];
+        let b = x[num + n];
+        b * (1.0 + p * self.gains[n] / (self.noise_psd * b)).log2()
+    }
+
+    /// End-to-end delay of client `n` at `x`.
+    fn delay(&self, x: &[f64], n: usize) -> f64 {
+        let num = self.num_clients();
+        let f_c = x[2 * num + n];
+        let f_s = x[3 * num + n];
+        self.encryption_cycles[n] / f_c
+            + self.upload_bits[n] / self.rate(x, n)
+            + self.server_cycles[n] / f_s
+    }
+
+    /// Largest per-client delay at `x` (the optimal `T`).
+    fn max_delay(&self, x: &[f64]) -> f64 {
+        (0..self.num_clients())
+            .map(|n| self.delay(x, n))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// The lambda-independent, ratio-free part of the Stage-3 cost:
+    /// computation energies plus the weighted delay bound.
+    fn smooth_cost(&self, x: &[f64]) -> f64 {
+        let num = self.num_clients();
+        let mut total = 0.0;
+        for n in 0..num {
+            let f_c = x[2 * num + n];
+            let f_s = x[3 * num + n];
+            total += self.alpha_e * self.client_energy_coeff[n] * f_c * f_c;
+            total += self.alpha_e * self.server_energy_coeff[n] * f_s * f_s;
+        }
+        total + self.alpha_t * self.max_delay(x)
+    }
+
+    /// The full Stage-3 cost including the true transmission-energy ratios.
+    fn total_cost(&self, x: &[f64]) -> f64 {
+        let num = self.num_clients();
+        let mut total = self.smooth_cost(x);
+        for n in 0..num {
+            total += self.alpha_e * x[n] * self.upload_bits[n] / self.rate(x, n);
+        }
+        total
+    }
+}
+
+/// Projection onto the Stage-3 feasible set: boxes for powers and client
+/// frequencies, capped simplices for bandwidth and server frequency.
+#[derive(Debug, Clone)]
+struct Stage3Projection {
+    power: BoxProjection,
+    bandwidth: SimplexCapProjection,
+    client_frequency: BoxProjection,
+    server_frequency: SimplexCapProjection,
+    num_clients: usize,
+}
+
+impl Projection for Stage3Projection {
+    fn project(&self, x: &mut [f64]) {
+        let n = self.num_clients;
+        self.power.project(&mut x[..n]);
+        self.bandwidth.project(&mut x[n..2 * n]);
+        self.client_frequency.project(&mut x[2 * n..3 * n]);
+        self.server_frequency.project(&mut x[3 * n..4 * n]);
+    }
+}
+
+/// The Stage-3 solver.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage3Solver {
+    /// Maximum outer (quadratic transform) iterations.
+    max_iterations: usize,
+    /// Convergence tolerance on the cost between outer iterations.
+    tolerance: f64,
+}
+
+impl Default for Stage3Solver {
+    fn default() -> Self {
+        Self {
+            max_iterations: 40,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl Stage3Solver {
+    /// Creates a Stage-3 solver with an explicit iteration budget and
+    /// tolerance.
+    pub fn new(max_iterations: usize, tolerance: f64) -> Self {
+        Self {
+            max_iterations,
+            tolerance,
+        }
+    }
+
+    /// Per-coordinate scales used to normalize the decision vector: the inner
+    /// solvers work on `y = x / scale` so that powers (~0.2 W), bandwidths
+    /// (~10^6 Hz) and CPU frequencies (~10^9–10^10 Hz) all live on the unit
+    /// scale — without this the projected-gradient steps are dominated by the
+    /// best-conditioned block and the CPU frequencies never move.
+    fn scales(problem: &Problem) -> Vec<f64> {
+        let mec = problem.scenario().mec();
+        let n = problem.num_clients();
+        let mut scales = Vec::with_capacity(4 * n);
+        scales.extend(mec.clients().iter().map(|c| c.max_power_w));
+        scales.extend(std::iter::repeat(mec.total_bandwidth_hz()).take(n));
+        scales.extend(mec.clients().iter().map(|c| c.max_client_frequency_hz));
+        scales.extend(std::iter::repeat(mec.total_server_frequency_hz()).take(n));
+        scales
+    }
+
+    /// Projection onto the feasible set expressed in normalized coordinates
+    /// (`p / p_max`, `b / B_total`, `f^(c) / f^(max)`, `f^(s) / f_total`).
+    fn scaled_projection(problem: &Problem) -> Stage3Projection {
+        let n = problem.num_clients();
+        Stage3Projection {
+            power: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0).expect("bounds are ordered"),
+            bandwidth: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)
+                .expect("budget dominates the floor"),
+            client_frequency: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0)
+                .expect("bounds are ordered"),
+            server_frequency: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)
+                .expect("budget dominates the floor"),
+            num_clients: n,
+        }
+    }
+
+    fn pack(vars: &DecisionVariables) -> Vec<f64> {
+        let mut x = Vec::with_capacity(4 * vars.num_clients());
+        x.extend_from_slice(&vars.power);
+        x.extend_from_slice(&vars.bandwidth);
+        x.extend_from_slice(&vars.client_frequency);
+        x.extend_from_slice(&vars.server_frequency);
+        x
+    }
+
+    /// Solves Stage 3 starting from the resource allocation stored in `vars`
+    /// (whose `phi`, `w` and `lambda` blocks are held fixed).
+    ///
+    /// # Errors
+    /// Propagates optimization errors from the fractional-programming loop.
+    pub fn solve(&self, problem: &Problem, vars: &DecisionVariables) -> QuheResult<Stage3Result> {
+        self.run(problem, vars, false)
+    }
+
+    /// Like [`Stage3Solver::solve`] but additionally performs a final
+    /// interior-point polish of the convex subproblem to record the
+    /// duality-gap trace of the paper's Fig. 4(d).
+    ///
+    /// # Errors
+    /// Propagates optimization errors from the fractional-programming loop or
+    /// the interior-point polish.
+    pub fn solve_with_gap_trace(
+        &self,
+        problem: &Problem,
+        vars: &DecisionVariables,
+    ) -> QuheResult<Stage3Result> {
+        self.run(problem, vars, true)
+    }
+
+    fn run(
+        &self,
+        problem: &Problem,
+        vars: &DecisionVariables,
+        with_gap_trace: bool,
+    ) -> QuheResult<Stage3Result> {
+        let start = Instant::now();
+        let constants = Stage3Constants::build(problem, &vars.lambda)?;
+        let projection = Self::scaled_projection(problem);
+        let scales = Self::scales(problem);
+        let n = constants.num_clients();
+        let unscale = |y: &[f64]| -> Vec<f64> {
+            y.iter().zip(&scales).map(|(v, s)| v * s).collect()
+        };
+        let mut y0: Vec<f64> = Self::pack(vars)
+            .iter()
+            .zip(&scales)
+            .map(|(v, s)| v / s)
+            .collect();
+        projection.project(&mut y0);
+
+        // Ratio terms p_n d_n / r_n handled by the quadratic transform,
+        // expressed on the normalized coordinates.
+        let ratio_terms: Vec<RatioTerm<'_>> = (0..n)
+            .map(|client| {
+                let c_num = &constants;
+                let c_den = &constants;
+                let scales_num = &scales;
+                let scales_den = &scales;
+                RatioTerm::new(
+                    move |y: &[f64]| {
+                        y[client] * scales_num[client] * c_num.upload_bits[client]
+                    },
+                    move |y: &[f64]| {
+                        let x: Vec<f64> = y.iter().zip(scales_den).map(|(v, s)| v * s).collect();
+                        c_den.rate(&x, client)
+                    },
+                )
+            })
+            .collect();
+        let weights = vec![constants.alpha_e; n];
+
+        let inner_config = ProjectedGradientConfig {
+            max_iterations: 200,
+            tolerance: 1e-8,
+            ..ProjectedGradientConfig::default()
+        };
+        let inner_solver = ProjectedGradient::new(inner_config);
+        let qt = QuadraticTransform::new(QuadraticTransformConfig {
+            max_iterations: self.max_iterations,
+            tolerance: self.tolerance,
+        });
+
+        let constants_inner = &constants;
+        let projection_inner = &projection;
+        let scales_inner = &scales;
+        let outcome = qt.solve(
+            |y: &[f64]| {
+                let x: Vec<f64> = y.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
+                constants_inner.smooth_cost(&x)
+            },
+            &ratio_terms,
+            &weights,
+            &y0,
+            |y, z| {
+                let z = z.to_vec();
+                let surrogate = |yy: &[f64]| {
+                    let x: Vec<f64> = yy.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
+                    let mut value = constants_inner.smooth_cost(&x);
+                    for client in 0..n {
+                        let num = x[client] * constants_inner.upload_bits[client];
+                        let den = constants_inner.rate(&x, client);
+                        value += constants_inner.alpha_e
+                            * (num * num * z[client] + 1.0 / (4.0 * den * den * z[client]));
+                    }
+                    value
+                };
+                Ok(inner_solver.minimize(&surrogate, projection_inner, y)?.solution)
+            },
+        )?;
+
+        let solution = unscale(&outcome.solution);
+        let gap_trace = if with_gap_trace {
+            self.interior_point_gap_trace(&constants, problem, &solution)?
+        } else {
+            Vec::new()
+        };
+
+        let power = solution[..n].to_vec();
+        let bandwidth = solution[n..2 * n].to_vec();
+        let client_frequency = solution[2 * n..3 * n].to_vec();
+        let server_frequency = solution[3 * n..4 * n].to_vec();
+        let delay_bound = constants.max_delay(&solution);
+        Ok(Stage3Result {
+            power,
+            bandwidth,
+            client_frequency,
+            server_frequency,
+            delay_bound,
+            cost: constants.total_cost(&solution),
+            trace: outcome.trace,
+            gap_trace,
+            iterations: outcome.iterations,
+            runtime_s: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Re-solves the final convex subproblem (fixed auxiliary variables) with
+    /// the log-barrier interior-point method, returning its duality-gap
+    /// trace. The explicit `T` variable and the (17i) constraints are
+    /// reintroduced, exactly as problem P6 states them.
+    fn interior_point_gap_trace(
+        &self,
+        constants: &Stage3Constants,
+        problem: &Problem,
+        x_star: &[f64],
+    ) -> QuheResult<Vec<f64>> {
+        let n = constants.num_clients();
+        let mec = problem.scenario().mec();
+        // Decision vector: [p, b, f_c, f_s, T].
+        let dim = 4 * n + 1;
+
+        let p_max: Vec<f64> = mec.clients().iter().map(|c| c.max_power_w).collect();
+        let f_max: Vec<f64> = mec
+            .clients()
+            .iter()
+            .map(|c| c.max_client_frequency_hz)
+            .collect();
+        let b_total = mec.total_bandwidth_hz();
+        let f_total = mec.total_server_frequency_hz();
+
+        // Pull the Stage-3 solution strictly inside every constraint so the
+        // barrier method has a strictly feasible start: box variables are
+        // moved a fraction below their caps and budget blocks are rescaled to
+        // consume at most 99.9 % of their budgets.
+        let mut start_point = x_star.to_vec();
+        for client in 0..n {
+            start_point[client] = start_point[client].min(0.999 * p_max[client]);
+            start_point[2 * n + client] = start_point[2 * n + client].min(0.999 * f_max[client]);
+        }
+        let b_sum: f64 = start_point[n..2 * n].iter().sum();
+        if b_sum > 0.999 * b_total {
+            let scale = 0.999 * b_total / b_sum;
+            for value in &mut start_point[n..2 * n] {
+                *value *= scale;
+            }
+        }
+        let f_sum: f64 = start_point[3 * n..4 * n].iter().sum();
+        if f_sum > 0.999 * f_total {
+            let scale = 0.999 * f_total / f_sum;
+            for value in &mut start_point[3 * n..4 * n] {
+                *value *= scale;
+            }
+        }
+        start_point.push(constants.max_delay(&start_point) * 1.05);
+
+        let constants_obj = constants.clone();
+        let objective = move |x: &[f64]| -> f64 {
+            let t = x[4 * n];
+            let mut value = constants_obj.alpha_t * t;
+            for client in 0..n {
+                let f_c = x[2 * n + client];
+                let f_s = x[3 * n + client];
+                value += constants_obj.alpha_e
+                    * constants_obj.client_energy_coeff[client]
+                    * f_c
+                    * f_c;
+                value += constants_obj.alpha_e
+                    * constants_obj.server_energy_coeff[client]
+                    * f_s
+                    * f_s;
+                value += constants_obj.alpha_e
+                    * x[client]
+                    * constants_obj.upload_bits[client]
+                    / constants_obj.rate(x, client);
+            }
+            value
+        };
+        let constants_con = constants.clone();
+        let constraints = move |x: &[f64]| -> Vec<f64> {
+            let t = x[4 * n];
+            let mut g = Vec::with_capacity(6 * n + 3);
+            for client in 0..n {
+                g.push(1e-6 * p_max[client] - x[client]); // p > 0
+                g.push(x[client] - p_max[client]); // 17e
+                g.push(1e-6 * b_total - x[n + client]); // b > 0
+                g.push(1e-6 * f_max[client] - x[2 * n + client]); // f_c > 0
+                g.push(x[2 * n + client] - f_max[client]); // 17g
+                g.push(1e-6 * f_total - x[3 * n + client]); // f_s > 0
+                g.push(constants_con.delay(x, client) - t); // 17i
+            }
+            g.push(x[n..2 * n].iter().sum::<f64>() - b_total); // 17f
+            g.push(x[3 * n..4 * n].iter().sum::<f64>() - f_total); // 17h
+            g
+        };
+        let barrier_problem =
+            FnProblem::new(dim, objective, constraints).with_start(start_point);
+        let config = BarrierConfig {
+            gap_tolerance: 1e-5,
+            newton: NewtonConfig {
+                max_iterations: 30,
+                ..NewtonConfig::default()
+            },
+            ..BarrierConfig::default()
+        };
+        let result = BarrierSolver::new(config).solve(&barrier_problem, None)?;
+        Ok(result.gap_trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QuheConfig;
+    use crate::scenario::SystemScenario;
+
+    fn setup() -> (Problem, DecisionVariables) {
+        let problem =
+            Problem::new(SystemScenario::paper_default(1), QuheConfig::default()).unwrap();
+        let vars = problem.initial_point().unwrap();
+        (problem, vars)
+    }
+
+    #[test]
+    fn stage3_result_is_feasible_and_improves_the_cost() {
+        let (problem, vars) = setup();
+        let result = Stage3Solver::default().solve(&problem, &vars).unwrap();
+
+        // Feasibility of the produced allocation.
+        let mut updated = vars.clone();
+        updated.power = result.power.clone();
+        updated.bandwidth = result.bandwidth.clone();
+        updated.client_frequency = result.client_frequency.clone();
+        updated.server_frequency = result.server_frequency.clone();
+        updated.delay_bound = result.delay_bound;
+        problem.check_feasible(&updated).unwrap();
+
+        // The Stage-3 cost must not exceed the cost of the starting point.
+        let constants = Stage3Constants::build(&problem, &vars.lambda).unwrap();
+        let start_cost = constants.total_cost(&Stage3Solver::pack(&vars));
+        assert!(
+            result.cost <= start_cost + 1e-9,
+            "stage-3 cost {} worse than start {}",
+            result.cost,
+            start_cost
+        );
+    }
+
+    #[test]
+    fn stage3_improves_the_overall_objective() {
+        let (problem, vars) = setup();
+        let before = problem.objective_with_max_delay(&vars).unwrap();
+        let result = Stage3Solver::default().solve(&problem, &vars).unwrap();
+        let mut updated = vars.clone();
+        updated.power = result.power;
+        updated.bandwidth = result.bandwidth;
+        updated.client_frequency = result.client_frequency;
+        updated.server_frequency = result.server_frequency;
+        updated.delay_bound = result.delay_bound;
+        let after = problem.objective_with_max_delay(&updated).unwrap();
+        assert!(
+            after >= before - 1e-9,
+            "objective got worse: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn stage3_trace_is_nonincreasing() {
+        let (problem, vars) = setup();
+        let result = Stage3Solver::default().solve(&problem, &vars).unwrap();
+        for pair in result.trace.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+        assert!(result.iterations >= 1);
+        assert!(result.gap_trace.is_empty());
+    }
+
+    #[test]
+    fn gap_trace_decreases_below_tolerance() {
+        let (problem, vars) = setup();
+        let solver = Stage3Solver::new(10, 1e-5);
+        let result = solver.solve_with_gap_trace(&problem, &vars).unwrap();
+        assert!(!result.gap_trace.is_empty());
+        for pair in result.gap_trace.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+        assert!(*result.gap_trace.last().unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn budgets_are_respected_exactly() {
+        let (problem, vars) = setup();
+        let result = Stage3Solver::default().solve(&problem, &vars).unwrap();
+        let mec = problem.scenario().mec();
+        let b_sum: f64 = result.bandwidth.iter().sum();
+        let f_sum: f64 = result.server_frequency.iter().sum();
+        assert!(b_sum <= mec.total_bandwidth_hz() * (1.0 + 1e-9));
+        assert!(f_sum <= mec.total_server_frequency_hz() * (1.0 + 1e-9));
+        for (p, client) in result.power.iter().zip(mec.clients()) {
+            assert!(*p > 0.0 && *p <= client.max_power_w * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The decision variables of problem P1.
+
+use crate::error::{QuheError, QuheResult};
+
+/// The full decision-variable set of problem P1 (Eq. 17):
+/// `(phi, w, lambda, p, b, f^(c), f^(s), T)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DecisionVariables {
+    /// Entanglement rate allocated to each route, pairs per second (`phi`).
+    pub phi: Vec<f64>,
+    /// Werner parameter of each link (`w`).
+    pub w: Vec<f64>,
+    /// CKKS polynomial degree chosen for each client (`lambda`).
+    pub lambda: Vec<u64>,
+    /// Transmit power of each client in W (`p`).
+    pub power: Vec<f64>,
+    /// Bandwidth allocated to each client in Hz (`b`).
+    pub bandwidth: Vec<f64>,
+    /// Client CPU frequency in Hz (`f^(c)`).
+    pub client_frequency: Vec<f64>,
+    /// Server CPU frequency allocated to each client in Hz (`f^(s)`).
+    pub server_frequency: Vec<f64>,
+    /// The auxiliary delay bound `T` (an upper bound on every client's
+    /// end-to-end delay, constraint 17i).
+    pub delay_bound: f64,
+}
+
+impl DecisionVariables {
+    /// Checks that all per-client vectors have length `num_clients` and the
+    /// per-link vector has length `num_links`.
+    ///
+    /// # Errors
+    /// Returns [`QuheError::DimensionMismatch`] describing the first
+    /// offending vector.
+    pub fn check_dimensions(&self, num_clients: usize, num_links: usize) -> QuheResult<()> {
+        for (len, expected) in [
+            (self.phi.len(), num_clients),
+            (self.lambda.len(), num_clients),
+            (self.power.len(), num_clients),
+            (self.bandwidth.len(), num_clients),
+            (self.client_frequency.len(), num_clients),
+            (self.server_frequency.len(), num_clients),
+            (self.w.len(), num_links),
+        ] {
+            if len != expected {
+                return Err(QuheError::DimensionMismatch {
+                    expected,
+                    actual: len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of clients this variable set describes.
+    pub fn num_clients(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Whether every entry is finite (a cheap sanity check between stages).
+    pub fn is_finite(&self) -> bool {
+        self.phi.iter().all(|v| v.is_finite())
+            && self.w.iter().all(|v| v.is_finite())
+            && self.power.iter().all(|v| v.is_finite())
+            && self.bandwidth.iter().all(|v| v.is_finite())
+            && self.client_frequency.iter().all(|v| v.is_finite())
+            && self.server_frequency.iter().all(|v| v.is_finite())
+            && self.delay_bound.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> DecisionVariables {
+        DecisionVariables {
+            phi: vec![1.0; 6],
+            w: vec![0.99; 18],
+            lambda: vec![1 << 15; 6],
+            power: vec![0.2; 6],
+            bandwidth: vec![1e6; 6],
+            client_frequency: vec![3e9; 6],
+            server_frequency: vec![3e9; 6],
+            delay_bound: 100.0,
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        assert!(vars().check_dimensions(6, 18).is_ok());
+        assert!(vars().check_dimensions(5, 18).is_err());
+        assert!(vars().check_dimensions(6, 17).is_err());
+        let mut bad = vars();
+        bad.w.pop();
+        assert!(bad.check_dimensions(6, 18).is_err());
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(vars().is_finite());
+        let mut bad = vars();
+        bad.power[2] = f64::NAN;
+        assert!(!bad.is_finite());
+        let mut bad = vars();
+        bad.delay_bound = f64::INFINITY;
+        assert!(!bad.is_finite());
+    }
+}

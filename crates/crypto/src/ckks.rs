@@ -1,0 +1,688 @@
+//! A simplified CKKS approximate homomorphic encryption scheme.
+//!
+//! The QuHE server evaluates encrypted-prediction workloads with CKKS
+//! (Section III-A of the paper). This module implements a self-contained,
+//! from-scratch CKKS variant sufficient to demonstrate the complete
+//! encrypt → transcipher → evaluate pipeline:
+//!
+//! * canonical-embedding encoding of real vectors into `N/2` slots,
+//! * RLWE public-key encryption and decryption,
+//! * homomorphic addition, subtraction, plaintext multiplication and one
+//!   level of ciphertext multiplication with gadget-decomposition
+//!   relinearization.
+//!
+//! # Simplifications relative to a production CKKS
+//!
+//! A single prime modulus is used (no RNS limbs) and there is no rescaling,
+//! so the scale doubles (in log) at every multiplication and the
+//! multiplicative depth is limited by the modulus — depth 1 to 2 at the
+//! default parameters.
+//! This matches the role CKKS plays in the paper: the optimizer consumes only
+//! the *cost* models (Eqs. 29–31 in [`crate::cost_model`]); the functional
+//! scheme here exists to exercise the data path end to end. DESIGN.md records
+//! this substitution. The `insecure_test_parameters` use a tiny ring degree
+//! and are — as the name says — not secure; realistic degrees
+//! (`2^15 … 2^17`) are exactly the `lambda` values the optimizer selects.
+
+use rand::Rng;
+
+use crate::error::{CryptoError, CryptoResult};
+use crate::keys::{KeySet, PublicKey, RelinearizationKey, SecretKey};
+use crate::ntt::NttTable;
+use crate::poly::{Modulus, Polynomial};
+
+/// Parameters of the simplified CKKS scheme.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CkksParameters {
+    /// Ring degree `N` (a power of two). The number of complex slots is
+    /// `N / 2`.
+    pub degree: usize,
+    /// Ciphertext modulus `q` (an NTT-friendly prime, `q ≡ 1 mod 2N`).
+    pub modulus: u64,
+    /// Encoding scale `Delta`; messages are stored as `round(Delta * value)`.
+    pub scale: f64,
+    /// Standard deviation of the error distribution.
+    pub error_std: f64,
+    /// Log2 of the relinearization decomposition base.
+    pub base_log: u32,
+}
+
+impl CkksParameters {
+    /// A 59-bit NTT-friendly prime (`q ≡ 1 mod 2^18`) used by the default
+    /// parameter sets.
+    pub const DEFAULT_MODULUS: u64 = 576_460_752_300_015_617;
+
+    /// Small, fast, **insecure** parameters for tests and examples:
+    /// degree 64 (32 slots), 59-bit modulus, scale `2^25`.
+    pub fn insecure_test_parameters() -> Self {
+        Self {
+            degree: 64,
+            modulus: Self::DEFAULT_MODULUS,
+            scale: (1u64 << 25) as f64,
+            error_std: 3.2,
+            base_log: 12,
+        }
+    }
+
+    /// Moderately sized parameters (degree 1024) for the examples that want a
+    /// more realistic slot count while staying fast enough for CI. Still not
+    /// a secure configuration — see [`crate::lwe_estimator`] for estimating
+    /// the security of a configuration.
+    pub fn demo_parameters() -> Self {
+        Self {
+            degree: 1024,
+            modulus: Self::DEFAULT_MODULUS,
+            scale: (1u64 << 25) as f64,
+            error_std: 3.2,
+            base_log: 12,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] for a non-power-of-two
+    /// degree, a too-small modulus or scale, or a non-positive error width.
+    pub fn validate(&self) -> CryptoResult<()> {
+        if self.degree < 4 || !self.degree.is_power_of_two() {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("degree must be a power of two >= 4, got {}", self.degree),
+            });
+        }
+        if self.modulus < 1 << 30 {
+            return Err(CryptoError::InvalidParameter {
+                reason: "modulus must be at least 2^30".to_string(),
+            });
+        }
+        if !(self.scale >= 2.0 && self.scale.is_finite()) {
+            return Err(CryptoError::InvalidParameter {
+                reason: "scale must be at least 2".to_string(),
+            });
+        }
+        if !(self.error_std > 0.0) {
+            return Err(CryptoError::InvalidParameter {
+                reason: "error_std must be positive".to_string(),
+            });
+        }
+        if self.base_log == 0 || self.base_log > 32 {
+            return Err(CryptoError::InvalidParameter {
+                reason: "base_log must lie in 1..=32".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of complex slots, `N / 2`.
+    pub fn slots(&self) -> usize {
+        self.degree / 2
+    }
+}
+
+/// An encoded (but not encrypted) CKKS message.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Plaintext {
+    /// The encoding polynomial.
+    pub poly: Polynomial,
+    /// The scale the values were encoded at.
+    pub scale: f64,
+}
+
+/// A CKKS ciphertext `(c0, c1)` with `c0 + c1 s ≈ Delta * m`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Ciphertext {
+    /// The `c0` component.
+    pub c0: Polynomial,
+    /// The `c1` component.
+    pub c1: Polynomial,
+    /// The scale of the underlying plaintext.
+    pub scale: f64,
+}
+
+/// The CKKS context: validated parameters plus the precomputed NTT table.
+#[derive(Debug, Clone)]
+pub struct CkksContext {
+    params: CkksParameters,
+    modulus: Modulus,
+    ntt: NttTable,
+}
+
+impl CkksContext {
+    /// Creates a context for the given parameters.
+    ///
+    /// # Errors
+    /// * [`CryptoError::InvalidParameter`] if the parameters are invalid.
+    /// * [`CryptoError::NoNttRoot`] if the modulus is not NTT-friendly for
+    ///   the requested degree.
+    pub fn new(params: CkksParameters) -> CryptoResult<Self> {
+        params.validate()?;
+        let modulus = Modulus::new(params.modulus)?;
+        let ntt = NttTable::new(modulus, params.degree)?;
+        Ok(Self {
+            params,
+            modulus,
+            ntt,
+        })
+    }
+
+    /// The parameters of this context.
+    pub fn params(&self) -> &CkksParameters {
+        &self.params
+    }
+
+    /// Number of available slots.
+    pub fn slots(&self) -> usize {
+        self.params.slots()
+    }
+
+    /// Runs `KeyGen(lambda, q)` (Eq. 2 of the paper): secret, public and
+    /// relinearization keys.
+    pub fn generate_keys<R: Rng + ?Sized>(&self, rng: &mut R) -> KeySet {
+        let n = self.params.degree;
+        let q = self.modulus;
+        let s = Polynomial::sample_ternary(n, q, rng).expect("degree validated");
+        // Public key: b = -(a s) + e.
+        let a = Polynomial::sample_uniform(n, q, rng).expect("degree validated");
+        let e = Polynomial::sample_error(n, q, self.params.error_std, rng).expect("validated");
+        let b = self
+            .ntt
+            .multiply(&a, &s)
+            .expect("matching parameters")
+            .neg()
+            .add(&e)
+            .expect("matching parameters");
+        // Relinearization key: gadget encryptions of s^2.
+        let s_squared = self.ntt.multiply(&s, &s).expect("matching parameters");
+        let digits = q.value().ilog2() / self.params.base_log + 1;
+        let mut components = Vec::with_capacity(digits as usize);
+        for i in 0..digits {
+            let a_i = Polynomial::sample_uniform(n, q, rng).expect("validated");
+            let e_i = Polynomial::sample_error(n, q, self.params.error_std, rng).expect("validated");
+            let factor = q.pow(2, u64::from(self.params.base_log) * u64::from(i));
+            let b_i = self
+                .ntt
+                .multiply(&a_i, &s)
+                .expect("matching parameters")
+                .neg()
+                .add(&e_i)
+                .expect("matching parameters")
+                .add(&s_squared.scalar_mul(factor))
+                .expect("matching parameters");
+            components.push((b_i, a_i));
+        }
+        KeySet {
+            secret: SecretKey { s },
+            public: PublicKey { b, a },
+            relinearization: RelinearizationKey {
+                components,
+                base_log: self.params.base_log,
+            },
+        }
+    }
+
+    /// Encodes up to `slots()` real values into a plaintext at the context
+    /// scale, using the canonical embedding at the primitive `2N`-th roots of
+    /// unity.
+    ///
+    /// # Errors
+    /// * [`CryptoError::TooManySlots`] if `values` exceeds the slot count.
+    /// * [`CryptoError::EncodingOverflow`] if a scaled coefficient would
+    ///   exceed `q / 4` (leaving no headroom for noise or products).
+    pub fn encode(&self, values: &[f64]) -> CryptoResult<Plaintext> {
+        self.encode_at_scale(values, self.params.scale)
+    }
+
+    /// Encodes at an explicit scale (used internally for plaintext products).
+    ///
+    /// # Errors
+    /// Same conditions as [`CkksContext::encode`].
+    pub fn encode_at_scale(&self, values: &[f64], scale: f64) -> CryptoResult<Plaintext> {
+        let slots = self.slots();
+        if values.len() > slots {
+            return Err(CryptoError::TooManySlots {
+                requested: values.len(),
+                capacity: slots,
+            });
+        }
+        let n = self.params.degree;
+        let mut padded = vec![0.0f64; slots];
+        padded[..values.len()].copy_from_slice(values);
+
+        // m_k = scale * (2/N) * Re( sum_j z_j * exp(-i pi (2j+1) k / N) ).
+        let mut coeffs = vec![0i64; n];
+        let limit = self.modulus.value() as f64 / 4.0;
+        for (k, coeff) in coeffs.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for (j, &z) in padded.iter().enumerate() {
+                let angle = -std::f64::consts::PI * ((2 * j + 1) * k) as f64 / n as f64;
+                acc += z * angle.cos();
+            }
+            let value = scale * 2.0 / n as f64 * acc;
+            if !value.is_finite() || value.abs() >= limit {
+                return Err(CryptoError::EncodingOverflow { magnitude: value });
+            }
+            *coeff = value.round() as i64;
+        }
+        Ok(Plaintext {
+            poly: Polynomial::from_signed(&coeffs, self.modulus)?,
+            scale,
+        })
+    }
+
+    /// Decodes the first `len` slots of a plaintext back into real values.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::TooManySlots`] if `len` exceeds the slot count.
+    pub fn decode(&self, plaintext: &Plaintext, len: usize) -> CryptoResult<Vec<f64>> {
+        let slots = self.slots();
+        if len > slots {
+            return Err(CryptoError::TooManySlots {
+                requested: len,
+                capacity: slots,
+            });
+        }
+        let n = self.params.degree;
+        let centered = plaintext.poly.centered_coefficients();
+        let mut out = Vec::with_capacity(len);
+        for j in 0..len {
+            let mut acc = 0.0f64;
+            for (k, &c) in centered.iter().enumerate() {
+                let angle = std::f64::consts::PI * ((2 * j + 1) * k) as f64 / n as f64;
+                acc += c as f64 * angle.cos();
+            }
+            out.push(acc / plaintext.scale);
+        }
+        Ok(out)
+    }
+
+    /// Encrypts a plaintext under the public key.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] if the plaintext was
+    /// produced by a different context.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        plaintext: &Plaintext,
+        public_key: &PublicKey,
+        rng: &mut R,
+    ) -> CryptoResult<Ciphertext> {
+        self.check_poly(&plaintext.poly)?;
+        let n = self.params.degree;
+        let q = self.modulus;
+        let u = Polynomial::sample_ternary(n, q, rng)?;
+        let e0 = Polynomial::sample_error(n, q, self.params.error_std, rng)?;
+        let e1 = Polynomial::sample_error(n, q, self.params.error_std, rng)?;
+        let c0 = self
+            .ntt
+            .multiply(&public_key.b, &u)?
+            .add(&e0)?
+            .add(&plaintext.poly)?;
+        let c1 = self.ntt.multiply(&public_key.a, &u)?.add(&e1)?;
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale: plaintext.scale,
+        })
+    }
+
+    /// Decrypts a ciphertext with the secret key.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] if the ciphertext was
+    /// produced by a different context.
+    pub fn decrypt(&self, ciphertext: &Ciphertext, secret_key: &SecretKey) -> CryptoResult<Plaintext> {
+        self.check_poly(&ciphertext.c0)?;
+        let poly = ciphertext
+            .c0
+            .add(&self.ntt.multiply(&ciphertext.c1, &secret_key.s)?)?;
+        Ok(Plaintext {
+            poly,
+            scale: ciphertext.scale,
+        })
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for mismatched scales or
+    /// parameters.
+    pub fn add(&self, lhs: &Ciphertext, rhs: &Ciphertext) -> CryptoResult<Ciphertext> {
+        self.check_same_scale(lhs, rhs)?;
+        Ok(Ciphertext {
+            c0: lhs.c0.add(&rhs.c0)?,
+            c1: lhs.c1.add(&rhs.c1)?,
+            scale: lhs.scale,
+        })
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for mismatched scales or
+    /// parameters.
+    pub fn sub(&self, lhs: &Ciphertext, rhs: &Ciphertext) -> CryptoResult<Ciphertext> {
+        self.check_same_scale(lhs, rhs)?;
+        Ok(Ciphertext {
+            c0: lhs.c0.sub(&rhs.c0)?,
+            c1: lhs.c1.sub(&rhs.c1)?,
+            scale: lhs.scale,
+        })
+    }
+
+    /// Adds a plaintext to a ciphertext.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for mismatched scales or
+    /// parameters.
+    pub fn add_plain(&self, lhs: &Ciphertext, rhs: &Plaintext) -> CryptoResult<Ciphertext> {
+        if (lhs.scale - rhs.scale).abs() > 1e-6 * lhs.scale {
+            return Err(CryptoError::ParameterMismatch {
+                reason: format!("scale mismatch: {} vs {}", lhs.scale, rhs.scale),
+            });
+        }
+        Ok(Ciphertext {
+            c0: lhs.c0.add(&rhs.poly)?,
+            c1: lhs.c1.clone(),
+            scale: lhs.scale,
+        })
+    }
+
+    /// Multiplies a ciphertext by a plaintext. The result's scale is the
+    /// product of the operand scales.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for mismatched parameters.
+    pub fn multiply_plain(&self, lhs: &Ciphertext, rhs: &Plaintext) -> CryptoResult<Ciphertext> {
+        self.check_poly(&rhs.poly)?;
+        Ok(Ciphertext {
+            c0: self.ntt.multiply(&lhs.c0, &rhs.poly)?,
+            c1: self.ntt.multiply(&lhs.c1, &rhs.poly)?,
+            scale: lhs.scale * rhs.scale,
+        })
+    }
+
+    /// Multiplies two ciphertexts and relinearizes the result back to two
+    /// components using the relinearization key. The result's scale is the
+    /// product of the operand scales.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for mismatched parameters.
+    pub fn multiply(
+        &self,
+        lhs: &Ciphertext,
+        rhs: &Ciphertext,
+        relin: &RelinearizationKey,
+    ) -> CryptoResult<Ciphertext> {
+        self.check_poly(&lhs.c0)?;
+        self.check_poly(&rhs.c0)?;
+        let d0 = self.ntt.multiply(&lhs.c0, &rhs.c0)?;
+        let d1 = self
+            .ntt
+            .multiply(&lhs.c0, &rhs.c1)?
+            .add(&self.ntt.multiply(&lhs.c1, &rhs.c0)?)?;
+        let d2 = self.ntt.multiply(&lhs.c1, &rhs.c1)?;
+
+        // Gadget-decompose d2 and fold it into (d0, d1) via the
+        // relinearization key.
+        let digits = self.gadget_decompose(&d2, relin)?;
+        let mut c0 = d0;
+        let mut c1 = d1;
+        for (digit, (b_i, a_i)) in digits.iter().zip(&relin.components) {
+            c0 = c0.add(&self.ntt.multiply(digit, b_i)?)?;
+            c1 = c1.add(&self.ntt.multiply(digit, a_i)?)?;
+        }
+        Ok(Ciphertext {
+            c0,
+            c1,
+            scale: lhs.scale * rhs.scale,
+        })
+    }
+
+    /// Decomposes a polynomial into base-`2^base_log` digit polynomials.
+    fn gadget_decompose(
+        &self,
+        poly: &Polynomial,
+        relin: &RelinearizationKey,
+    ) -> CryptoResult<Vec<Polynomial>> {
+        let base_log = relin.base_log;
+        let mask = (1u64 << base_log) - 1;
+        let num_digits = relin.components.len();
+        let n = self.params.degree;
+        let mut digits = Vec::with_capacity(num_digits);
+        for i in 0..num_digits {
+            let shift = base_log * i as u32;
+            let mut coeffs = vec![0u64; n];
+            for (slot, &c) in coeffs.iter_mut().zip(poly.coefficients()) {
+                *slot = (c >> shift) & mask;
+            }
+            digits.push(Polynomial::from_coefficients(coeffs, self.modulus)?);
+        }
+        Ok(digits)
+    }
+
+    fn check_poly(&self, poly: &Polynomial) -> CryptoResult<()> {
+        if poly.degree() != self.params.degree || poly.modulus() != self.modulus {
+            return Err(CryptoError::ParameterMismatch {
+                reason: format!(
+                    "polynomial degree {} modulus {} does not match context degree {} modulus {}",
+                    poly.degree(),
+                    poly.modulus().value(),
+                    self.params.degree,
+                    self.modulus.value()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_same_scale(&self, lhs: &Ciphertext, rhs: &Ciphertext) -> CryptoResult<()> {
+        self.check_poly(&lhs.c0)?;
+        self.check_poly(&rhs.c0)?;
+        if (lhs.scale - rhs.scale).abs() > 1e-6 * lhs.scale.max(rhs.scale) {
+            return Err(CryptoError::ParameterMismatch {
+                reason: format!("scale mismatch: {} vs {}", lhs.scale, rhs.scale),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn context() -> CkksContext {
+        CkksContext::new(CkksParameters::insecure_test_parameters()).unwrap()
+    }
+
+    fn rng() -> rand_chacha::ChaCha20Rng {
+        rand_chacha::ChaCha20Rng::seed_from_u64(1234)
+    }
+
+    fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
+        assert_eq!(actual.len(), expected.len());
+        for (a, e) in actual.iter().zip(expected) {
+            assert!((a - e).abs() < tol, "expected {e}, got {a} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut p = CkksParameters::insecure_test_parameters();
+        p.degree = 48;
+        assert!(p.validate().is_err());
+        let mut p = CkksParameters::insecure_test_parameters();
+        p.scale = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = CkksParameters::insecure_test_parameters();
+        p.base_log = 0;
+        assert!(p.validate().is_err());
+        assert!(CkksParameters::insecure_test_parameters().validate().is_ok());
+        assert!(CkksParameters::demo_parameters().validate().is_ok());
+        assert_eq!(CkksParameters::insecure_test_parameters().slots(), 32);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ctx = context();
+        let values = vec![0.5, -1.25, 3.75, 2.0, -0.125];
+        let pt = ctx.encode(&values).unwrap();
+        let decoded = ctx.decode(&pt, values.len()).unwrap();
+        assert_close(&decoded, &values, 1e-5);
+    }
+
+    #[test]
+    fn encode_rejects_too_many_values_and_overflow() {
+        let ctx = context();
+        assert!(matches!(
+            ctx.encode(&vec![1.0; 33]),
+            Err(CryptoError::TooManySlots { .. })
+        ));
+        assert!(matches!(
+            ctx.encode(&[1e30]),
+            Err(CryptoError::EncodingOverflow { .. })
+        ));
+        let pt = ctx.encode(&[1.0]).unwrap();
+        assert!(matches!(
+            ctx.decode(&pt, 64),
+            Err(CryptoError::TooManySlots { .. })
+        ));
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let values = vec![1.0, -2.0, 0.5, 4.25];
+        let pt = ctx.encode(&values).unwrap();
+        let ct = ctx.encrypt(&pt, &keys.public, &mut rng).unwrap();
+        let decrypted = ctx.decrypt(&ct, &keys.secret).unwrap();
+        let decoded = ctx.decode(&decrypted, values.len()).unwrap();
+        assert_close(&decoded, &values, 1e-3);
+    }
+
+    #[test]
+    fn homomorphic_addition_and_subtraction() {
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -1.0, 2.5];
+        let ct_a = ctx.encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct_b = ctx.encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng).unwrap();
+        let sum = ctx.add(&ct_a, &ct_b).unwrap();
+        let diff = ctx.sub(&ct_a, &ct_b).unwrap();
+        let sum_dec = ctx.decode(&ctx.decrypt(&sum, &keys.secret).unwrap(), 3).unwrap();
+        let diff_dec = ctx.decode(&ctx.decrypt(&diff, &keys.secret).unwrap(), 3).unwrap();
+        assert_close(&sum_dec, &[1.5, 1.0, 5.5], 1e-3);
+        assert_close(&diff_dec, &[0.5, 3.0, 0.5], 1e-3);
+    }
+
+    #[test]
+    fn add_plain_offsets_the_message() {
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let ct = ctx
+            .encrypt(&ctx.encode(&[1.0, 1.0]).unwrap(), &keys.public, &mut rng)
+            .unwrap();
+        let offset = ctx.encode(&[10.0, -10.0]).unwrap();
+        let shifted = ctx.add_plain(&ct, &offset).unwrap();
+        let decoded = ctx
+            .decode(&ctx.decrypt(&shifted, &keys.secret).unwrap(), 2)
+            .unwrap();
+        assert_close(&decoded, &[11.0, -9.0], 1e-3);
+    }
+
+    #[test]
+    fn plaintext_multiplication() {
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let data = vec![1.5, -2.0, 0.25];
+        let weights = vec![2.0, 3.0, -4.0];
+        let ct = ctx.encrypt(&ctx.encode(&data).unwrap(), &keys.public, &mut rng).unwrap();
+        let product = ctx.multiply_plain(&ct, &ctx.encode(&weights).unwrap()).unwrap();
+        let decoded = ctx
+            .decode(&ctx.decrypt(&product, &keys.secret).unwrap(), 3)
+            .unwrap();
+        assert_close(&decoded, &[3.0, -6.0, -1.0], 5e-2);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relinearization() {
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let a = vec![1.0, 2.0, -3.0];
+        let b = vec![2.0, 0.5, 1.5];
+        let ct_a = ctx.encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct_b = ctx.encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng).unwrap();
+        let prod = ctx.multiply(&ct_a, &ct_b, &keys.relinearization).unwrap();
+        assert!((prod.scale - ctx.params().scale * ctx.params().scale).abs() < 1.0);
+        let decoded = ctx
+            .decode(&ctx.decrypt(&prod, &keys.secret).unwrap(), 3)
+            .unwrap();
+        assert_close(&decoded, &[2.0, 1.0, -4.5], 5e-2);
+    }
+
+    #[test]
+    fn encrypted_linear_model_evaluation() {
+        // The paper's server workload is encrypted prediction; evaluate
+        // y = w * x + b slot-wise under encryption.
+        let ctx = context();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let x = vec![0.5, 1.0, 1.5, 2.0];
+        let w = vec![2.0, -1.0, 0.5, 3.0];
+        let bias = vec![0.1, 0.2, 0.3, 0.4];
+        let ct_x = ctx.encrypt(&ctx.encode(&x).unwrap(), &keys.public, &mut rng).unwrap();
+        let wx = ctx.multiply_plain(&ct_x, &ctx.encode(&w).unwrap()).unwrap();
+        let bias_pt = ctx.encode_at_scale(&bias, wx.scale).unwrap();
+        let y = ctx.add_plain(&wx, &bias_pt).unwrap();
+        let decoded = ctx.decode(&ctx.decrypt(&y, &keys.secret).unwrap(), 4).unwrap();
+        let expected: Vec<f64> = x
+            .iter()
+            .zip(&w)
+            .zip(&bias)
+            .map(|((x, w), b)| x * w + b)
+            .collect();
+        assert_close(&decoded, &expected, 5e-2);
+    }
+
+    #[test]
+    fn mismatched_operations_are_rejected() {
+        let ctx = context();
+        let other = CkksContext::new(CkksParameters::demo_parameters()).unwrap();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let other_keys = other.generate_keys(&mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0]).unwrap(), &keys.public, &mut rng).unwrap();
+        let other_ct = other
+            .encrypt(&other.encode(&[1.0]).unwrap(), &other_keys.public, &mut rng)
+            .unwrap();
+        assert!(ctx.add(&ct, &other_ct).is_err());
+        // Scale mismatch (after a plaintext multiplication) is also rejected.
+        let scaled = ctx.multiply_plain(&ct, &ctx.encode(&[2.0]).unwrap()).unwrap();
+        assert!(ctx.add(&ct, &scaled).is_err());
+        assert!(ctx.add_plain(&scaled, &ctx.encode(&[1.0]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn demo_parameters_round_trip() {
+        let ctx = CkksContext::new(CkksParameters::demo_parameters()).unwrap();
+        let mut rng = rng();
+        let keys = ctx.generate_keys(&mut rng);
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) * 0.01 - 0.5).collect();
+        let ct = ctx
+            .encrypt(&ctx.encode(&values).unwrap(), &keys.public, &mut rng)
+            .unwrap();
+        let decoded = ctx
+            .decode(&ctx.decrypt(&ct, &keys.secret).unwrap(), values.len())
+            .unwrap();
+        for (d, v) in decoded.iter().zip(&values) {
+            assert!((d - v).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Fitted cost and security models of the paper (Eqs. 29–31).
+//!
+//! The QuHE optimizer never runs CKKS at the candidate polynomial degrees
+//! (`lambda in {2^15, 2^16, 2^17}`); it consumes three fitted laws the paper
+//! obtained by profiling the PrivTuner CKKS workload and the LWE estimator:
+//!
+//! * `f_eval(lambda) = 0.012 (lambda + 64500)^2` — CPU cycles per sample for
+//!   the server-side transciphering evaluation (Eq. 29),
+//! * `f_msl(lambda) = 0.002 lambda + 1.4789` — the minimum security level in
+//!   bits (Eq. 30),
+//! * `f_cmp(lambda) = 8917959.4 lambda − 51292440000` — CPU cycles per sample
+//!   for the server computation task (Eq. 31).
+//!
+//! This module provides those laws together with a validated
+//! [`PolynomialDegree`] type for the discrete `lambda` choices.
+
+use crate::error::{CryptoError, CryptoResult};
+
+/// The discrete CKKS polynomial-degree choices of the paper's evaluation,
+/// `{2^15, 2^16, 2^17}`.
+pub const LAMBDA_CHOICES: [u64; 3] = [1 << 15, 1 << 16, 1 << 17];
+
+/// A CKKS polynomial degree `lambda` (a power of two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct PolynomialDegree(u64);
+
+impl PolynomialDegree {
+    /// Creates a degree, validating that it is a power of two of at least 4.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] otherwise.
+    pub fn new(value: u64) -> CryptoResult<Self> {
+        if value < 4 || !value.is_power_of_two() {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("polynomial degree must be a power of two >= 4, got {value}"),
+            });
+        }
+        Ok(Self(value))
+    }
+
+    /// The raw degree value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The paper's candidate set `{2^15, 2^16, 2^17}`.
+    pub fn paper_choices() -> Vec<PolynomialDegree> {
+        LAMBDA_CHOICES.iter().map(|&v| PolynomialDegree(v)).collect()
+    }
+}
+
+impl std::fmt::Display for PolynomialDegree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "2^{}", self.0.trailing_zeros())
+    }
+}
+
+/// `f_eval(lambda)`: CPU cycles per sample needed for the server
+/// transciphering evaluation (Eq. 29).
+pub fn eval_cycles_per_sample(lambda: f64) -> f64 {
+    0.012 * (lambda + 64_500.0).powi(2)
+}
+
+/// `f_cmp(lambda)`: CPU cycles per sample needed for the server computation
+/// task (encrypted prediction) (Eq. 31).
+pub fn server_cycles_per_sample(lambda: f64) -> f64 {
+    8_917_959.4 * lambda - 51_292_440_000.0
+}
+
+/// `f_msl(lambda)`: the minimum security level (bits) of the FHE
+/// configuration at polynomial degree `lambda` (Eq. 30).
+pub fn min_security_level(lambda: f64) -> f64 {
+    0.002 * lambda + 1.4789
+}
+
+/// Total server-side CPU cycles per sample: evaluation (transciphering) plus
+/// computation, `f_eval(lambda) + f_cmp(lambda)`. This is the quantity that
+/// appears in the paper's Eq. (13)/(14).
+pub fn total_server_cycles_per_sample(lambda: f64) -> f64 {
+    eval_cycles_per_sample(lambda) + server_cycles_per_sample(lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degree_validation() {
+        assert!(PolynomialDegree::new(0).is_err());
+        assert!(PolynomialDegree::new(3).is_err());
+        assert!(PolynomialDegree::new(6).is_err());
+        assert_eq!(PolynomialDegree::new(1 << 15).unwrap().value(), 32_768);
+        assert_eq!(PolynomialDegree::new(1 << 15).unwrap().to_string(), "2^15");
+        assert_eq!(PolynomialDegree::paper_choices().len(), 3);
+    }
+
+    #[test]
+    fn eval_cycles_match_equation_29() {
+        // f_eval(2^15) = 0.012 * (32768 + 64500)^2.
+        let lambda = 32_768.0;
+        let expected = 0.012 * (lambda + 64_500.0) * (lambda + 64_500.0);
+        assert!((eval_cycles_per_sample(lambda) - expected).abs() < 1.0);
+        // Sanity: about 1.135e8 cycles.
+        assert!((eval_cycles_per_sample(lambda) - 1.135e8).abs() / 1.135e8 < 0.01);
+    }
+
+    #[test]
+    fn security_level_matches_equation_30() {
+        assert!((min_security_level(32_768.0) - 67.0147).abs() < 1e-3);
+        assert!((min_security_level(65_536.0) - 132.5509).abs() < 1e-3);
+        assert!((min_security_level(131_072.0) - 263.6229).abs() < 1e-3);
+    }
+
+    #[test]
+    fn server_cycles_match_equation_31() {
+        let lambda = 65_536.0;
+        let expected = 8_917_959.4 * lambda - 51_292_440_000.0;
+        assert!((server_cycles_per_sample(lambda) - expected).abs() < 1.0);
+        assert!(server_cycles_per_sample(lambda) > 0.0);
+    }
+
+    #[test]
+    fn total_cycles_are_sum_of_parts() {
+        let lambda = 131_072.0;
+        assert!(
+            (total_server_cycles_per_sample(lambda)
+                - eval_cycles_per_sample(lambda)
+                - server_cycles_per_sample(lambda))
+            .abs()
+                < 1e-6
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn all_laws_are_monotone_on_the_paper_range(a in 32_768.0f64..131_072.0, b in 32_768.0f64..131_072.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(eval_cycles_per_sample(lo) <= eval_cycles_per_sample(hi));
+            prop_assert!(server_cycles_per_sample(lo) <= server_cycles_per_sample(hi));
+            prop_assert!(min_security_level(lo) <= min_security_level(hi));
+        }
+    }
+}

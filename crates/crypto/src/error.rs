@@ -1,0 +1,98 @@
+//! Error type for the cryptographic substrate.
+
+use std::fmt;
+
+/// Convenient alias for `Result<T, CryptoError>`.
+pub type CryptoResult<T> = Result<T, CryptoError>;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A scheme or cipher parameter is outside its admissible range.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// Two ring elements or ciphertexts use incompatible parameters
+    /// (different degree, modulus or scale).
+    ParameterMismatch {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// The requested slot count exceeds the capacity of the ring
+    /// (`N / 2` slots for degree `N`).
+    TooManySlots {
+        /// Slots requested.
+        requested: usize,
+        /// Slots available.
+        capacity: usize,
+    },
+    /// A value to encode is too large for the scale/modulus combination and
+    /// would wrap around, destroying correctness.
+    EncodingOverflow {
+        /// The offending magnitude.
+        magnitude: f64,
+    },
+    /// No suitable NTT root of unity exists for the modulus/degree pair.
+    NoNttRoot {
+        /// The modulus in question.
+        modulus: u64,
+        /// The ring degree in question.
+        degree: usize,
+    },
+    /// Key material has the wrong length.
+    InvalidKeyLength {
+        /// Expected byte length.
+        expected: usize,
+        /// Actual byte length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CryptoError::ParameterMismatch { reason } => {
+                write!(f, "parameter mismatch: {reason}")
+            }
+            CryptoError::TooManySlots {
+                requested,
+                capacity,
+            } => write!(f, "requested {requested} slots but the ring only offers {capacity}"),
+            CryptoError::EncodingOverflow { magnitude } => {
+                write!(f, "value of magnitude {magnitude} overflows the encoding range")
+            }
+            CryptoError::NoNttRoot { modulus, degree } => {
+                write!(f, "no 2*{degree}-th root of unity modulo {modulus}")
+            }
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::TooManySlots {
+            requested: 100,
+            capacity: 32,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

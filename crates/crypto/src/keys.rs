@@ -1,0 +1,70 @@
+//! Key material for the CKKS scheme.
+//!
+//! Key generation lives on [`crate::ckks::CkksContext::generate_keys`]; this
+//! module only defines the key containers so they can be passed around (and
+//! serialized) independently of the context.
+
+use crate::poly::Polynomial;
+
+/// The CKKS secret key: a ternary ring element `s`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SecretKey {
+    /// The secret ring element.
+    pub s: Polynomial,
+}
+
+/// The CKKS public key `(b, a)` with `b = -(a s) + e`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PublicKey {
+    /// The `b` component.
+    pub b: Polynomial,
+    /// The uniformly random `a` component.
+    pub a: Polynomial,
+}
+
+/// The relinearization (evaluation) key: base-`2^base_log` gadget encryptions
+/// of `s^2`, used to reduce a degree-2 ciphertext back to two components
+/// after a homomorphic multiplication.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RelinearizationKey {
+    /// One `(b_i, a_i)` pair per gadget digit, where
+    /// `b_i = -(a_i s) + e_i + T^i s^2` and `T = 2^base_log`.
+    pub components: Vec<(Polynomial, Polynomial)>,
+    /// Log2 of the decomposition base `T`.
+    pub base_log: u32,
+}
+
+impl RelinearizationKey {
+    /// Number of gadget digits.
+    pub fn num_digits(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// The full key set produced by `KeyGen(lambda, q)` (Eq. 2 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KeySet {
+    /// The secret key, kept by the client.
+    pub secret: SecretKey,
+    /// The public key, shared with anyone who encrypts.
+    pub public: PublicKey,
+    /// The relinearization key, shared with the evaluating server.
+    pub relinearization: RelinearizationKey,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{Modulus, Polynomial};
+
+    #[test]
+    fn relinearization_key_reports_digit_count() {
+        let q = Modulus::new(97).unwrap();
+        let zero = Polynomial::zero(4, q).unwrap();
+        let key = RelinearizationKey {
+            components: vec![(zero.clone(), zero.clone()), (zero.clone(), zero)],
+            base_log: 8,
+        };
+        assert_eq!(key.num_digits(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! # quhe-crypto — cryptographic substrate for the QuHE system
+//!
+//! The QuHE system (Section III-A of the paper) chains three cryptographic
+//! components:
+//!
+//! 1. a **symmetric stream cipher** (ChaCha20) keyed with QKD-distributed
+//!    material, used by the client to encrypt its data cheaply
+//!    ([`chacha20`]),
+//! 2. a **CKKS-style homomorphic encryption scheme** used by the server to
+//!    compute on encrypted data ([`ckks`], built on the negacyclic polynomial
+//!    ring of [`poly`] and the number-theoretic transform of [`ntt`]), and
+//! 3. a **transciphering bridge** that converts the symmetric ciphertext into
+//!    a homomorphic ciphertext on the server, so the client never pays the
+//!    cost of HE encryption ([`transcipher`]).
+//!
+//! The security of the FHE configuration is summarized by its *minimum
+//! security level* across the uSVP, BDD and hybrid-dual attacks; the
+//! [`lwe_estimator`] module provides an analytic surrogate of the LWE
+//! estimator used by the paper, and [`cost_model`] provides the fitted cost
+//! and security laws (Eqs. 29–31) that the QuHE optimizer actually consumes.
+//!
+//! # Example: end-to-end encrypt → transcipher → evaluate
+//!
+//! ```
+//! use quhe_crypto::ckks::{CkksContext, CkksParameters};
+//! use quhe_crypto::transcipher::TranscipherSession;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+//! let params = CkksParameters::insecure_test_parameters();
+//! let context = CkksContext::new(params).unwrap();
+//! let keys = context.generate_keys(&mut rng);
+//!
+//! // The client masks its samples with a QKD-derived keystream.
+//! let qkd_key = [0x42u8; 32];
+//! let session = TranscipherSession::new(&qkd_key, 0);
+//! let samples = vec![1.5, -2.25, 3.0];
+//! let masked = session.mask(&samples);
+//!
+//! // The server homomorphically removes the mask and evaluates on Enc(m).
+//! let enc_mask = session
+//!     .encrypt_keystream(&context, &keys.public, samples.len(), &mut rng)
+//!     .unwrap();
+//! let enc_masked = context
+//!     .encrypt(&context.encode(&masked).unwrap(), &keys.public, &mut rng)
+//!     .unwrap();
+//! let enc_data = context.sub(&enc_masked, &enc_mask).unwrap();
+//! let recovered = context
+//!     .decode(&context.decrypt(&enc_data, &keys.secret).unwrap(), samples.len())
+//!     .unwrap();
+//! assert!((recovered[0] - 1.5).abs() < 1e-2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha20;
+pub mod ckks;
+pub mod cost_model;
+pub mod error;
+pub mod keys;
+pub mod lwe_estimator;
+pub mod ntt;
+pub mod poly;
+pub mod transcipher;
+
+pub use error::{CryptoError, CryptoResult};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::chacha20::ChaCha20;
+    pub use crate::ckks::{Ciphertext, CkksContext, CkksParameters, Plaintext};
+    pub use crate::cost_model::{
+        eval_cycles_per_sample, min_security_level, server_cycles_per_sample, PolynomialDegree,
+    };
+    pub use crate::error::{CryptoError, CryptoResult};
+    pub use crate::keys::{KeySet, PublicKey, RelinearizationKey, SecretKey};
+    pub use crate::lwe_estimator::{estimate_security, AttackModel, SecurityEstimate};
+    pub use crate::ntt::NttTable;
+    pub use crate::poly::{Modulus, Polynomial};
+    pub use crate::transcipher::TranscipherSession;
+}

@@ -1,0 +1,275 @@
+//! Negacyclic number-theoretic transform (NTT) for fast multiplication in
+//! `Z_q[X]/(X^N + 1)`.
+//!
+//! For an NTT-friendly prime `q ≡ 1 (mod 2N)` there exists a primitive
+//! `2N`-th root of unity `psi`; evaluating a polynomial at the odd powers of
+//! `psi` turns negacyclic convolution into pointwise multiplication. This
+//! module precomputes the twiddle factors once per `(q, N)` pair and provides
+//! the standard iterative Cooley–Tukey forward transform and Gentleman–Sande
+//! inverse transform. The product is cross-checked against the schoolbook
+//! reference in tests.
+
+use crate::error::{CryptoError, CryptoResult};
+use crate::poly::{Modulus, Polynomial};
+
+/// Precomputed twiddle factors for one `(modulus, degree)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NttTable {
+    modulus: Modulus,
+    degree: usize,
+    /// psi^bitrev(i) for the forward transform.
+    psi_rev: Vec<u64>,
+    /// psi^{-bitrev(i)} for the inverse transform.
+    psi_inv_rev: Vec<u64>,
+    /// N^{-1} mod q.
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds the table for ring degree `degree` (a power of two) and the
+    /// given prime modulus.
+    ///
+    /// # Errors
+    /// * [`CryptoError::InvalidParameter`] if the degree is not a power of
+    ///   two.
+    /// * [`CryptoError::NoNttRoot`] if `q - 1` is not divisible by `2N` or no
+    ///   primitive `2N`-th root of unity exists (i.e. `q` is not NTT-friendly
+    ///   for this degree).
+    pub fn new(modulus: Modulus, degree: usize) -> CryptoResult<Self> {
+        if degree == 0 || !degree.is_power_of_two() {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("ring degree must be a power of two, got {degree}"),
+            });
+        }
+        let q = modulus.value();
+        let two_n = 2 * degree as u64;
+        if (q - 1) % two_n != 0 {
+            return Err(CryptoError::NoNttRoot { modulus: q, degree });
+        }
+        let psi = find_primitive_2nth_root(modulus, degree).ok_or(CryptoError::NoNttRoot {
+            modulus: q,
+            degree,
+        })?;
+        let psi_inv = modulus.inv(psi)?;
+        let bits = degree.trailing_zeros();
+        let mut psi_rev = vec![0u64; degree];
+        let mut psi_inv_rev = vec![0u64; degree];
+        for i in 0..degree {
+            let rev = (i as u64).reverse_bits() >> (64 - bits) as u64;
+            psi_rev[i] = modulus.pow(psi, rev);
+            psi_inv_rev[i] = modulus.pow(psi_inv, rev);
+        }
+        let n_inv = modulus.inv(degree as u64)?;
+        Ok(Self {
+            modulus,
+            degree,
+            psi_rev,
+            psi_inv_rev,
+            n_inv,
+        })
+    }
+
+    /// The ring degree this table was built for.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The modulus this table was built for.
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient to evaluation domain).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the table's degree.
+    pub fn forward(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "ntt: length mismatch");
+        let q = self.modulus;
+        let n = self.degree;
+        let mut t = n;
+        let mut m = 1;
+        while m < n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let j2 = j1 + t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = q.mul(values[j + t], s);
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation to coefficient domain).
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the table's degree.
+    pub fn inverse(&self, values: &mut [u64]) {
+        assert_eq!(values.len(), self.degree, "intt: length mismatch");
+        let q = self.modulus;
+        let n = self.degree;
+        let mut t = 1;
+        let mut m = n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let j2 = j1 + t;
+                let s = self.psi_inv_rev[h + i];
+                for j in j1..j2 {
+                    let u = values[j];
+                    let v = values[j + t];
+                    values[j] = q.add(u, v);
+                    values[j + t] = q.mul(q.sub(u, v), s);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for v in values.iter_mut() {
+            *v = q.mul(*v, self.n_inv);
+        }
+    }
+
+    /// Multiplies two ring elements using the NTT.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] when an operand does not
+    /// match the table's degree or modulus.
+    pub fn multiply(&self, a: &Polynomial, b: &Polynomial) -> CryptoResult<Polynomial> {
+        for p in [a, b] {
+            if p.degree() != self.degree || p.modulus() != self.modulus {
+                return Err(CryptoError::ParameterMismatch {
+                    reason: format!(
+                        "operand degree {} modulus {} does not match NTT table degree {} modulus {}",
+                        p.degree(),
+                        p.modulus().value(),
+                        self.degree,
+                        self.modulus.value()
+                    ),
+                });
+            }
+        }
+        let mut fa = a.coefficients().to_vec();
+        let mut fb = b.coefficients().to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        Polynomial::from_coefficients(fa, self.modulus)
+    }
+}
+
+/// Finds a primitive `2N`-th root of unity modulo the prime `q` (requires
+/// `2N | q - 1`). Because `N` is a power of two it suffices to find `x` with
+/// `x^{(q-1)/2N}` of exact order `2N`, which holds iff its `N`-th power is
+/// `-1 mod q`.
+fn find_primitive_2nth_root(modulus: Modulus, degree: usize) -> Option<u64> {
+    let q = modulus.value();
+    let two_n = 2 * degree as u64;
+    let exponent = (q - 1) / two_n;
+    for candidate in 2..(q.min(2_000)) {
+        let g = modulus.pow(candidate, exponent);
+        if modulus.pow(g, degree as u64) == q - 1 {
+            return Some(g);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    const Q30: u64 = 1_073_479_681; // 30-bit prime, q ≡ 1 mod 2^18
+    const Q59: u64 = 576_460_752_300_015_617; // 59-bit prime, q ≡ 1 mod 2^18
+
+    #[test]
+    fn table_construction_validates_inputs() {
+        let q = Modulus::new(Q30).unwrap();
+        assert!(NttTable::new(q, 0).is_err());
+        assert!(NttTable::new(q, 3).is_err());
+        assert!(NttTable::new(q, 1024).is_ok());
+        // 97 - 1 = 96 is not divisible by 2*64 = 128.
+        let small = Modulus::new(97).unwrap();
+        assert!(matches!(
+            NttTable::new(small, 64),
+            Err(CryptoError::NoNttRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let q = Modulus::new(Q30).unwrap();
+        let table = NttTable::new(q, 64).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let poly = Polynomial::sample_uniform(64, q, &mut rng).unwrap();
+        let mut values = poly.coefficients().to_vec();
+        table.forward(&mut values);
+        table.inverse(&mut values);
+        assert_eq!(values, poly.coefficients());
+    }
+
+    #[test]
+    fn ntt_product_matches_schoolbook_small() {
+        let q = Modulus::new(Q30).unwrap();
+        let table = NttTable::new(q, 8).unwrap();
+        let a = Polynomial::from_signed(&[1, 2, 3, 4, 5, 6, 7, 8], q).unwrap();
+        let b = Polynomial::from_signed(&[-3, 0, 0, 1, 0, 0, 0, 2], q).unwrap();
+        assert_eq!(
+            table.multiply(&a, &b).unwrap(),
+            a.mul_schoolbook(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn ntt_product_matches_schoolbook_large_modulus() {
+        let q = Modulus::new(Q59).unwrap();
+        let table = NttTable::new(q, 128).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Polynomial::sample_uniform(128, q, &mut rng).unwrap();
+        let b = Polynomial::sample_uniform(128, q, &mut rng).unwrap();
+        assert_eq!(
+            table.multiply(&a, &b).unwrap(),
+            a.mul_schoolbook(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_operands_are_rejected() {
+        let q = Modulus::new(Q30).unwrap();
+        let table = NttTable::new(q, 16).unwrap();
+        let a = Polynomial::zero(16, q).unwrap();
+        let b = Polynomial::zero(32, q).unwrap();
+        assert!(table.multiply(&a, &b).is_err());
+        let other_q = Modulus::new(Q59).unwrap();
+        let c = Polynomial::zero(16, other_q).unwrap();
+        assert!(table.multiply(&a, &c).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ntt_matches_schoolbook_random(
+            a in proptest::collection::vec(-1000i64..1000, 32),
+            b in proptest::collection::vec(-1000i64..1000, 32),
+        ) {
+            let q = Modulus::new(Q30).unwrap();
+            let table = NttTable::new(q, 32).unwrap();
+            let pa = Polynomial::from_signed(&a, q).unwrap();
+            let pb = Polynomial::from_signed(&b, q).unwrap();
+            prop_assert_eq!(table.multiply(&pa, &pb).unwrap(), pa.mul_schoolbook(&pb).unwrap());
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Arithmetic in the negacyclic polynomial ring `R_q = Z_q[X]/(X^N + 1)`.
+//!
+//! CKKS plaintexts, ciphertext components and keys all live in this ring.
+//! The [`Modulus`] type provides constant-width modular arithmetic on `u64`
+//! values (products computed in `u128`), and [`Polynomial`] provides the ring
+//! operations — addition, subtraction, negation, scalar multiplication and
+//! negacyclic (schoolbook) multiplication. The faster NTT-based
+//! multiplication lives in [`crate::ntt`] and is cross-checked against the
+//! schoolbook product in tests.
+
+use rand::Rng;
+
+use crate::error::{CryptoError, CryptoResult};
+
+/// A prime modulus `q` with the modular arithmetic helpers the ring needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Modulus {
+    value: u64,
+}
+
+impl Modulus {
+    /// Creates a modulus.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] if `value < 2`.
+    pub fn new(value: u64) -> CryptoResult<Self> {
+        if value < 2 {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("modulus must be at least 2, got {value}"),
+            });
+        }
+        Ok(Self { value })
+    }
+
+    /// The modulus value.
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// `(a + b) mod q`.
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        let sum = a as u128 + b as u128;
+        (sum % self.value as u128) as u64
+    }
+
+    /// `(a - b) mod q`.
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        let a = a % self.value;
+        let b = b % self.value;
+        if a >= b {
+            a - b
+        } else {
+            self.value - (b - a)
+        }
+    }
+
+    /// `(a * b) mod q`.
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % self.value as u128) as u64
+    }
+
+    /// `(-a) mod q`.
+    pub fn neg(self, a: u64) -> u64 {
+        let a = a % self.value;
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// `a^e mod q` by square-and-multiply.
+    pub fn pow(self, a: u64, mut e: u64) -> u64 {
+        let mut base = a % self.value;
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of `a` modulo the (prime) modulus, via Fermat's
+    /// little theorem.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] when `a` is divisible by the
+    /// modulus (no inverse exists).
+    pub fn inv(self, a: u64) -> CryptoResult<u64> {
+        if a % self.value == 0 {
+            return Err(CryptoError::InvalidParameter {
+                reason: "zero has no multiplicative inverse".to_string(),
+            });
+        }
+        Ok(self.pow(a, self.value - 2))
+    }
+
+    /// Reduces a signed integer into `[0, q)`.
+    pub fn reduce_signed(self, value: i64) -> u64 {
+        let q = self.value as i128;
+        let mut v = value as i128 % q;
+        if v < 0 {
+            v += q;
+        }
+        v as u64
+    }
+
+    /// Lifts a residue in `[0, q)` to the centered representative in
+    /// `(-q/2, q/2]`.
+    pub fn center(self, value: u64) -> i64 {
+        let v = value % self.value;
+        if v > self.value / 2 {
+            -((self.value - v) as i64)
+        } else {
+            v as i64
+        }
+    }
+}
+
+/// An element of `R_q = Z_q[X]/(X^N + 1)` in coefficient representation.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Polynomial {
+    modulus: Modulus,
+    coefficients: Vec<u64>,
+}
+
+impl Polynomial {
+    /// The zero polynomial of the given degree.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] if `degree` is zero or not a
+    /// power of two (the negacyclic ring requires a power-of-two degree).
+    pub fn zero(degree: usize, modulus: Modulus) -> CryptoResult<Self> {
+        if degree == 0 || !degree.is_power_of_two() {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("ring degree must be a power of two, got {degree}"),
+            });
+        }
+        Ok(Self {
+            modulus,
+            coefficients: vec![0; degree],
+        })
+    }
+
+    /// Builds a polynomial from residues in `[0, q)`.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] for an invalid degree.
+    pub fn from_coefficients(coefficients: Vec<u64>, modulus: Modulus) -> CryptoResult<Self> {
+        let mut poly = Self::zero(coefficients.len(), modulus)?;
+        for (slot, c) in poly.coefficients.iter_mut().zip(&coefficients) {
+            *slot = c % modulus.value();
+        }
+        Ok(poly)
+    }
+
+    /// Builds a polynomial from signed coefficients (reduced modulo `q`).
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidParameter`] for an invalid degree.
+    pub fn from_signed(coefficients: &[i64], modulus: Modulus) -> CryptoResult<Self> {
+        let mut poly = Self::zero(coefficients.len(), modulus)?;
+        for (slot, c) in poly.coefficients.iter_mut().zip(coefficients) {
+            *slot = modulus.reduce_signed(*c);
+        }
+        Ok(poly)
+    }
+
+    /// The ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// The coefficients as residues in `[0, q)`.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coefficients
+    }
+
+    /// Mutable access to the coefficients (still residues in `[0, q)`).
+    pub fn coefficients_mut(&mut self) -> &mut [u64] {
+        &mut self.coefficients
+    }
+
+    /// The coefficients lifted to centered representatives in `(-q/2, q/2]`.
+    pub fn centered_coefficients(&self) -> Vec<i64> {
+        self.coefficients
+            .iter()
+            .map(|&c| self.modulus.center(c))
+            .collect()
+    }
+
+    /// Largest absolute centered coefficient (the infinity norm).
+    pub fn norm_inf(&self) -> u64 {
+        self.centered_coefficients()
+            .into_iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn check_compatible(&self, other: &Self) -> CryptoResult<()> {
+        if self.degree() != other.degree() || self.modulus != other.modulus {
+            return Err(CryptoError::ParameterMismatch {
+                reason: format!(
+                    "degree {} modulus {} vs degree {} modulus {}",
+                    self.degree(),
+                    self.modulus.value(),
+                    other.degree(),
+                    other.modulus.value()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ring addition.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for incompatible operands.
+    pub fn add(&self, other: &Self) -> CryptoResult<Self> {
+        self.check_compatible(other)?;
+        let coefficients = self
+            .coefficients
+            .iter()
+            .zip(&other.coefficients)
+            .map(|(&a, &b)| self.modulus.add(a, b))
+            .collect();
+        Ok(Self {
+            modulus: self.modulus,
+            coefficients,
+        })
+    }
+
+    /// Ring subtraction.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for incompatible operands.
+    pub fn sub(&self, other: &Self) -> CryptoResult<Self> {
+        self.check_compatible(other)?;
+        let coefficients = self
+            .coefficients
+            .iter()
+            .zip(&other.coefficients)
+            .map(|(&a, &b)| self.modulus.sub(a, b))
+            .collect();
+        Ok(Self {
+            modulus: self.modulus,
+            coefficients,
+        })
+    }
+
+    /// Ring negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            modulus: self.modulus,
+            coefficients: self
+                .coefficients
+                .iter()
+                .map(|&c| self.modulus.neg(c))
+                .collect(),
+        }
+    }
+
+    /// Multiplication by a scalar residue.
+    pub fn scalar_mul(&self, scalar: u64) -> Self {
+        Self {
+            modulus: self.modulus,
+            coefficients: self
+                .coefficients
+                .iter()
+                .map(|&c| self.modulus.mul(c, scalar))
+                .collect(),
+        }
+    }
+
+    /// Negacyclic schoolbook multiplication (`O(N^2)`), the reference
+    /// implementation the NTT product is checked against.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::ParameterMismatch`] for incompatible operands.
+    pub fn mul_schoolbook(&self, other: &Self) -> CryptoResult<Self> {
+        self.check_compatible(other)?;
+        let n = self.degree();
+        let q = self.modulus;
+        let mut result = vec![0u64; n];
+        for (i, &a) in self.coefficients.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coefficients.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                let prod = q.mul(a, b);
+                let idx = i + j;
+                if idx < n {
+                    result[idx] = q.add(result[idx], prod);
+                } else {
+                    // X^N = -1: wrap around with a sign flip.
+                    result[idx - n] = q.sub(result[idx - n], prod);
+                }
+            }
+        }
+        Ok(Self {
+            modulus: self.modulus,
+            coefficients: result,
+        })
+    }
+
+    /// Samples a polynomial with uniformly random coefficients in `[0, q)`.
+    pub fn sample_uniform<R: Rng + ?Sized>(
+        degree: usize,
+        modulus: Modulus,
+        rng: &mut R,
+    ) -> CryptoResult<Self> {
+        let mut poly = Self::zero(degree, modulus)?;
+        for c in poly.coefficients.iter_mut() {
+            *c = rng.gen_range(0..modulus.value());
+        }
+        Ok(poly)
+    }
+
+    /// Samples a ternary polynomial with coefficients in `{-1, 0, 1}` (the
+    /// CKKS secret-key and encryption-randomness distribution).
+    pub fn sample_ternary<R: Rng + ?Sized>(
+        degree: usize,
+        modulus: Modulus,
+        rng: &mut R,
+    ) -> CryptoResult<Self> {
+        let mut poly = Self::zero(degree, modulus)?;
+        for c in poly.coefficients.iter_mut() {
+            let v: i64 = rng.gen_range(-1..=1);
+            *c = modulus.reduce_signed(v);
+        }
+        Ok(poly)
+    }
+
+    /// Samples an error polynomial with centered-binomial coefficients of
+    /// standard deviation roughly `sigma` (sum of `2 sigma^2` fair coin
+    /// differences), the usual discrete-Gaussian stand-in.
+    pub fn sample_error<R: Rng + ?Sized>(
+        degree: usize,
+        modulus: Modulus,
+        sigma: f64,
+        rng: &mut R,
+    ) -> CryptoResult<Self> {
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(CryptoError::InvalidParameter {
+                reason: format!("error standard deviation must be positive, got {sigma}"),
+            });
+        }
+        let k = (2.0 * sigma * sigma).ceil() as u32;
+        let mut poly = Self::zero(degree, modulus)?;
+        for c in poly.coefficients.iter_mut() {
+            let mut value = 0i64;
+            for _ in 0..k {
+                value += i64::from(rng.gen::<bool>()) - i64::from(rng.gen::<bool>());
+            }
+            *c = modulus.reduce_signed(value);
+        }
+        Ok(poly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    const Q: u64 = 1_073_479_681; // 30-bit NTT-friendly prime
+
+    fn modulus() -> Modulus {
+        Modulus::new(Q).unwrap()
+    }
+
+    #[test]
+    fn modulus_basics() {
+        let q = modulus();
+        assert_eq!(q.add(Q - 1, 5), 4);
+        assert_eq!(q.sub(3, 5), Q - 2);
+        assert_eq!(q.neg(0), 0);
+        assert_eq!(q.neg(1), Q - 1);
+        assert_eq!(q.mul(Q - 1, Q - 1), 1); // (-1)^2 = 1
+        assert_eq!(q.pow(3, 0), 1);
+        let inv = q.inv(12345).unwrap();
+        assert_eq!(q.mul(inv, 12345), 1);
+        assert!(q.inv(0).is_err());
+        assert!(Modulus::new(1).is_err());
+    }
+
+    #[test]
+    fn signed_reduction_and_centering_round_trip() {
+        let q = modulus();
+        for v in [-5i64, -1, 0, 1, 7, (Q as i64) / 2, -(Q as i64) / 2 + 1] {
+            assert_eq!(q.center(q.reduce_signed(v)), v);
+        }
+    }
+
+    #[test]
+    fn degree_must_be_power_of_two() {
+        assert!(Polynomial::zero(0, modulus()).is_err());
+        assert!(Polynomial::zero(3, modulus()).is_err());
+        assert!(Polynomial::zero(8, modulus()).is_ok());
+    }
+
+    #[test]
+    fn add_sub_neg_are_consistent() {
+        let q = modulus();
+        let a = Polynomial::from_signed(&[1, -2, 3, 0], q).unwrap();
+        let b = Polynomial::from_signed(&[5, 5, -5, 1], q).unwrap();
+        let sum = a.add(&b).unwrap();
+        assert_eq!(sum.centered_coefficients(), vec![6, 3, -2, 1]);
+        let diff = sum.sub(&b).unwrap();
+        assert_eq!(diff, a);
+        let zero = a.add(&a.neg()).unwrap();
+        assert_eq!(zero.norm_inf(), 0);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_flips_sign() {
+        // (X^{N-1}) * X = X^N = -1 in the ring.
+        let q = modulus();
+        let mut x_high = Polynomial::zero(4, q).unwrap();
+        x_high.coefficients_mut()[3] = 1;
+        let mut x = Polynomial::zero(4, q).unwrap();
+        x.coefficients_mut()[1] = 1;
+        let prod = x_high.mul_schoolbook(&x).unwrap();
+        assert_eq!(prod.centered_coefficients(), vec![-1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn schoolbook_multiplication_matches_manual_example() {
+        // (1 + 2X)(3 + X) = 3 + 7X + 2X^2 in Z_q[X]/(X^4+1).
+        let q = modulus();
+        let a = Polynomial::from_signed(&[1, 2, 0, 0], q).unwrap();
+        let b = Polynomial::from_signed(&[3, 1, 0, 0], q).unwrap();
+        let prod = a.mul_schoolbook(&b).unwrap();
+        assert_eq!(prod.centered_coefficients(), vec![3, 7, 2, 0]);
+    }
+
+    #[test]
+    fn incompatible_operands_are_rejected() {
+        let a = Polynomial::zero(4, modulus()).unwrap();
+        let b = Polynomial::zero(8, modulus()).unwrap();
+        assert!(a.add(&b).is_err());
+        let c = Polynomial::zero(4, Modulus::new(97).unwrap()).unwrap();
+        assert!(a.sub(&c).is_err());
+        assert!(a.mul_schoolbook(&c).is_err());
+    }
+
+    #[test]
+    fn sampling_distributions_have_expected_support() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let q = modulus();
+        let ternary = Polynomial::sample_ternary(256, q, &mut rng).unwrap();
+        assert!(ternary
+            .centered_coefficients()
+            .iter()
+            .all(|c| (-1..=1).contains(c)));
+        let error = Polynomial::sample_error(256, q, 3.2, &mut rng).unwrap();
+        assert!(error.norm_inf() < 30, "error norm {}", error.norm_inf());
+        let uniform = Polynomial::sample_uniform(256, q, &mut rng).unwrap();
+        assert!(uniform.coefficients().iter().all(|&c| c < Q));
+        assert!(Polynomial::sample_error(8, q, -1.0, &mut rng).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn multiplication_is_commutative(
+            a in proptest::collection::vec(-100i64..100, 8),
+            b in proptest::collection::vec(-100i64..100, 8),
+        ) {
+            let q = modulus();
+            let pa = Polynomial::from_signed(&a, q).unwrap();
+            let pb = Polynomial::from_signed(&b, q).unwrap();
+            prop_assert_eq!(pa.mul_schoolbook(&pb).unwrap(), pb.mul_schoolbook(&pa).unwrap());
+        }
+
+        #[test]
+        fn multiplication_distributes_over_addition(
+            a in proptest::collection::vec(-50i64..50, 8),
+            b in proptest::collection::vec(-50i64..50, 8),
+            c in proptest::collection::vec(-50i64..50, 8),
+        ) {
+            let q = modulus();
+            let pa = Polynomial::from_signed(&a, q).unwrap();
+            let pb = Polynomial::from_signed(&b, q).unwrap();
+            let pc = Polynomial::from_signed(&c, q).unwrap();
+            let lhs = pa.mul_schoolbook(&pb.add(&pc).unwrap()).unwrap();
+            let rhs = pa.mul_schoolbook(&pb).unwrap().add(&pa.mul_schoolbook(&pc).unwrap()).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn scalar_mul_matches_repeated_addition(
+            a in proptest::collection::vec(-50i64..50, 8),
+            k in 0u64..5,
+        ) {
+            let q = modulus();
+            let pa = Polynomial::from_signed(&a, q).unwrap();
+            let mut acc = Polynomial::zero(8, q).unwrap();
+            for _ in 0..k {
+                acc = acc.add(&pa).unwrap();
+            }
+            prop_assert_eq!(pa.scalar_mul(k), acc);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Wireless channel model: large-scale path loss plus Rayleigh fading.
+//!
+//! The paper uses the 3GPP-style urban model `PL(dB) = 128.1 + 37.6 log10(d)`
+//! with `d` in kilometres for the large-scale fading between a client node and
+//! the server, multiplied by a Rayleigh small-scale fading coefficient. The
+//! channel attenuation `g_n` that enters the Shannon rate (Eq. 10) is the
+//! resulting linear power gain.
+
+use rand::Rng;
+
+use crate::error::{MecError, MecResult};
+
+/// Large-scale path loss in dB at distance `distance_m` metres,
+/// `128.1 + 37.6 log10(d_km)`.
+///
+/// # Errors
+/// Returns [`MecError::InvalidParameter`] for a non-positive distance.
+pub fn path_loss_db(distance_m: f64) -> MecResult<f64> {
+    if !(distance_m > 0.0 && distance_m.is_finite()) {
+        return Err(MecError::InvalidParameter {
+            reason: format!("distance must be positive, got {distance_m}"),
+        });
+    }
+    Ok(128.1 + 37.6 * (distance_m / 1000.0).log10())
+}
+
+/// Converts a loss in dB into a linear power gain `10^(-loss/10)`.
+pub fn db_loss_to_linear_gain(loss_db: f64) -> f64 {
+    10f64.powf(-loss_db / 10.0)
+}
+
+/// Samples a Rayleigh-fading power gain: the squared magnitude of a unit
+/// complex Gaussian, i.e. an exponential random variable with unit mean.
+pub fn rayleigh_gain<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Inverse-CDF sampling of Exp(1); clamp the uniform away from 0 so the
+    // logarithm stays finite.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln()
+}
+
+/// The composite channel model used by the scenario generator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChannelModel {
+    /// Noise power spectral density `N0` in W/Hz (the usual thermal-noise
+    /// figure of −174 dBm/Hz by default).
+    pub noise_psd: f64,
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self {
+            // −174 dBm/Hz = 10^(−17.4) mW/Hz = 10^(−20.4) W/Hz.
+            noise_psd: 10f64.powf(-20.4),
+        }
+    }
+}
+
+impl ChannelModel {
+    /// Creates a channel model with an explicit noise PSD.
+    ///
+    /// # Errors
+    /// Returns [`MecError::InvalidParameter`] for a non-positive PSD.
+    pub fn new(noise_psd: f64) -> MecResult<Self> {
+        if !(noise_psd > 0.0 && noise_psd.is_finite()) {
+            return Err(MecError::InvalidParameter {
+                reason: format!("noise PSD must be positive, got {noise_psd}"),
+            });
+        }
+        Ok(Self { noise_psd })
+    }
+
+    /// Samples the composite channel power gain `g_n` for a client at
+    /// `distance_m` metres: large-scale path loss times a Rayleigh fade.
+    ///
+    /// # Errors
+    /// Returns [`MecError::InvalidParameter`] for a non-positive distance.
+    pub fn sample_gain<R: Rng + ?Sized>(&self, distance_m: f64, rng: &mut R) -> MecResult<f64> {
+        let loss = path_loss_db(distance_m)?;
+        Ok(db_loss_to_linear_gain(loss) * rayleigh_gain(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_loss_matches_reference_points() {
+        // At 1 km the model gives exactly 128.1 dB.
+        assert!((path_loss_db(1000.0).unwrap() - 128.1).abs() < 1e-12);
+        // At 100 m: 128.1 - 37.6 = 90.5 dB.
+        assert!((path_loss_db(100.0).unwrap() - 90.5).abs() < 1e-9);
+        assert!(path_loss_db(0.0).is_err());
+        assert!(path_loss_db(-5.0).is_err());
+    }
+
+    #[test]
+    fn db_conversion_round_trip() {
+        let gain = db_loss_to_linear_gain(90.5);
+        assert!((gain - 10f64.powf(-9.05)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rayleigh_gain_has_unit_mean() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rayleigh_gain(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn channel_model_validation_and_default() {
+        assert!(ChannelModel::new(0.0).is_err());
+        let default = ChannelModel::default();
+        assert!((default.noise_psd - 10f64.powf(-20.4)).abs() < 1e-25);
+    }
+
+    #[test]
+    fn sampled_gain_is_positive_and_distance_decreasing_on_average() {
+        let model = ChannelModel::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let avg = |d: f64, rng: &mut rand::rngs::StdRng| -> f64 {
+            (0..n).map(|_| model.sample_gain(d, rng).unwrap()).sum::<f64>() / n as f64
+        };
+        let near = avg(100.0, &mut rng);
+        let far = avg(900.0, &mut rng);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn path_loss_is_monotone_in_distance(a in 10.0f64..2000.0, b in 10.0f64..2000.0) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            prop_assert!(path_loss_db(lo).unwrap() <= path_loss_db(hi).unwrap());
+        }
+    }
+}

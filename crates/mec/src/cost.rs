@@ -1,0 +1,121 @@
+//! System-level delay and energy aggregates (Eqs. 15–16 of the paper).
+
+use crate::error::{MecError, MecResult};
+
+/// The per-client cost breakdown across the three phases.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ClientCostBreakdown {
+    /// Client-side encryption delay in seconds.
+    pub encryption_delay_s: f64,
+    /// Client-side encryption energy in joules.
+    pub encryption_energy_j: f64,
+    /// Uplink transmission delay in seconds.
+    pub transmission_delay_s: f64,
+    /// Uplink transmission energy in joules.
+    pub transmission_energy_j: f64,
+    /// Server computation delay in seconds.
+    pub computation_delay_s: f64,
+    /// Server computation energy in joules.
+    pub computation_energy_j: f64,
+}
+
+impl ClientCostBreakdown {
+    /// The end-to-end delay of this client,
+    /// `T^(enc) + T^(tr) + T^(cmp)`.
+    pub fn total_delay_s(&self) -> f64 {
+        self.encryption_delay_s + self.transmission_delay_s + self.computation_delay_s
+    }
+
+    /// The total energy attributed to this client,
+    /// `E^(enc) + E^(tr) + E^(cmp)`.
+    pub fn total_energy_j(&self) -> f64 {
+        self.encryption_energy_j + self.transmission_energy_j + self.computation_energy_j
+    }
+}
+
+/// System-level aggregates over all clients.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SystemCost {
+    /// Per-client breakdowns, in client order.
+    pub per_client: Vec<ClientCostBreakdown>,
+    /// System delay `T_total = max_n (T^(enc) + T^(tr) + T^(cmp))` (Eq. 15).
+    pub total_delay_s: f64,
+    /// System energy `E_total = sum_n (E^(enc) + E^(tr) + E^(cmp))` (Eq. 16).
+    pub total_energy_j: f64,
+}
+
+impl SystemCost {
+    /// Aggregates per-client breakdowns into the system cost.
+    ///
+    /// # Errors
+    /// Returns [`MecError::InvalidParameter`] when `per_client` is empty.
+    pub fn aggregate(per_client: Vec<ClientCostBreakdown>) -> MecResult<Self> {
+        if per_client.is_empty() {
+            return Err(MecError::InvalidParameter {
+                reason: "system cost requires at least one client".to_string(),
+            });
+        }
+        let total_delay_s = per_client
+            .iter()
+            .map(ClientCostBreakdown::total_delay_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let total_energy_j = per_client.iter().map(ClientCostBreakdown::total_energy_j).sum();
+        Ok(Self {
+            per_client,
+            total_delay_s,
+            total_energy_j,
+        })
+    }
+
+    /// Index of the client that attains the system delay (the bottleneck).
+    pub fn bottleneck_client(&self) -> usize {
+        self.per_client
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.total_delay_s()
+                    .partial_cmp(&b.total_delay_s())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breakdown(delay: f64, energy: f64) -> ClientCostBreakdown {
+        ClientCostBreakdown {
+            encryption_delay_s: delay * 0.1,
+            encryption_energy_j: energy * 0.2,
+            transmission_delay_s: delay * 0.3,
+            transmission_energy_j: energy * 0.3,
+            computation_delay_s: delay * 0.6,
+            computation_energy_j: energy * 0.5,
+        }
+    }
+
+    #[test]
+    fn per_client_totals() {
+        let b = breakdown(10.0, 100.0);
+        assert!((b.total_delay_s() - 10.0).abs() < 1e-12);
+        assert!((b.total_energy_j() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn system_delay_is_max_and_energy_is_sum() {
+        let cost =
+            SystemCost::aggregate(vec![breakdown(5.0, 10.0), breakdown(9.0, 20.0), breakdown(2.0, 5.0)])
+                .unwrap();
+        assert!((cost.total_delay_s - 9.0).abs() < 1e-12);
+        assert!((cost.total_energy_j - 35.0).abs() < 1e-12);
+        assert_eq!(cost.bottleneck_client(), 1);
+    }
+
+    #[test]
+    fn empty_aggregation_is_rejected() {
+        assert!(SystemCost::aggregate(vec![]).is_err());
+    }
+}

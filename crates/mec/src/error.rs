@@ -1,0 +1,64 @@
+//! Error type for the MEC substrate.
+
+use std::fmt;
+
+/// Convenient alias for `Result<T, MecError>`.
+pub type MecResult<T> = Result<T, MecError>;
+
+/// Errors produced by the MEC substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MecError {
+    /// A physical parameter (power, bandwidth, frequency, distance, …) is
+    /// non-positive or non-finite where a positive value is required.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// Vectors describing per-client quantities have inconsistent lengths.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A resource allocation exceeds its budget (bandwidth or server CPU).
+    BudgetExceeded {
+        /// Description of the violated budget.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MecError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            MecError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            MecError::BudgetExceeded { reason } => write!(f, "budget exceeded: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MecError::DimensionMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('6'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MecError>();
+    }
+}

@@ -1,0 +1,95 @@
+//! FDMA bandwidth-budget accounting (constraint 17f of the paper).
+
+use crate::error::{MecError, MecResult};
+
+/// A bandwidth budget shared by all clients under FDMA.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BandwidthBudget {
+    total_hz: f64,
+}
+
+impl BandwidthBudget {
+    /// Creates a budget.
+    ///
+    /// # Errors
+    /// Returns [`MecError::InvalidParameter`] for a non-positive budget.
+    pub fn new(total_hz: f64) -> MecResult<Self> {
+        if !(total_hz > 0.0 && total_hz.is_finite()) {
+            return Err(MecError::InvalidParameter {
+                reason: format!("total bandwidth must be positive, got {total_hz}"),
+            });
+        }
+        Ok(Self { total_hz })
+    }
+
+    /// The total bandwidth in Hz.
+    pub fn total_hz(self) -> f64 {
+        self.total_hz
+    }
+
+    /// Splits the budget equally among `n` clients (the AA baseline and the
+    /// default starting point of the optimizer).
+    ///
+    /// # Errors
+    /// Returns [`MecError::InvalidParameter`] when `n` is zero.
+    pub fn equal_split(self, n: usize) -> MecResult<Vec<f64>> {
+        if n == 0 {
+            return Err(MecError::InvalidParameter {
+                reason: "cannot split a bandwidth budget among zero clients".to_string(),
+            });
+        }
+        Ok(vec![self.total_hz / n as f64; n])
+    }
+
+    /// Checks that an allocation respects the budget (constraint 17f) and is
+    /// elementwise positive.
+    ///
+    /// # Errors
+    /// * [`MecError::InvalidParameter`] if some allocation is non-positive.
+    /// * [`MecError::BudgetExceeded`] if the allocations sum above the budget
+    ///   (with a small relative tolerance for floating-point noise).
+    pub fn check(self, allocation: &[f64]) -> MecResult<()> {
+        for (n, b) in allocation.iter().enumerate() {
+            if !(b.is_finite() && *b > 0.0) {
+                return Err(MecError::InvalidParameter {
+                    reason: format!("bandwidth of client {} must be positive, got {}", n + 1, b),
+                });
+            }
+        }
+        let sum: f64 = allocation.iter().sum();
+        if sum > self.total_hz * (1.0 + 1e-9) {
+            return Err(MecError::BudgetExceeded {
+                reason: format!("allocated {sum} Hz exceeds the budget of {} Hz", self.total_hz),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_validation_and_split() {
+        assert!(BandwidthBudget::new(0.0).is_err());
+        let budget = BandwidthBudget::new(10e6).unwrap();
+        assert_eq!(budget.total_hz(), 10e6);
+        let split = budget.equal_split(4).unwrap();
+        assert_eq!(split, vec![2.5e6; 4]);
+        assert!(budget.equal_split(0).is_err());
+    }
+
+    #[test]
+    fn budget_check() {
+        let budget = BandwidthBudget::new(10e6).unwrap();
+        assert!(budget.check(&[5e6, 4.9e6]).is_ok());
+        assert!(matches!(
+            budget.check(&[6e6, 6e6]),
+            Err(MecError::BudgetExceeded { .. })
+        ));
+        assert!(budget.check(&[5e6, 0.0]).is_err());
+        // The equal split is always feasible.
+        assert!(budget.check(&budget.equal_split(6).unwrap()).is_ok());
+    }
+}

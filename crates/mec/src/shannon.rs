@@ -1,0 +1,144 @@
+//! Shannon-capacity uplink rate under FDMA (Eq. 10 of the paper).
+
+use crate::error::{MecError, MecResult};
+
+/// The uplink rate `r_n = b log2(1 + p g / (N0 b))` in bit/s.
+///
+/// # Errors
+/// Returns [`MecError::InvalidParameter`] if bandwidth, power, gain or noise
+/// PSD are non-positive or non-finite.
+pub fn uplink_rate(bandwidth_hz: f64, power_w: f64, gain: f64, noise_psd: f64) -> MecResult<f64> {
+    for (name, value) in [
+        ("bandwidth", bandwidth_hz),
+        ("power", power_w),
+        ("gain", gain),
+        ("noise PSD", noise_psd),
+    ] {
+        if !(value > 0.0 && value.is_finite()) {
+            return Err(MecError::InvalidParameter {
+                reason: format!("{name} must be positive, got {value}"),
+            });
+        }
+    }
+    let snr = power_w * gain / (noise_psd * bandwidth_hz);
+    Ok(bandwidth_hz * (1.0 + snr).log2())
+}
+
+/// A fully specified rate operating point, convenient for passing around and
+/// for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatePoint {
+    /// Allocated bandwidth `b_n` in Hz.
+    pub bandwidth_hz: f64,
+    /// Transmit power `p_n` in W.
+    pub power_w: f64,
+    /// Channel power gain `g_n` (dimensionless).
+    pub gain: f64,
+    /// Noise power spectral density `N0` in W/Hz.
+    pub noise_psd: f64,
+}
+
+impl RatePoint {
+    /// The achievable uplink rate at this operating point.
+    ///
+    /// # Errors
+    /// Same conditions as [`uplink_rate`].
+    pub fn rate(&self) -> MecResult<f64> {
+        uplink_rate(self.bandwidth_hz, self.power_w, self.gain, self.noise_psd)
+    }
+
+    /// The receive signal-to-noise ratio `p g / (N0 b)`.
+    pub fn snr(&self) -> f64 {
+        self.power_w * self.gain / (self.noise_psd * self.bandwidth_hz)
+    }
+
+    /// Spectral efficiency in bit/s/Hz.
+    ///
+    /// # Errors
+    /// Same conditions as [`uplink_rate`].
+    pub fn spectral_efficiency(&self) -> MecResult<f64> {
+        Ok(self.rate()? / self.bandwidth_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_matches_hand_computation() {
+        // b = 1 MHz, SNR = 3 => r = 1e6 * log2(4) = 2e6 bit/s.
+        let noise_psd = 1e-15;
+        let bandwidth = 1e6;
+        let gain = 1e-6;
+        let power = 3.0 * noise_psd * bandwidth / gain;
+        let r = uplink_rate(bandwidth, power, gain, noise_psd).unwrap();
+        assert!((r - 2e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(uplink_rate(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(uplink_rate(1.0, -1.0, 1.0, 1.0).is_err());
+        assert!(uplink_rate(1.0, 1.0, 0.0, 1.0).is_err());
+        assert!(uplink_rate(1.0, 1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rate_point_consistency() {
+        let point = RatePoint {
+            bandwidth_hz: 2e6,
+            power_w: 0.1,
+            gain: 1e-11,
+            noise_psd: 10f64.powf(-20.4),
+        };
+        let rate = point.rate().unwrap();
+        assert!((point.spectral_efficiency().unwrap() - rate / 2e6).abs() < 1e-9);
+        assert!(point.snr() > 0.0);
+        assert!((rate - point.bandwidth_hz * (1.0 + point.snr()).log2()).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn rate_is_increasing_in_power(
+            b in 1e5f64..1e7, g in 1e-13f64..1e-9, p1 in 0.01f64..0.5, p2 in 0.01f64..0.5
+        ) {
+            let n0 = 10f64.powf(-20.4);
+            let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+            let r_lo = uplink_rate(b, lo, g, n0).unwrap();
+            let r_hi = uplink_rate(b, hi, g, n0).unwrap();
+            prop_assert!(r_hi >= r_lo);
+        }
+
+        #[test]
+        fn rate_is_increasing_in_bandwidth(
+            b1 in 1e5f64..1e7, b2 in 1e5f64..1e7, g in 1e-13f64..1e-9, p in 0.01f64..0.5
+        ) {
+            // For fixed power the rate b log2(1 + snr/b) is increasing in b.
+            let n0 = 10f64.powf(-20.4);
+            let (lo, hi) = if b1 < b2 { (b1, b2) } else { (b2, b1) };
+            let r_lo = uplink_rate(lo, p, g, n0).unwrap();
+            let r_hi = uplink_rate(hi, p, g, n0).unwrap();
+            prop_assert!(r_hi >= r_lo - 1e-9);
+        }
+
+        #[test]
+        fn rate_is_jointly_concave_along_segments(
+            b1 in 1e5f64..1e7, b2 in 1e5f64..1e7,
+            p1 in 0.01f64..0.5, p2 in 0.01f64..0.5,
+            t in 0.0f64..1.0,
+        ) {
+            // The paper relies on r(b, p) being jointly concave; check the
+            // defining inequality along random segments.
+            let g = 1e-11;
+            let n0 = 10f64.powf(-20.4);
+            let bm = t * b1 + (1.0 - t) * b2;
+            let pm = t * p1 + (1.0 - t) * p2;
+            let lhs = uplink_rate(bm, pm, g, n0).unwrap();
+            let rhs = t * uplink_rate(b1, p1, g, n0).unwrap()
+                + (1.0 - t) * uplink_rate(b2, p2, g, n0).unwrap();
+            prop_assert!(lhs >= rhs - 1e-3);
+        }
+    }
+}

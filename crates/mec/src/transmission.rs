@@ -1,0 +1,87 @@
+//! Uplink transmission delay and energy (Eqs. 11–12 of the paper).
+
+use crate::error::{MecError, MecResult};
+use crate::shannon::uplink_rate;
+
+/// Delay and energy of one client's uplink transmission.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransmissionCost {
+    /// Achieved uplink rate in bit/s.
+    pub rate_bps: f64,
+    /// Transmission delay `T^(tr) = d^(tr) / r` in seconds (Eq. 11).
+    pub delay_s: f64,
+    /// Transmission energy `E^(tr) = p T^(tr)` in joules (Eq. 12).
+    pub energy_j: f64,
+}
+
+/// Computes the transmission cost of sending `data_bits` encrypted bits at
+/// transmit power `power_w` over bandwidth `bandwidth_hz` with channel gain
+/// `gain` and noise PSD `noise_psd`.
+///
+/// # Errors
+/// * [`MecError::InvalidParameter`] if any physical parameter is invalid or
+///   `data_bits` is non-positive.
+pub fn transmission_cost(
+    data_bits: f64,
+    bandwidth_hz: f64,
+    power_w: f64,
+    gain: f64,
+    noise_psd: f64,
+) -> MecResult<TransmissionCost> {
+    if !(data_bits > 0.0 && data_bits.is_finite()) {
+        return Err(MecError::InvalidParameter {
+            reason: format!("data size must be positive, got {data_bits}"),
+        });
+    }
+    let rate_bps = uplink_rate(bandwidth_hz, power_w, gain, noise_psd)?;
+    let delay_s = data_bits / rate_bps;
+    Ok(TransmissionCost {
+        rate_bps,
+        delay_s,
+        energy_j: power_w * delay_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const N0: f64 = 1e-20;
+
+    #[test]
+    fn delay_and_energy_are_consistent() {
+        let cost = transmission_cost(3e9, 1.67e6, 0.2, 2e-12, N0).unwrap();
+        assert!((cost.delay_s - 3e9 / cost.rate_bps).abs() < 1e-9);
+        assert!((cost.energy_j - 0.2 * cost.delay_s).abs() < 1e-9);
+        assert!(cost.rate_bps > 0.0);
+    }
+
+    #[test]
+    fn invalid_data_size_rejected() {
+        assert!(transmission_cost(0.0, 1e6, 0.1, 1e-12, N0).is_err());
+        assert!(transmission_cost(-3.0, 1e6, 0.1, 1e-12, N0).is_err());
+        assert!(transmission_cost(1e9, 0.0, 0.1, 1e-12, N0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn more_power_never_increases_delay(
+            p1 in 0.01f64..0.5, p2 in 0.01f64..0.5, b in 1e5f64..1e7,
+        ) {
+            let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+            let c_lo = transmission_cost(1e9, b, lo, 1e-12, N0).unwrap();
+            let c_hi = transmission_cost(1e9, b, hi, 1e-12, N0).unwrap();
+            prop_assert!(c_hi.delay_s <= c_lo.delay_s + 1e-9);
+        }
+
+        #[test]
+        fn energy_scales_linearly_with_data(
+            scale in 1.1f64..5.0, b in 1e5f64..1e7, p in 0.01f64..0.5,
+        ) {
+            let base = transmission_cost(1e9, b, p, 1e-12, N0).unwrap();
+            let scaled = transmission_cost(scale * 1e9, b, p, 1e-12, N0).unwrap();
+            prop_assert!((scaled.energy_j / base.energy_j - scale).abs() < 1e-9);
+        }
+    }
+}

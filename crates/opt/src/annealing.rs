@@ -1,0 +1,230 @@
+//! Simulated annealing, one of the paper's Stage-1 baselines.
+//!
+//! The paper compares its convex Stage-1 solver against Matlab's
+//! `simulannealbnd`. This module provides a comparable bounded simulated
+//! annealing: Gaussian proposal moves clipped to a box, exponential cooling,
+//! Metropolis acceptance.
+
+use rand::Rng;
+
+use crate::error::{OptError, OptResult};
+use crate::projection::{BoxProjection, Projection};
+use crate::OptimizeResult;
+
+/// Configuration for [`SimulatedAnnealing`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimulatedAnnealingConfig {
+    /// Initial temperature.
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per iteration (strictly in (0, 1)).
+    pub cooling: f64,
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Standard deviation of the Gaussian proposal, relative to the box width
+    /// of each coordinate.
+    pub relative_step: f64,
+}
+
+impl Default for SimulatedAnnealingConfig {
+    fn default() -> Self {
+        Self {
+            initial_temperature: 1.0,
+            cooling: 0.995,
+            iterations: 5_000,
+            relative_step: 0.1,
+        }
+    }
+}
+
+impl SimulatedAnnealingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if !(self.initial_temperature > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "initial_temperature must be positive".to_string(),
+            });
+        }
+        if !(self.cooling > 0.0 && self.cooling < 1.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "cooling must lie in (0, 1)".to_string(),
+            });
+        }
+        if self.iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "iterations must be at least 1".to_string(),
+            });
+        }
+        if !(self.relative_step > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "relative_step must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bounded simulated annealing minimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedAnnealing {
+    config: SimulatedAnnealingConfig,
+}
+
+impl SimulatedAnnealing {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SimulatedAnnealingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimulatedAnnealingConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` over the box, starting from `start` (projected into the
+    /// box first), drawing randomness from `rng`.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::DimensionMismatch`] if `start` does not match the box.
+    /// * [`OptError::NonFiniteValue`] if the objective is non-finite at the
+    ///   starting point.
+    pub fn minimize<F, R>(
+        &self,
+        f: &F,
+        bounds: &BoxProjection,
+        start: &[f64],
+        rng: &mut R,
+    ) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        self.config.validate()?;
+        if start.len() != bounds.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: bounds.len(),
+                actual: start.len(),
+            });
+        }
+        let widths: Vec<f64> = bounds
+            .lower()
+            .iter()
+            .zip(bounds.upper())
+            .map(|(l, u)| (u - l).max(f64::MIN_POSITIVE))
+            .collect();
+        let mut current = bounds.projected(start);
+        let mut current_value = f(&current);
+        if !current_value.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "simulated annealing starting objective".to_string(),
+            });
+        }
+        let mut best = current.clone();
+        let mut best_value = current_value;
+        let mut temperature = self.config.initial_temperature;
+        let mut trace = vec![best_value];
+
+        for _ in 0..self.config.iterations {
+            // Gaussian proposal via Box-Muller so we only depend on `Rng`.
+            let mut candidate = current.clone();
+            for (i, c) in candidate.iter_mut().enumerate() {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                *c += normal * self.config.relative_step * widths[i];
+            }
+            bounds.project(&mut candidate);
+            let candidate_value = f(&candidate);
+            if candidate_value.is_finite() {
+                let accept = candidate_value <= current_value || {
+                    let delta = candidate_value - current_value;
+                    rng.gen_range(0.0..1.0) < (-delta / temperature.max(1e-300)).exp()
+                };
+                if accept {
+                    current = candidate;
+                    current_value = candidate_value;
+                    if current_value < best_value {
+                        best_value = current_value;
+                        best = current.clone();
+                    }
+                }
+            }
+            temperature *= self.config.cooling;
+            trace.push(best_value);
+        }
+
+        Ok(OptimizeResult {
+            solution: best,
+            objective: best_value,
+            iterations: self.config.iterations,
+            converged: true,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_near_optimum_of_smooth_bowl() {
+        let f = |x: &[f64]| (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2);
+        let bounds = BoxProjection::uniform(2, -2.0, 2.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let sa = SimulatedAnnealing::default();
+        let res = sa.minimize(&f, &bounds, &[1.5, 1.5], &mut rng).unwrap();
+        assert!(res.objective < 0.01, "objective {}", res.objective);
+    }
+
+    #[test]
+    fn best_trace_is_monotone_nonincreasing() {
+        let f = |x: &[f64]| x[0].sin() * 3.0 + x[0] * x[0] * 0.1;
+        let bounds = BoxProjection::uniform(1, -10.0, 10.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let res = SimulatedAnnealing::default()
+            .minimize(&f, &bounds, &[8.0], &mut rng)
+            .unwrap();
+        for w in res.trace.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let bounds = BoxProjection::uniform(1, -1.0, 1.0).unwrap();
+        let sa = SimulatedAnnealing::default();
+        let r1 = sa
+            .minimize(&f, &bounds, &[0.9], &mut rand::rngs::StdRng::seed_from_u64(3))
+            .unwrap();
+        let r2 = sa
+            .minimize(&f, &bounds, &[0.9], &mut rand::rngs::StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(r1.solution, r2.solution);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f = |x: &[f64]| x[0];
+        let bounds = BoxProjection::uniform(2, 0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(matches!(
+            SimulatedAnnealing::default().minimize(&f, &bounds, &[0.5], &mut rng),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = SimulatedAnnealingConfig {
+            cooling: 1.0,
+            ..SimulatedAnnealingConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

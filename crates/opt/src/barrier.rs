@@ -1,0 +1,337 @@
+//! Log-barrier interior-point method for smooth convex problems with
+//! inequality constraints.
+//!
+//! This plays the role CVX plays in the paper's Matlab evaluation: Stage 1
+//! (problem P3, Eq. 20) and Stage 3 (problem P6, Eq. 28) are both smooth
+//! convex programs with inequality constraints, solved here by the classical
+//! barrier method — minimize `t f(x) - sum_i ln(-g_i(x))` for an increasing
+//! sequence of `t`, each centering step solved with damped Newton. The
+//! `L / t` quantity (number of constraints over the barrier parameter) is the
+//! standard duality-gap bound and is what this reproduction reports as the
+//! "duality gap" trace of the paper's Fig. 4(d).
+
+use crate::error::{OptError, OptResult};
+use crate::newton::{DampedNewton, NewtonConfig};
+use crate::OptimizeResult;
+
+/// A smooth convex problem `minimize f(x) subject to g_i(x) <= 0`.
+pub trait InequalityProblem {
+    /// Dimension of the decision vector.
+    fn dimension(&self) -> usize;
+    /// Objective value at `x`.
+    fn objective(&self, x: &[f64]) -> f64;
+    /// Values of all inequality constraints `g_i(x)` (feasible iff all `<= 0`).
+    fn constraints(&self, x: &[f64]) -> Vec<f64>;
+    /// A strictly feasible starting point, if the caller knows one.
+    fn strictly_feasible_point(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// A closure-backed [`InequalityProblem`], convenient for tests and for the
+/// QuHE stages where objective and constraints are already captured in
+/// closures.
+pub struct FnProblem<F, G> {
+    dimension: usize,
+    objective: F,
+    constraints: G,
+    start: Option<Vec<f64>>,
+}
+
+impl<F, G> std::fmt::Debug for FnProblem<F, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProblem")
+            .field("dimension", &self.dimension)
+            .field("start", &self.start)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F, G> FnProblem<F, G>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    /// Creates a problem from an objective and a constraint-vector closure.
+    pub fn new(dimension: usize, objective: F, constraints: G) -> Self {
+        Self {
+            dimension,
+            objective,
+            constraints,
+            start: None,
+        }
+    }
+
+    /// Registers a strictly feasible starting point.
+    #[must_use]
+    pub fn with_start(mut self, start: Vec<f64>) -> Self {
+        self.start = Some(start);
+        self
+    }
+}
+
+impl<F, G> InequalityProblem for FnProblem<F, G>
+where
+    F: Fn(&[f64]) -> f64,
+    G: Fn(&[f64]) -> Vec<f64>,
+{
+    fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        (self.objective)(x)
+    }
+
+    fn constraints(&self, x: &[f64]) -> Vec<f64> {
+        (self.constraints)(x)
+    }
+
+    fn strictly_feasible_point(&self) -> Option<Vec<f64>> {
+        self.start.clone()
+    }
+}
+
+/// Configuration of the barrier method.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BarrierConfig {
+    /// Initial barrier parameter `t`.
+    pub initial_t: f64,
+    /// Multiplicative increase of `t` between outer iterations (`mu`).
+    pub mu: f64,
+    /// Target duality gap `m / t` at which to stop (`m` = number of
+    /// constraints). The paper's accuracy tolerance is `1e-4`; its Fig. 4(d)
+    /// shows the gap reaching `1e-5`.
+    pub gap_tolerance: f64,
+    /// Maximum number of outer (centering) iterations.
+    pub max_outer_iterations: usize,
+    /// Newton configuration used for each centering step.
+    pub newton: NewtonConfig,
+}
+
+impl Default for BarrierConfig {
+    fn default() -> Self {
+        Self {
+            initial_t: 1.0,
+            mu: 8.0,
+            gap_tolerance: 1e-5,
+            max_outer_iterations: 60,
+            newton: NewtonConfig::default(),
+        }
+    }
+}
+
+impl BarrierConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if !(self.initial_t > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "initial_t must be positive".to_string(),
+            });
+        }
+        if !(self.mu > 1.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "mu must exceed 1".to_string(),
+            });
+        }
+        if !(self.gap_tolerance > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "gap_tolerance must be positive".to_string(),
+            });
+        }
+        if self.max_outer_iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_outer_iterations must be at least 1".to_string(),
+            });
+        }
+        self.newton.validate()
+    }
+}
+
+/// Result of a barrier solve, including the duality-gap trace used to
+/// reproduce Fig. 4(d) of the paper.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BarrierResult {
+    /// The continuous optimization result (solution, objective, trace of the
+    /// true objective after each centering step).
+    pub inner: OptimizeResult,
+    /// Duality-gap bound `m / t` after each outer iteration.
+    pub gap_trace: Vec<f64>,
+}
+
+/// Log-barrier interior-point solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarrierSolver {
+    config: BarrierConfig,
+}
+
+impl BarrierSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: BarrierConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BarrierConfig {
+        &self.config
+    }
+
+    /// Solves the inequality-constrained problem starting from `start`
+    /// (which must be strictly feasible) or, when `start` is `None`, from the
+    /// problem's own strictly feasible point.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::InfeasibleStart`] when no strictly feasible starting
+    ///   point is available.
+    pub fn solve<P>(&self, problem: &P, start: Option<&[f64]>) -> OptResult<BarrierResult>
+    where
+        P: InequalityProblem,
+    {
+        self.config.validate()?;
+        let start: Vec<f64> = match start {
+            Some(s) => s.to_vec(),
+            None => problem
+                .strictly_feasible_point()
+                .ok_or_else(|| OptError::InfeasibleStart {
+                    reason: "no strictly feasible starting point provided".to_string(),
+                })?,
+        };
+        if start.len() != problem.dimension() {
+            return Err(OptError::DimensionMismatch {
+                expected: problem.dimension(),
+                actual: start.len(),
+            });
+        }
+        let strictly_feasible =
+            |x: &[f64]| problem.constraints(x).iter().all(|&g| g < 0.0 && g.is_finite());
+        if !strictly_feasible(&start) {
+            return Err(OptError::InfeasibleStart {
+                reason: "starting point violates strict feasibility".to_string(),
+            });
+        }
+
+        let m = problem.constraints(&start).len().max(1) as f64;
+        let mut t = self.config.initial_t;
+        let mut x = start;
+        let mut objective_trace = vec![problem.objective(&x)];
+        let mut gap_trace = Vec::new();
+        let newton = DampedNewton::new(self.config.newton);
+        let mut outer = 0;
+        let mut converged = false;
+
+        while outer < self.config.max_outer_iterations {
+            outer += 1;
+            let t_now = t;
+            let barrier_objective = |y: &[f64]| {
+                let mut value = t_now * problem.objective(y);
+                for g in problem.constraints(y) {
+                    if g >= 0.0 {
+                        return f64::INFINITY;
+                    }
+                    value -= (-g).ln();
+                }
+                value
+            };
+            let centered = newton.minimize(&barrier_objective, &strictly_feasible, &x)?;
+            x = centered.solution;
+            objective_trace.push(problem.objective(&x));
+            let gap = m / t_now;
+            gap_trace.push(gap);
+            if gap < self.config.gap_tolerance {
+                converged = true;
+                break;
+            }
+            t *= self.config.mu;
+        }
+
+        let objective = problem.objective(&x);
+        Ok(BarrierResult {
+            inner: OptimizeResult {
+                solution: x,
+                objective,
+                iterations: outer,
+                converged,
+                trace: objective_trace,
+            },
+            gap_trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_linear_program_over_box() {
+        // minimize -x0 - 2 x1 s.t. 0 <= x <= 1 -> optimum at (1, 1).
+        let problem = FnProblem::new(
+            2,
+            |x: &[f64]| -x[0] - 2.0 * x[1],
+            |x: &[f64]| vec![-x[0], -x[1], x[0] - 1.0, x[1] - 1.0],
+        )
+        .with_start(vec![0.5, 0.5]);
+        let solver = BarrierSolver::default();
+        let res = solver.solve(&problem, None).unwrap();
+        assert!((res.inner.solution[0] - 1.0).abs() < 1e-3);
+        assert!((res.inner.solution[1] - 1.0).abs() < 1e-3);
+        assert!(res.inner.converged);
+    }
+
+    #[test]
+    fn gap_trace_is_monotone_decreasing() {
+        let problem = FnProblem::new(
+            1,
+            |x: &[f64]| (x[0] - 0.3).powi(2),
+            |x: &[f64]| vec![-x[0], x[0] - 1.0],
+        )
+        .with_start(vec![0.5]);
+        let res = BarrierSolver::default().solve(&problem, None).unwrap();
+        for w in res.gap_trace.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert!(*res.gap_trace.last().unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn quadratic_with_budget_constraint() {
+        // minimize (x0-3)^2 + (x1-3)^2 s.t. x >= 0, x0 + x1 <= 2 -> (1,1).
+        let problem = FnProblem::new(
+            2,
+            |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 3.0).powi(2),
+            |x: &[f64]| vec![-x[0], -x[1], x[0] + x[1] - 2.0],
+        )
+        .with_start(vec![0.5, 0.5]);
+        let res = BarrierSolver::default().solve(&problem, None).unwrap();
+        assert!((res.inner.solution[0] - 1.0).abs() < 2e-3);
+        assert!((res.inner.solution[1] - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn rejects_infeasible_start() {
+        let problem = FnProblem::new(1, |x: &[f64]| x[0], |x: &[f64]| vec![-x[0]]);
+        let solver = BarrierSolver::default();
+        assert!(matches!(
+            solver.solve(&problem, Some(&[-1.0])),
+            Err(OptError::InfeasibleStart { .. })
+        ));
+        // And with no start at all:
+        assert!(matches!(
+            solver.solve(&problem, None),
+            Err(OptError::InfeasibleStart { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = BarrierConfig {
+            mu: 1.0,
+            ..BarrierConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

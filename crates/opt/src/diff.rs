@@ -1,0 +1,120 @@
+//! Numerical differentiation helpers.
+//!
+//! The QuHE subproblems have closed-form objectives but fairly involved
+//! analytic gradients; central finite differences are accurate enough for the
+//! small problem dimensions involved and keep the solver code independent of
+//! the particular objective.
+
+use crate::linalg::DenseMatrix;
+
+/// Default relative step used by the finite-difference helpers.
+pub const DEFAULT_FD_STEP: f64 = 1e-6;
+
+/// Central-difference gradient of `f` at `x` with relative step `step`.
+///
+/// The per-coordinate step is `step * max(1, |x_i|)` so that very large or
+/// very small coordinates (the QuHE problem mixes Hz-scale and unit-scale
+/// variables) are handled uniformly.
+pub fn central_gradient<F>(f: &F, x: &[f64], step: f64) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let mut grad = vec![0.0; x.len()];
+    let mut work = x.to_vec();
+    for i in 0..x.len() {
+        let h = step * x[i].abs().max(1.0);
+        let orig = work[i];
+        work[i] = orig + h;
+        let fp = f(&work);
+        work[i] = orig - h;
+        let fm = f(&work);
+        work[i] = orig;
+        grad[i] = (fp - fm) / (2.0 * h);
+    }
+    grad
+}
+
+/// Central-difference Hessian of `f` at `x` with relative step `step`.
+///
+/// Uses the symmetric four-point formula for off-diagonal entries and the
+/// three-point formula on the diagonal. The result is explicitly symmetrized.
+pub fn central_hessian<F>(f: &F, x: &[f64], step: f64) -> DenseMatrix
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = x.len();
+    let mut h = DenseMatrix::zeros(n, n);
+    let f0 = f(x);
+    let mut work = x.to_vec();
+    let steps: Vec<f64> = x.iter().map(|xi| step * xi.abs().max(1.0)).collect();
+
+    for i in 0..n {
+        // Diagonal: (f(x+h) - 2 f(x) + f(x-h)) / h^2.
+        let hi = steps[i];
+        let orig = work[i];
+        work[i] = orig + hi;
+        let fp = f(&work);
+        work[i] = orig - hi;
+        let fm = f(&work);
+        work[i] = orig;
+        h.set(i, i, (fp - 2.0 * f0 + fm) / (hi * hi));
+
+        for j in (i + 1)..n {
+            let hj = steps[j];
+            let (oi, oj) = (work[i], work[j]);
+            work[i] = oi + hi;
+            work[j] = oj + hj;
+            let fpp = f(&work);
+            work[j] = oj - hj;
+            let fpm = f(&work);
+            work[i] = oi - hi;
+            let fmm = f(&work);
+            work[j] = oj + hj;
+            let fmp = f(&work);
+            work[i] = oi;
+            work[j] = oj;
+            let val = (fpp - fpm - fmp + fmm) / (4.0 * hi * hj);
+            h.set(i, j, val);
+            h.set(j, i, val);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64]) -> f64 {
+        // f = 3 x0^2 + 2 x0 x1 + 5 x1^2 + 7 x0 - x1
+        3.0 * x[0] * x[0] + 2.0 * x[0] * x[1] + 5.0 * x[1] * x[1] + 7.0 * x[0] - x[1]
+    }
+
+    #[test]
+    fn gradient_of_quadratic_matches_analytic() {
+        let x = [1.5, -2.0];
+        let g = central_gradient(&quadratic, &x, DEFAULT_FD_STEP);
+        let expected = [6.0 * x[0] + 2.0 * x[1] + 7.0, 2.0 * x[0] + 10.0 * x[1] - 1.0];
+        assert!((g[0] - expected[0]).abs() < 1e-5);
+        assert!((g[1] - expected[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hessian_of_quadratic_matches_analytic() {
+        let x = [0.3, 0.7];
+        let h = central_hessian(&quadratic, &x, 1e-4);
+        assert!((h.get(0, 0) - 6.0).abs() < 1e-3);
+        assert!((h.get(1, 1) - 10.0).abs() < 1e-3);
+        assert!((h.get(0, 1) - 2.0).abs() < 1e-3);
+        assert!((h.get(1, 0) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradient_scales_step_with_magnitude() {
+        // f(x) = x^2 at a very large coordinate should still differentiate well.
+        let f = |x: &[f64]| x[0] * x[0];
+        let g = central_gradient(&f, &[1.0e9], DEFAULT_FD_STEP);
+        let rel_err = (g[0] - 2.0e9).abs() / 2.0e9;
+        assert!(rel_err < 1e-6, "relative error {rel_err}");
+    }
+}

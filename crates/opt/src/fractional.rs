@@ -1,0 +1,366 @@
+//! Quadratic-transform fractional programming (Shen & Yu) as used by Stage 3
+//! of the QuHE algorithm.
+//!
+//! The only non-concave term of the paper's Stage-3 objective (problem P5,
+//! Eq. 24) is the transmission-energy ratio `p_n d_n / r_n`. The paper applies
+//! the transformation of its Eq. (25)–(27): introduce an auxiliary variable
+//! `z_n = 1 / (2 p_n d_n r_n)` and replace the ratio with
+//! `(p_n d_n)^2 z_n + 1 / (4 r_n^2 z_n)`, which is convex in the original
+//! variables for fixed `z_n` and convex in `z_n` for fixed originals. The
+//! resulting algorithm alternates between a closed-form `z` update and a
+//! convex subproblem in the original variables — exactly what
+//! [`QuadraticTransform::solve`] implements, generically over the list of
+//! ratio terms and the inner convex solver supplied by the caller.
+
+use crate::error::{OptError, OptResult};
+use crate::OptimizeResult;
+
+/// One fractional term `numerator(x) / denominator(x)` of the objective.
+///
+/// For Stage 3, `numerator` is the transmitted energy payload `p_n d_n` and
+/// `denominator` is the Shannon rate `r_n(b_n, p_n)`; both must be positive on
+/// the feasible set.
+pub struct RatioTerm<'a> {
+    /// Numerator as a function of the decision vector.
+    pub numerator: Box<dyn Fn(&[f64]) -> f64 + 'a>,
+    /// Denominator as a function of the decision vector (must stay positive).
+    pub denominator: Box<dyn Fn(&[f64]) -> f64 + 'a>,
+}
+
+impl<'a> std::fmt::Debug for RatioTerm<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RatioTerm").finish_non_exhaustive()
+    }
+}
+
+impl<'a> RatioTerm<'a> {
+    /// Creates a ratio term from numerator and denominator closures.
+    pub fn new<N, D>(numerator: N, denominator: D) -> Self
+    where
+        N: Fn(&[f64]) -> f64 + 'a,
+        D: Fn(&[f64]) -> f64 + 'a,
+    {
+        Self {
+            numerator: Box::new(numerator),
+            denominator: Box::new(denominator),
+        }
+    }
+
+    /// The value of the ratio at `x`.
+    pub fn value(&self, x: &[f64]) -> f64 {
+        (self.numerator)(x) / (self.denominator)(x)
+    }
+
+    /// The paper's Eq. (25): the optimal auxiliary variable for this term at
+    /// the current point, `z = 1 / (2 * numerator * denominator)`.
+    pub fn optimal_auxiliary(&self, x: &[f64]) -> f64 {
+        let num = (self.numerator)(x);
+        let den = (self.denominator)(x);
+        1.0 / (2.0 * num * den)
+    }
+
+    /// The paper's Eq. (26)/(27): the convex surrogate
+    /// `numerator^2 * z + 1 / (4 * denominator^2 * z)` for a fixed auxiliary
+    /// value `z`.
+    pub fn surrogate(&self, x: &[f64], z: f64) -> f64 {
+        let num = (self.numerator)(x);
+        let den = (self.denominator)(x);
+        num * num * z + 1.0 / (4.0 * den * den * z)
+    }
+}
+
+/// Configuration of the alternating quadratic-transform loop.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuadraticTransformConfig {
+    /// Maximum number of outer (z-update / convex-solve) iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the true objective between outer iterations.
+    pub tolerance: f64,
+}
+
+impl Default for QuadraticTransformConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 300,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl QuadraticTransformConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for non-positive parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if self.max_iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "tolerance must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of the quadratic-transform loop, including per-iteration traces of
+/// the true objective and of the auxiliary variables.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuadraticTransformResult {
+    /// Final decision vector.
+    pub solution: Vec<f64>,
+    /// True objective (with the real ratios, not the surrogates) at the final
+    /// point.
+    pub objective: f64,
+    /// Outer iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+    /// True-objective trace across outer iterations.
+    pub trace: Vec<f64>,
+    /// Final auxiliary variables, one per ratio term.
+    pub auxiliaries: Vec<f64>,
+}
+
+/// Alternating optimizer implementing the quadratic transform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadraticTransform {
+    config: QuadraticTransformConfig,
+}
+
+impl QuadraticTransform {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: QuadraticTransformConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &QuadraticTransformConfig {
+        &self.config
+    }
+
+    /// Minimizes `other_costs(x) + sum_k weight_k * ratio_k(x)` by alternating
+    /// between the closed-form auxiliary update and the convex subproblem
+    /// solved by `solve_inner`.
+    ///
+    /// `solve_inner(x, z)` must (approximately) minimize
+    /// `other_costs(y) + sum_k weight_k * surrogate_k(y, z_k)` over the
+    /// feasible set, starting from `x`, and return the minimizer. The true
+    /// objective is tracked separately so the returned trace reflects real
+    /// progress.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::NonFiniteValue`] if a ratio produces a non-finite value
+    ///   (e.g. a zero denominator) at any iterate.
+    /// * Any error returned by `solve_inner`.
+    pub fn solve<FC, FS>(
+        &self,
+        other_costs: FC,
+        terms: &[RatioTerm<'_>],
+        weights: &[f64],
+        start: &[f64],
+        mut solve_inner: FS,
+    ) -> OptResult<QuadraticTransformResult>
+    where
+        FC: Fn(&[f64]) -> f64,
+        FS: FnMut(&[f64], &[f64]) -> OptResult<Vec<f64>>,
+    {
+        self.config.validate()?;
+        if terms.len() != weights.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: terms.len(),
+                actual: weights.len(),
+            });
+        }
+        let true_objective = |x: &[f64]| -> f64 {
+            other_costs(x)
+                + terms
+                    .iter()
+                    .zip(weights)
+                    .map(|(t, w)| w * t.value(x))
+                    .sum::<f64>()
+        };
+
+        let mut x = start.to_vec();
+        let mut fx = true_objective(&x);
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "quadratic transform starting objective".to_string(),
+            });
+        }
+        let mut trace = vec![fx];
+        let mut auxiliaries = vec![0.0; terms.len()];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            // Step 1: closed-form auxiliary update (Eq. 25).
+            for (z, term) in auxiliaries.iter_mut().zip(terms) {
+                *z = term.optimal_auxiliary(&x);
+                if !z.is_finite() || *z <= 0.0 {
+                    return Err(OptError::NonFiniteValue {
+                        context: format!("auxiliary variable at iteration {iter}"),
+                    });
+                }
+            }
+            // Step 2: convex subproblem with surrogates (Eq. 28).
+            let next = solve_inner(&x, &auxiliaries)?;
+            let fnext = true_objective(&next);
+            if !fnext.is_finite() {
+                return Err(OptError::NonFiniteValue {
+                    context: format!("objective after inner solve at iteration {iter}"),
+                });
+            }
+            // Accept only non-worsening steps; the surrogate guarantees this in
+            // exact arithmetic, the guard protects against inner-solver noise.
+            let improvement = if fnext <= fx {
+                let delta = fx - fnext;
+                x = next;
+                fx = fnext;
+                delta
+            } else {
+                0.0
+            };
+            trace.push(fx);
+            if improvement < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        Ok(QuadraticTransformResult {
+            solution: x,
+            objective: fx,
+            iterations,
+            converged,
+            trace,
+            auxiliaries,
+        })
+    }
+}
+
+/// Converts a [`QuadraticTransformResult`] into the crate-wide
+/// [`OptimizeResult`] (dropping the auxiliaries).
+impl From<QuadraticTransformResult> for OptimizeResult {
+    fn from(value: QuadraticTransformResult) -> Self {
+        OptimizeResult {
+            solution: value.solution,
+            objective: value.objective,
+            iterations: value.iterations,
+            converged: value.converged,
+            trace: value.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::{ProjectedGradient, ProjectedGradientConfig};
+    use crate::projection::BoxProjection;
+
+    #[test]
+    fn surrogate_tightness_at_optimal_auxiliary() {
+        // At z = 1/(2 a b), the surrogate equals the ratio a/b exactly.
+        let term = RatioTerm::new(|x: &[f64]| x[0], |x: &[f64]| x[1]);
+        let x = [3.0, 4.0];
+        let z = term.optimal_auxiliary(&x);
+        assert!((term.surrogate(&x, z) - term.value(&x)).abs() < 1e-12);
+        // And for any other z the surrogate upper-bounds the ratio.
+        for other_z in [z * 0.5, z * 2.0, z * 10.0] {
+            assert!(term.surrogate(&x, other_z) >= term.value(&x) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn minimizes_energy_like_ratio_problem() {
+        // minimize p + 5 * p / log2(1 + p) over p in [0.1, 4].
+        // The ratio p / log2(1+p) is increasing in p, so optimum is p = 0.1.
+        let term = RatioTerm::new(|x: &[f64]| x[0], |x: &[f64]| (1.0 + x[0]).log2());
+        let terms = vec![term];
+        let weights = vec![5.0];
+        let proj = BoxProjection::uniform(1, 0.1, 4.0).unwrap();
+        let inner_solver = ProjectedGradient::new(ProjectedGradientConfig::default());
+
+        let qt = QuadraticTransform::default();
+        let res = qt
+            .solve(
+                |x: &[f64]| x[0],
+                &terms,
+                &weights,
+                &[2.0],
+                |x, z| {
+                    let z0 = z[0];
+                    let obj = |y: &[f64]| {
+                        let num = y[0];
+                        let den = (1.0 + y[0]).log2();
+                        y[0] + 5.0 * (num * num * z0 + 1.0 / (4.0 * den * den * z0))
+                    };
+                    Ok(inner_solver.minimize(&obj, &proj, x)?.solution)
+                },
+            )
+            .unwrap();
+        assert!((res.solution[0] - 0.1).abs() < 1e-2, "got {}", res.solution[0]);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let term = RatioTerm::new(|x: &[f64]| x[0] * x[0] + 1.0, |x: &[f64]| x[0] + 1.0);
+        let terms = vec![term];
+        let proj = BoxProjection::uniform(1, 0.0, 10.0).unwrap();
+        let inner_solver = ProjectedGradient::default();
+        let res = QuadraticTransform::default()
+            .solve(
+                |_x: &[f64]| 0.0,
+                &terms,
+                &[1.0],
+                &[9.0],
+                |x, z| {
+                    let z0 = z[0];
+                    let obj = |y: &[f64]| {
+                        let num = y[0] * y[0] + 1.0;
+                        let den = y[0] + 1.0;
+                        num * num * z0 + 1.0 / (4.0 * den * den * z0)
+                    };
+                    Ok(inner_solver.minimize(&obj, &proj, x)?.solution)
+                },
+            )
+            .unwrap();
+        for w in res.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mismatched_weights_are_rejected() {
+        let terms = vec![RatioTerm::new(|x: &[f64]| x[0], |x: &[f64]| x[0] + 1.0)];
+        let res = QuadraticTransform::default().solve(
+            |_: &[f64]| 0.0,
+            &terms,
+            &[1.0, 2.0],
+            &[1.0],
+            |x, _| Ok(x.to_vec()),
+        );
+        assert!(matches!(res, Err(OptError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_denominator_is_detected() {
+        let terms = vec![RatioTerm::new(|x: &[f64]| x[0], |_: &[f64]| 0.0)];
+        let res = QuadraticTransform::default().solve(
+            |_: &[f64]| 0.0,
+            &terms,
+            &[1.0],
+            &[1.0],
+            |x, _| Ok(x.to_vec()),
+        );
+        assert!(matches!(res, Err(OptError::NonFiniteValue { .. })));
+    }
+}

@@ -1,0 +1,379 @@
+//! Plain and projected gradient descent.
+//!
+//! Projected gradient descent is the workhorse behind Stage 1 and Stage 3 of
+//! the QuHE algorithm in this reproduction: after the paper's convexifying
+//! transformations both stages reduce to smooth convex problems over simple
+//! feasible sets (boxes and budget caps), for which projected gradient with
+//! Armijo backtracking converges to the global optimum. Plain (fixed-step)
+//! gradient descent is kept as well because the paper uses it — with learning
+//! rate 0.01 — as one of the Stage-1 baselines (Fig. 5(b)/(c)).
+
+use crate::diff::{central_gradient, DEFAULT_FD_STEP};
+use crate::error::{OptError, OptResult};
+use crate::linalg::VectorExt;
+use crate::line_search::{ArmijoLineSearch, LineSearchConfig};
+use crate::projection::Projection;
+use crate::OptimizeResult;
+
+/// Configuration for [`ProjectedGradient`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProjectedGradientConfig {
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the objective decrease between iterations.
+    pub tolerance: f64,
+    /// Relative finite-difference step for the numerical gradient.
+    pub fd_step: f64,
+    /// Line-search configuration.
+    pub line_search: LineSearchConfig,
+}
+
+impl Default for ProjectedGradientConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 500,
+            tolerance: 1e-9,
+            fd_step: DEFAULT_FD_STEP,
+            line_search: LineSearchConfig::default(),
+        }
+    }
+}
+
+impl ProjectedGradientConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for non-positive tolerances or a
+    /// zero iteration budget.
+    pub fn validate(&self) -> OptResult<()> {
+        if self.max_iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "tolerance must be positive".to_string(),
+            });
+        }
+        if !(self.fd_step > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "fd_step must be positive".to_string(),
+            });
+        }
+        self.line_search.validate()
+    }
+}
+
+/// Projected gradient descent with Armijo backtracking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProjectedGradient {
+    config: ProjectedGradientConfig,
+}
+
+impl ProjectedGradient {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: ProjectedGradientConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ProjectedGradientConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` over the convex set described by `projection`, starting
+    /// from `start` (which is projected before use).
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::NonFiniteValue`] if the objective is non-finite at the
+    ///   (projected) starting point.
+    pub fn minimize<F, P>(&self, f: &F, projection: &P, start: &[f64]) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Projection,
+    {
+        self.config.validate()?;
+        let mut x = projection.projected(start);
+        let mut fx = f(&x);
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "projected gradient starting objective".to_string(),
+            });
+        }
+        let ls = ArmijoLineSearch::new(self.config.line_search);
+        let mut trace = vec![fx];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            let grad = central_gradient(f, &x, self.config.fd_step);
+            if !grad.is_finite() {
+                return Err(OptError::NonFiniteValue {
+                    context: format!("gradient at iteration {iter}"),
+                });
+            }
+            // Projected-gradient direction: project the full gradient step and
+            // move towards the projected point. This guarantees feasibility of
+            // every trial point for convex sets.
+            let trial = projection.projected(&x.axpy(-1.0, &grad));
+            let direction: Vec<f64> = trial.iter().zip(&x).map(|(t, xi)| t - xi).collect();
+            let dir_norm = direction.norm_inf();
+            if dir_norm < self.config.tolerance {
+                converged = true;
+                break;
+            }
+            match ls.search(f, &x, fx, &grad, &direction, |p| {
+                projection.contains(p, 1e-9)
+            }) {
+                Ok(outcome) => {
+                    let decrease = fx - outcome.value;
+                    x = projection.projected(&outcome.point);
+                    fx = f(&x);
+                    trace.push(fx);
+                    if decrease.abs() < self.config.tolerance {
+                        converged = true;
+                        break;
+                    }
+                }
+                Err(OptError::DidNotConverge { .. }) => {
+                    // No further decrease possible along the projected
+                    // gradient: declare convergence at the current iterate.
+                    converged = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        Ok(OptimizeResult {
+            solution: x,
+            objective: fx,
+            iterations,
+            converged,
+            trace,
+        })
+    }
+}
+
+/// Configuration for the fixed-step [`GradientDescent`] baseline.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GradientDescentConfig {
+    /// Constant learning rate (the paper's Stage-1 baseline uses 0.01).
+    pub learning_rate: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the objective decrease between iterations.
+    pub tolerance: f64,
+    /// Relative finite-difference step for the numerical gradient.
+    pub fd_step: f64,
+}
+
+impl Default for GradientDescentConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            max_iterations: 20_000,
+            tolerance: 1e-9,
+            fd_step: DEFAULT_FD_STEP,
+        }
+    }
+}
+
+impl GradientDescentConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for non-positive parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if !(self.learning_rate > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "learning_rate must be positive".to_string(),
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0) || !(self.fd_step > 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "tolerance and fd_step must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-step-size gradient descent with feasibility projection after every
+/// step. Used as the paper's "gradient descent (learning rate 0.01)" Stage-1
+/// baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GradientDescent {
+    config: GradientDescentConfig,
+}
+
+impl GradientDescent {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GradientDescentConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GradientDescentConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` over the set described by `projection` starting from
+    /// `start`.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::NonFiniteValue`] if the objective is non-finite at the
+    ///   starting point.
+    pub fn minimize<F, P>(&self, f: &F, projection: &P, start: &[f64]) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Projection,
+    {
+        self.config.validate()?;
+        let mut x = projection.projected(start);
+        let mut fx = f(&x);
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "gradient descent starting objective".to_string(),
+            });
+        }
+        let mut trace = vec![fx];
+        let mut converged = false;
+        let mut iterations = 0;
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            let grad = central_gradient(f, &x, self.config.fd_step);
+            let mut next = x.axpy(-self.config.learning_rate, &grad);
+            projection.project(&mut next);
+            let fnext = f(&next);
+            if !fnext.is_finite() {
+                // Step left the domain where the objective is finite; halve
+                // towards the previous iterate is not part of the baseline,
+                // so simply stop here as the baseline would diverge.
+                break;
+            }
+            let decrease = fx - fnext;
+            x = next;
+            fx = fnext;
+            trace.push(fx);
+            if decrease.abs() < self.config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        Ok(OptimizeResult {
+            solution: x,
+            objective: fx,
+            iterations,
+            converged,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::{BoxProjection, NoProjection, SimplexCapProjection};
+
+    fn rosenbrock_like(x: &[f64]) -> f64 {
+        // A smooth convex surrogate: shifted quadratic bowl.
+        (x[0] - 2.0).powi(2) + 10.0 * (x[1] - 0.5).powi(2)
+    }
+
+    #[test]
+    fn projected_gradient_finds_unconstrained_minimum() {
+        let solver = ProjectedGradient::default();
+        let res = solver
+            .minimize(&rosenbrock_like, &NoProjection, &[-3.0, 4.0])
+            .unwrap();
+        assert!(res.converged);
+        assert!((res.solution[0] - 2.0).abs() < 1e-4);
+        assert!((res.solution[1] - 0.5).abs() < 1e-4);
+        assert!(res.objective < 1e-6);
+    }
+
+    #[test]
+    fn projected_gradient_respects_box() {
+        // Minimum of the bowl is at (2, 0.5) but the box caps x0 at 1.
+        let solver = ProjectedGradient::default();
+        let boxp = BoxProjection::new(vec![-1.0, -1.0], vec![1.0, 1.0]).unwrap();
+        let res = solver
+            .minimize(&rosenbrock_like, &boxp, &[0.0, 0.0])
+            .unwrap();
+        assert!((res.solution[0] - 1.0).abs() < 1e-4);
+        assert!((res.solution[1] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn projected_gradient_respects_budget() {
+        // minimize (x0-3)^2 + (x1-3)^2 s.t. x >= 0, x0+x1 <= 2 => (1,1).
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] - 3.0).powi(2);
+        let proj = SimplexCapProjection::uniform(2, 0.0, 2.0).unwrap();
+        let solver = ProjectedGradient::default();
+        let res = solver.minimize(&f, &proj, &[0.5, 0.5]).unwrap();
+        assert!((res.solution[0] - 1.0).abs() < 1e-3);
+        assert!((res.solution[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let solver = ProjectedGradient::default();
+        let res = solver
+            .minimize(&rosenbrock_like, &NoProjection, &[5.0, -5.0])
+            .unwrap();
+        for w in res.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "trace increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn plain_gradient_descent_converges_slowly_but_surely() {
+        let solver = GradientDescent::new(GradientDescentConfig {
+            learning_rate: 0.01,
+            max_iterations: 50_000,
+            ..GradientDescentConfig::default()
+        });
+        let res = solver
+            .minimize(&rosenbrock_like, &NoProjection, &[-1.0, -1.0])
+            .unwrap();
+        assert!((res.solution[0] - 2.0).abs() < 1e-3);
+        assert!((res.solution[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn plain_gd_takes_more_iterations_than_projected_gradient() {
+        let pg = ProjectedGradient::default();
+        let gd = GradientDescent::default();
+        let r1 = pg
+            .minimize(&rosenbrock_like, &NoProjection, &[5.0, 5.0])
+            .unwrap();
+        let r2 = gd
+            .minimize(&rosenbrock_like, &NoProjection, &[5.0, 5.0])
+            .unwrap();
+        assert!(r2.iterations > r1.iterations);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = ProjectedGradientConfig {
+            max_iterations: 0,
+            ..ProjectedGradientConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = GradientDescentConfig {
+            learning_rate: -1.0,
+            ..GradientDescentConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

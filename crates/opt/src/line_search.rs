@@ -1,0 +1,221 @@
+//! Backtracking (Armijo) line search shared by the gradient and Newton
+//! solvers.
+
+use crate::error::{OptError, OptResult};
+use crate::linalg::VectorExt;
+
+/// Configuration of the Armijo backtracking line search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineSearchConfig {
+    /// Initial trial step length.
+    pub initial_step: f64,
+    /// Multiplicative shrink factor applied when the Armijo condition fails
+    /// (strictly between 0 and 1).
+    pub shrink: f64,
+    /// Armijo sufficient-decrease constant (strictly between 0 and 1).
+    pub c1: f64,
+    /// Maximum number of backtracking halvings before giving up.
+    pub max_backtracks: usize,
+}
+
+impl Default for LineSearchConfig {
+    fn default() -> Self {
+        Self {
+            initial_step: 1.0,
+            shrink: 0.5,
+            c1: 1e-4,
+            max_backtracks: 60,
+        }
+    }
+}
+
+impl LineSearchConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for out-of-range parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if !(self.initial_step > 0.0 && self.initial_step.is_finite()) {
+            return Err(OptError::InvalidConfig {
+                reason: "initial_step must be positive and finite".to_string(),
+            });
+        }
+        if !(self.shrink > 0.0 && self.shrink < 1.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "shrink must lie in (0, 1)".to_string(),
+            });
+        }
+        if !(self.c1 > 0.0 && self.c1 < 1.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "c1 must lie in (0, 1)".to_string(),
+            });
+        }
+        if self.max_backtracks == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_backtracks must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a successful line search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineSearchOutcome {
+    /// Accepted step length.
+    pub step: f64,
+    /// The accepted point `x + step * direction`.
+    pub point: Vec<f64>,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Number of backtracking steps taken.
+    pub backtracks: usize,
+}
+
+/// Armijo backtracking line search.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArmijoLineSearch {
+    config: LineSearchConfig,
+}
+
+impl ArmijoLineSearch {
+    /// Creates a line search with the given configuration.
+    pub fn new(config: LineSearchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LineSearchConfig {
+        &self.config
+    }
+
+    /// Searches along `direction` from `x` for a point satisfying the Armijo
+    /// sufficient-decrease condition
+    /// `f(x + t d) <= f(x) + c1 * t * grad^T d`.
+    ///
+    /// An optional `feasible` predicate restricts acceptance to points inside
+    /// a feasible region (used by the barrier solver to stay strictly
+    /// interior); infeasible trial points are treated like insufficient
+    /// decrease and trigger further backtracking.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] if the configuration is invalid.
+    /// * [`OptError::NonFiniteValue`] if `f(x)` is non-finite.
+    /// * [`OptError::DidNotConverge`] if no acceptable step is found within
+    ///   the backtracking budget (typically a sign that `direction` is not a
+    ///   descent direction).
+    pub fn search<F, P>(
+        &self,
+        f: &F,
+        x: &[f64],
+        fx: f64,
+        grad: &[f64],
+        direction: &[f64],
+        feasible: P,
+    ) -> OptResult<LineSearchOutcome>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Fn(&[f64]) -> bool,
+    {
+        self.config.validate()?;
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "line search initial objective".to_string(),
+            });
+        }
+        let slope = grad.dot(direction);
+        if slope >= 0.0 {
+            // Not a descent direction: backtracking cannot make progress and
+            // accepting a rounding-level step would silently stall the caller.
+            return Err(OptError::DidNotConverge { iterations: 0 });
+        }
+        let mut step = self.config.initial_step;
+        for backtracks in 0..self.config.max_backtracks {
+            let candidate = x.axpy(step, direction);
+            if feasible(&candidate) {
+                let value = f(&candidate);
+                if value.is_finite() && value <= fx + self.config.c1 * step * slope {
+                    return Ok(LineSearchOutcome {
+                        step,
+                        point: candidate,
+                        value,
+                        backtracks,
+                    });
+                }
+            }
+            step *= self.config.shrink;
+        }
+        Err(OptError::DidNotConverge {
+            iterations: self.config.max_backtracks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::central_gradient;
+
+    #[test]
+    fn finds_decrease_on_quadratic() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let x = [3.0];
+        let g = central_gradient(&f, &x, 1e-6);
+        let d = [-g[0]];
+        let ls = ArmijoLineSearch::default();
+        let out = ls.search(&f, &x, f(&x), &g, &d, |_| true).unwrap();
+        assert!(out.value < f(&x));
+        assert!(out.step > 0.0);
+    }
+
+    #[test]
+    fn respects_feasibility_predicate() {
+        let f = |x: &[f64]| x[0];
+        let x = [1.0];
+        let g = [1.0];
+        let d = [-1.0];
+        let ls = ArmijoLineSearch::default();
+        // Only points with x >= 0.9 are feasible; full step to 0.0 must be
+        // rejected and the search must back off.
+        let out = ls.search(&f, &x, 1.0, &g, &d, |p| p[0] >= 0.9).unwrap();
+        assert!(out.point[0] >= 0.9);
+        assert!(out.value < 1.0);
+    }
+
+    #[test]
+    fn ascent_direction_fails() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let x = [1.0];
+        let g = [2.0];
+        let d = [1.0]; // ascent direction
+        let ls = ArmijoLineSearch::default();
+        assert!(matches!(
+            ls.search(&f, &x, 1.0, &g, &d, |_| true),
+            Err(OptError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = LineSearchConfig {
+            shrink: 1.5,
+            ..LineSearchConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LineSearchConfig {
+            initial_step: 0.0,
+            ..LineSearchConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LineSearchConfig {
+            c1: 0.0,
+            ..LineSearchConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = LineSearchConfig {
+            max_backtracks: 0,
+            ..LineSearchConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Damped Newton method for smooth convex minimization.
+//!
+//! Used by the log-barrier solver ([`crate::barrier`]) as the inner "centering"
+//! step, mirroring how CVX's interior-point solver handles the convex
+//! subproblems of the QuHE paper's Stage 1 and Stage 3.
+
+use crate::diff::{central_gradient, central_hessian};
+use crate::error::{OptError, OptResult};
+use crate::linalg::VectorExt;
+use crate::line_search::{ArmijoLineSearch, LineSearchConfig};
+use crate::OptimizeResult;
+
+/// Configuration for [`DampedNewton`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NewtonConfig {
+    /// Maximum number of Newton iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the Newton decrement (squared).
+    pub tolerance: f64,
+    /// Relative finite-difference step.
+    pub fd_step: f64,
+    /// Tikhonov damping added to the Hessian diagonal when the factorization
+    /// fails (the Hessian of the QuHE subproblems can be near-singular far
+    /// from the optimum).
+    pub damping: f64,
+    /// Line-search configuration.
+    pub line_search: LineSearchConfig,
+}
+
+impl Default for NewtonConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 1e-10,
+            fd_step: 1e-5,
+            damping: 1e-8,
+            line_search: LineSearchConfig::default(),
+        }
+    }
+}
+
+impl NewtonConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] for non-positive parameters.
+    pub fn validate(&self) -> OptResult<()> {
+        if self.max_iterations == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if !(self.tolerance > 0.0 && self.fd_step > 0.0 && self.damping >= 0.0) {
+            return Err(OptError::InvalidConfig {
+                reason: "tolerance/fd_step must be positive, damping non-negative".to_string(),
+            });
+        }
+        self.line_search.validate()
+    }
+}
+
+/// Damped Newton minimizer with numerical derivatives.
+///
+/// The optional domain predicate passed to [`DampedNewton::minimize`]
+/// restricts iterates to an open set (used for barrier objectives that are
+/// only finite strictly inside the feasible region); `f` must be finite on
+/// that set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DampedNewton {
+    config: NewtonConfig,
+}
+
+impl DampedNewton {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: NewtonConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NewtonConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` starting from `start`, keeping all iterates inside the
+    /// open set described by `in_domain`.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for an invalid configuration.
+    /// * [`OptError::InfeasibleStart`] if `start` is outside the domain.
+    /// * [`OptError::NonFiniteValue`] if the objective is non-finite at the
+    ///   starting point.
+    pub fn minimize<F, D>(&self, f: &F, in_domain: &D, start: &[f64]) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        D: Fn(&[f64]) -> bool,
+    {
+        self.config.validate()?;
+        if !in_domain(start) {
+            return Err(OptError::InfeasibleStart {
+                reason: "newton starting point outside the domain".to_string(),
+            });
+        }
+        let mut x = start.to_vec();
+        let mut fx = f(&x);
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "newton starting objective".to_string(),
+            });
+        }
+        let ls = ArmijoLineSearch::new(self.config.line_search);
+        let mut trace = vec![fx];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            let grad = central_gradient(f, &x, self.config.fd_step);
+            let mut hess = central_hessian(f, &x, self.config.fd_step.sqrt() * 1e-2);
+            // Try the pure Newton system first, escalate damping on failure.
+            let mut damping = self.config.damping;
+            let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let direction = loop {
+                match hess.solve_spd(&neg_grad) {
+                    Ok(d) => break d,
+                    Err(OptError::SingularSystem) if damping < 1e6 => {
+                        hess.add_diagonal(damping.max(1e-10));
+                        damping = (damping.max(1e-10)) * 10.0;
+                    }
+                    Err(_) => {
+                        // Fall back to steepest descent when the Hessian is
+                        // hopeless (still globally convergent with line search).
+                        break neg_grad.clone();
+                    }
+                }
+            };
+            // Newton decrement: lambda^2 = -grad^T d.
+            let decrement = -grad.dot(&direction);
+            if decrement.abs() < self.config.tolerance {
+                converged = true;
+                break;
+            }
+            match ls.search(f, &x, fx, &grad, &direction, |p| in_domain(p)) {
+                Ok(outcome) => {
+                    let decrease = fx - outcome.value;
+                    x = outcome.point;
+                    fx = outcome.value;
+                    trace.push(fx);
+                    if decrease.abs() < self.config.tolerance {
+                        converged = true;
+                        break;
+                    }
+                }
+                Err(OptError::DidNotConverge { .. }) => {
+                    converged = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        Ok(OptimizeResult {
+            solution: x,
+            objective: fx,
+            iterations,
+            converged,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newton_converges_on_quadratic_in_few_iterations() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 4.0 * (x[1] + 2.0).powi(2) + x[0] * x[1] * 0.1;
+        let solver = DampedNewton::default();
+        let res = solver.minimize(&f, &|_: &[f64]| true, &[10.0, 10.0]).unwrap();
+        assert!(res.converged);
+        assert!(res.iterations <= 10, "took {} iterations", res.iterations);
+        // Analytic minimum of the slightly coupled quadratic.
+        assert!(res.objective < f(&[1.0, -2.0]) + 1e-6);
+    }
+
+    #[test]
+    fn newton_handles_log_barrier_style_objectives() {
+        // minimize x - ln(x) on x > 0, minimum at x = 1.
+        let f = |x: &[f64]| x[0] - x[0].ln();
+        let solver = DampedNewton::default();
+        let res = solver
+            .minimize(&f, &|p: &[f64]| p[0] > 0.0, &[5.0])
+            .unwrap();
+        assert!((res.solution[0] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn infeasible_start_is_rejected() {
+        let f = |x: &[f64]| x[0];
+        let solver = DampedNewton::default();
+        assert!(matches!(
+            solver.minimize(&f, &|p: &[f64]| p[0] > 0.0, &[-1.0]),
+            Err(OptError::InfeasibleStart { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cfg = NewtonConfig {
+            max_iterations: 0,
+            ..NewtonConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Projections onto the feasible sets that appear in the QuHE subproblems.
+//!
+//! Stage 3 of the QuHE algorithm optimizes per-client transmit power,
+//! bandwidth and CPU frequencies subject to per-variable boxes
+//! (constraints 17e and 17g of the paper) and to budget constraints coupling
+//! the clients (17f for bandwidth, 17h for server CPU). Both are handled by
+//! the projections in this module.
+
+use crate::error::{OptError, OptResult};
+
+/// A Euclidean projection onto a closed convex set.
+pub trait Projection {
+    /// Projects `x` onto the set, in place.
+    fn project(&self, x: &mut [f64]);
+
+    /// Returns the projected copy of `x`.
+    fn projected(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = x.to_vec();
+        self.project(&mut y);
+        y
+    }
+
+    /// Whether `x` already lies in the set (up to `tol`).
+    fn contains(&self, x: &[f64], tol: f64) -> bool {
+        let p = self.projected(x);
+        x.iter()
+            .zip(&p)
+            .all(|(a, b)| (a - b).abs() <= tol * a.abs().max(1.0))
+    }
+}
+
+/// The identity projection (unconstrained problems).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProjection;
+
+impl Projection for NoProjection {
+    fn project(&self, _x: &mut [f64]) {}
+}
+
+/// Per-coordinate box `l_i <= x_i <= u_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxProjection {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl BoxProjection {
+    /// Creates a box from per-coordinate bounds.
+    ///
+    /// # Errors
+    /// * [`OptError::DimensionMismatch`] if the bound vectors have different
+    ///   lengths.
+    /// * [`OptError::InvalidConfig`] if any lower bound exceeds its upper
+    ///   bound or a bound is NaN.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> OptResult<Self> {
+        if lower.len() != upper.len() {
+            return Err(OptError::DimensionMismatch {
+                expected: lower.len(),
+                actual: upper.len(),
+            });
+        }
+        for (i, (l, u)) in lower.iter().zip(&upper).enumerate() {
+            if l.is_nan() || u.is_nan() || l > u {
+                return Err(OptError::InvalidConfig {
+                    reason: format!("box bounds invalid at index {i}: [{l}, {u}]"),
+                });
+            }
+        }
+        Ok(Self { lower, upper })
+    }
+
+    /// Creates an `n`-dimensional box with identical bounds in every
+    /// coordinate.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] when `lower > upper` or a bound is
+    /// NaN.
+    pub fn uniform(n: usize, lower: f64, upper: f64) -> OptResult<Self> {
+        Self::new(vec![lower; n], vec![upper; n])
+    }
+
+    /// The dimension of the box.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Whether the box is zero-dimensional.
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Midpoint of the box, a convenient strictly feasible starting point.
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| 0.5 * (l + u))
+            .collect()
+    }
+}
+
+impl Projection for BoxProjection {
+    fn project(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.lower.len(), "box projection: dimension mismatch");
+        for ((xi, l), u) in x.iter_mut().zip(&self.lower).zip(&self.upper) {
+            *xi = xi.clamp(*l, *u);
+        }
+    }
+}
+
+/// Projection onto `{ x : l_i <= x_i, sum_i x_i <= cap }`.
+///
+/// This is the feasible set of the bandwidth (17f) and server-CPU (17h)
+/// budget constraints combined with positivity. The projection first clamps
+/// to the lower bounds and then, if the budget is violated, shifts all
+/// coordinates down by a common multiplier found by bisection (the standard
+/// water-filling style KKT solution of the projection subproblem).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexCapProjection {
+    lower: Vec<f64>,
+    cap: f64,
+}
+
+impl SimplexCapProjection {
+    /// Creates the projection for per-coordinate lower bounds `lower` and the
+    /// budget `cap`.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] when the lower bounds already
+    /// exceed the cap (the set would be empty) or any value is non-finite.
+    pub fn new(lower: Vec<f64>, cap: f64) -> OptResult<Self> {
+        if !cap.is_finite() || lower.iter().any(|l| !l.is_finite()) {
+            return Err(OptError::InvalidConfig {
+                reason: "simplex-cap projection requires finite bounds".to_string(),
+            });
+        }
+        let lower_sum: f64 = lower.iter().sum();
+        if lower_sum > cap {
+            return Err(OptError::InvalidConfig {
+                reason: format!(
+                    "lower-bound sum {lower_sum} exceeds the budget {cap}; feasible set is empty"
+                ),
+            });
+        }
+        Ok(Self { lower, cap })
+    }
+
+    /// Creates the projection with a common lower bound in every coordinate.
+    ///
+    /// # Errors
+    /// Same conditions as [`SimplexCapProjection::new`].
+    pub fn uniform(n: usize, lower: f64, cap: f64) -> OptResult<Self> {
+        Self::new(vec![lower; n], cap)
+    }
+
+    /// The total budget.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// An interior point that splits the budget equally above the lower
+    /// bounds (useful as a strictly feasible start).
+    pub fn equal_split(&self) -> Vec<f64> {
+        let n = self.lower.len().max(1) as f64;
+        let slack = (self.cap - self.lower.iter().sum::<f64>()).max(0.0);
+        // Keep a small margin so budget constraints stay strictly inactive.
+        let share = 0.95 * slack / n;
+        self.lower.iter().map(|l| l + share).collect()
+    }
+}
+
+impl Projection for SimplexCapProjection {
+    fn project(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.lower.len(), "simplex projection: dimension mismatch");
+        // Clamp to lower bounds first.
+        for (xi, l) in x.iter_mut().zip(&self.lower) {
+            if *xi < *l {
+                *xi = *l;
+            }
+        }
+        let total: f64 = x.iter().sum();
+        if total <= self.cap {
+            return;
+        }
+        // Find mu >= 0 such that sum_i max(l_i, x_i - mu) == cap by bisection.
+        let mut lo = 0.0_f64;
+        let mut hi = x
+            .iter()
+            .zip(&self.lower)
+            .map(|(xi, l)| xi - l)
+            .fold(0.0_f64, f64::max);
+        let eval = |mu: f64, x: &[f64]| -> f64 {
+            x.iter()
+                .zip(&self.lower)
+                .map(|(xi, l)| (xi - mu).max(*l))
+                .sum::<f64>()
+        };
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if eval(mid, x) > self.cap {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mu = hi;
+        for (xi, l) in x.iter_mut().zip(&self.lower) {
+            *xi = (*xi - mu).max(*l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_projection_clamps() {
+        let b = BoxProjection::uniform(3, 0.0, 1.0).unwrap();
+        let mut x = vec![-1.0, 0.5, 2.0];
+        b.project(&mut x);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+        assert!(b.contains(&x, 1e-12));
+        assert_eq!(b.midpoint(), vec![0.5, 0.5, 0.5]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn box_rejects_inverted_bounds() {
+        assert!(BoxProjection::uniform(2, 1.0, 0.0).is_err());
+        assert!(BoxProjection::new(vec![0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn no_projection_is_identity() {
+        let p = NoProjection;
+        let mut x = vec![1.0, -7.0];
+        p.project(&mut x);
+        assert_eq!(x, vec![1.0, -7.0]);
+    }
+
+    #[test]
+    fn simplex_cap_noop_when_feasible() {
+        let p = SimplexCapProjection::uniform(3, 0.0, 10.0).unwrap();
+        let mut x = vec![1.0, 2.0, 3.0];
+        p.project(&mut x);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn simplex_cap_projects_onto_budget() {
+        let p = SimplexCapProjection::uniform(3, 0.0, 3.0).unwrap();
+        let mut x = vec![4.0, 2.0, 0.0];
+        p.project(&mut x);
+        let total: f64 = x.iter().sum();
+        assert!((total - 3.0).abs() < 1e-6, "budget not met: {total}");
+        // Projection of (4,2,0) onto the capped simplex keeps ordering.
+        assert!(x[0] > x[1] && x[1] >= x[2]);
+        assert!(x.iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    fn simplex_cap_respects_lower_bounds() {
+        let p = SimplexCapProjection::new(vec![0.5, 0.5, 0.5], 2.0).unwrap();
+        let mut x = vec![10.0, 0.0, 0.0];
+        p.project(&mut x);
+        let total: f64 = x.iter().sum();
+        assert!(total <= 2.0 + 1e-6);
+        assert!(x.iter().all(|&v| v >= 0.5 - 1e-9));
+    }
+
+    #[test]
+    fn simplex_cap_rejects_empty_set() {
+        assert!(SimplexCapProjection::uniform(4, 1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn equal_split_is_strictly_feasible() {
+        let p = SimplexCapProjection::uniform(4, 0.1, 2.0).unwrap();
+        let x = p.equal_split();
+        let total: f64 = x.iter().sum();
+        assert!(total < 2.0);
+        assert!(x.iter().all(|&v| v > 0.1));
+    }
+}

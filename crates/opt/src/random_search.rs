@@ -1,0 +1,159 @@
+//! Uniform random search, the paper's "random selection" Stage-1 baseline
+//! (10^4 uniform samples from the feasible box, keep the best).
+
+use rand::Rng;
+
+use crate::error::{OptError, OptResult};
+use crate::projection::BoxProjection;
+use crate::OptimizeResult;
+
+/// Configuration for [`RandomSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RandomSearchConfig {
+    /// Number of uniform samples to draw (the paper uses `10^4`).
+    pub samples: usize,
+}
+
+impl Default for RandomSearchConfig {
+    fn default() -> Self {
+        Self { samples: 10_000 }
+    }
+}
+
+impl RandomSearchConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`OptError::InvalidConfig`] when `samples` is zero.
+    pub fn validate(&self) -> OptResult<()> {
+        if self.samples == 0 {
+            return Err(OptError::InvalidConfig {
+                reason: "samples must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Uniform random-search minimizer over a box.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomSearch {
+    config: RandomSearchConfig,
+}
+
+impl RandomSearch {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: RandomSearchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RandomSearchConfig {
+        &self.config
+    }
+
+    /// Minimizes `f` by sampling points uniformly in `bounds`. Samples where
+    /// `f` is non-finite (e.g. outside an implicit domain) are skipped, which
+    /// mirrors how the paper samples only from the feasible space.
+    ///
+    /// # Errors
+    /// * [`OptError::InvalidConfig`] for a zero sample budget.
+    /// * [`OptError::DidNotConverge`] when every sampled point was infeasible
+    ///   (non-finite objective).
+    pub fn minimize<F, R>(
+        &self,
+        f: &F,
+        bounds: &BoxProjection,
+        rng: &mut R,
+    ) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        R: Rng + ?Sized,
+    {
+        self.config.validate()?;
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut trace = Vec::new();
+        for _ in 0..self.config.samples {
+            let candidate: Vec<f64> = bounds
+                .lower()
+                .iter()
+                .zip(bounds.upper())
+                .map(|(l, u)| if u > l { rng.gen_range(*l..*u) } else { *l })
+                .collect();
+            let value = f(&candidate);
+            if !value.is_finite() {
+                continue;
+            }
+            let improved = best.as_ref().map_or(true, |(_, b)| value < *b);
+            if improved {
+                best = Some((candidate, value));
+                trace.push(value);
+            }
+        }
+        match best {
+            Some((solution, objective)) => Ok(OptimizeResult {
+                solution,
+                objective,
+                iterations: self.config.samples,
+                converged: true,
+                trace,
+            }),
+            None => Err(OptError::DidNotConverge {
+                iterations: self.config.samples,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gets_close_to_minimum_with_enough_samples() {
+        let f = |x: &[f64]| (x[0] - 0.25).powi(2);
+        let bounds = BoxProjection::uniform(1, 0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        assert!(res.objective < 1e-4);
+        assert_eq!(res.iterations, 10_000);
+    }
+
+    #[test]
+    fn skips_infeasible_samples() {
+        // Objective only finite for x > 0.5.
+        let f = |x: &[f64]| if x[0] > 0.5 { x[0] } else { f64::NAN };
+        let bounds = BoxProjection::uniform(1, 0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        assert!(res.solution[0] > 0.5);
+    }
+
+    #[test]
+    fn all_infeasible_is_an_error() {
+        let f = |_: &[f64]| f64::NAN;
+        let bounds = BoxProjection::uniform(1, 0.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(matches!(
+            RandomSearch::new(RandomSearchConfig { samples: 10 }).minimize(&f, &bounds, &mut rng),
+            Err(OptError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn improvement_trace_is_strictly_decreasing() {
+        let f = |x: &[f64]| x[0].abs();
+        let bounds = BoxProjection::uniform(1, -1.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        for w in res.trace.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        assert!(RandomSearchConfig { samples: 0 }.validate().is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Entanglement-rate allocation and the optimal Werner assignment (Eq. 18).
+
+use crate::error::{QkdError, QkdResult};
+use crate::routes::IncidenceMatrix;
+
+/// A per-route entanglement-rate allocation `phi` (pairs per second).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RateAllocation {
+    phi: Vec<f64>,
+}
+
+impl RateAllocation {
+    /// Creates an allocation, validating positivity and finiteness.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] if any rate is non-positive or
+    /// non-finite.
+    pub fn new(phi: Vec<f64>) -> QkdResult<Self> {
+        for (n, p) in phi.iter().enumerate() {
+            if !(p.is_finite() && *p > 0.0) {
+                return Err(QkdError::InvalidParameter {
+                    reason: format!("rate of route {} must be positive, got {}", n + 1, p),
+                });
+            }
+        }
+        Ok(Self { phi })
+    }
+
+    /// The per-route rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Number of routes covered by the allocation.
+    pub fn len(&self) -> usize {
+        self.phi.len()
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phi.is_empty()
+    }
+
+    /// Checks the paper's constraints (17a) and (17c):
+    /// every route receives at least its minimum rate, and no link carries
+    /// more than its maximum entanglement-generation rate `beta_l` (so that a
+    /// Werner parameter in `(0, 1]` exists satisfying Eq. 3).
+    ///
+    /// # Errors
+    /// * [`QkdError::DimensionMismatch`] for inconsistent input lengths.
+    /// * [`QkdError::InfeasibleAllocation`] describing the first violated
+    ///   constraint.
+    pub fn check_feasible(
+        &self,
+        incidence: &IncidenceMatrix,
+        phi_min: &[f64],
+        betas: &[f64],
+    ) -> QkdResult<()> {
+        if self.phi.len() != incidence.num_routes() {
+            return Err(QkdError::DimensionMismatch {
+                expected: incidence.num_routes(),
+                actual: self.phi.len(),
+            });
+        }
+        if phi_min.len() != self.phi.len() {
+            return Err(QkdError::DimensionMismatch {
+                expected: self.phi.len(),
+                actual: phi_min.len(),
+            });
+        }
+        if betas.len() != incidence.num_links() {
+            return Err(QkdError::DimensionMismatch {
+                expected: incidence.num_links(),
+                actual: betas.len(),
+            });
+        }
+        for (n, (p, min)) in self.phi.iter().zip(phi_min).enumerate() {
+            if p < min {
+                return Err(QkdError::InfeasibleAllocation {
+                    reason: format!(
+                        "route {} rate {} below its minimum {}",
+                        n + 1,
+                        p,
+                        min
+                    ),
+                });
+            }
+        }
+        for l in 0..incidence.num_links() {
+            let load = incidence.link_load(l, &self.phi)?;
+            if load >= betas[l] {
+                return Err(QkdError::InfeasibleAllocation {
+                    reason: format!(
+                        "link {} load {} reaches or exceeds its maximum rate {}",
+                        l + 1,
+                        load,
+                        betas[l]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The optimal Werner assignment of Eq. (18): given the rates `phi`, the
+/// objective increases monotonically in every `w_l`, so each link operates at
+/// the largest Werner parameter its capacity constraint (17c) allows,
+/// `w_l* = 1 - sum_n a_ln phi_n / beta_l`.
+///
+/// # Errors
+/// * [`QkdError::DimensionMismatch`] for inconsistent input lengths.
+/// * [`QkdError::InfeasibleAllocation`] if some link is loaded at or beyond
+///   its maximum rate (no admissible Werner parameter exists).
+pub fn optimal_werner(
+    incidence: &IncidenceMatrix,
+    phi: &[f64],
+    betas: &[f64],
+) -> QkdResult<Vec<f64>> {
+    if phi.len() != incidence.num_routes() {
+        return Err(QkdError::DimensionMismatch {
+            expected: incidence.num_routes(),
+            actual: phi.len(),
+        });
+    }
+    if betas.len() != incidence.num_links() {
+        return Err(QkdError::DimensionMismatch {
+            expected: incidence.num_links(),
+            actual: betas.len(),
+        });
+    }
+    let mut w = Vec::with_capacity(incidence.num_links());
+    for l in 0..incidence.num_links() {
+        let load = incidence.link_load(l, phi)?;
+        let value = 1.0 - load / betas[l];
+        if value <= 0.0 {
+            return Err(QkdError::InfeasibleAllocation {
+                reason: format!(
+                    "link {} load {} saturates its maximum rate {}",
+                    l + 1,
+                    load,
+                    betas[l]
+                ),
+            });
+        }
+        w.push(value.min(1.0));
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::surfnet_scenario;
+    use crate::utility::network_utility;
+    use proptest::prelude::*;
+
+    #[test]
+    fn allocation_validation() {
+        assert!(RateAllocation::new(vec![1.0, 2.0]).is_ok());
+        assert!(RateAllocation::new(vec![0.0]).is_err());
+        assert!(RateAllocation::new(vec![-1.0]).is_err());
+        assert!(RateAllocation::new(vec![f64::NAN]).is_err());
+        let a = RateAllocation::new(vec![1.0, 2.0]).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.rates(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn surfnet_default_rates_are_feasible() {
+        let s = surfnet_scenario();
+        let alloc = RateAllocation::new(vec![1.0; 6]).unwrap();
+        let phi_min = vec![0.5; 6];
+        alloc
+            .check_feasible(s.incidence(), &phi_min, &s.betas())
+            .unwrap();
+    }
+
+    #[test]
+    fn minimum_rate_violation_is_detected() {
+        let s = surfnet_scenario();
+        let alloc = RateAllocation::new(vec![0.4, 1.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        let phi_min = vec![0.5; 6];
+        let err = alloc
+            .check_feasible(s.incidence(), &phi_min, &s.betas())
+            .unwrap_err();
+        assert!(matches!(err, QkdError::InfeasibleAllocation { .. }));
+    }
+
+    #[test]
+    fn link_overload_is_detected() {
+        let s = surfnet_scenario();
+        // Link 15 (beta = 80.54) is shared by routes 4, 5, 6; loading each of
+        // those routes with 30 pairs/s exceeds the link's maximum rate.
+        let alloc = RateAllocation::new(vec![1.0, 1.0, 1.0, 30.0, 30.0, 30.0]).unwrap();
+        let phi_min = vec![0.5; 6];
+        let err = alloc
+            .check_feasible(s.incidence(), &phi_min, &s.betas())
+            .unwrap_err();
+        assert!(matches!(err, QkdError::InfeasibleAllocation { .. }));
+    }
+
+    #[test]
+    fn optimal_werner_matches_equation_18() {
+        let s = surfnet_scenario();
+        let phi = vec![2.0, 1.0, 1.0, 2.0, 0.7, 0.6];
+        let w = optimal_werner(s.incidence(), &phi, &s.betas()).unwrap();
+        assert_eq!(w.len(), 18);
+        // Link 17 (0-based 16) carries routes 1 and 2: load 3.0, beta 90.52.
+        assert!((w[16] - (1.0 - 3.0 / 90.52)).abs() < 1e-12);
+        // Unused link 6 (0-based 5) keeps w = 1.
+        assert_eq!(w[5], 1.0);
+        // All values lie in (0, 1].
+        assert!(w.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+
+    #[test]
+    fn optimal_werner_rejects_saturated_links() {
+        let s = surfnet_scenario();
+        let phi = vec![1.0, 1.0, 1.0, 50.0, 20.0, 20.0];
+        assert!(matches!(
+            optimal_werner(s.incidence(), &phi, &s.betas()),
+            Err(QkdError::InfeasibleAllocation { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn optimal_werner_maximizes_utility_over_random_alternatives(
+            phi1 in 0.5f64..3.0, phi2 in 0.5f64..3.0, phi3 in 0.5f64..3.0,
+            phi4 in 0.5f64..3.0, phi5 in 0.5f64..3.0, phi6 in 0.5f64..3.0,
+            shrink in 0.5f64..0.99,
+        ) {
+            let s = surfnet_scenario();
+            let phi = vec![phi1, phi2, phi3, phi4, phi5, phi6];
+            let w_star = optimal_werner(s.incidence(), &phi, &s.betas()).unwrap();
+            // Any feasible alternative has w_l <= w_l*, and utility is
+            // monotone in w, so shrinking the Werner parameters cannot help.
+            let w_alt: Vec<f64> = w_star.iter().map(|w| w * shrink).collect();
+            let u_star = network_utility(s.incidence(), &phi, &w_star).unwrap();
+            let u_alt = network_utility(s.incidence(), &phi, &w_alt).unwrap();
+            prop_assert!(u_star >= u_alt - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Link entanglement-generation capacity (Eq. 3 of the paper).
+//!
+//! The capacity of link `l` at Werner parameter `w_l` is
+//! `c_l = beta_l * (1 - w_l)`, where `beta_l = 3 kappa_l eta_l / (2 T_l)`
+//! collects the link's inefficiency factor, transmissivity to its midpoint
+//! and entanglement-generation time. Higher fidelity (larger `w_l`) therefore
+//! costs entanglement rate — the trade-off that constraint (17c) encodes.
+
+use crate::error::{QkdError, QkdResult};
+use crate::werner::WernerParameter;
+
+/// Physical parameters determining a link's rate coefficient `beta_l`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkPhysics {
+    /// Inefficiency factor `kappa_l` of the link (excluding photon loss).
+    pub kappa: f64,
+    /// Transmissivity `eta_l` from one end of the link to its midpoint.
+    pub eta: f64,
+    /// Time `T_l` the link needs to generate entanglement pairs, in seconds.
+    pub generation_time: f64,
+}
+
+impl LinkPhysics {
+    /// The rate coefficient `beta_l = 3 kappa eta / (2 T)`.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] if any parameter is
+    /// non-positive or non-finite.
+    pub fn beta(&self) -> QkdResult<f64> {
+        if !(self.kappa > 0.0 && self.kappa.is_finite()) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("kappa must be positive, got {}", self.kappa),
+            });
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("eta must lie in (0, 1], got {}", self.eta),
+            });
+        }
+        if !(self.generation_time > 0.0 && self.generation_time.is_finite()) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!(
+                    "generation_time must be positive, got {}",
+                    self.generation_time
+                ),
+            });
+        }
+        Ok(3.0 * self.kappa * self.eta / (2.0 * self.generation_time))
+    }
+}
+
+/// Entanglement-rate capacity of a link at a given Werner parameter,
+/// `c_l = beta_l (1 - w_l)` (Eq. 3). Returns pairs per second.
+///
+/// # Errors
+/// Returns [`QkdError::InvalidParameter`] if `beta` is non-positive or
+/// non-finite.
+pub fn link_capacity(beta: f64, w: WernerParameter) -> QkdResult<f64> {
+    if !(beta > 0.0 && beta.is_finite()) {
+        return Err(QkdError::InvalidParameter {
+            reason: format!("beta must be positive, got {beta}"),
+        });
+    }
+    Ok(beta * (1.0 - w.value()))
+}
+
+/// Capacity snapshot of one link: its coefficient, operating Werner parameter
+/// and the implied capacity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkCapacity {
+    /// Rate coefficient `beta_l` in pairs per second.
+    pub beta: f64,
+    /// Operating Werner parameter.
+    pub werner: WernerParameter,
+    /// Resulting capacity `beta (1 - w)` in pairs per second.
+    pub capacity: f64,
+}
+
+impl LinkCapacity {
+    /// Evaluates the capacity of a link.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] if `beta` is invalid.
+    pub fn evaluate(beta: f64, werner: WernerParameter) -> QkdResult<Self> {
+        Ok(Self {
+            beta,
+            werner,
+            capacity: link_capacity(beta, werner)?,
+        })
+    }
+
+    /// The largest Werner parameter at which this link can still serve the
+    /// requested entanglement rate `load` (pairs per second); `None` when the
+    /// load exceeds `beta` (infeasible at any fidelity).
+    pub fn max_werner_for_load(beta: f64, load: f64) -> Option<WernerParameter> {
+        if load < 0.0 || beta <= 0.0 || load > beta {
+            return None;
+        }
+        WernerParameter::new(1.0 - load / beta).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn beta_from_physics() {
+        let physics = LinkPhysics {
+            kappa: 1.0,
+            eta: 0.5,
+            generation_time: 0.01,
+        };
+        // 3 * 1 * 0.5 / (2 * 0.01) = 75 pairs per second.
+        assert!((physics.beta().unwrap() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_rejects_bad_parameters() {
+        let bad = LinkPhysics {
+            kappa: 0.0,
+            eta: 0.5,
+            generation_time: 0.01,
+        };
+        assert!(bad.beta().is_err());
+        let bad = LinkPhysics {
+            kappa: 1.0,
+            eta: 1.5,
+            generation_time: 0.01,
+        };
+        assert!(bad.beta().is_err());
+        let bad = LinkPhysics {
+            kappa: 1.0,
+            eta: 0.5,
+            generation_time: 0.0,
+        };
+        assert!(bad.beta().is_err());
+    }
+
+    #[test]
+    fn capacity_vanishes_at_perfect_fidelity() {
+        let c = link_capacity(100.0, WernerParameter::MAX).unwrap();
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn invalid_beta_rejected() {
+        assert!(link_capacity(-1.0, WernerParameter::MAX).is_err());
+        assert!(link_capacity(f64::NAN, WernerParameter::MAX).is_err());
+    }
+
+    #[test]
+    fn max_werner_for_load_inverts_capacity() {
+        let beta = 89.84; // link 1 of Table IV
+        let load = 3.2;
+        let w = LinkCapacity::max_werner_for_load(beta, load).unwrap();
+        let c = link_capacity(beta, w).unwrap();
+        assert!((c - load).abs() < 1e-9);
+        assert!(LinkCapacity::max_werner_for_load(beta, beta + 1.0).is_none());
+        assert!(LinkCapacity::max_werner_for_load(beta, -1.0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn capacity_decreases_with_fidelity(beta in 1.0f64..200.0, w1 in 0.01f64..1.0, w2 in 0.01f64..1.0) {
+            let (lo, hi) = if w1 < w2 { (w1, w2) } else { (w2, w1) };
+            let c_lo = link_capacity(beta, WernerParameter::new(lo).unwrap()).unwrap();
+            let c_hi = link_capacity(beta, WernerParameter::new(hi).unwrap()).unwrap();
+            prop_assert!(c_hi <= c_lo + 1e-12);
+        }
+
+        #[test]
+        fn evaluate_is_consistent(beta in 1.0f64..200.0, w in 0.01f64..1.0) {
+            let werner = WernerParameter::new(w).unwrap();
+            let snap = LinkCapacity::evaluate(beta, werner).unwrap();
+            prop_assert!((snap.capacity - beta * (1.0 - w)).abs() < 1e-9);
+        }
+    }
+}

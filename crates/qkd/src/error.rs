@@ -1,0 +1,94 @@
+//! Error type for the QKD substrate.
+
+use std::fmt;
+
+/// Convenient alias for `Result<T, QkdError>`.
+pub type QkdResult<T> = Result<T, QkdError>;
+
+/// Errors produced by the QKD network substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QkdError {
+    /// A Werner parameter was outside the admissible interval `(0, 1]`.
+    InvalidWerner {
+        /// The offending value.
+        value: f64,
+    },
+    /// A rate, capacity or length was negative or non-finite.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        reason: String,
+    },
+    /// Vectors describing routes/links had inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A route references a link that does not exist in the topology.
+    UnknownLink {
+        /// The missing link identifier.
+        link_id: usize,
+    },
+    /// A rate allocation violates a capacity or minimum-rate constraint.
+    InfeasibleAllocation {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The key pool does not hold enough key material for the request.
+    InsufficientKey {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for QkdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QkdError::InvalidWerner { value } => {
+                write!(f, "werner parameter {value} outside (0, 1]")
+            }
+            QkdError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            QkdError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            QkdError::UnknownLink { link_id } => write!(f, "unknown link id {link_id}"),
+            QkdError::InfeasibleAllocation { reason } => {
+                write!(f, "infeasible allocation: {reason}")
+            }
+            QkdError::InsufficientKey {
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient key material: requested {requested} bytes, {available} available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QkdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QkdError::InsufficientKey {
+            requested: 64,
+            available: 8,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains('8'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QkdError>();
+    }
+}

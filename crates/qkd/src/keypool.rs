@@ -1,0 +1,135 @@
+//! Thread-safe pool of distributed key material.
+//!
+//! In the QuHE system the key center continuously distributes symmetric key
+//! material to each client over the QKD network; the client's encryption
+//! phase then draws keys from this buffer (Section III-A, phases 1 and 2).
+//! The pool is shared between the QKD delivery path and the encryption path,
+//! so it is synchronized with a [`parking_lot::Mutex`].
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::error::{QkdError, QkdResult};
+
+/// A FIFO buffer of secret key bytes shared between the QKD layer (producer)
+/// and the encryption layer (consumer).
+#[derive(Debug, Default)]
+pub struct KeyPool {
+    buffer: Mutex<VecDeque<u8>>,
+}
+
+impl KeyPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a pool pre-filled with `material`.
+    pub fn with_material(material: &[u8]) -> Self {
+        Self {
+            buffer: Mutex::new(material.iter().copied().collect()),
+        }
+    }
+
+    /// Appends freshly distributed key bytes to the pool.
+    pub fn deposit(&self, material: &[u8]) {
+        self.buffer.lock().extend(material.iter().copied());
+    }
+
+    /// Number of key bytes currently available.
+    pub fn available(&self) -> usize {
+        self.buffer.lock().len()
+    }
+
+    /// Whether the pool currently holds no key material.
+    pub fn is_empty(&self) -> bool {
+        self.available() == 0
+    }
+
+    /// Withdraws exactly `len` key bytes (consuming them).
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InsufficientKey`] without consuming anything when
+    /// fewer than `len` bytes are available.
+    pub fn withdraw(&self, len: usize) -> QkdResult<Vec<u8>> {
+        let mut buffer = self.buffer.lock();
+        if buffer.len() < len {
+            return Err(QkdError::InsufficientKey {
+                requested: len,
+                available: buffer.len(),
+            });
+        }
+        Ok(buffer.drain(..len).collect())
+    }
+
+    /// Discards all buffered key material (e.g. after a suspected
+    /// eavesdropping event detected by a QBER spike).
+    pub fn purge(&self) {
+        self.buffer.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deposit_and_withdraw_are_fifo() {
+        let pool = KeyPool::new();
+        assert!(pool.is_empty());
+        pool.deposit(&[1, 2, 3, 4]);
+        pool.deposit(&[5, 6]);
+        assert_eq!(pool.available(), 6);
+        assert_eq!(pool.withdraw(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(pool.withdraw(3).unwrap(), vec![4, 5, 6]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn underflow_is_reported_and_non_destructive() {
+        let pool = KeyPool::with_material(&[9, 9]);
+        let err = pool.withdraw(5).unwrap_err();
+        assert_eq!(
+            err,
+            QkdError::InsufficientKey {
+                requested: 5,
+                available: 2
+            }
+        );
+        // Nothing was consumed by the failed withdrawal.
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn purge_empties_the_pool() {
+        let pool = KeyPool::with_material(&[1; 32]);
+        pool.purge();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_byte_count() {
+        let pool = Arc::new(KeyPool::new());
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        pool.deposit(&[0xAB; 16]);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut withdrawn = 0usize;
+        while let Ok(chunk) = pool.withdraw(32) {
+            withdrawn += chunk.len();
+        }
+        withdrawn += pool.available();
+        assert_eq!(withdrawn, 4 * 100 * 16);
+    }
+}

@@ -1,0 +1,65 @@
+//! # quhe-qkd — quantum key distribution network substrate
+//!
+//! This crate models the QKD side of the QuHE system (Section III-B of the
+//! paper): a quantum network whose links are characterized by Werner
+//! parameters, routes from a central key center to client nodes, link
+//! entanglement-generation capacities, the secret-key fraction of the
+//! end-to-end Werner state, and the multiplicative network utility
+//! `U_qkd = prod_n phi_n * F_skf(varpi_n)` that the QuHE optimizer maximizes.
+//!
+//! Besides the analytic models used by the optimizer, the crate contains a
+//! Monte-Carlo entanglement-distribution protocol simulator
+//! ([`protocol`]) that generates sifted keys over a chain of noisy links and
+//! empirically recovers the same secret-key-fraction law, and a thread-safe
+//! [`keypool`] that buffers distributed key material for the encryption phase
+//! (consumed by `quhe-crypto`).
+//!
+//! The concrete topology evaluated in the paper — six routes over the SURFnet
+//! research backbone with the link parameters of Tables III and IV — is
+//! provided by [`topology::surfnet_scenario`].
+//!
+//! # Example
+//!
+//! ```
+//! use quhe_qkd::topology::surfnet_scenario;
+//! use quhe_qkd::utility::network_utility;
+//!
+//! let scenario = surfnet_scenario();
+//! // Allocate one entanglement pair per second to every route and set every
+//! // link to Werner parameter 0.99.
+//! let phi = vec![1.0; scenario.routes().len()];
+//! let w = vec![0.99; scenario.links().len()];
+//! let utility = network_utility(scenario.incidence(), &phi, &w).unwrap();
+//! assert!(utility > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod capacity;
+pub mod error;
+pub mod keypool;
+pub mod protocol;
+pub mod routes;
+pub mod secret_key;
+pub mod topology;
+pub mod utility;
+pub mod werner;
+
+pub use error::{QkdError, QkdResult};
+pub use werner::WernerParameter;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::allocation::{optimal_werner, RateAllocation};
+    pub use crate::capacity::{link_capacity, LinkCapacity};
+    pub use crate::error::{QkdError, QkdResult};
+    pub use crate::keypool::KeyPool;
+    pub use crate::protocol::{EntanglementProtocol, ProtocolConfig, ProtocolOutcome};
+    pub use crate::routes::{IncidenceMatrix, Route};
+    pub use crate::secret_key::{binary_entropy, secret_key_fraction, SKF_THRESHOLD};
+    pub use crate::topology::{surfnet_scenario, Link, NetworkScenario, Node};
+    pub use crate::utility::{log_network_utility, network_utility, route_werner};
+    pub use crate::werner::WernerParameter;
+}

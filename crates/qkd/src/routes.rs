@@ -1,0 +1,188 @@
+//! Routes and the link-route incidence matrix `A = [a_ln]`.
+
+use crate::error::{QkdError, QkdResult};
+
+/// A QKD route from the key center to one client node.
+///
+/// The paper identifies the `n`-th route with the `n`-th client node: the
+/// destination of route `n` is client `n` (Section III-B).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Route {
+    /// One-based route identifier (matches the paper's Table III).
+    pub id: usize,
+    /// Name of the source node (the key center).
+    pub source: String,
+    /// Name of the destination (client) node.
+    pub destination: String,
+    /// One-based identifiers of the links traversed, in order.
+    pub link_ids: Vec<usize>,
+}
+
+impl Route {
+    /// Creates a route.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] if the route has no links.
+    pub fn new(
+        id: usize,
+        source: impl Into<String>,
+        destination: impl Into<String>,
+        link_ids: Vec<usize>,
+    ) -> QkdResult<Self> {
+        if link_ids.is_empty() {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("route {id} has no links"),
+            });
+        }
+        Ok(Self {
+            id,
+            source: source.into(),
+            destination: destination.into(),
+            link_ids,
+        })
+    }
+
+    /// Number of links (hops) on the route.
+    pub fn hops(&self) -> usize {
+        self.link_ids.len()
+    }
+}
+
+/// The binary link-route incidence matrix `A = [a_ln]` of the paper
+/// (Section III-B): `a_ln = 1` iff link `l` is part of route `n`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IncidenceMatrix {
+    num_links: usize,
+    num_routes: usize,
+    /// Row-major storage, `entries[l * num_routes + n]`.
+    entries: Vec<bool>,
+}
+
+impl IncidenceMatrix {
+    /// Builds the incidence matrix from the route definitions for a network
+    /// with `num_links` links (identified `1..=num_links`).
+    ///
+    /// # Errors
+    /// Returns [`QkdError::UnknownLink`] if a route references a link id
+    /// outside `1..=num_links`.
+    pub fn from_routes(num_links: usize, routes: &[Route]) -> QkdResult<Self> {
+        let num_routes = routes.len();
+        let mut entries = vec![false; num_links * num_routes];
+        for (n, route) in routes.iter().enumerate() {
+            for &link_id in &route.link_ids {
+                if link_id == 0 || link_id > num_links {
+                    return Err(QkdError::UnknownLink { link_id });
+                }
+                entries[(link_id - 1) * num_routes + n] = true;
+            }
+        }
+        Ok(Self {
+            num_links,
+            num_routes,
+            entries,
+        })
+    }
+
+    /// Number of links (rows).
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of routes (columns).
+    pub fn num_routes(&self) -> usize {
+        self.num_routes
+    }
+
+    /// Whether link `l` (0-based) is part of route `n` (0-based).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn contains(&self, link: usize, route: usize) -> bool {
+        assert!(link < self.num_links && route < self.num_routes, "index out of bounds");
+        self.entries[link * self.num_routes + route]
+    }
+
+    /// The 0-based indices of the routes that traverse link `l` (0-based).
+    pub fn routes_using_link(&self, link: usize) -> Vec<usize> {
+        (0..self.num_routes)
+            .filter(|&n| self.contains(link, n))
+            .collect()
+    }
+
+    /// The 0-based indices of the links on route `n` (0-based).
+    pub fn links_on_route(&self, route: usize) -> Vec<usize> {
+        (0..self.num_links)
+            .filter(|&l| self.contains(l, route))
+            .collect()
+    }
+
+    /// Total load `sum_n a_ln x_n` placed on link `l` (0-based) by the
+    /// per-route quantities `x` (e.g. entanglement rates `phi`).
+    ///
+    /// # Errors
+    /// Returns [`QkdError::DimensionMismatch`] if `x.len() != num_routes`.
+    pub fn link_load(&self, link: usize, x: &[f64]) -> QkdResult<f64> {
+        if x.len() != self.num_routes {
+            return Err(QkdError::DimensionMismatch {
+                expected: self.num_routes,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.num_routes)
+            .filter(|&n| self.contains(link, n))
+            .map(|n| x[n])
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_routes() -> Vec<Route> {
+        vec![
+            Route::new(1, "KC", "A", vec![1, 2]).unwrap(),
+            Route::new(2, "KC", "B", vec![2, 3]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn route_requires_links() {
+        assert!(Route::new(1, "KC", "A", vec![]).is_err());
+        let r = Route::new(1, "KC", "A", vec![4, 5, 6]).unwrap();
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn incidence_matrix_reflects_routes() {
+        let m = IncidenceMatrix::from_routes(3, &sample_routes()).unwrap();
+        assert_eq!(m.num_links(), 3);
+        assert_eq!(m.num_routes(), 2);
+        assert!(m.contains(0, 0));
+        assert!(m.contains(1, 0));
+        assert!(m.contains(1, 1));
+        assert!(m.contains(2, 1));
+        assert!(!m.contains(0, 1));
+        assert_eq!(m.routes_using_link(1), vec![0, 1]);
+        assert_eq!(m.links_on_route(0), vec![0, 1]);
+    }
+
+    #[test]
+    fn unknown_link_is_rejected() {
+        let routes = vec![Route::new(1, "KC", "A", vec![9]).unwrap()];
+        assert_eq!(
+            IncidenceMatrix::from_routes(3, &routes),
+            Err(QkdError::UnknownLink { link_id: 9 })
+        );
+        let routes = vec![Route::new(1, "KC", "A", vec![0]).unwrap()];
+        assert!(IncidenceMatrix::from_routes(3, &routes).is_err());
+    }
+
+    #[test]
+    fn link_load_sums_route_rates() {
+        let m = IncidenceMatrix::from_routes(3, &sample_routes()).unwrap();
+        assert_eq!(m.link_load(1, &[2.0, 3.0]).unwrap(), 5.0);
+        assert_eq!(m.link_load(0, &[2.0, 3.0]).unwrap(), 2.0);
+        assert!(m.link_load(0, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Network topologies, including the SURFnet instance of the paper's
+//! evaluation (Fig. 2, Tables III and IV).
+
+use crate::error::{QkdError, QkdResult};
+use crate::routes::{IncidenceMatrix, Route};
+
+/// A node of the quantum network.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Node {
+    /// One-based node identifier.
+    pub id: usize,
+    /// Human-readable name (city name for the SURFnet instance).
+    pub name: String,
+}
+
+/// A fiber link of the quantum network with its entanglement-rate
+/// coefficient.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Link {
+    /// One-based link identifier (matches the paper's Table IV).
+    pub id: usize,
+    /// Fiber length in kilometres.
+    pub length_km: f64,
+    /// Rate coefficient `beta_l` in entangled pairs per second (Eq. 3).
+    pub beta: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] for non-positive length or
+    /// beta.
+    pub fn new(id: usize, length_km: f64, beta: f64) -> QkdResult<Self> {
+        if !(length_km > 0.0 && length_km.is_finite()) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("link {id}: length must be positive, got {length_km}"),
+            });
+        }
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("link {id}: beta must be positive, got {beta}"),
+            });
+        }
+        Ok(Self { id, length_km, beta })
+    }
+}
+
+/// A complete QKD network scenario: links, routes from the key center to the
+/// client nodes, and the derived incidence matrix.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkScenario {
+    key_center: String,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    routes: Vec<Route>,
+    incidence: IncidenceMatrix,
+}
+
+impl NetworkScenario {
+    /// Builds a scenario, validating that every route only references known
+    /// links and that link identifiers are contiguous `1..=L`.
+    ///
+    /// # Errors
+    /// * [`QkdError::InvalidParameter`] if link ids are not `1..=L` in order.
+    /// * [`QkdError::UnknownLink`] if a route references a missing link.
+    pub fn new(
+        key_center: impl Into<String>,
+        nodes: Vec<Node>,
+        links: Vec<Link>,
+        routes: Vec<Route>,
+    ) -> QkdResult<Self> {
+        for (index, link) in links.iter().enumerate() {
+            if link.id != index + 1 {
+                return Err(QkdError::InvalidParameter {
+                    reason: format!(
+                        "link ids must be contiguous starting at 1; position {} has id {}",
+                        index, link.id
+                    ),
+                });
+            }
+        }
+        let incidence = IncidenceMatrix::from_routes(links.len(), &routes)?;
+        Ok(Self {
+            key_center: key_center.into(),
+            nodes,
+            links,
+            routes,
+            incidence,
+        })
+    }
+
+    /// Name of the key-center node.
+    pub fn key_center(&self) -> &str {
+        &self.key_center
+    }
+
+    /// The network nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The network links, ordered by id.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The routes, ordered by id (route `n` serves client `n`).
+    pub fn routes(&self) -> &[Route] {
+        &self.routes
+    }
+
+    /// The link-route incidence matrix.
+    pub fn incidence(&self) -> &IncidenceMatrix {
+        &self.incidence
+    }
+
+    /// The rate coefficients `beta_l` of all links, ordered by link id.
+    pub fn betas(&self) -> Vec<f64> {
+        self.links.iter().map(|l| l.beta).collect()
+    }
+
+    /// Number of client nodes (= number of routes).
+    pub fn num_clients(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Link lengths (km) and rate coefficients `beta_l` of the paper's Table IV.
+pub const SURFNET_LINKS: [(f64, f64); 18] = [
+    (30.6, 89.84),
+    (60.4, 53.79),
+    (38.9, 77.47),
+    (44.2, 69.44),
+    (47.7, 65.12),
+    (78.7, 40.76),
+    (60.0, 54.17),
+    (58.1, 56.25),
+    (25.7, 99.02),
+    (24.4, 100.98),
+    (44.7, 68.75),
+    (66.3, 49.35),
+    (62.5, 52.40),
+    (33.8, 84.63),
+    (36.7, 80.54),
+    (35.4, 82.41),
+    (30.2, 90.52),
+    (70.0, 46.82),
+];
+
+/// Routes of the paper's Table III: destination city and traversed link ids.
+/// The key center is Hilversum for every route.
+pub const SURFNET_ROUTES: [(&str, &[usize]); 6] = [
+    ("Delft", &[17, 2, 1]),
+    ("Zwolle", &[17, 3, 4, 5]),
+    ("Apeldoorn", &[16, 4, 5, 11, 10]),
+    ("Rotterdam", &[15, 18]),
+    ("Arnhem", &[15, 14, 13, 12, 9]),
+    ("Enschede", &[15, 14, 13, 12, 8, 7]),
+];
+
+/// City names appearing in the SURFnet topology figure of the paper.
+pub const SURFNET_CITIES: [&str; 17] = [
+    "Delft",
+    "Leiden",
+    "Amsterdam",
+    "Almere",
+    "Lelystad",
+    "Hilversum",
+    "Rotterdam",
+    "Utrecht",
+    "Amersfoort",
+    "Wageningen",
+    "Zwolle",
+    "Enschede",
+    "Apeldoorn",
+    "Arnhem",
+    "Deventer",
+    "Nijmegen",
+    "Zutphen",
+];
+
+/// Builds the SURFnet evaluation scenario of the paper: 18 links with the
+/// Table IV coefficients and the six Table III routes rooted at the Hilversum
+/// key center.
+pub fn surfnet_scenario() -> NetworkScenario {
+    let links: Vec<Link> = SURFNET_LINKS
+        .iter()
+        .enumerate()
+        .map(|(i, &(length, beta))| {
+            Link::new(i + 1, length, beta).expect("table IV data is valid")
+        })
+        .collect();
+    let routes: Vec<Route> = SURFNET_ROUTES
+        .iter()
+        .enumerate()
+        .map(|(i, &(dest, link_ids))| {
+            Route::new(i + 1, "Hilversum", dest, link_ids.to_vec())
+                .expect("table III data is valid")
+        })
+        .collect();
+    let nodes: Vec<Node> = SURFNET_CITIES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Node {
+            id: i + 1,
+            name: (*name).to_string(),
+        })
+        .collect();
+    NetworkScenario::new("Hilversum", nodes, links, routes)
+        .expect("the SURFnet scenario is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfnet_has_expected_dimensions() {
+        let s = surfnet_scenario();
+        assert_eq!(s.num_links(), 18);
+        assert_eq!(s.num_clients(), 6);
+        assert_eq!(s.key_center(), "Hilversum");
+        assert_eq!(s.nodes().len(), 17);
+        assert_eq!(s.betas().len(), 18);
+    }
+
+    #[test]
+    fn surfnet_link_1_and_18_match_table_iv() {
+        let s = surfnet_scenario();
+        assert_eq!(s.links()[0].length_km, 30.6);
+        assert_eq!(s.links()[0].beta, 89.84);
+        assert_eq!(s.links()[17].length_km, 70.0);
+        assert_eq!(s.links()[17].beta, 46.82);
+    }
+
+    #[test]
+    fn surfnet_routes_match_table_iii() {
+        let s = surfnet_scenario();
+        assert_eq!(s.routes()[0].destination, "Delft");
+        assert_eq!(s.routes()[0].link_ids, vec![17, 2, 1]);
+        assert_eq!(s.routes()[5].destination, "Enschede");
+        assert_eq!(s.routes()[5].link_ids, vec![15, 14, 13, 12, 8, 7]);
+        // Every route starts at the key center.
+        for route in s.routes() {
+            assert_eq!(route.source, "Hilversum");
+        }
+    }
+
+    #[test]
+    fn incidence_matrix_reflects_shared_links() {
+        let s = surfnet_scenario();
+        // Link 15 (0-based 14) is shared by routes 4, 5, 6 (0-based 3, 4, 5).
+        assert_eq!(s.incidence().routes_using_link(14), vec![3, 4, 5]);
+        // Link 6 (0-based 5) is unused by every route.
+        assert!(s.incidence().routes_using_link(5).is_empty());
+    }
+
+    #[test]
+    fn link_and_route_validation() {
+        assert!(Link::new(1, -3.0, 10.0).is_err());
+        assert!(Link::new(1, 3.0, 0.0).is_err());
+        // Non-contiguous link ids are rejected by the scenario constructor.
+        let links = vec![Link::new(2, 10.0, 5.0).unwrap()];
+        let routes = vec![Route::new(1, "a", "b", vec![2]).unwrap()];
+        assert!(NetworkScenario::new("a", vec![], links, routes).is_err());
+    }
+
+    #[test]
+    fn route_referencing_missing_link_is_rejected() {
+        let links = vec![Link::new(1, 10.0, 5.0).unwrap()];
+        let routes = vec![Route::new(1, "a", "b", vec![3]).unwrap()];
+        assert_eq!(
+            NetworkScenario::new("a", vec![], links, routes),
+            Err(QkdError::UnknownLink { link_id: 3 })
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! QKD network utility (Eqs. 5 and 6 of the paper).
+//!
+//! The utility of the network is the product over routes of the allocated
+//! entanglement rate times the secret-key fraction of the route's end-to-end
+//! Werner state:
+//!
+//! ```text
+//! U_qkd = prod_n  phi_n * F_skf(varpi_n),      varpi_n = prod_l w_l^{a_ln}.
+//! ```
+//!
+//! Stage 1 of the QuHE algorithm maximizes the logarithm of this utility,
+//! which [`log_network_utility`] computes directly (it is better conditioned
+//! than taking the log of the product).
+
+use crate::error::{QkdError, QkdResult};
+use crate::routes::IncidenceMatrix;
+use crate::secret_key::secret_key_fraction_raw;
+
+/// End-to-end Werner parameter `varpi_n` of route `n` (0-based), the product
+/// of the Werner parameters of its links (Eq. 5).
+///
+/// # Errors
+/// Returns [`QkdError::DimensionMismatch`] if `w.len()` differs from the
+/// number of links in the incidence matrix.
+pub fn route_werner(incidence: &IncidenceMatrix, w: &[f64], route: usize) -> QkdResult<f64> {
+    if w.len() != incidence.num_links() {
+        return Err(QkdError::DimensionMismatch {
+            expected: incidence.num_links(),
+            actual: w.len(),
+        });
+    }
+    Ok(incidence
+        .links_on_route(route)
+        .into_iter()
+        .map(|l| w[l])
+        .product())
+}
+
+/// End-to-end Werner parameters of every route.
+///
+/// # Errors
+/// Returns [`QkdError::DimensionMismatch`] if `w.len()` differs from the
+/// number of links.
+pub fn all_route_werners(incidence: &IncidenceMatrix, w: &[f64]) -> QkdResult<Vec<f64>> {
+    (0..incidence.num_routes())
+        .map(|n| route_werner(incidence, w, n))
+        .collect()
+}
+
+/// The QKD network utility `U_qkd` of Eq. (6).
+///
+/// # Errors
+/// Returns [`QkdError::DimensionMismatch`] if `phi` or `w` have the wrong
+/// length.
+pub fn network_utility(incidence: &IncidenceMatrix, phi: &[f64], w: &[f64]) -> QkdResult<f64> {
+    if phi.len() != incidence.num_routes() {
+        return Err(QkdError::DimensionMismatch {
+            expected: incidence.num_routes(),
+            actual: phi.len(),
+        });
+    }
+    let werners = all_route_werners(incidence, w)?;
+    Ok(phi
+        .iter()
+        .zip(&werners)
+        .map(|(p, varpi)| p * secret_key_fraction_raw(*varpi))
+        .product())
+}
+
+/// The logarithm of the QKD network utility,
+/// `sum_n [ ln(phi_n) + ln(F_skf(varpi_n)) ]`.
+///
+/// Returns `-inf` when any route has zero secret-key fraction or zero rate —
+/// the value Stage 1 assigns to infeasible points.
+///
+/// # Errors
+/// Returns [`QkdError::DimensionMismatch`] if `phi` or `w` have the wrong
+/// length.
+pub fn log_network_utility(
+    incidence: &IncidenceMatrix,
+    phi: &[f64],
+    w: &[f64],
+) -> QkdResult<f64> {
+    if phi.len() != incidence.num_routes() {
+        return Err(QkdError::DimensionMismatch {
+            expected: incidence.num_routes(),
+            actual: phi.len(),
+        });
+    }
+    let werners = all_route_werners(incidence, w)?;
+    let mut total = 0.0;
+    for (p, varpi) in phi.iter().zip(&werners) {
+        let skf = secret_key_fraction_raw(*varpi);
+        if *p <= 0.0 || skf <= 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        total += p.ln() + skf.ln();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::Route;
+    use crate::topology::surfnet_scenario;
+    use proptest::prelude::*;
+
+    fn tiny_incidence() -> IncidenceMatrix {
+        let routes = vec![
+            Route::new(1, "KC", "A", vec![1]).unwrap(),
+            Route::new(2, "KC", "B", vec![1, 2]).unwrap(),
+        ];
+        IncidenceMatrix::from_routes(2, &routes).unwrap()
+    }
+
+    #[test]
+    fn route_werner_is_product_of_links() {
+        let inc = tiny_incidence();
+        let w = vec![0.9, 0.8];
+        assert!((route_werner(&inc, &w, 0).unwrap() - 0.9).abs() < 1e-12);
+        assert!((route_werner(&inc, &w, 1).unwrap() - 0.72).abs() < 1e-12);
+        assert_eq!(all_route_werners(&inc, &w).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn utility_is_zero_below_threshold() {
+        let inc = tiny_incidence();
+        // Route 2 end-to-end Werner 0.72 < threshold, so SKF = 0 => utility 0.
+        let u = network_utility(&inc, &[1.0, 1.0], &[0.9, 0.8]).unwrap();
+        assert_eq!(u, 0.0);
+        let lu = log_network_utility(&inc, &[1.0, 1.0], &[0.9, 0.8]).unwrap();
+        assert_eq!(lu, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_utility_matches_log_of_utility_when_positive() {
+        let inc = tiny_incidence();
+        let phi = [2.0, 1.5];
+        let w = [0.99, 0.98];
+        let u = network_utility(&inc, &phi, &w).unwrap();
+        let lu = log_network_utility(&inc, &phi, &w).unwrap();
+        assert!((lu - u.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let inc = tiny_incidence();
+        assert!(network_utility(&inc, &[1.0], &[0.9, 0.9]).is_err());
+        assert!(network_utility(&inc, &[1.0, 1.0], &[0.9]).is_err());
+        assert!(log_network_utility(&inc, &[1.0], &[0.9, 0.9]).is_err());
+        assert!(route_werner(&inc, &[0.9], 0).is_err());
+    }
+
+    #[test]
+    fn surfnet_utility_with_high_fidelity_links_is_positive() {
+        let s = surfnet_scenario();
+        let phi = vec![1.0; 6];
+        let w = vec![0.99; 18];
+        let u = network_utility(s.incidence(), &phi, &w).unwrap();
+        assert!(u > 0.0);
+        // Longest route (6 hops) dominates the loss; with w=0.95 per link the
+        // end-to-end Werner of route 6 is 0.95^6 ~ 0.735 < threshold.
+        let w_low = vec![0.95; 18];
+        let u_low = network_utility(s.incidence(), &phi, &w_low).unwrap();
+        assert_eq!(u_low, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn utility_increases_with_rate(scale in 1.01f64..3.0) {
+            let s = surfnet_scenario();
+            let phi: Vec<f64> = vec![1.0; 6];
+            let phi_scaled: Vec<f64> = phi.iter().map(|p| p * scale).collect();
+            let w = vec![0.995; 18];
+            let u1 = network_utility(s.incidence(), &phi, &w).unwrap();
+            let u2 = network_utility(s.incidence(), &phi_scaled, &w).unwrap();
+            prop_assert!(u2 > u1);
+        }
+
+        #[test]
+        fn utility_increases_with_fidelity(w_lo in 0.985f64..0.99, w_hi in 0.991f64..0.999) {
+            let s = surfnet_scenario();
+            let phi = vec![1.0; 6];
+            let u_lo = network_utility(s.incidence(), &phi, &vec![w_lo; 18]).unwrap();
+            let u_hi = network_utility(s.incidence(), &phi, &vec![w_hi; 18]).unwrap();
+            prop_assert!(u_hi >= u_lo);
+        }
+    }
+}

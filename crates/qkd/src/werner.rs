@@ -1,0 +1,158 @@
+//! Werner parameters of quantum links.
+//!
+//! A Werner state `rho_w = w |Phi+><Phi+| + (1 - w)/4 * I` interpolates
+//! between a maximally entangled Bell pair (`w = 1`) and the maximally mixed
+//! state (`w = 0`). The QuHE paper characterizes every QKD link `l` by a
+//! Werner parameter `w_l in (0, 1]` (constraint 17b) and the end-to-end state
+//! of a route by the product of its link parameters (Eq. 5).
+
+use crate::error::{QkdError, QkdResult};
+
+/// A validated Werner parameter in `(0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct WernerParameter(f64);
+
+impl WernerParameter {
+    /// The largest admissible Werner parameter (a perfect Bell pair).
+    pub const MAX: WernerParameter = WernerParameter(1.0);
+
+    /// Creates a Werner parameter, validating that it lies in `(0, 1]`.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidWerner`] when `value` is not in `(0, 1]` or
+    /// is not finite.
+    pub fn new(value: f64) -> QkdResult<Self> {
+        if value.is_finite() && value > 0.0 && value <= 1.0 {
+            Ok(Self(value))
+        } else {
+            Err(QkdError::InvalidWerner { value })
+        }
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Fidelity of the Werner state with the ideal Bell pair,
+    /// `F = (1 + 3 w) / 4`.
+    pub fn fidelity(self) -> f64 {
+        (1.0 + 3.0 * self.0) / 4.0
+    }
+
+    /// Quantum bit error rate (QBER) observed when measuring both halves of
+    /// the Werner pair in the same basis, `Q = (1 - w) / 2`.
+    pub fn qber(self) -> f64 {
+        (1.0 - self.0) / 2.0
+    }
+
+    /// Composes this Werner parameter with another one, modeling entanglement
+    /// swapping across two consecutive links: the end-to-end Werner parameter
+    /// is the product of the per-link parameters (Eq. 5 of the paper).
+    #[must_use]
+    pub fn compose(self, other: WernerParameter) -> WernerParameter {
+        // The product of two values in (0, 1] stays in (0, 1].
+        WernerParameter(self.0 * other.0)
+    }
+}
+
+impl TryFrom<f64> for WernerParameter {
+    type Error = QkdError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<WernerParameter> for f64 {
+    fn from(value: WernerParameter) -> f64 {
+        value.value()
+    }
+}
+
+impl std::fmt::Display for WernerParameter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+/// Composes a chain of Werner parameters (entanglement swapping along a
+/// route): the end-to-end parameter is the product of all link parameters.
+///
+/// Returns [`WernerParameter::MAX`] for an empty chain (a route of length
+/// zero is a perfect local pair).
+pub fn compose_chain<I>(links: I) -> WernerParameter
+where
+    I: IntoIterator<Item = WernerParameter>,
+{
+    links
+        .into_iter()
+        .fold(WernerParameter::MAX, WernerParameter::compose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation_rejects_out_of_range() {
+        assert!(WernerParameter::new(0.0).is_err());
+        assert!(WernerParameter::new(-0.1).is_err());
+        assert!(WernerParameter::new(1.0001).is_err());
+        assert!(WernerParameter::new(f64::NAN).is_err());
+        assert!(WernerParameter::new(1.0).is_ok());
+        assert!(WernerParameter::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn fidelity_and_qber_extremes() {
+        let perfect = WernerParameter::MAX;
+        assert_eq!(perfect.fidelity(), 1.0);
+        assert_eq!(perfect.qber(), 0.0);
+        let noisy = WernerParameter::new(0.5).unwrap();
+        assert!((noisy.fidelity() - 0.625).abs() < 1e-12);
+        assert!((noisy.qber() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let w = WernerParameter::try_from(0.9).unwrap();
+        let back: f64 = w.into();
+        assert_eq!(back, 0.9);
+        assert_eq!(w.to_string(), "0.900000");
+    }
+
+    #[test]
+    fn compose_chain_of_empty_is_identity() {
+        assert_eq!(compose_chain([]), WernerParameter::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn composition_stays_valid_and_decreases(a in 0.0001f64..=1.0, b in 0.0001f64..=1.0) {
+            let wa = WernerParameter::new(a).unwrap();
+            let wb = WernerParameter::new(b).unwrap();
+            let c = wa.compose(wb);
+            prop_assert!(c.value() > 0.0 && c.value() <= 1.0);
+            prop_assert!(c.value() <= wa.value() + 1e-15);
+            prop_assert!(c.value() <= wb.value() + 1e-15);
+        }
+
+        #[test]
+        fn composition_is_commutative(a in 0.001f64..=1.0, b in 0.001f64..=1.0) {
+            let wa = WernerParameter::new(a).unwrap();
+            let wb = WernerParameter::new(b).unwrap();
+            prop_assert!((wa.compose(wb).value() - wb.compose(wa).value()).abs() < 1e-15);
+        }
+
+        #[test]
+        fn qber_fidelity_consistency(w in 0.001f64..=1.0) {
+            // F = 1 - 3Q/2 for Werner states expressed via QBER Q = (1-w)/2.
+            let wp = WernerParameter::new(w).unwrap();
+            let expected = 1.0 - 1.5 * wp.qber();
+            prop_assert!((wp.fidelity() - expected).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! QKD network planning: explore how entanglement-rate allocation and link
+//! fidelity trade off on the SURFnet topology, and how Stage 1 of QuHE picks
+//! the utility-optimal operating point.
+//!
+//! ```bash
+//! cargo run --example qkd_network_planning
+//! ```
+
+use quhe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = surfnet_scenario();
+    println!("== SURFnet QKD backbone (paper Tables III & IV) ==");
+    println!("  key center: {}", network.key_center());
+    for route in network.routes() {
+        let hops = route.link_ids.len();
+        println!(
+            "  route {} -> {:<10} via {} links {:?}",
+            route.id, route.destination, hops, route.link_ids
+        );
+    }
+
+    // -------------------------------------------------- fidelity vs. rate --
+    println!("\n== Link capacity trade-off (Eq. 3): link 1, beta = {:.2} ==", network.links()[0].beta);
+    for w in [0.90, 0.95, 0.98, 0.995] {
+        let capacity = link_capacity(network.links()[0].beta, WernerParameter::new(w)?)?;
+        println!("  w = {w:.3} -> capacity {capacity:6.2} pairs/s, F_skf = {:.3}", secret_key_fraction(WernerParameter::new(w)?));
+    }
+
+    // --------------------------------------- symmetric allocation utility --
+    println!("\n== Network utility for symmetric rate allocations (Eq. 6) ==");
+    let incidence = network.incidence();
+    let betas = network.betas();
+    for rate in [0.5, 0.75, 1.0, 1.25, 1.5] {
+        let phi = vec![rate; network.num_clients()];
+        match optimal_werner(incidence, &phi, &betas) {
+            Ok(w) => {
+                let utility = network_utility(incidence, &phi, &w)?;
+                println!("  phi = {rate:.2} pairs/s each -> U_qkd = {utility:.4e}");
+            }
+            Err(e) => println!("  phi = {rate:.2} pairs/s each -> infeasible ({e})"),
+        }
+    }
+
+    // -------------------------------------------------------- QuHE stage 1 --
+    println!("\n== Stage-1 optimal allocation (problem P3) ==");
+    let scenario = SystemScenario::paper_default(7);
+    let problem = Problem::new(scenario, QuheConfig::default())?;
+    let stage1 = Stage1Solver::new().solve(&problem)?;
+    println!("  solved in {:.3} s, {} barrier iterations", stage1.runtime_s, stage1.iterations);
+    for (route, phi) in problem.scenario().qkd().routes().iter().zip(&stage1.phi) {
+        println!("  route {} ({:<10}) phi* = {:.3} pairs/s", route.id, route.destination, phi);
+    }
+    let utility = network_utility(problem.scenario().qkd().incidence(), &stage1.phi, &stage1.w)?;
+    println!("  optimal U_qkd = {utility:.4e}");
+
+    // -------------------------------------------- protocol-level validation --
+    println!("\n== Protocol-level validation of the secret-key fraction law ==");
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(3);
+    let route = &network.routes()[3]; // Hilversum -> Rotterdam, 2 hops
+    let per_link_w: Vec<f64> = route.link_ids.iter().map(|&l| stage1.w[l - 1]).collect();
+    let protocol = EntanglementProtocol::new(ProtocolConfig::new(per_link_w, 100_000)?);
+    let outcome = protocol.run(&mut rng);
+    println!(
+        "  route {} simulated: QBER {:.4}, measured key fraction {:.4}, analytic F_skf {:.4}",
+        route.id,
+        outcome.qber,
+        outcome.secret_key_fraction,
+        protocol.analytic_secret_key_fraction()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the QuHE algorithm on the paper's evaluation scenario and
+//! compare it against the three whole-procedure baselines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use quhe::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Section VI-A scenario: the SURFnet QKD backbone (Tables III & IV)
+    // paired with six MEC clients in a 1 km cell.
+    let scenario = SystemScenario::paper_default(42);
+    let config = QuheConfig::default();
+
+    println!("== QuHE quickstart ==");
+    println!(
+        "scenario: {} clients, {} QKD links, B_total = {:.1} MHz, f_total = {:.1} GHz",
+        scenario.num_clients(),
+        scenario.num_links(),
+        scenario.mec().total_bandwidth_hz() / 1e6,
+        scenario.mec().total_server_frequency_hz() / 1e9,
+    );
+
+    // Run the three-stage QuHE algorithm (Algorithm 4).
+    let quhe = QuheAlgorithm::new(config).solve(&scenario)?;
+    println!("\nQuHE finished in {:.2} s:", quhe.runtime_s);
+    println!("  outer iterations : {}", quhe.outer_iterations);
+    println!(
+        "  stage calls       : stage1 = {}, stage2 = {}, stage3 = {}",
+        quhe.stage_calls[0], quhe.stage_calls[1], quhe.stage_calls[2]
+    );
+    println!("  metrics           : {}", quhe.metrics);
+    println!("  entanglement rates phi* = {:?}", round3(&quhe.variables.phi));
+    println!("  polynomial degrees lambda* = {:?}", quhe.variables.lambda);
+
+    // Baselines of Section VI-B.
+    println!("\n== Baseline comparison (objective of Eq. 17) ==");
+    let aa = average_allocation(&scenario, &config)?;
+    let olaa = olaa(&scenario, &config)?;
+    let occr = occr(&scenario, &config)?;
+    for result in [&aa, &olaa, &occr] {
+        println!("  {:<5} objective = {:>10.4}", result.name, result.metrics.objective);
+    }
+    println!("  {:<5} objective = {:>10.4}", "QuHE", quhe.objective);
+
+    let best_baseline = [&aa, &olaa, &occr]
+        .iter()
+        .map(|r| r.metrics.objective)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "\nQuHE improves over the best baseline by {:.4}",
+        quhe.objective - best_baseline
+    );
+    Ok(())
+}
+
+fn round3(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+}

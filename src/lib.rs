@@ -1,0 +1,56 @@
+//! # quhe — QKD + HE enabled secure edge computing, with utility-cost optimal
+//! resource allocation
+//!
+//! This is the facade crate of the QuHE workspace, a Rust reproduction of
+//! *"QuHE: Optimizing Utility-Cost in Quantum Key Distribution and
+//! Homomorphic Encryption Enabled Secure Edge Computing Networks"*
+//! (ICDCS 2025). It re-exports the five underlying crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`qkd`] | `quhe-qkd` | Werner-parameter link model, SURFnet topology, secret-key fraction, QKD network utility, entanglement-protocol simulation, key pools |
+//! | [`crypto`] | `quhe-crypto` | ChaCha20, negacyclic polynomial ring + NTT, simplified CKKS, transciphering, LWE-estimator surrogate, fitted cost models |
+//! | [`mec`] | `quhe-mec` | Wireless channel + Shannon rate, transmission/computation delay and energy models, scenario generation |
+//! | [`opt`] | `quhe-opt` | Projected gradient, Newton, log-barrier interior point, branch-and-bound, fractional programming, simulated annealing, block descent |
+//! | [`core`] | `quhe-core` | Problem P1, the three-stage QuHE algorithm, baselines (AA/OLAA/OCCR, GD/SA/RS), metrics and the optimality study |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quhe::prelude::*;
+//!
+//! // The paper's Section VI-A scenario: SURFnet QKD network + 6 MEC clients.
+//! let scenario = SystemScenario::paper_default(42);
+//! let config = QuheConfig::default();
+//!
+//! // Run the three-stage QuHE algorithm.
+//! let result = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+//! println!("objective = {:.4}", result.objective);
+//! println!("{}", result.metrics);
+//!
+//! // Compare against the average-allocation baseline.
+//! let aa = average_allocation(&scenario, &config).unwrap();
+//! assert!(result.objective >= aa.metrics.objective - 1e-6);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios, including the full
+//! cryptographic data path (QKD key distribution → ChaCha20 masking → CKKS
+//! transciphering → encrypted evaluation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use quhe_core as core;
+pub use quhe_crypto as crypto;
+pub use quhe_mec as mec;
+pub use quhe_opt as opt;
+pub use quhe_qkd as qkd;
+
+/// Commonly used items from every crate of the workspace.
+pub mod prelude {
+    pub use quhe_core::prelude::*;
+    pub use quhe_crypto::prelude::*;
+    pub use quhe_mec::prelude::*;
+    pub use quhe_opt::prelude::*;
+    pub use quhe_qkd::prelude::*;
+}

@@ -1,0 +1,108 @@
+//! Integration test spanning the QKD, crypto and MEC substrates: the full
+//! data path of the QuHE system, from entanglement distribution to encrypted
+//! evaluation on the edge server, plus the cost accounting the optimizer
+//! consumes.
+
+use quhe::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn qkd_key_feeds_transciphering_and_encrypted_evaluation() {
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(7);
+
+    // Phase 1: distribute key material over a three-hop route with high link
+    // fidelities.
+    let protocol = EntanglementProtocol::new(
+        ProtocolConfig::new(vec![0.98, 0.97, 0.985], 120_000).unwrap(),
+    );
+    let outcome = protocol.run(&mut rng);
+    assert!(outcome.secret_key_fraction > 0.3, "route should produce key");
+    assert!(outcome.sifted_key.len() >= 32, "need at least a 256-bit key");
+
+    let pool = KeyPool::new();
+    pool.deposit(&outcome.sifted_key);
+    let key = pool.withdraw(32).unwrap();
+
+    // Phase 2: client masks samples with the ChaCha20 keystream.
+    let samples = vec![0.5, -1.5, 2.25, 3.0, -0.75];
+    let session = TranscipherSession::new(&key, 0);
+    let masked = session.mask(&samples);
+    assert_ne!(masked, samples);
+
+    // Phase 3/4: server transciphers and evaluates a linear model.
+    let context = CkksContext::new(CkksParameters::insecure_test_parameters()).unwrap();
+    let keys = context.generate_keys(&mut rng);
+    let enc = session
+        .transcipher(&context, &keys.public, &masked, &mut rng)
+        .unwrap();
+    let weights = vec![2.0; samples.len()];
+    let predicted = context
+        .multiply_plain(&enc, &context.encode(&weights).unwrap())
+        .unwrap();
+    let decoded = context
+        .decode(
+            &context.decrypt(&predicted, &keys.secret).unwrap(),
+            samples.len(),
+        )
+        .unwrap();
+    for (d, s) in decoded.iter().zip(&samples) {
+        assert!((d - 2.0 * s).abs() < 0.1, "expected {}, got {d}", 2.0 * s);
+    }
+}
+
+#[test]
+fn protocol_statistics_match_the_analytic_laws_used_by_the_optimizer() {
+    // The optimizer relies on F_skf(w); the protocol simulator must agree
+    // with it for the same end-to-end Werner parameter.
+    let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(13);
+    for werner in [0.85_f64, 0.9, 0.95, 0.99] {
+        let protocol =
+            EntanglementProtocol::new(ProtocolConfig::new(vec![werner], 150_000).unwrap());
+        let outcome = protocol.run(&mut rng);
+        let analytic = secret_key_fraction(WernerParameter::new(werner).unwrap());
+        assert!(
+            (outcome.secret_key_fraction - analytic).abs() < 0.03,
+            "w = {werner}: simulated {} vs analytic {analytic}",
+            outcome.secret_key_fraction
+        );
+    }
+}
+
+#[test]
+fn cost_models_are_consistent_between_crypto_and_mec_layers() {
+    // The MEC server-cost function must charge exactly the cycles the crypto
+    // cost model reports.
+    let scenario = MecScenario::paper_default(3);
+    let params = scenario.server_compute_params(0);
+    let lambda = (1u64 << 16) as f64;
+    let cost = server_computation_cost(&params, lambda, 2e9).unwrap();
+    let expected_cycles = (eval_cycles_per_sample(lambda) + server_cycles_per_sample(lambda))
+        * scenario.clients()[0].tokens
+        / scenario.clients()[0].tokens_per_sample;
+    assert!((cost.total_cycles - expected_cycles).abs() / expected_cycles < 1e-12);
+    // Delay and energy follow Eqs. (13) and (14).
+    assert!((cost.delay_s - expected_cycles / 2e9).abs() < 1e-9);
+    assert!(
+        (cost.energy_j - scenario.server_capacitance() * expected_cycles * 4e18).abs()
+            / cost.energy_j
+            < 1e-9
+    );
+}
+
+#[test]
+fn security_surrogate_and_fitted_law_agree_on_monotonicity() {
+    // Both the analytic LWE surrogate and the paper's fitted law must rank
+    // the three candidate degrees identically (that ranking is all Stage 2
+    // relies on).
+    let q = 2f64.powi(438);
+    let fitted: Vec<f64> = [1u64 << 15, 1 << 16, 1 << 17]
+        .iter()
+        .map(|&l| min_security_level(l as f64))
+        .collect();
+    let surrogate: Vec<f64> = [1usize << 15, 1 << 16, 1 << 17]
+        .iter()
+        .map(|&n| estimate_security(n, q, 3.2).min_security_bits)
+        .collect();
+    assert!(fitted[0] < fitted[1] && fitted[1] < fitted[2]);
+    assert!(surrogate[0] < surrogate[1] && surrogate[1] < surrogate[2]);
+}

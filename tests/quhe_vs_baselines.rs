@@ -1,0 +1,134 @@
+//! Integration tests of the full QuHE algorithm against the paper's
+//! baselines: feasibility, objective ordering and the qualitative claims of
+//! Section VI (Fig. 5(d)).
+
+use quhe::prelude::*;
+
+fn scenario() -> SystemScenario {
+    SystemScenario::paper_default(42)
+}
+
+fn fast_config() -> QuheConfig {
+    QuheConfig {
+        max_outer_iterations: 5,
+        max_stage3_iterations: 15,
+        ..QuheConfig::default()
+    }
+}
+
+#[test]
+fn quhe_dominates_every_baseline_on_the_objective() {
+    let scenario = scenario();
+    let config = fast_config();
+    let problem = Problem::new(scenario.clone(), config).unwrap();
+
+    let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+    problem.check_feasible(&quhe.variables).unwrap();
+
+    let aa = average_allocation(&scenario, &config).unwrap();
+    let olaa = olaa(&scenario, &config).unwrap();
+    let occr = occr(&scenario, &config).unwrap();
+    for baseline in [&aa, &olaa, &occr] {
+        problem.check_feasible(&baseline.variables).unwrap();
+        assert!(
+            quhe.objective >= baseline.metrics.objective - 1e-6,
+            "QuHE ({}) lost to {} ({})",
+            quhe.objective,
+            baseline.name,
+            baseline.metrics.objective
+        );
+    }
+    // Partial optimizers beat pure average allocation.
+    assert!(olaa.metrics.objective >= aa.metrics.objective - 1e-9);
+    assert!(occr.metrics.objective >= aa.metrics.objective - 1e-9);
+}
+
+#[test]
+fn fig5d_qualitative_shape_holds() {
+    // Fig. 5(d): QuHE/OCCR excel on energy; QuHE/OLAA achieve the highest
+    // security level; QuHE has the best objective.
+    let scenario = scenario();
+    let config = fast_config();
+    let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+    let aa = average_allocation(&scenario, &config).unwrap();
+    let olaa = olaa(&scenario, &config).unwrap();
+    let occr = occr(&scenario, &config).unwrap();
+
+    // Energy: resource-optimizing methods use no more energy than AA.
+    assert!(occr.metrics.energy_j <= aa.metrics.energy_j * 1.001);
+    assert!(quhe.metrics.energy_j <= aa.metrics.energy_j * 1.001);
+
+    // Security: lambda-optimizing methods achieve at least AA's security.
+    assert!(olaa.metrics.security_utility >= aa.metrics.security_utility - 1e-9);
+    assert!(quhe.metrics.security_utility >= occr.metrics.security_utility - 1e-9);
+
+    // Overall objective ordering.
+    let best_baseline = [&aa, &olaa, &occr]
+        .iter()
+        .map(|r| r.metrics.objective)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(quhe.objective >= best_baseline - 1e-6);
+}
+
+#[test]
+fn stage1_methods_agree_on_the_optimum_but_not_on_runtime_quality() {
+    // Fig. 5(b)/(c) and Tables V/VI: the convex Stage-1 solve and gradient
+    // descent find (near-)identical solutions; random selection is worse or
+    // equal in objective.
+    use rand::SeedableRng;
+    let problem = Problem::new(scenario(), QuheConfig::default()).unwrap();
+    let quhe_stage1 = Stage1Solver::new().solve(&problem).unwrap();
+    let gd = stage1_gradient_descent(&problem).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let sa = stage1_simulated_annealing(&problem, &mut rng).unwrap();
+    let rs = stage1_random_selection(&problem, &mut rng).unwrap();
+
+    // The convex solve is at least as good as every heuristic (the P3
+    // objective is minimized).
+    for (name, value) in [
+        ("gradient descent", gd.objective),
+        ("simulated annealing", sa.objective),
+        ("random selection", rs.objective),
+    ] {
+        assert!(
+            quhe_stage1.objective <= value + 5e-2,
+            "QuHE stage 1 ({}) should not be worse than {name} ({value})",
+            quhe_stage1.objective
+        );
+    }
+    // Gradient descent lands close to the convex optimum (Table V agreement).
+    assert!((gd.objective - quhe_stage1.objective).abs() < 0.2);
+    // All methods produce valid Werner assignments.
+    for w in [&quhe_stage1.w, &gd.w, &sa.w, &rs.w] {
+        assert!(w.iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}
+
+#[test]
+fn optimality_study_produces_mostly_good_solutions() {
+    // A miniature version of Fig. 3: a handful of random initializations
+    // should cluster near the best observed objective.
+    use rand::SeedableRng;
+    let scenario = scenario();
+    let config = QuheConfig {
+        max_outer_iterations: 2,
+        max_stage3_iterations: 8,
+        ..QuheConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let study = OptimalityStudy::run(
+        &scenario,
+        &config,
+        6,
+        vec![-1e6, 0.0, 1e6],
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(study.objectives.len(), 6);
+    assert!(study.objectives.iter().all(|o| o.is_finite()));
+    // The paper's Fig. 3 reports "good or better" solutions (the upper half
+    // of the observed range) in 88 % of runs; with this deliberately small
+    // and iteration-capped study we only require that most runs land in the
+    // upper three quarters of the observed range.
+    assert!(study.fraction_within(0.75) >= 0.5);
+}

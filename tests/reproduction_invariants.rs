@@ -1,0 +1,124 @@
+//! Cross-crate invariants that the reproduction relies on: the monotonicity
+//! and consistency properties connecting the QKD utility model, the cost
+//! models and the optimizer, plus resource-sweep shape checks (Fig. 6).
+
+use proptest::prelude::*;
+use quhe::prelude::*;
+
+#[test]
+fn equation_18_werner_assignment_saturates_link_capacity() {
+    // At the optimal Werner assignment every loaded link operates exactly at
+    // its capacity (Eq. 3 holds with equality), and unloaded links stay at
+    // w = 1.
+    let network = surfnet_scenario();
+    let phi = vec![1.2, 0.8, 0.9, 1.5, 0.6, 0.7];
+    let w = optimal_werner(network.incidence(), &phi, &network.betas()).unwrap();
+    for l in 0..network.num_links() {
+        let load = network.incidence().link_load(l, &phi).unwrap();
+        let capacity = link_capacity(network.betas()[l], WernerParameter::new(w[l]).unwrap()).unwrap();
+        if load > 0.0 {
+            assert!((capacity - load).abs() < 1e-9, "link {l}: load {load} vs capacity {capacity}");
+        } else {
+            assert_eq!(w[l], 1.0);
+        }
+    }
+}
+
+#[test]
+fn stage2_branch_and_bound_is_exact_on_randomized_resource_allocations() {
+    use rand::SeedableRng;
+    let scenario = SystemScenario::paper_default(9);
+    let config = QuheConfig::default();
+    let problem = Problem::new(scenario, config).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let solver = Stage2Solver::new();
+    for _ in 0..5 {
+        let vars = problem.random_initial_point(&mut rng).unwrap();
+        let bnb = solver.solve(&problem, &vars).unwrap();
+        let exhaustive = solver.solve_exhaustive(&problem, &vars).unwrap();
+        assert!((bnb.objective - exhaustive.objective).abs() < 1e-9);
+        assert_eq!(bnb.lambda, exhaustive.lambda);
+    }
+}
+
+#[test]
+fn fig6_shape_quhe_never_loses_as_budgets_grow() {
+    // Fig. 6: along each resource sweep QuHE dominates AA, and relaxing a
+    // budget never hurts QuHE's achievable objective by more than solver
+    // noise.
+    let base = SystemScenario::paper_default(11);
+    let config = QuheConfig {
+        max_outer_iterations: 2,
+        max_stage3_iterations: 8,
+        ..QuheConfig::default()
+    };
+    let mut previous: Option<f64> = None;
+    for bandwidth in [5e6, 10e6, 15e6] {
+        let scenario = base
+            .with_mec(base.mec().clone().with_total_bandwidth(bandwidth))
+            .unwrap();
+        let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+        let aa = average_allocation(&scenario, &config).unwrap();
+        assert!(quhe.objective >= aa.metrics.objective - 1e-6);
+        if let Some(prev) = previous {
+            assert!(
+                quhe.objective >= prev - 0.05,
+                "objective dropped from {prev} to {} when bandwidth grew",
+                quhe.objective
+            );
+        }
+        previous = Some(quhe.objective);
+    }
+}
+
+#[test]
+fn higher_power_budget_never_hurts() {
+    let base = SystemScenario::paper_default(13);
+    let config = QuheConfig {
+        max_outer_iterations: 2,
+        max_stage3_iterations: 8,
+        ..QuheConfig::default()
+    };
+    let low = QuheAlgorithm::new(config)
+        .solve(&base.with_mec(base.mec().clone().with_max_power(0.2)).unwrap())
+        .unwrap();
+    let high = QuheAlgorithm::new(config)
+        .solve(&base.with_mec(base.mec().clone().with_max_power(1.0)).unwrap())
+        .unwrap();
+    assert!(high.objective >= low.objective - 0.05);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn p3_objective_is_never_better_than_stage1_optimum(
+        phi in proptest::collection::vec(0.5f64..1.4, 6)
+    ) {
+        // Stage 1 solves a convex problem to (near) global optimality: no
+        // feasible rate vector sampled at random may beat it by more than
+        // solver tolerance.
+        let problem = Problem::new(SystemScenario::paper_default(1), QuheConfig::default()).unwrap();
+        let stage1 = Stage1Solver::new().solve(&problem).unwrap();
+        let candidate = Stage1Solver::p3_objective(&problem, &phi);
+        if candidate.is_finite() {
+            prop_assert!(stage1.objective <= candidate + 1e-3,
+                "random point ({candidate}) beat stage 1 ({})", stage1.objective);
+        }
+    }
+
+    #[test]
+    fn objective_decomposition_matches_metrics_for_random_allocations(seed in 0u64..50) {
+        use rand::SeedableRng;
+        let problem = Problem::new(SystemScenario::paper_default(3), QuheConfig::default()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let vars = problem.random_initial_point(&mut rng).unwrap();
+        let metrics = MethodMetrics::evaluate(&problem, &vars).unwrap();
+        let weights = problem.config().weights;
+        let reconstructed = weights.qkd_utility * metrics.qkd_utility
+            + weights.security * metrics.security_utility
+            - weights.delay * metrics.delay_s
+            - weights.energy * metrics.energy_j;
+        prop_assert!((metrics.objective - reconstructed).abs() < 1e-9);
+    }
+}
