@@ -42,23 +42,45 @@ fn bench_ckks(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ckks_degree_1024");
     group.sample_size(20);
-    group.bench_function("encode", |b| b.iter(|| context.encode(black_box(&values)).unwrap()));
+    group.bench_function("encode", |b| {
+        b.iter(|| context.encode(black_box(&values)).unwrap())
+    });
     group.bench_function("encrypt", |b| {
-        b.iter(|| context.encrypt(black_box(&plaintext), &keys.public, &mut rng).unwrap())
+        b.iter(|| {
+            context
+                .encrypt(black_box(&plaintext), &keys.public, &mut rng)
+                .unwrap()
+        })
     });
     group.bench_function("decrypt", |b| {
-        b.iter(|| context.decrypt(black_box(&ciphertext), &keys.secret).unwrap())
+        b.iter(|| {
+            context
+                .decrypt(black_box(&ciphertext), &keys.secret)
+                .unwrap()
+        })
     });
     group.bench_function("add", |b| {
-        b.iter(|| context.add(black_box(&ciphertext), black_box(&ciphertext)).unwrap())
+        b.iter(|| {
+            context
+                .add(black_box(&ciphertext), black_box(&ciphertext))
+                .unwrap()
+        })
     });
     group.bench_function("multiply_plain", |b| {
-        b.iter(|| context.multiply_plain(black_box(&ciphertext), black_box(&plaintext)).unwrap())
+        b.iter(|| {
+            context
+                .multiply_plain(black_box(&ciphertext), black_box(&plaintext))
+                .unwrap()
+        })
     });
     group.bench_function("multiply_relinearize", |b| {
         b.iter(|| {
             context
-                .multiply(black_box(&ciphertext), black_box(&ciphertext), &keys.relinearization)
+                .multiply(
+                    black_box(&ciphertext),
+                    black_box(&ciphertext),
+                    &keys.relinearization,
+                )
                 .unwrap()
         })
     });
@@ -84,5 +106,11 @@ fn bench_transcipher(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chacha20, bench_ntt, bench_ckks, bench_transcipher);
+criterion_group!(
+    benches,
+    bench_chacha20,
+    bench_ntt,
+    bench_ckks,
+    bench_transcipher
+);
 criterion_main!(benches);

@@ -25,7 +25,11 @@ fn bench_continuous_solvers(c: &mut Criterion) {
     });
     group.bench_function("damped_newton", |b| {
         let solver = DampedNewton::default();
-        b.iter(|| solver.minimize(&bowl, &|_: &[f64]| true, black_box(&start)).unwrap())
+        b.iter(|| {
+            solver
+                .minimize(&bowl, &|_: &[f64]| true, black_box(&start))
+                .unwrap()
+        })
     });
     group.bench_function("log_barrier", |b| {
         let solver = BarrierSolver::default();
@@ -54,10 +58,18 @@ impl DiscreteProblem for Separable {
         (0..self.tables[index].len()).collect()
     }
     fn evaluate(&self, assignment: &[usize]) -> f64 {
-        assignment.iter().enumerate().map(|(i, &c)| self.tables[i][c]).sum()
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.tables[i][c])
+            .sum()
     }
     fn upper_bound(&self, partial: &[usize]) -> f64 {
-        let assigned: f64 = partial.iter().enumerate().map(|(i, &c)| self.tables[i][c]).sum();
+        let assigned: f64 = partial
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.tables[i][c])
+            .sum();
         let rest: f64 = self.tables[partial.len()..]
             .iter()
             .map(|t| t.iter().cloned().fold(f64::NEG_INFINITY, f64::max))

@@ -55,5 +55,10 @@ fn bench_secret_key_fraction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_utility, bench_protocol, bench_secret_key_fraction);
+criterion_group!(
+    benches,
+    bench_utility,
+    bench_protocol,
+    bench_secret_key_fraction
+);
 criterion_main!(benches);

@@ -46,7 +46,11 @@ fn bench_stage2(c: &mut Criterion) {
     let vars = problem.initial_point().unwrap();
     let mut group = c.benchmark_group("stage2");
     group.bench_function("branch_and_bound", |b| {
-        b.iter(|| Stage2Solver::new().solve(black_box(&problem), black_box(&vars)).unwrap())
+        b.iter(|| {
+            Stage2Solver::new()
+                .solve(black_box(&problem), black_box(&vars))
+                .unwrap()
+        })
     });
     group.bench_function("exhaustive", |b| {
         b.iter(|| {
@@ -64,7 +68,11 @@ fn bench_stage3(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage3");
     group.sample_size(10);
     group.bench_function("fractional_programming", |b| {
-        b.iter(|| Stage3Solver::new(8, 1e-5).solve(black_box(&problem), black_box(&vars)).unwrap())
+        b.iter(|| {
+            Stage3Solver::new(8, 1e-5)
+                .solve(black_box(&problem), black_box(&vars))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -75,7 +83,11 @@ fn bench_whole_quhe(c: &mut Criterion) {
     let mut group = c.benchmark_group("quhe_whole_procedure");
     group.sample_size(10);
     group.bench_function("algorithm4", |b| {
-        b.iter(|| QuheAlgorithm::new(config).solve(black_box(&scenario)).unwrap())
+        b.iter(|| {
+            QuheAlgorithm::new(config)
+                .solve(black_box(&scenario))
+                .unwrap()
+        })
     });
     group.finish();
 }

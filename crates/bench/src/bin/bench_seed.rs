@@ -1,0 +1,116 @@
+//! Emits a machine-readable benchmark record of the QuHE algorithm on the
+//! paper-default scenario, so successive PRs have a performance trajectory to
+//! compare against.
+//!
+//! ```bash
+//! # writes BENCH_seed.json at the workspace root (or the path in $1):
+//! cargo run --release -p quhe-bench --bin bench_seed
+//! cargo run --release -p quhe-bench --bin bench_seed -- /tmp/bench.json
+//! ```
+//!
+//! The JSON contains the final objective, per-stage and end-to-end wall-clock
+//! timings (median over `QUHE_BENCH_RUNS` runs, default 5), stage call
+//! counts, and the breakdown metrics at the solution. It is written by hand
+//! (no serde runtime in the offline build) with a stable key order.
+
+use std::time::Instant;
+
+use quhe_bench::{default_scenario, env_usize, experiment_config};
+use quhe_core::prelude::*;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--quick")
+        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let runs = env_usize("QUHE_BENCH_RUNS", 5).max(1);
+    let scenario = default_scenario();
+    let config = experiment_config();
+    let algorithm = QuheAlgorithm::new(config);
+
+    // Stage timings are measured as standalone solves from the problem's
+    // deterministic initial point, not taken from the algorithm outcome: the
+    // outcome only records the *last* call per stage, which for stage 3 is
+    // the cheap warm-start-only path once the outer loop has cached the
+    // lambda surface — a poor regression signal.
+    let problem = Problem::new(scenario.clone(), config)
+        .unwrap_or_else(|e| panic!("problem construction failed: {e}"));
+    let initial = problem
+        .initial_point()
+        .unwrap_or_else(|e| panic!("initial point failed: {e}"));
+
+    let mut total_s = Vec::with_capacity(runs);
+    let mut stage1_s = Vec::with_capacity(runs);
+    let mut stage2_s = Vec::with_capacity(runs);
+    let mut stage3_s = Vec::with_capacity(runs);
+    let mut outcome = None;
+    for _ in 0..runs {
+        let wall = Instant::now();
+        let result = algorithm
+            .solve(&scenario)
+            .unwrap_or_else(|e| panic!("QuHE solve failed: {e}"));
+        total_s.push(wall.elapsed().as_secs_f64());
+        outcome = Some(result);
+
+        let stage1 = Stage1Solver::new()
+            .solve(&problem)
+            .unwrap_or_else(|e| panic!("stage 1 failed: {e}"));
+        stage1_s.push(stage1.runtime_s);
+        let stage2 = Stage2Solver::new()
+            .solve(&problem, &initial)
+            .unwrap_or_else(|e| panic!("stage 2 failed: {e}"));
+        stage2_s.push(stage2.runtime_s);
+        let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
+            .solve(&problem, &initial)
+            .unwrap_or_else(|e| panic!("stage 3 failed: {e}"));
+        stage3_s.push(stage3.runtime_s);
+    }
+    let outcome = outcome.expect("at least one run");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"quhe-bench/v1\",\n",
+            "  \"scenario\": \"paper_default\",\n",
+            "  \"runs\": {runs},\n",
+            "  \"objective\": {objective},\n",
+            "  \"qkd_utility\": {qkd_utility},\n",
+            "  \"security_utility\": {security_utility},\n",
+            "  \"delay_s\": {delay_s},\n",
+            "  \"energy_j\": {energy_j},\n",
+            "  \"outer_iterations\": {outer_iterations},\n",
+            "  \"converged\": {converged},\n",
+            "  \"stage_calls\": [{calls1}, {calls2}, {calls3}],\n",
+            "  \"timings_s\": {{\n",
+            "    \"total_median\": {total},\n",
+            "    \"stage1_median\": {stage1},\n",
+            "    \"stage2_median\": {stage2},\n",
+            "    \"stage3_median\": {stage3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        runs = runs,
+        objective = outcome.objective,
+        qkd_utility = outcome.metrics.qkd_utility,
+        security_utility = outcome.metrics.security_utility,
+        delay_s = outcome.metrics.delay_s,
+        energy_j = outcome.metrics.energy_j,
+        outer_iterations = outcome.outer_iterations,
+        converged = outcome.converged,
+        calls1 = outcome.stage_calls[0],
+        calls2 = outcome.stage_calls[1],
+        calls3 = outcome.stage_calls[2],
+        total = median(&mut total_s),
+        stage1 = median(&mut stage1_s),
+        stage2 = median(&mut stage2_s),
+        stage3 = median(&mut stage3_s),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

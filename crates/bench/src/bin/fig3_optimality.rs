@@ -5,18 +5,27 @@
 //! ```bash
 //! # paper-scale run (100 samples):
 //! QUHE_SAMPLES=100 cargo run --release -p quhe-bench --bin fig3_optimality
-//! # quick smoke run (default 20 samples):
+//! # default run (20 samples):
 //! cargo run --release -p quhe-bench --bin fig3_optimality
+//! # CI smoke run (3 samples):
+//! cargo run --release -p quhe-bench --bin fig3_optimality -- --quick
 //! ```
 
-use quhe_bench::{default_scenario, env_u64, env_usize, experiment_config, fmt, print_header, print_row};
+use quhe_bench::{
+    default_scenario, env_u64, env_usize, experiment_config, fmt, print_header, print_row,
+};
 use quhe_core::prelude::*;
 use rand::SeedableRng;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let scenario = default_scenario();
     let config = experiment_config();
-    let samples = env_usize("QUHE_SAMPLES", 20);
+    let samples = if quick {
+        3
+    } else {
+        env_usize("QUHE_SAMPLES", 20)
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(env_u64("QUHE_SEED", 42));
 
     println!("Fig. 3: optimality analysis over {samples} random initial configurations\n");
@@ -46,7 +55,12 @@ fn main() {
     for (i, value) in study.objectives.iter().enumerate() {
         print_row(&[(i + 1).to_string(), fmt(*value, 4)], &widths);
     }
-    println!("\nMax: {:.2}   Min: {:.2}   Mean: {:.2}", max, min, study.mean());
+    println!(
+        "\nMax: {:.2}   Min: {:.2}   Mean: {:.2}",
+        max,
+        min,
+        study.mean()
+    );
 
     println!("\nFig. 3(b): distribution of the function values");
     let widths = [22, 6];
@@ -65,7 +79,13 @@ fn main() {
     // and "at least good" (top two buckets).
     let top = study.fraction_within(1.0 / 6.0);
     let top_two = study.fraction_within(2.0 / 6.0);
-    println!("\n\"very good\" (top sixth of the range)  : {:.0}% of runs", top * 100.0);
-    println!("\"good or better\" (top third of range) : {:.0}% of runs", top_two * 100.0);
+    println!(
+        "\n\"very good\" (top sixth of the range)  : {:.0}% of runs",
+        top * 100.0
+    );
+    println!(
+        "\"good or better\" (top third of range) : {:.0}% of runs",
+        top_two * 100.0
+    );
     println!("(paper: 56% very good, 88% good or better, on its absolute buckets)");
 }

@@ -23,14 +23,19 @@ fn main() {
     for (i, value) in stage1.trace.iter().enumerate() {
         print_row(&[i.to_string(), fmt(*value, 6)], &widths);
     }
-    println!("converged in {} iterations, {:.3} s\n", stage1.iterations, stage1.runtime_s);
+    println!(
+        "converged in {} iterations, {:.3} s\n",
+        stage1.iterations, stage1.runtime_s
+    );
 
     // Stage 2 (Fig. 4(b)): incumbent objective across branch-and-bound
     // improvements, starting from the Stage-1 rates.
     let mut vars = problem.initial_point().expect("feasible start");
     vars.phi = stage1.phi.clone();
     vars.w = stage1.w.clone();
-    let stage2 = Stage2Solver::new().solve(&problem, &vars).expect("stage 2 solves");
+    let stage2 = Stage2Solver::new()
+        .solve(&problem, &vars)
+        .expect("stage 2 solves");
     println!("Fig. 4(b): objective function value in Stage 2 (incumbent trace)");
     print_header(&["Step", "F_s2 incumbent"], &widths);
     for (i, value) in stage2.trace.iter().enumerate() {
@@ -65,5 +70,7 @@ fn main() {
         stage3.runtime_s,
         stage3.gap_trace.last().copied().unwrap_or(f64::NAN)
     );
-    println!("(paper: Stage 1 converges in 12 steps, Stage 2 in 26, Stage 3 in 34; gap reaches 1e-5)");
+    println!(
+        "(paper: Stage 1 converges in 12 steps, Stage 2 in 26, Stage 3 in 34; gap reaches 1e-5)"
+    );
 }

@@ -11,7 +11,9 @@
 //! cargo run --release -p quhe-bench --bin fig5_comparison
 //! ```
 
-use quhe_bench::{default_scenario, env_u64, experiment_config, fmt, fmt_sci, print_header, print_row};
+use quhe_bench::{
+    default_scenario, env_u64, experiment_config, fmt, fmt_sci, print_header, print_row,
+};
 use quhe_core::prelude::*;
 use rand::SeedableRng;
 
@@ -22,14 +24,28 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(env_u64("QUHE_SEED", 42));
 
     // ------------------------------------------------------------ Fig 5(a) --
-    let quhe = QuheAlgorithm::new(config).solve(&scenario).expect("QuHE solves");
+    let quhe = QuheAlgorithm::new(config)
+        .solve(&scenario)
+        .expect("QuHE solves");
     println!("Fig. 5(a): stage calls and running time of the QuHE method\n");
     let widths = [10, 10];
     print_header(&["Quantity", "Value"], &widths);
-    print_row(&["S1 calls".to_string(), quhe.stage_calls[0].to_string()], &widths);
-    print_row(&["S2 calls".to_string(), quhe.stage_calls[1].to_string()], &widths);
-    print_row(&["S3 calls".to_string(), quhe.stage_calls[2].to_string()], &widths);
-    print_row(&["Runtime".to_string(), format!("{:.2} s", quhe.runtime_s)], &widths);
+    print_row(
+        &["S1 calls".to_string(), quhe.stage_calls[0].to_string()],
+        &widths,
+    );
+    print_row(
+        &["S2 calls".to_string(), quhe.stage_calls[1].to_string()],
+        &widths,
+    );
+    print_row(
+        &["S3 calls".to_string(), quhe.stage_calls[2].to_string()],
+        &widths,
+    );
+    print_row(
+        &["Runtime".to_string(), format!("{:.2} s", quhe.runtime_s)],
+        &widths,
+    );
     println!("(paper: one call per stage, 1.5 s total)\n");
 
     // ------------------------------------------------- Fig 5(b) and 5(c) --
@@ -42,12 +58,20 @@ fn main() {
     let widths = [22, 12, 18];
     print_header(&["Method", "Time (s)", "P3 objective"], &widths);
     print_row(
-        &["QuHE Stage 1".to_string(), fmt(stage1.runtime_s, 3), fmt(stage1.objective, 4)],
+        &[
+            "QuHE Stage 1".to_string(),
+            fmt(stage1.runtime_s, 3),
+            fmt(stage1.objective, 4),
+        ],
         &widths,
     );
     for result in [&gd, &sa, &rs] {
         print_row(
-            &[result.name.clone(), fmt(result.runtime_s, 3), fmt(result.objective, 4)],
+            &[
+                result.name.clone(),
+                fmt(result.runtime_s, 3),
+                fmt(result.objective, 4),
+            ],
             &widths,
         );
     }
@@ -59,7 +83,10 @@ fn main() {
     let occr_result = occr(&scenario, &config).expect("OCCR runs");
     println!("Fig. 5(d): whole-procedure comparison (energy, delay, U_msl, objective)\n");
     let widths = [6, 14, 14, 10, 12];
-    print_header(&["Method", "Energy (J)", "Delay (s)", "U_msl", "Objective"], &widths);
+    print_header(
+        &["Method", "Energy (J)", "Delay (s)", "U_msl", "Objective"],
+        &widths,
+    );
     for (name, metrics) in [
         ("AA", aa.metrics),
         ("OLAA", olaa_result.metrics),
@@ -77,7 +104,9 @@ fn main() {
             &widths,
         );
     }
-    println!("\n(paper shape: QuHE/OCCR best on energy, QuHE/OLAA best on U_msl, QuHE best objective)");
+    println!(
+        "\n(paper shape: QuHE/OCCR best on energy, QuHE/OLAA best on U_msl, QuHE best objective)"
+    );
 
     // -------------------------------------------- security-weight ablation --
     // With the paper's stated constants the computation-energy penalty of a
@@ -89,14 +118,23 @@ fn main() {
     let mut emphasized = config;
     emphasized.weights.security = 0.1;
     let scenario_e = scenario;
-    let quhe_e = QuheAlgorithm::new(emphasized).solve(&scenario_e).expect("QuHE solves");
+    let quhe_e = QuheAlgorithm::new(emphasized)
+        .solve(&scenario_e)
+        .expect("QuHE solves");
     let aa_e = average_allocation(&scenario_e, &emphasized).expect("AA runs");
     let olaa_e = olaa(&scenario_e, &emphasized).expect("OLAA runs");
     let occr_e = occr(&scenario_e, &emphasized).expect("OCCR runs");
     println!("\nAblation: same comparison with alpha_msl raised to 0.1\n");
     let widths = [6, 14, 14, 10, 12, 16];
     print_header(
-        &["Method", "Energy (J)", "Delay (s)", "U_msl", "Objective", "lambda choices"],
+        &[
+            "Method",
+            "Energy (J)",
+            "Delay (s)",
+            "U_msl",
+            "Objective",
+            "lambda choices",
+        ],
         &widths,
     );
     for (name, metrics, lambda) in [

@@ -12,7 +12,10 @@ use quhe_qkd::topology::surfnet_scenario;
 fn main() {
     let network = surfnet_scenario();
 
-    println!("Table III: routes with end nodes and links (key center: {})\n", network.key_center());
+    println!(
+        "Table III: routes with end nodes and links (key center: {})\n",
+        network.key_center()
+    );
     let widths = [8, 26, 24];
     print_header(&["Route ID", "End nodes", "Links"], &widths);
     for route in network.routes() {

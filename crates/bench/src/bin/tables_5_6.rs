@@ -24,7 +24,13 @@ fn main() {
     println!("Table V: phi values of different methods\n");
     let widths = [8, 14, 18, 16, 14];
     print_header(
-        &["phi_n", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"],
+        &[
+            "phi_n",
+            "QuHE Stage 1",
+            "Gradient descent",
+            "Sim. annealing",
+            "Random select",
+        ],
         &widths,
     );
     for n in 0..quhe.phi.len() {
@@ -42,7 +48,13 @@ fn main() {
 
     println!("\nTable VI: w values of different methods\n");
     print_header(
-        &["w_l", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"],
+        &[
+            "w_l",
+            "QuHE Stage 1",
+            "Gradient descent",
+            "Sim. annealing",
+            "Random select",
+        ],
         &widths,
     );
     for l in 0..quhe.w.len() {
@@ -58,8 +70,10 @@ fn main() {
         );
     }
 
-    println!("\nP3 objective values: QuHE {:.4}, GD {:.4}, SA {:.4}, RS {:.4}",
-        quhe.objective, gd.objective, sa.objective, rs.objective);
+    println!(
+        "\nP3 objective values: QuHE {:.4}, GD {:.4}, SA {:.4}, RS {:.4}",
+        quhe.objective, gd.objective, sa.objective, rs.objective
+    );
     println!("(paper shape: QuHE and GD coincide; RS picks larger phi but a worse objective;");
     println!(" unused link 6 keeps w = 1 for every method)");
 }

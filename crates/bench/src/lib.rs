@@ -67,7 +67,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header followed by a separator row.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     print_row(&separator, widths);
 }

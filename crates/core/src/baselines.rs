@@ -108,8 +108,8 @@ pub fn occr(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<Baseli
     let start = Instant::now();
     let problem = Problem::new(scenario.clone(), *config)?;
     let (mut vars, _) = shared_stage1_start(&problem)?;
-    let stage3 =
-        Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2).solve(&problem, &vars)?;
+    let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
+        .solve(&problem, &vars)?;
     vars.power = stage3.power;
     vars.bandwidth = stage3.bandwidth;
     vars.client_frequency = stage3.client_frequency;
@@ -179,7 +179,10 @@ fn stage1_search_box(problem: &Problem) -> BoxProjection {
     let capacity_bounds = Stage1Solver::phi_upper_bounds(problem);
     // Bisection for the largest symmetric feasible rate.
     let mut lo = phi_min;
-    let mut hi = capacity_bounds.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut hi = capacity_bounds
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     for _ in 0..60 {
         let mid = 0.5 * (lo + hi);
         if Stage1Solver::p3_objective(problem, &vec![mid; n]).is_finite() {
@@ -192,7 +195,10 @@ fn stage1_search_box(problem: &Problem) -> BoxProjection {
     let lower = vec![phi_min; n];
     let upper: Vec<f64> = capacity_bounds
         .iter()
-        .map(|&cap| cap.min(phi_min + 2.0 * (symmetric_max - phi_min)).max(phi_min * 1.5))
+        .map(|&cap| {
+            cap.min(phi_min + 2.0 * (symmetric_max - phi_min))
+                .max(phi_min * 1.5)
+        })
         .collect();
     BoxProjection::new(lower, upper).expect("upper bounds exceed the minimum rate")
 }

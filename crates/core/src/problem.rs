@@ -80,9 +80,14 @@ impl Problem {
     ///
     /// # Errors
     /// Returns [`QuheError::Mec`] when a resource value is non-positive.
-    pub fn client_cost(&self, vars: &DecisionVariables, n: usize) -> QuheResult<ClientCostBreakdown> {
+    pub fn client_cost(
+        &self,
+        vars: &DecisionVariables,
+        n: usize,
+    ) -> QuheResult<ClientCostBreakdown> {
         let client = &self.scenario.mec().clients()[n];
-        let enc = client_encryption_cost(&client.client_compute_params(), vars.client_frequency[n])?;
+        let enc =
+            client_encryption_cost(&client.client_compute_params(), vars.client_frequency[n])?;
         let tr = transmission_cost(
             client.upload_bits,
             vars.bandwidth[n],
@@ -189,10 +194,11 @@ impl Problem {
         }
         // (17c) link entanglement-rate capacity.
         let betas = qkd.betas();
-        for l in 0..n_links {
+        debug_assert_eq!(betas.len(), n_links, "one beta per QKD link");
+        for (l, &beta) in betas.iter().enumerate() {
             let load = qkd.incidence().link_load(l, &vars.phi)?;
-            let capacity = betas[l] * (1.0 - vars.w[l]);
-            if load > capacity + CONSTRAINT_TOLERANCE * betas[l] {
+            let capacity = beta * (1.0 - vars.w[l]);
+            if load > capacity + CONSTRAINT_TOLERANCE * beta {
                 return Err(QuheError::ConstraintViolation {
                     reason: format!(
                         "17c: link {} load {} exceeds capacity {}",
@@ -293,7 +299,11 @@ impl Problem {
         let n = self.num_clients();
         let mec = self.scenario.mec();
         let phi = vec![self.config.min_entanglement_rate; n];
-        let w = optimal_werner(self.scenario.qkd().incidence(), &phi, &self.scenario.qkd().betas())?;
+        let w = optimal_werner(
+            self.scenario.qkd().incidence(),
+            &phi,
+            &self.scenario.qkd().betas(),
+        )?;
         let lambda = vec![self.scenario.lambda_choices()[0]; n];
         let power: Vec<f64> = mec.clients().iter().map(|c| c.max_power_w).collect();
         let bandwidth = mec.equal_bandwidth_split();
@@ -402,8 +412,8 @@ mod tests {
     #[test]
     fn security_utility_increases_with_lambda() {
         let p = problem();
-        let low = p.security_utility(&vec![1 << 15; 6]);
-        let high = p.security_utility(&vec![1 << 17; 6]);
+        let low = p.security_utility(&[1 << 15; 6]);
+        let high = p.security_utility(&[1 << 17; 6]);
         assert!(high > low);
         // Weighted sum with the paper's weights: sum(varsigma) = 1, so the
         // utility equals f_msl(lambda) when all clients share one lambda.
@@ -417,11 +427,19 @@ mod tests {
 
         let mut v = good.clone();
         v.phi[0] = 0.1;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17a"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17a"));
 
         let mut v = good.clone();
         v.w[3] = 1.5;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17b"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17b"));
 
         let mut v = good.clone();
         v.phi = vec![50.0; 6]; // overloads shared links given the w from phi=0.5
@@ -430,27 +448,51 @@ mod tests {
 
         let mut v = good.clone();
         v.lambda[2] = 1 << 14;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17d"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17d"));
 
         let mut v = good.clone();
         v.power[1] = 0.5;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17e"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17e"));
 
         let mut v = good.clone();
         v.bandwidth = vec![3e6; 6];
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17f"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17f"));
 
         let mut v = good.clone();
         v.client_frequency[0] = 5e9;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17g"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17g"));
 
         let mut v = good.clone();
         v.server_frequency = vec![5e9; 6];
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17h"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17h"));
 
         let mut v = good.clone();
         v.delay_bound = 1e-3;
-        assert!(p.check_feasible(&v).unwrap_err().to_string().contains("17i"));
+        assert!(p
+            .check_feasible(&v)
+            .unwrap_err()
+            .to_string()
+            .contains("17i"));
 
         let mut v = good;
         v.w.pop();

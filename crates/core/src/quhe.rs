@@ -100,8 +100,10 @@ impl QuheAlgorithm {
         let wall_clock = Instant::now();
         let stage1_solver = Stage1Solver::new();
         let stage2_solver = Stage2Solver::new();
-        let stage3_solver =
-            Stage3Solver::new(self.config.max_stage3_iterations, self.config.tolerance * 1e-2);
+        let stage3_solver = Stage3Solver::new(
+            self.config.max_stage3_iterations,
+            self.config.tolerance * 1e-2,
+        );
 
         let mut vars = start;
         let mut best_objective = problem.objective_with_max_delay(&vars)?;
@@ -120,6 +122,8 @@ impl QuheAlgorithm {
         let mut last_stage3 = None;
 
         let mut iterations = 0;
+        let mut explored_lambdas: std::collections::HashSet<Vec<u64>> =
+            std::collections::HashSet::new();
         for iteration in 0..self.config.max_outer_iterations {
             iterations = iteration + 1;
             let objective_before = best_objective;
@@ -133,8 +137,19 @@ impl QuheAlgorithm {
             let after_stage2 = problem.objective_with_max_delay(&vars)?;
             last_stage2 = Some(stage2);
 
-            // Stage 3: communication and computation resources.
-            let stage3 = stage3_solver.solve(problem, &vars)?;
+            // Stage 3: communication and computation resources. The
+            // multi-start basin exploration pays off only when the Stage-3
+            // cost surface is new — i.e. the first time each `lambda` is
+            // seen, since the surface depends on the variables only through
+            // `lambda`. While `lambda` is unchanged the warm start already
+            // sits in the best basin found and re-solving the fixed starts
+            // would only cost time.
+            let surface_is_new = explored_lambdas.insert(vars.lambda.clone());
+            let stage3 = if surface_is_new {
+                stage3_solver.solve(problem, &vars)?
+            } else {
+                stage3_solver.solve_warm_start_only(problem, &vars)?
+            };
             stage_calls[2] += 1;
             vars.power = stage3.power.clone();
             vars.bandwidth = stage3.bandwidth.clone();
@@ -233,6 +248,10 @@ mod tests {
         let result = QuheAlgorithm::new(QuheConfig::default())
             .solve(&scenario())
             .unwrap();
-        assert!(result.converged, "did not converge in {} iterations", result.outer_iterations);
+        assert!(
+            result.converged,
+            "did not converge in {} iterations",
+            result.outer_iterations
+        );
     }
 }

@@ -26,7 +26,9 @@ pub fn sample_initial_points<R: Rng + ?Sized>(
     count: usize,
     rng: &mut R,
 ) -> QuheResult<Vec<DecisionVariables>> {
-    (0..count).map(|_| problem.random_initial_point(rng)).collect()
+    (0..count)
+        .map(|_| problem.random_initial_point(rng))
+        .collect()
 }
 
 /// Outcome of the optimality study.
@@ -70,12 +72,18 @@ impl OptimalityStudy {
 
     /// The maximum objective observed.
     pub fn max(&self) -> f64 {
-        self.objectives.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.objectives
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The minimum objective observed.
     pub fn min(&self) -> f64 {
-        self.objectives.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.objectives
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// The mean objective.

@@ -157,11 +157,11 @@ impl Stage1Solver {
                 g.push(phi_min - p);
             }
             // (20b) load_l / beta_l - (1 - margin) <= 0.
-            for l in 0..n_links {
+            for (l, &beta) in betas_con.iter().enumerate() {
                 let load = incidence_con
                     .link_load(l, &phi)
                     .expect("phi has the right length");
-                g.push(load / betas_con[l] - (1.0 - STRICT_MARGIN));
+                g.push(load / beta - (1.0 - STRICT_MARGIN));
             }
             // (20c) threshold - varpi_n <= 0.
             for n in 0..n_routes {
@@ -243,7 +243,7 @@ mod tests {
     fn stage1_improves_over_the_minimum_rate_point() {
         let p = problem();
         let result = Stage1Solver::new().solve(&p).unwrap();
-        let at_minimum = Stage1Solver::p3_objective(&p, &vec![0.5; 6]);
+        let at_minimum = Stage1Solver::p3_objective(&p, &[0.5; 6]);
         assert!(
             result.objective < at_minimum,
             "stage 1 ({}) should beat the trivial point ({})",

@@ -240,9 +240,9 @@ impl Stage3Solver {
         let n = problem.num_clients();
         let mut scales = Vec::with_capacity(4 * n);
         scales.extend(mec.clients().iter().map(|c| c.max_power_w));
-        scales.extend(std::iter::repeat(mec.total_bandwidth_hz()).take(n));
+        scales.extend(std::iter::repeat_n(mec.total_bandwidth_hz(), n));
         scales.extend(mec.clients().iter().map(|c| c.max_client_frequency_hz));
-        scales.extend(std::iter::repeat(mec.total_server_frequency_hz()).take(n));
+        scales.extend(std::iter::repeat_n(mec.total_server_frequency_hz(), n));
         scales
     }
 
@@ -277,7 +277,7 @@ impl Stage3Solver {
     /// # Errors
     /// Propagates optimization errors from the fractional-programming loop.
     pub fn solve(&self, problem: &Problem, vars: &DecisionVariables) -> QuheResult<Stage3Result> {
-        self.run(problem, vars, false)
+        self.run(problem, vars, false, true)
     }
 
     /// Like [`Stage3Solver::solve`] but additionally performs a final
@@ -292,7 +292,22 @@ impl Stage3Solver {
         problem: &Problem,
         vars: &DecisionVariables,
     ) -> QuheResult<Stage3Result> {
-        self.run(problem, vars, true)
+        self.run(problem, vars, true, true)
+    }
+
+    /// Like [`Stage3Solver::solve`] but using only the warm start from
+    /// `vars`, skipping the canonical multi-start points. Intended for outer
+    /// iterations after the first, where the warm start already sits in the
+    /// best basin found and re-exploring the fixed starts only costs time.
+    ///
+    /// # Errors
+    /// Propagates optimization errors from the fractional-programming loop.
+    pub fn solve_warm_start_only(
+        &self,
+        problem: &Problem,
+        vars: &DecisionVariables,
+    ) -> QuheResult<Stage3Result> {
+        self.run(problem, vars, false, false)
     }
 
     fn run(
@@ -300,21 +315,40 @@ impl Stage3Solver {
         problem: &Problem,
         vars: &DecisionVariables,
         with_gap_trace: bool,
+        multi_start: bool,
     ) -> QuheResult<Stage3Result> {
         let start = Instant::now();
         let constants = Stage3Constants::build(problem, &vars.lambda)?;
         let projection = Self::scaled_projection(problem);
         let scales = Self::scales(problem);
         let n = constants.num_clients();
-        let unscale = |y: &[f64]| -> Vec<f64> {
-            y.iter().zip(&scales).map(|(v, s)| v * s).collect()
-        };
-        let mut y0: Vec<f64> = Self::pack(vars)
+        let unscale =
+            |y: &[f64]| -> Vec<f64> { y.iter().zip(&scales).map(|(v, s)| v * s).collect() };
+        // The quadratic-transform surrogate is non-convex in the joint
+        // variables, so a single warm start can land in a budget-dependent
+        // local optimum (observed as the objective *dropping* when a resource
+        // budget grows). Run the fractional-programming loop from a small set
+        // of deterministic starts — the warm start plus canonical
+        // budget-proportional points — and keep the best by true cost.
+        let mut warm: Vec<f64> = Self::pack(vars)
             .iter()
             .zip(&scales)
             .map(|(v, s)| v / s)
             .collect();
-        projection.project(&mut y0);
+        projection.project(&mut warm);
+        let n_f = n as f64;
+        let mut starts: Vec<Vec<f64>> = vec![warm];
+        if multi_start {
+            for level in [1.0, 0.5, 0.1] {
+                let mut y: Vec<f64> = Vec::with_capacity(4 * n);
+                y.extend(std::iter::repeat_n(level, n)); // p / p_max
+                y.extend(std::iter::repeat_n(1.0 / n_f, n)); // b: even split
+                y.extend(std::iter::repeat_n(level, n)); // f_c / f_max
+                y.extend(std::iter::repeat_n(1.0 / n_f, n)); // f_s: even split
+                projection.project(&mut y);
+                starts.push(y);
+            }
+        }
 
         // Ratio terms p_n d_n / r_n handled by the quadratic transform,
         // expressed on the normalized coordinates.
@@ -325,9 +359,7 @@ impl Stage3Solver {
                 let scales_num = &scales;
                 let scales_den = &scales;
                 RatioTerm::new(
-                    move |y: &[f64]| {
-                        y[client] * scales_num[client] * c_num.upload_bits[client]
-                    },
+                    move |y: &[f64]| y[client] * scales_num[client] * c_num.upload_bits[client],
                     move |y: &[f64]| {
                         let x: Vec<f64> = y.iter().zip(scales_den).map(|(v, s)| v * s).collect();
                         c_den.rate(&x, client)
@@ -351,30 +383,54 @@ impl Stage3Solver {
         let constants_inner = &constants;
         let projection_inner = &projection;
         let scales_inner = &scales;
-        let outcome = qt.solve(
-            |y: &[f64]| {
-                let x: Vec<f64> = y.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
-                constants_inner.smooth_cost(&x)
-            },
-            &ratio_terms,
-            &weights,
-            &y0,
-            |y, z| {
-                let z = z.to_vec();
-                let surrogate = |yy: &[f64]| {
-                    let x: Vec<f64> = yy.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
-                    let mut value = constants_inner.smooth_cost(&x);
-                    for client in 0..n {
-                        let num = x[client] * constants_inner.upload_bits[client];
-                        let den = constants_inner.rate(&x, client);
-                        value += constants_inner.alpha_e
-                            * (num * num * z[client] + 1.0 / (4.0 * den * den * z[client]));
-                    }
-                    value
-                };
-                Ok(inner_solver.minimize(&surrogate, projection_inner, y)?.solution)
-            },
-        )?;
+        let mut best: Option<(f64, quhe_opt::fractional::QuadraticTransformResult)> = None;
+        let mut last_error = None;
+        for y0 in &starts {
+            let attempt = qt.solve(
+                |y: &[f64]| {
+                    let x: Vec<f64> = y.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
+                    constants_inner.smooth_cost(&x)
+                },
+                &ratio_terms,
+                &weights,
+                y0,
+                |y, z| {
+                    let z = z.to_vec();
+                    let surrogate = |yy: &[f64]| {
+                        let x: Vec<f64> = yy.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
+                        let mut value = constants_inner.smooth_cost(&x);
+                        for client in 0..n {
+                            let num = x[client] * constants_inner.upload_bits[client];
+                            let den = constants_inner.rate(&x, client);
+                            value += constants_inner.alpha_e
+                                * (num * num * z[client] + 1.0 / (4.0 * den * den * z[client]));
+                        }
+                        value
+                    };
+                    Ok(inner_solver
+                        .minimize(&surrogate, projection_inner, y)?
+                        .solution)
+                },
+            );
+            // A diverging extra start must not abort the solve: the starts
+            // exist to improve robustness, so keep the best that converged
+            // and only fail if every start failed.
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(error) => {
+                    last_error = Some(error);
+                    continue;
+                }
+            };
+            let cost = constants.total_cost(&unscale(&outcome.solution));
+            if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
+                best = Some((cost, outcome));
+            }
+        }
+        let (_, outcome) = match best {
+            Some(best) => best,
+            None => return Err(last_error.expect("at least one start was attempted").into()),
+        };
 
         let solution = unscale(&outcome.solution);
         let gap_trace = if with_gap_trace {
@@ -458,17 +514,11 @@ impl Stage3Solver {
             for client in 0..n {
                 let f_c = x[2 * n + client];
                 let f_s = x[3 * n + client];
-                value += constants_obj.alpha_e
-                    * constants_obj.client_energy_coeff[client]
-                    * f_c
-                    * f_c;
-                value += constants_obj.alpha_e
-                    * constants_obj.server_energy_coeff[client]
-                    * f_s
-                    * f_s;
-                value += constants_obj.alpha_e
-                    * x[client]
-                    * constants_obj.upload_bits[client]
+                value +=
+                    constants_obj.alpha_e * constants_obj.client_energy_coeff[client] * f_c * f_c;
+                value +=
+                    constants_obj.alpha_e * constants_obj.server_energy_coeff[client] * f_s * f_s;
+                value += constants_obj.alpha_e * x[client] * constants_obj.upload_bits[client]
                     / constants_obj.rate(x, client);
             }
             value
@@ -490,8 +540,7 @@ impl Stage3Solver {
             g.push(x[3 * n..4 * n].iter().sum::<f64>() - f_total); // 17h
             g
         };
-        let barrier_problem =
-            FnProblem::new(dim, objective, constraints).with_start(start_point);
+        let barrier_problem = FnProblem::new(dim, objective, constraints).with_start(start_point);
         let config = BarrierConfig {
             gap_tolerance: 1e-5,
             newton: NewtonConfig {

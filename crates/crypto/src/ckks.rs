@@ -196,7 +196,8 @@ impl CkksContext {
         let mut components = Vec::with_capacity(digits as usize);
         for i in 0..digits {
             let a_i = Polynomial::sample_uniform(n, q, rng).expect("validated");
-            let e_i = Polynomial::sample_error(n, q, self.params.error_std, rng).expect("validated");
+            let e_i =
+                Polynomial::sample_error(n, q, self.params.error_std, rng).expect("validated");
             let factor = q.pow(2, u64::from(self.params.base_log) * u64::from(i));
             let b_i = self
                 .ntt
@@ -329,7 +330,11 @@ impl CkksContext {
     /// # Errors
     /// Returns [`CryptoError::ParameterMismatch`] if the ciphertext was
     /// produced by a different context.
-    pub fn decrypt(&self, ciphertext: &Ciphertext, secret_key: &SecretKey) -> CryptoResult<Plaintext> {
+    pub fn decrypt(
+        &self,
+        ciphertext: &Ciphertext,
+        secret_key: &SecretKey,
+    ) -> CryptoResult<Plaintext> {
         self.check_poly(&ciphertext.c0)?;
         let poly = ciphertext
             .c0
@@ -517,7 +522,9 @@ mod tests {
         let mut p = CkksParameters::insecure_test_parameters();
         p.base_log = 0;
         assert!(p.validate().is_err());
-        assert!(CkksParameters::insecure_test_parameters().validate().is_ok());
+        assert!(CkksParameters::insecure_test_parameters()
+            .validate()
+            .is_ok());
         assert!(CkksParameters::demo_parameters().validate().is_ok());
         assert_eq!(CkksParameters::insecure_test_parameters().slots(), 32);
     }
@@ -569,12 +576,20 @@ mod tests {
         let keys = ctx.generate_keys(&mut rng);
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![0.5, -1.0, 2.5];
-        let ct_a = ctx.encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng).unwrap();
-        let ct_b = ctx.encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct_a = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng)
+            .unwrap();
+        let ct_b = ctx
+            .encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng)
+            .unwrap();
         let sum = ctx.add(&ct_a, &ct_b).unwrap();
         let diff = ctx.sub(&ct_a, &ct_b).unwrap();
-        let sum_dec = ctx.decode(&ctx.decrypt(&sum, &keys.secret).unwrap(), 3).unwrap();
-        let diff_dec = ctx.decode(&ctx.decrypt(&diff, &keys.secret).unwrap(), 3).unwrap();
+        let sum_dec = ctx
+            .decode(&ctx.decrypt(&sum, &keys.secret).unwrap(), 3)
+            .unwrap();
+        let diff_dec = ctx
+            .decode(&ctx.decrypt(&diff, &keys.secret).unwrap(), 3)
+            .unwrap();
         assert_close(&sum_dec, &[1.5, 1.0, 5.5], 1e-3);
         assert_close(&diff_dec, &[0.5, 3.0, 0.5], 1e-3);
     }
@@ -602,8 +617,12 @@ mod tests {
         let keys = ctx.generate_keys(&mut rng);
         let data = vec![1.5, -2.0, 0.25];
         let weights = vec![2.0, 3.0, -4.0];
-        let ct = ctx.encrypt(&ctx.encode(&data).unwrap(), &keys.public, &mut rng).unwrap();
-        let product = ctx.multiply_plain(&ct, &ctx.encode(&weights).unwrap()).unwrap();
+        let ct = ctx
+            .encrypt(&ctx.encode(&data).unwrap(), &keys.public, &mut rng)
+            .unwrap();
+        let product = ctx
+            .multiply_plain(&ct, &ctx.encode(&weights).unwrap())
+            .unwrap();
         let decoded = ctx
             .decode(&ctx.decrypt(&product, &keys.secret).unwrap(), 3)
             .unwrap();
@@ -617,8 +636,12 @@ mod tests {
         let keys = ctx.generate_keys(&mut rng);
         let a = vec![1.0, 2.0, -3.0];
         let b = vec![2.0, 0.5, 1.5];
-        let ct_a = ctx.encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng).unwrap();
-        let ct_b = ctx.encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct_a = ctx
+            .encrypt(&ctx.encode(&a).unwrap(), &keys.public, &mut rng)
+            .unwrap();
+        let ct_b = ctx
+            .encrypt(&ctx.encode(&b).unwrap(), &keys.public, &mut rng)
+            .unwrap();
         let prod = ctx.multiply(&ct_a, &ct_b, &keys.relinearization).unwrap();
         assert!((prod.scale - ctx.params().scale * ctx.params().scale).abs() < 1.0);
         let decoded = ctx
@@ -637,11 +660,15 @@ mod tests {
         let x = vec![0.5, 1.0, 1.5, 2.0];
         let w = vec![2.0, -1.0, 0.5, 3.0];
         let bias = vec![0.1, 0.2, 0.3, 0.4];
-        let ct_x = ctx.encrypt(&ctx.encode(&x).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct_x = ctx
+            .encrypt(&ctx.encode(&x).unwrap(), &keys.public, &mut rng)
+            .unwrap();
         let wx = ctx.multiply_plain(&ct_x, &ctx.encode(&w).unwrap()).unwrap();
         let bias_pt = ctx.encode_at_scale(&bias, wx.scale).unwrap();
         let y = ctx.add_plain(&wx, &bias_pt).unwrap();
-        let decoded = ctx.decode(&ctx.decrypt(&y, &keys.secret).unwrap(), 4).unwrap();
+        let decoded = ctx
+            .decode(&ctx.decrypt(&y, &keys.secret).unwrap(), 4)
+            .unwrap();
         let expected: Vec<f64> = x
             .iter()
             .zip(&w)
@@ -658,15 +685,21 @@ mod tests {
         let mut rng = rng();
         let keys = ctx.generate_keys(&mut rng);
         let other_keys = other.generate_keys(&mut rng);
-        let ct = ctx.encrypt(&ctx.encode(&[1.0]).unwrap(), &keys.public, &mut rng).unwrap();
+        let ct = ctx
+            .encrypt(&ctx.encode(&[1.0]).unwrap(), &keys.public, &mut rng)
+            .unwrap();
         let other_ct = other
             .encrypt(&other.encode(&[1.0]).unwrap(), &other_keys.public, &mut rng)
             .unwrap();
         assert!(ctx.add(&ct, &other_ct).is_err());
         // Scale mismatch (after a plaintext multiplication) is also rejected.
-        let scaled = ctx.multiply_plain(&ct, &ctx.encode(&[2.0]).unwrap()).unwrap();
+        let scaled = ctx
+            .multiply_plain(&ct, &ctx.encode(&[2.0]).unwrap())
+            .unwrap();
         assert!(ctx.add(&ct, &scaled).is_err());
-        assert!(ctx.add_plain(&scaled, &ctx.encode(&[1.0]).unwrap()).is_err());
+        assert!(ctx
+            .add_plain(&scaled, &ctx.encode(&[1.0]).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -21,7 +21,9 @@ use crate::error::{CryptoError, CryptoResult};
 pub const LAMBDA_CHOICES: [u64; 3] = [1 << 15, 1 << 16, 1 << 17];
 
 /// A CKKS polynomial degree `lambda` (a power of two).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct PolynomialDegree(u64);
 
@@ -46,7 +48,10 @@ impl PolynomialDegree {
 
     /// The paper's candidate set `{2^15, 2^16, 2^17}`.
     pub fn paper_choices() -> Vec<PolynomialDegree> {
-        LAMBDA_CHOICES.iter().map(|&v| PolynomialDegree(v)).collect()
+        LAMBDA_CHOICES
+            .iter()
+            .map(|&v| PolynomialDegree(v))
+            .collect()
     }
 }
 

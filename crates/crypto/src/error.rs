@@ -60,15 +60,24 @@ impl fmt::Display for CryptoError {
             CryptoError::TooManySlots {
                 requested,
                 capacity,
-            } => write!(f, "requested {requested} slots but the ring only offers {capacity}"),
+            } => write!(
+                f,
+                "requested {requested} slots but the ring only offers {capacity}"
+            ),
             CryptoError::EncodingOverflow { magnitude } => {
-                write!(f, "value of magnitude {magnitude} overflows the encoding range")
+                write!(
+                    f,
+                    "value of magnitude {magnitude} overflows the encoding range"
+                )
             }
             CryptoError::NoNttRoot { modulus, degree } => {
                 write!(f, "no 2*{degree}-th root of unity modulo {modulus}")
             }
             CryptoError::InvalidKeyLength { expected, actual } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {actual}"
+                )
             }
         }
     }

@@ -46,10 +46,8 @@ impl NttTable {
         if (q - 1) % two_n != 0 {
             return Err(CryptoError::NoNttRoot { modulus: q, degree });
         }
-        let psi = find_primitive_2nth_root(modulus, degree).ok_or(CryptoError::NoNttRoot {
-            modulus: q,
-            degree,
-        })?;
+        let psi = find_primitive_2nth_root(modulus, degree)
+            .ok_or(CryptoError::NoNttRoot { modulus: q, degree })?;
         let psi_inv = modulus.inv(psi)?;
         let bits = degree.trailing_zeros();
         let mut psi_rev = vec![0u64; degree];

@@ -50,7 +50,8 @@ impl TranscipherSession {
     /// 32-byte keys; passing anything else is a programming error).
     pub fn new(key: &[u8], stream_offset: u32) -> Self {
         let nonce = [0u8; NONCE_LEN];
-        let cipher = ChaCha20::new(key, &nonce).expect("transcipher session requires a 32-byte key");
+        let cipher =
+            ChaCha20::new(key, &nonce).expect("transcipher session requires a 32-byte key");
         Self {
             cipher,
             stream_offset,

@@ -123,7 +123,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let n = 20_000;
         let avg = |d: f64, rng: &mut rand::rngs::StdRng| -> f64 {
-            (0..n).map(|_| model.sample_gain(d, rng).unwrap()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| model.sample_gain(d, rng).unwrap())
+                .sum::<f64>()
+                / n as f64
         };
         let near = avg(100.0, &mut rng);
         let far = avg(900.0, &mut rng);

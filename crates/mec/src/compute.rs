@@ -157,7 +157,9 @@ mod tests {
         let expected_cycles = cycles_per_sample * 160.0 / 10.0;
         assert!((cost.total_cycles - expected_cycles).abs() / expected_cycles < 1e-12);
         assert!((cost.delay_s - expected_cycles / 3.3e9).abs() < 1e-6);
-        assert!((cost.energy_j - 1e-28 * expected_cycles * 3.3e9 * 3.3e9).abs() / cost.energy_j < 1e-9);
+        assert!(
+            (cost.energy_j - 1e-28 * expected_cycles * 3.3e9 * 3.3e9).abs() / cost.energy_j < 1e-9
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl SystemCost {
             .iter()
             .map(ClientCostBreakdown::total_delay_s)
             .fold(f64::NEG_INFINITY, f64::max);
-        let total_energy_j = per_client.iter().map(ClientCostBreakdown::total_energy_j).sum();
+        let total_energy_j = per_client
+            .iter()
+            .map(ClientCostBreakdown::total_energy_j)
+            .sum();
         Ok(Self {
             per_client,
             total_delay_s,
@@ -106,9 +109,12 @@ mod tests {
 
     #[test]
     fn system_delay_is_max_and_energy_is_sum() {
-        let cost =
-            SystemCost::aggregate(vec![breakdown(5.0, 10.0), breakdown(9.0, 20.0), breakdown(2.0, 5.0)])
-                .unwrap();
+        let cost = SystemCost::aggregate(vec![
+            breakdown(5.0, 10.0),
+            breakdown(9.0, 20.0),
+            breakdown(2.0, 5.0),
+        ])
+        .unwrap();
         assert!((cost.total_delay_s - 9.0).abs() < 1e-12);
         assert!((cost.total_energy_j - 35.0).abs() < 1e-12);
         assert_eq!(cost.bottleneck_client(), 1);

@@ -59,7 +59,10 @@ impl BandwidthBudget {
         let sum: f64 = allocation.iter().sum();
         if sum > self.total_hz * (1.0 + 1e-9) {
             return Err(MecError::BudgetExceeded {
-                reason: format!("allocated {sum} Hz exceeds the budget of {} Hz", self.total_hz),
+                reason: format!(
+                    "allocated {sum} Hz exceeds the budget of {} Hz",
+                    self.total_hz
+                ),
             });
         }
         Ok(())

@@ -200,10 +200,20 @@ mod tests {
         let bounds = BoxProjection::uniform(1, -1.0, 1.0).unwrap();
         let sa = SimulatedAnnealing::default();
         let r1 = sa
-            .minimize(&f, &bounds, &[0.9], &mut rand::rngs::StdRng::seed_from_u64(3))
+            .minimize(
+                &f,
+                &bounds,
+                &[0.9],
+                &mut rand::rngs::StdRng::seed_from_u64(3),
+            )
             .unwrap();
         let r2 = sa
-            .minimize(&f, &bounds, &[0.9], &mut rand::rngs::StdRng::seed_from_u64(3))
+            .minimize(
+                &f,
+                &bounds,
+                &[0.9],
+                &mut rand::rngs::StdRng::seed_from_u64(3),
+            )
             .unwrap();
         assert_eq!(r1.solution, r2.solution);
     }

@@ -206,8 +206,12 @@ impl BarrierSolver {
                 actual: start.len(),
             });
         }
-        let strictly_feasible =
-            |x: &[f64]| problem.constraints(x).iter().all(|&g| g < 0.0 && g.is_finite());
+        let strictly_feasible = |x: &[f64]| {
+            problem
+                .constraints(x)
+                .iter()
+                .all(|&g| g < 0.0 && g.is_finite())
+        };
         if !strictly_feasible(&start) {
             return Err(OptError::InfeasibleStart {
                 reason: "starting point violates strict feasibility".to_string(),

@@ -262,12 +262,11 @@ mod tests {
             tolerance: 1e-16,
             strict: true,
         });
-        let mut blocks: Vec<Box<dyn FnMut(State) -> OptResult<State>>> = vec![Box::new(
-            |mut s: State| {
+        let mut blocks: Vec<Box<dyn FnMut(State) -> OptResult<State>>> =
+            vec![Box::new(|mut s: State| {
                 s.x += 1.0; // keeps improving, never converges in one sweep
                 Ok(s)
-            },
-        )];
+            })];
         let res = driver.maximize(
             State { x: 0.0, y: 0.0 },
             |s: &State| -((s.x - 100.0).powi(2)),
@@ -279,14 +278,15 @@ mod tests {
     #[test]
     fn worsening_block_updates_are_rejected() {
         let driver = BlockDescent::default();
-        let mut blocks: Vec<Box<dyn FnMut(State) -> OptResult<State>>> = vec![Box::new(
-            |mut s: State| {
+        let mut blocks: Vec<Box<dyn FnMut(State) -> OptResult<State>>> =
+            vec![Box::new(|mut s: State| {
                 s.x -= 50.0; // strictly worsens the objective
                 Ok(s)
-            },
-        )];
+            })];
         let start = State { x: 3.0, y: -1.0 };
-        let out = driver.maximize(start.clone(), objective, &mut blocks).unwrap();
+        let out = driver
+            .maximize(start.clone(), objective, &mut blocks)
+            .unwrap();
         assert_eq!(out.state, start, "worsening update should be discarded");
     }
 

@@ -44,7 +44,9 @@ pub struct BranchAndBoundConfig {
 
 impl Default for BranchAndBoundConfig {
     fn default() -> Self {
-        Self { max_nodes: 1_000_000 }
+        Self {
+            max_nodes: 1_000_000,
+        }
     }
 }
 
@@ -85,8 +87,16 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on the bound; NaN-safe by treating NaN as -inf.
-        let a = if self.bound.is_nan() { f64::NEG_INFINITY } else { self.bound };
-        let b = if other.bound.is_nan() { f64::NEG_INFINITY } else { other.bound };
+        let a = if self.bound.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            self.bound
+        };
+        let b = if other.bound.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            other.bound
+        };
         a.partial_cmp(&b).unwrap_or(Ordering::Equal)
     }
 }

@@ -94,7 +94,10 @@ mod tests {
     fn gradient_of_quadratic_matches_analytic() {
         let x = [1.5, -2.0];
         let g = central_gradient(&quadratic, &x, DEFAULT_FD_STEP);
-        let expected = [6.0 * x[0] + 2.0 * x[1] + 7.0, 2.0 * x[0] + 10.0 * x[1] - 1.0];
+        let expected = [
+            6.0 * x[0] + 2.0 * x[1] + 7.0,
+            2.0 * x[0] + 10.0 * x[1] - 1.0,
+        ];
         assert!((g[0] - expected[0]).abs() < 1e-5);
         assert!((g[1] - expected[1]).abs() < 1e-5);
     }

@@ -58,7 +58,9 @@ impl fmt::Display for OptError {
             OptError::NonFiniteValue { context } => {
                 write!(f, "non-finite value encountered in {context}")
             }
-            OptError::SingularSystem => write!(f, "linear system is singular or not positive definite"),
+            OptError::SingularSystem => {
+                write!(f, "linear system is singular or not positive definite")
+            }
             OptError::DidNotConverge { iterations } => {
                 write!(f, "solver did not converge within {iterations} iterations")
             }

@@ -22,10 +22,13 @@ use crate::OptimizeResult;
 /// the feasible set.
 pub struct RatioTerm<'a> {
     /// Numerator as a function of the decision vector.
-    pub numerator: Box<dyn Fn(&[f64]) -> f64 + 'a>,
+    pub numerator: ScalarFn<'a>,
     /// Denominator as a function of the decision vector (must stay positive).
-    pub denominator: Box<dyn Fn(&[f64]) -> f64 + 'a>,
+    pub denominator: ScalarFn<'a>,
 }
+
+/// A boxed scalar-valued function of the decision vector.
+pub type ScalarFn<'a> = Box<dyn Fn(&[f64]) -> f64 + 'a>;
 
 impl<'a> std::fmt::Debug for RatioTerm<'a> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -306,7 +309,11 @@ mod tests {
                 },
             )
             .unwrap();
-        assert!((res.solution[0] - 0.1).abs() < 1e-2, "got {}", res.solution[0]);
+        assert!(
+            (res.solution[0] - 0.1).abs() < 1e-2,
+            "got {}",
+            res.solution[0]
+        );
         assert!(res.converged);
     }
 

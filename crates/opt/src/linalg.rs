@@ -45,10 +45,7 @@ impl VectorExt for [f64] {
 
     fn axpy(&self, alpha: f64, other: &[f64]) -> Vec<f64> {
         assert_eq!(self.len(), other.len(), "axpy: length mismatch");
-        self.iter()
-            .zip(other)
-            .map(|(a, b)| a + alpha * b)
-            .collect()
+        self.iter().zip(other).map(|(a, b)| a + alpha * b).collect()
     }
 
     fn scale(&self, alpha: f64) -> Vec<f64> {
@@ -150,9 +147,10 @@ impl DenseMatrix {
     pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[j] += self.data[i * self.cols + j] * x[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, &value) in out.iter_mut().zip(row) {
+                *o += value * xi;
             }
         }
         out

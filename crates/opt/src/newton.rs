@@ -176,7 +176,9 @@ mod tests {
     fn newton_converges_on_quadratic_in_few_iterations() {
         let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 4.0 * (x[1] + 2.0).powi(2) + x[0] * x[1] * 0.1;
         let solver = DampedNewton::default();
-        let res = solver.minimize(&f, &|_: &[f64]| true, &[10.0, 10.0]).unwrap();
+        let res = solver
+            .minimize(&f, &|_: &[f64]| true, &[10.0, 10.0])
+            .unwrap();
         assert!(res.converged);
         assert!(res.iterations <= 10, "took {} iterations", res.iterations);
         // Analytic minimum of the slightly coupled quadratic.

@@ -111,7 +111,11 @@ impl BoxProjection {
 
 impl Projection for BoxProjection {
     fn project(&self, x: &mut [f64]) {
-        assert_eq!(x.len(), self.lower.len(), "box projection: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.lower.len(),
+            "box projection: dimension mismatch"
+        );
         for ((xi, l), u) in x.iter_mut().zip(&self.lower).zip(&self.upper) {
             *xi = xi.clamp(*l, *u);
         }
@@ -181,7 +185,11 @@ impl SimplexCapProjection {
 
 impl Projection for SimplexCapProjection {
     fn project(&self, x: &mut [f64]) {
-        assert_eq!(x.len(), self.lower.len(), "simplex projection: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.lower.len(),
+            "simplex projection: dimension mismatch"
+        );
         // Clamp to lower bounds first.
         for (xi, l) in x.iter_mut().zip(&self.lower) {
             if *xi < *l {

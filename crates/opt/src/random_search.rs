@@ -84,7 +84,7 @@ impl RandomSearch {
             if !value.is_finite() {
                 continue;
             }
-            let improved = best.as_ref().map_or(true, |(_, b)| value < *b);
+            let improved = best.as_ref().is_none_or(|(_, b)| value < *b);
             if improved {
                 best = Some((candidate, value));
                 trace.push(value);
@@ -115,7 +115,9 @@ mod tests {
         let f = |x: &[f64]| (x[0] - 0.25).powi(2);
         let bounds = BoxProjection::uniform(1, 0.0, 1.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        let res = RandomSearch::default()
+            .minimize(&f, &bounds, &mut rng)
+            .unwrap();
         assert!(res.objective < 1e-4);
         assert_eq!(res.iterations, 10_000);
     }
@@ -126,7 +128,9 @@ mod tests {
         let f = |x: &[f64]| if x[0] > 0.5 { x[0] } else { f64::NAN };
         let bounds = BoxProjection::uniform(1, 0.0, 1.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        let res = RandomSearch::default()
+            .minimize(&f, &bounds, &mut rng)
+            .unwrap();
         assert!(res.solution[0] > 0.5);
     }
 
@@ -146,7 +150,9 @@ mod tests {
         let f = |x: &[f64]| x[0].abs();
         let bounds = BoxProjection::uniform(1, -1.0, 1.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let res = RandomSearch::default().minimize(&f, &bounds, &mut rng).unwrap();
+        let res = RandomSearch::default()
+            .minimize(&f, &bounds, &mut rng)
+            .unwrap();
         for w in res.trace.windows(2) {
             assert!(w[1] < w[0]);
         }

@@ -77,24 +77,19 @@ impl RateAllocation {
         for (n, (p, min)) in self.phi.iter().zip(phi_min).enumerate() {
             if p < min {
                 return Err(QkdError::InfeasibleAllocation {
-                    reason: format!(
-                        "route {} rate {} below its minimum {}",
-                        n + 1,
-                        p,
-                        min
-                    ),
+                    reason: format!("route {} rate {} below its minimum {}", n + 1, p, min),
                 });
             }
         }
-        for l in 0..incidence.num_links() {
+        for (l, &beta) in betas.iter().enumerate() {
             let load = incidence.link_load(l, &self.phi)?;
-            if load >= betas[l] {
+            if load >= beta {
                 return Err(QkdError::InfeasibleAllocation {
                     reason: format!(
                         "link {} load {} reaches or exceeds its maximum rate {}",
                         l + 1,
                         load,
-                        betas[l]
+                        beta
                     ),
                 });
             }
@@ -130,16 +125,16 @@ pub fn optimal_werner(
         });
     }
     let mut w = Vec::with_capacity(incidence.num_links());
-    for l in 0..incidence.num_links() {
+    for (l, &beta) in betas.iter().enumerate() {
         let load = incidence.link_load(l, phi)?;
-        let value = 1.0 - load / betas[l];
+        let value = 1.0 - load / beta;
         if value <= 0.0 {
             return Err(QkdError::InfeasibleAllocation {
                 reason: format!(
                     "link {} load {} saturates its maximum rate {}",
                     l + 1,
                     load,
-                    betas[l]
+                    beta
                 ),
             });
         }

@@ -262,7 +262,10 @@ mod tests {
 
     #[test]
     fn pack_bits_is_msb_first() {
-        assert_eq!(pack_bits(&[true, false, false, false, false, false, false, true]), vec![0x81]);
+        assert_eq!(
+            pack_bits(&[true, false, false, false, false, false, false, true]),
+            vec![0x81]
+        );
         assert_eq!(pack_bits(&[true]), vec![0x80]);
         assert_eq!(pack_bits(&[]), Vec::<u8>::new());
     }

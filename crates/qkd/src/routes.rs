@@ -98,7 +98,10 @@ impl IncidenceMatrix {
     /// # Panics
     /// Panics when an index is out of range.
     pub fn contains(&self, link: usize, route: usize) -> bool {
-        assert!(link < self.num_links && route < self.num_routes, "index out of bounds");
+        assert!(
+            link < self.num_links && route < self.num_routes,
+            "index out of bounds"
+        );
         self.entries[link * self.num_routes + route]
     }
 

@@ -42,7 +42,11 @@ impl Link {
                 reason: format!("link {id}: beta must be positive, got {beta}"),
             });
         }
-        Ok(Self { id, length_km, beta })
+        Ok(Self {
+            id,
+            length_km,
+            beta,
+        })
     }
 }
 
@@ -192,9 +196,7 @@ pub fn surfnet_scenario() -> NetworkScenario {
     let links: Vec<Link> = SURFNET_LINKS
         .iter()
         .enumerate()
-        .map(|(i, &(length, beta))| {
-            Link::new(i + 1, length, beta).expect("table IV data is valid")
-        })
+        .map(|(i, &(length, beta))| Link::new(i + 1, length, beta).expect("table IV data is valid"))
         .collect();
     let routes: Vec<Route> = SURFNET_ROUTES
         .iter()

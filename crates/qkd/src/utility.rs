@@ -76,11 +76,7 @@ pub fn network_utility(incidence: &IncidenceMatrix, phi: &[f64], w: &[f64]) -> Q
 /// # Errors
 /// Returns [`QkdError::DimensionMismatch`] if `phi` or `w` have the wrong
 /// length.
-pub fn log_network_utility(
-    incidence: &IncidenceMatrix,
-    phi: &[f64],
-    w: &[f64],
-) -> QkdResult<f64> {
+pub fn log_network_utility(incidence: &IncidenceMatrix, phi: &[f64], w: &[f64]) -> QkdResult<f64> {
     if phi.len() != incidence.num_routes() {
         return Err(QkdError::DimensionMismatch {
             expected: incidence.num_routes(),
@@ -182,8 +178,8 @@ mod tests {
         fn utility_increases_with_fidelity(w_lo in 0.985f64..0.99, w_hi in 0.991f64..0.999) {
             let s = surfnet_scenario();
             let phi = vec![1.0; 6];
-            let u_lo = network_utility(s.incidence(), &phi, &vec![w_lo; 18]).unwrap();
-            let u_hi = network_utility(s.incidence(), &phi, &vec![w_hi; 18]).unwrap();
+            let u_lo = network_utility(s.incidence(), &phi, &[w_lo; 18]).unwrap();
+            let u_hi = network_utility(s.incidence(), &phi, &[w_hi; 18]).unwrap();
             prop_assert!(u_hi >= u_lo);
         }
     }

@@ -21,10 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // -------------------------------------------------- fidelity vs. rate --
-    println!("\n== Link capacity trade-off (Eq. 3): link 1, beta = {:.2} ==", network.links()[0].beta);
+    println!(
+        "\n== Link capacity trade-off (Eq. 3): link 1, beta = {:.2} ==",
+        network.links()[0].beta
+    );
     for w in [0.90, 0.95, 0.98, 0.995] {
         let capacity = link_capacity(network.links()[0].beta, WernerParameter::new(w)?)?;
-        println!("  w = {w:.3} -> capacity {capacity:6.2} pairs/s, F_skf = {:.3}", secret_key_fraction(WernerParameter::new(w)?));
+        println!(
+            "  w = {w:.3} -> capacity {capacity:6.2} pairs/s, F_skf = {:.3}",
+            secret_key_fraction(WernerParameter::new(w)?)
+        );
     }
 
     // --------------------------------------- symmetric allocation utility --
@@ -47,9 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = SystemScenario::paper_default(7);
     let problem = Problem::new(scenario, QuheConfig::default())?;
     let stage1 = Stage1Solver::new().solve(&problem)?;
-    println!("  solved in {:.3} s, {} barrier iterations", stage1.runtime_s, stage1.iterations);
+    println!(
+        "  solved in {:.3} s, {} barrier iterations",
+        stage1.runtime_s, stage1.iterations
+    );
     for (route, phi) in problem.scenario().qkd().routes().iter().zip(&stage1.phi) {
-        println!("  route {} ({:<10}) phi* = {:.3} pairs/s", route.id, route.destination, phi);
+        println!(
+            "  route {} ({:<10}) phi* = {:.3} pairs/s",
+            route.id, route.destination, phi
+        );
     }
     let utility = network_utility(problem.scenario().qkd().incidence(), &stage1.phi, &stage1.w)?;
     println!("  optimal U_qkd = {utility:.4e}");

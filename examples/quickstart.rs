@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quhe.stage_calls[0], quhe.stage_calls[1], quhe.stage_calls[2]
     );
     println!("  metrics           : {}", quhe.metrics);
-    println!("  entanglement rates phi* = {:?}", round3(&quhe.variables.phi));
+    println!(
+        "  entanglement rates phi* = {:?}",
+        round3(&quhe.variables.phi)
+    );
     println!("  polynomial degrees lambda* = {:?}", quhe.variables.lambda);
 
     // Baselines of Section VI-B.
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let olaa = olaa(&scenario, &config)?;
     let occr = occr(&scenario, &config)?;
     for result in [&aa, &olaa, &occr] {
-        println!("  {:<5} objective = {:>10.4}", result.name, result.metrics.objective);
+        println!(
+            "  {:<5} objective = {:>10.4}",
+            result.name, result.metrics.objective
+        );
     }
     println!("  {:<5} objective = {:>10.4}", "QuHE", quhe.objective);
 
@@ -56,5 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn round3(values: &[f64]) -> Vec<f64> {
-    values.iter().map(|v| (v * 1000.0).round() / 1000.0).collect()
+    values
+        .iter()
+        .map(|v| (v * 1000.0).round() / 1000.0)
+        .collect()
 }

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let quhe = QuheAlgorithm::new(config).solve(&scenario)?;
         println!(
             "{:>12.1} | {:>10.4} | {:>10.4}",
-            power,
-            aa.metrics.objective,
-            quhe.objective
+            power, aa.metrics.objective, quhe.objective
         );
     }
 

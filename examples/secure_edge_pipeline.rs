@@ -25,8 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // magnitude.
     let network = surfnet_scenario();
     let route = &network.routes()[0];
-    println!("== Phase 1: QKD key distribution over route {} ({} -> {}) ==",
-        route.id, route.source, route.destination);
+    println!(
+        "== Phase 1: QKD key distribution over route {} ({} -> {}) ==",
+        route.id, route.source, route.destination
+    );
     let link_werners = vec![0.97, 0.96, 0.98];
     let protocol = EntanglementProtocol::new(ProtocolConfig::new(link_werners, 200_000)?);
     let outcome = protocol.run(&mut rng);
@@ -39,14 +41,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pool = KeyPool::new();
     pool.deposit(&outcome.sifted_key);
     let qkd_key = pool.withdraw(32)?;
-    println!("  key pool now holds {} bytes after withdrawing a 32-byte key", pool.available());
+    println!(
+        "  key pool now holds {} bytes after withdrawing a 32-byte key",
+        pool.available()
+    );
 
     // --------------------------------------------------- client encryption --
     println!("\n== Phase 2: client-side symmetric encryption ==");
     let samples: Vec<f64> = (0..16).map(|i| (i as f64) * 0.25 - 2.0).collect();
     let session = TranscipherSession::new(&qkd_key, 0);
     let masked = session.mask(&samples);
-    println!("  first sample {:.2} masked to {:.2}", samples[0], masked[0]);
+    println!(
+        "  first sample {:.2} masked to {:.2}",
+        samples[0], masked[0]
+    );
 
     // The client also runs KeyGen(lambda, q) and publishes the public key.
     let params = CkksParameters::demo_parameters();
@@ -80,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {i:>6} | {expected:>8.4} | {got:>9.4}");
         }
     }
-    println!("  maximum absolute error across {} slots: {max_err:.4}", samples.len());
+    println!(
+        "  maximum absolute error across {} slots: {max_err:.4}",
+        samples.len()
+    );
     assert!(max_err < 0.05, "encrypted evaluation error too large");
 
     // ------------------------------------------------------- cost account --

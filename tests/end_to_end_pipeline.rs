@@ -12,12 +12,17 @@ fn qkd_key_feeds_transciphering_and_encrypted_evaluation() {
 
     // Phase 1: distribute key material over a three-hop route with high link
     // fidelities.
-    let protocol = EntanglementProtocol::new(
-        ProtocolConfig::new(vec![0.98, 0.97, 0.985], 120_000).unwrap(),
-    );
+    let protocol =
+        EntanglementProtocol::new(ProtocolConfig::new(vec![0.98, 0.97, 0.985], 120_000).unwrap());
     let outcome = protocol.run(&mut rng);
-    assert!(outcome.secret_key_fraction > 0.3, "route should produce key");
-    assert!(outcome.sifted_key.len() >= 32, "need at least a 256-bit key");
+    assert!(
+        outcome.secret_key_fraction > 0.3,
+        "route should produce key"
+    );
+    assert!(
+        outcome.sifted_key.len() >= 32,
+        "need at least a 256-bit key"
+    );
 
     let pool = KeyPool::new();
     pool.deposit(&outcome.sifted_key);

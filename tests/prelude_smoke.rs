@@ -1,0 +1,44 @@
+//! Smoke test of the facade crate: the `quhe::prelude` re-exports must be
+//! sufficient to run the full pipeline (this mirrors the crate-level doctest,
+//! as a plain test so failures show up even when doctests are skipped).
+
+use quhe::prelude::*;
+
+#[test]
+fn prelude_is_sufficient_to_run_quhe_and_beat_average_allocation() {
+    // Everything below resolves purely through `quhe::prelude::*`.
+    let scenario = SystemScenario::paper_default(42);
+    let config = QuheConfig::default();
+
+    let result = QuheAlgorithm::new(config)
+        .solve(&scenario)
+        .expect("QuHE solves the paper-default scenario");
+    assert!(result.objective.is_finite());
+
+    let aa = average_allocation(&scenario, &config).expect("AA baseline runs");
+    assert!(
+        result.objective >= aa.metrics.objective - 1e-6,
+        "QuHE ({}) must not lose to the average-allocation baseline ({})",
+        result.objective,
+        aa.metrics.objective
+    );
+}
+
+#[test]
+fn prelude_re_exports_every_layer_of_the_workspace() {
+    // One symbol per underlying crate, reached through the prelude: qkd
+    // (surfnet_scenario), crypto (via the module re-export), mec, opt, core.
+    let network = surfnet_scenario();
+    assert!(network.num_links() > 0);
+
+    let params = quhe::crypto::ckks::CkksParameters::demo_parameters();
+    assert!(params.degree.is_power_of_two());
+
+    let mec = SystemScenario::paper_default(7);
+    assert_eq!(mec.num_clients(), 6);
+
+    let projection = BoxProjection::uniform(3, 0.0, 1.0).expect("ordered bounds");
+    let mut x = vec![-1.0, 0.5, 2.0];
+    quhe::opt::projection::Projection::project(&projection, &mut x);
+    assert_eq!(x, vec![0.0, 0.5, 1.0]);
+}

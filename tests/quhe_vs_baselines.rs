@@ -116,14 +116,8 @@ fn optimality_study_produces_mostly_good_solutions() {
         ..QuheConfig::default()
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-    let study = OptimalityStudy::run(
-        &scenario,
-        &config,
-        6,
-        vec![-1e6, 0.0, 1e6],
-        &mut rng,
-    )
-    .unwrap();
+    let study =
+        OptimalityStudy::run(&scenario, &config, 6, vec![-1e6, 0.0, 1e6], &mut rng).unwrap();
     assert_eq!(study.objectives.len(), 6);
     assert!(study.objectives.iter().all(|o| o.is_finite()));
     // The paper's Fig. 3 reports "good or better" solutions (the upper half

@@ -13,13 +13,17 @@ fn equation_18_werner_assignment_saturates_link_capacity() {
     let network = surfnet_scenario();
     let phi = vec![1.2, 0.8, 0.9, 1.5, 0.6, 0.7];
     let w = optimal_werner(network.incidence(), &phi, &network.betas()).unwrap();
-    for l in 0..network.num_links() {
+    for (l, &w_l) in w.iter().enumerate() {
         let load = network.incidence().link_load(l, &phi).unwrap();
-        let capacity = link_capacity(network.betas()[l], WernerParameter::new(w[l]).unwrap()).unwrap();
+        let capacity =
+            link_capacity(network.betas()[l], WernerParameter::new(w_l).unwrap()).unwrap();
         if load > 0.0 {
-            assert!((capacity - load).abs() < 1e-9, "link {l}: load {load} vs capacity {capacity}");
+            assert!(
+                (capacity - load).abs() < 1e-9,
+                "link {l}: load {load} vs capacity {capacity}"
+            );
         } else {
-            assert_eq!(w[l], 1.0);
+            assert_eq!(w_l, 1.0);
         }
     }
 }
@@ -80,10 +84,18 @@ fn higher_power_budget_never_hurts() {
         ..QuheConfig::default()
     };
     let low = QuheAlgorithm::new(config)
-        .solve(&base.with_mec(base.mec().clone().with_max_power(0.2)).unwrap())
+        .solve(
+            &base
+                .with_mec(base.mec().clone().with_max_power(0.2))
+                .unwrap(),
+        )
         .unwrap();
     let high = QuheAlgorithm::new(config)
-        .solve(&base.with_mec(base.mec().clone().with_max_power(1.0)).unwrap())
+        .solve(
+            &base
+                .with_mec(base.mec().clone().with_max_power(1.0))
+                .unwrap(),
+        )
         .unwrap();
     assert!(high.objective >= low.objective - 0.05);
 }

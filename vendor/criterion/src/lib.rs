@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Implements the surface used by the QuHE benches — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — on top of a simple
+//! wall-clock loop: a short warm-up, then timed batches until either the
+//! sample budget or the time budget (`QUHE_BENCH_MS`, default 300 ms per
+//! benchmark) is exhausted. Results are printed as mean/min time per
+//! iteration plus derived throughput when one was declared.
+//!
+//! It accepts and ignores the CLI flags cargo passes to bench binaries
+//! (`--bench`, `--test`, filters), so `cargo bench` and `cargo test --benches`
+//! both work. Passing `--test` runs each benchmark exactly once, as upstream
+//! criterion does.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared per-iteration workload, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    max_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording the wall-clock time of each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std_black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: one untimed call (also pre-faults code and data paths).
+        std_black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_throughput(per_iter: Duration, tp: Throughput) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match tp {
+        Throughput::Bytes(b) => {
+            let rate = b as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+            } else {
+                format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / secs / 1e6),
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` configuration object.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            default_budget: Duration::from_millis(env_ms("QUHE_BENCH_MS", 300)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.as_ref(), None, self.default_budget, 100, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        budget: Duration,
+        max_samples: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            budget,
+            max_samples,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{id}: test ok");
+            return;
+        }
+        if bencher.samples.is_empty() {
+            println!("{id}: no samples collected");
+            return;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let min = bencher.samples.iter().min().copied().unwrap_or_default();
+        let mut line = format!(
+            "{id}: mean {} / best {} ({} samples)",
+            format_duration(mean),
+            format_duration(min),
+            bencher.samples.len()
+        );
+        if let Some(tp) = throughput {
+            line.push_str(&format!(" [{}]", format_throughput(mean, tp)));
+        }
+        println!("{line}");
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, throughput and sample budget.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let budget = self.criterion.default_budget;
+        let samples = self.sample_size;
+        self.criterion
+            .run_one(&full, self.throughput, budget, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Generates `fn main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_formats() {
+        let mut c = Criterion {
+            test_mode: false,
+            filter: None,
+            default_budget: Duration::from_millis(5),
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024)).sample_size(5);
+        g.bench_function("inner", |b| b.iter(|| black_box(1u64 << 20)));
+        g.finish();
+        assert!(format_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(
+            format_throughput(Duration::from_millis(1), Throughput::Elements(1000))
+                .contains("Melem/s")
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `proptest` crate (API-compatible subset).
+//!
+//! Supports the pattern used throughout the QuHE test suite:
+//!
+//! ```ignore
+//! proptest! {
+//!     #[test]
+//!     fn property(a in 0.0f64..1.0, b in 1u64..10) {
+//!         prop_assert!(a < 1.0, "a was {}", a);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs `PROPTEST_CASES` (default 128) deterministic cases:
+//! inputs are drawn from the range strategies with a fixed-seed generator, so
+//! failures reproduce exactly across runs. Unlike upstream proptest there is
+//! no shrinking — the failing case is reported as-is.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// Number of cases each property is executed with.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Builds the deterministic per-property generator. The property name is
+/// hashed into the seed so different properties see different streams.
+pub fn test_rng(name: &str) -> StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values for one property input.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug + Clone;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + std::fmt::Debug + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + std::fmt::Debug + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Per-block configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run for each property in the block.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: cases() as u32,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Strategy producing `Vec`s of a fixed length, each element drawn from
+    /// `element` (upstream accepts a size range; only the exact-length form
+    /// is used in this workspace).
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// A strategy producing a single fixed value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: std::fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Everything a test module needs: the macros plus the [`Strategy`] trait.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cases ($config).cases as usize; $($rest)* }
+    };
+    (@cases $cases:expr; $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_rng(stringify!($name));
+                for __proptest_case in 0..$cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __proptest_rng);)*
+                    let __proptest_inputs =
+                        format!(concat!($("  ", stringify!($arg), " = {:?}\n",)*) $(, $arg)*);
+                    let __proptest_result = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(panic) = __proptest_result {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {} with inputs:\n{}",
+                            stringify!($name),
+                            __proptest_case,
+                            __proptest_inputs,
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cases $crate::cases(); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the sampled inputs on
+/// failure (stand-in for proptest's early-return version; this one panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_eq!($left, $right $(, $($fmt)*)?);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)*)?) => {
+        assert_ne!($left, $right $(, $($fmt)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, k in 1i64..=3, fixed in Just(7u8)) {
+            prop_assert!((0.25..0.75).contains(&x), "x out of range: {x}");
+            prop_assert!((1..=3).contains(&k));
+            prop_assert_eq!(fixed, 7u8);
+            prop_assert_ne!(fixed, 8u8);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("p");
+        let mut b = crate::test_rng("p");
+        let strat = 0.0f64..1.0;
+        for _ in 0..16 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0.0f64..1.0) {
+                    prop_assert!(x > 2.0);
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

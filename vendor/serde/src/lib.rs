@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! vendored `serde_derive` so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! compiles. No runtime serialization machinery is provided — nothing in the
+//! workspace serializes through serde yet.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

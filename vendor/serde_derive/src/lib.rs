@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many domain types but
+//! never serializes through them (there is no `serde_json` or transport layer
+//! yet), so these derive macros accept the full attribute syntax —
+//! `#[derive(serde::Serialize)]`, `#[serde(transparent)]`, etc. — and expand
+//! to nothing. Swap for the real crates the moment serialization is needed.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
