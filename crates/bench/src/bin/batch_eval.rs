@@ -1,0 +1,223 @@
+//! Parallel batch evaluation of the full scenario catalogue.
+//!
+//! Runs every scenario of [`ScenarioCatalog::builtin`] across a seed grid,
+//! once serially and once on the scoped worker pool, and emits
+//! `BENCH_batch.json`: per-job objective, QuHE-vs-AA gap and wall-clock, plus
+//! the aggregate serial/parallel walls and the measured speedup. The file is
+//! the standing performance-trajectory artifact for the batch pipeline, the
+//! companion of `BENCH_seed.json` for the single-scenario path.
+//!
+//! ```bash
+//! cargo run --release -p quhe-bench --bin batch_eval            # full grid
+//! cargo run --release -p quhe-bench --bin batch_eval -- --quick # CI budgets
+//! cargo run --release -p quhe-bench --bin batch_eval -- --serial # no pool
+//! cargo run --release -p quhe-bench --bin batch_eval -- out.json
+//! ```
+//!
+//! Environment: `QUHE_SEED` (base seed, default 42), `QUHE_BATCH_SEEDS`
+//! (seeds per scenario, default 3), `QUHE_THREADS` (pool size, default 0 =
+//! available parallelism). Both passes solve the identical job list with
+//! Stage-3 multi-start forced serial (`solver_threads = 1`), so the measured
+//! speedup isolates the batch-level parallelism.
+
+use std::time::Instant;
+
+use quhe_bench::{env_u64, env_usize};
+use quhe_core::prelude::*;
+
+/// One (scenario, seed) cell of the evaluation grid.
+struct Job {
+    name: String,
+    seed: u64,
+    scenario: SystemScenario,
+}
+
+/// The measured result of one job.
+struct JobResult {
+    objective: f64,
+    aa_objective: f64,
+    outer_iterations: usize,
+    converged: bool,
+    wall_s: f64,
+}
+
+fn run_job(job: &Job, config: &QuheConfig) -> JobResult {
+    // `wall_s` times the QuHE solve alone — it is the perf-trajectory metric,
+    // so the AA baseline and the feasibility audit stay outside the clock.
+    let wall = Instant::now();
+    let outcome = QuheAlgorithm::new(*config)
+        .solve(&job.scenario)
+        .unwrap_or_else(|e| panic!("{} seed {}: QuHE solve failed: {e}", job.name, job.seed));
+    let wall_s = wall.elapsed().as_secs_f64();
+    let aa = average_allocation(&job.scenario, config)
+        .unwrap_or_else(|e| panic!("{} seed {}: AA baseline failed: {e}", job.name, job.seed));
+    let problem = Problem::new(job.scenario.clone(), *config).unwrap_or_else(|e| {
+        panic!(
+            "{} seed {}: problem construction failed: {e}",
+            job.name, job.seed
+        )
+    });
+    problem
+        .check_feasible(&outcome.variables)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} seed {}: infeasible QuHE solution: {e}",
+                job.name, job.seed
+            )
+        });
+    JobResult {
+        objective: outcome.objective,
+        aa_objective: aa.metrics.objective,
+        outer_iterations: outcome.outer_iterations,
+        converged: outcome.converged,
+        wall_s,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let serial_only = args.iter().any(|a| a == "--serial");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    let base_seed = env_u64("QUHE_SEED", 42);
+    let num_seeds = env_usize("QUHE_BATCH_SEEDS", 3).max(1);
+    let threads = env_usize("QUHE_THREADS", 0);
+    let seeds: Vec<u64> = (0..num_seeds as u64).map(|i| base_seed + i).collect();
+    // Stage-3 multi-start stays serial inside each solve: the batch is the
+    // parallel axis, and nesting both pools would oversubscribe the cores.
+    let config = QuheConfig {
+        max_outer_iterations: if quick { 2 } else { 5 },
+        max_stage3_iterations: if quick { 8 } else { 20 },
+        solver_threads: 1,
+        ..QuheConfig::default()
+    };
+
+    let catalog = ScenarioCatalog::builtin();
+    let mut jobs = Vec::new();
+    for name in catalog.names() {
+        for &seed in &seeds {
+            let scenario = catalog
+                .generate(name, seed)
+                .unwrap_or_else(|e| panic!("generating {name} seed {seed}: {e}"));
+            jobs.push(Job {
+                name: name.to_string(),
+                seed,
+                scenario,
+            });
+        }
+    }
+
+    let pool = threadpool::ThreadPool::new(threads);
+    eprintln!(
+        "batch_eval: {} scenarios x {} seeds = {} jobs, pool of {} threads{}",
+        catalog.names().len(),
+        seeds.len(),
+        jobs.len(),
+        pool.threads(),
+        if quick { " (quick budgets)" } else { "" },
+    );
+
+    let serial_wall = Instant::now();
+    let serial_results: Vec<JobResult> = jobs.iter().map(|job| run_job(job, &config)).collect();
+    let serial_wall_s = serial_wall.elapsed().as_secs_f64();
+
+    let (parallel_wall_s, speedup) = if serial_only {
+        (None, None)
+    } else {
+        let parallel_wall = Instant::now();
+        let parallel_results = pool.par_map(&jobs, |job| run_job(job, &config));
+        let parallel_wall_s = parallel_wall.elapsed().as_secs_f64();
+        // Parallel and serial passes must agree bit-for-bit: the solves share
+        // no mutable state, so any divergence is a bug worth failing on.
+        for ((job, serial), parallel) in jobs.iter().zip(&serial_results).zip(&parallel_results) {
+            assert_eq!(
+                serial.objective, parallel.objective,
+                "{} seed {}: serial and parallel objectives diverged",
+                job.name, job.seed
+            );
+        }
+        (Some(parallel_wall_s), Some(serial_wall_s / parallel_wall_s))
+    };
+
+    let job_lines: Vec<String> = jobs
+        .iter()
+        .zip(&serial_results)
+        .map(|(job, result)| {
+            format!(
+                concat!(
+                    "    {{\"scenario\": \"{name}\", \"seed\": {seed}, \"clients\": {clients}, ",
+                    "\"objective\": {objective}, \"aa_objective\": {aa}, ",
+                    "\"gap_over_aa\": {gap}, \"outer_iterations\": {iters}, ",
+                    "\"converged\": {converged}, \"wall_s\": {wall}}}"
+                ),
+                name = job.name,
+                seed = job.seed,
+                clients = job.scenario.num_clients(),
+                objective = result.objective,
+                aa = result.aa_objective,
+                gap = result.objective - result.aa_objective,
+                iters = result.outer_iterations,
+                converged = result.converged,
+                wall = result.wall_s,
+            )
+        })
+        .collect();
+
+    let fmt_opt = |v: Option<f64>| v.map_or("null".to_string(), |v| v.to_string());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"quhe-batch/v1\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"scenarios\": [{scenarios}],\n",
+            "  \"seeds\": [{seeds}],\n",
+            "  \"threads\": {threads},\n",
+            "  \"jobs\": [\n{jobs}\n  ],\n",
+            "  \"serial_wall_s\": {serial},\n",
+            "  \"parallel_wall_s\": {parallel},\n",
+            "  \"speedup\": {speedup}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        scenarios = catalog
+            .names()
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        seeds = seeds
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        threads = pool.threads(),
+        jobs = job_lines.join(",\n"),
+        serial = serial_wall_s,
+        parallel = fmt_opt(parallel_wall_s),
+        speedup = fmt_opt(speedup),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Standing invariant of the batch pipeline: QuHE never loses to the
+    // average-allocation baseline on any scenario of the grid.
+    for (job, result) in jobs.iter().zip(&serial_results) {
+        assert!(
+            result.objective >= result.aa_objective - 1e-6,
+            "{} seed {}: QuHE ({}) lost to AA ({})",
+            job.name,
+            job.seed,
+            result.objective,
+            result.aa_objective
+        );
+    }
+    if let Some(speedup) = speedup {
+        eprintln!("parallel speedup over serial: {speedup:.2}x");
+    }
+}

@@ -13,6 +13,8 @@
 //! | `fig5_comparison` | Fig. 5(a)–(d): stage calls/runtime, Stage-1 methods, whole-procedure comparison |
 //! | `tables_5_6` | Tables V and VI: per-method `phi` and `w` values |
 //! | `fig6_sweeps` | Fig. 6(a)–(d): objective vs. resource budgets |
+//! | `bench_seed` | `BENCH_seed.json`: single-scenario perf record |
+//! | `batch_eval` | `BENCH_batch.json`: scenario-catalogue grid, serial vs parallel |
 //!
 //! Every binary accepts the environment variables `QUHE_SEED` (default 42)
 //! and, where relevant, `QUHE_SAMPLES` / `QUHE_POINTS`, so that quick smoke

@@ -23,6 +23,9 @@
 //!   the figures.
 //! * [`sampling`] — random initial configurations for the Fig. 3 optimality
 //!   study.
+//! * [`registry`] — the named catalogue of complete system scenarios
+//!   (paper default plus dense-cell, heterogeneous, far-edge and bursty
+//!   worlds), the unit of the parallel batch-evaluation pipeline.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ pub mod metrics;
 pub mod params;
 pub mod problem;
 pub mod quhe;
+pub mod registry;
 pub mod sampling;
 pub mod scenario;
 pub mod stage1;
@@ -66,6 +70,7 @@ pub mod prelude {
     pub use crate::params::{ObjectiveWeights, QuheConfig};
     pub use crate::problem::Problem;
     pub use crate::quhe::{QuheAlgorithm, QuheOutcome};
+    pub use crate::registry::ScenarioCatalog;
     pub use crate::sampling::{sample_initial_points, OptimalityStudy};
     pub use crate::scenario::SystemScenario;
     pub use crate::stage1::{Stage1Result, Stage1Solver};

@@ -67,6 +67,13 @@ pub struct QuheConfig {
     /// Maximum number of inner iterations for the Stage-3 fractional
     /// programming loop.
     pub max_stage3_iterations: usize,
+    /// Worker threads for the Stage-3 multi-start exploration: `0` sizes the
+    /// pool to the machine's available parallelism, `1` forces serial
+    /// execution (useful when many solves already run concurrently, e.g. in a
+    /// batch grid). The solution is identical either way — the starts are
+    /// independent and the best is selected deterministically — only the
+    /// wall-clock changes.
+    pub solver_threads: usize,
 }
 
 impl Default for QuheConfig {
@@ -77,6 +84,7 @@ impl Default for QuheConfig {
             tolerance: 1e-4,
             max_outer_iterations: 20,
             max_stage3_iterations: 40,
+            solver_threads: 0,
         }
     }
 }

@@ -85,6 +85,25 @@ impl QuheAlgorithm {
         self.solve_from(&problem, start)
     }
 
+    /// Solves every scenario of a batch concurrently on a scoped worker pool
+    /// (`threads = 0` sizes the pool to the machine, `1` runs serially) and
+    /// returns the outcomes in input order.
+    ///
+    /// Scenario solves share no mutable state — [`Problem`] and the stage
+    /// solvers are plain owned data — so each solve is independent and the
+    /// per-scenario results are identical to calling
+    /// [`QuheAlgorithm::solve`] in a loop. Batch callers usually also set
+    /// [`crate::params::QuheConfig::solver_threads`]` = 1` so the
+    /// scenario-level parallelism is not multiplied by the Stage-3
+    /// multi-start pool.
+    pub fn solve_batch(
+        &self,
+        scenarios: &[SystemScenario],
+        threads: usize,
+    ) -> Vec<QuheResult<QuheOutcome>> {
+        threadpool::ThreadPool::new(threads).par_map(scenarios, |scenario| self.solve(scenario))
+    }
+
     /// Runs Algorithm 4 from an explicit starting point (used by the Fig. 3
     /// optimality study, which samples random initial resource
     /// configurations).
@@ -103,7 +122,8 @@ impl QuheAlgorithm {
         let stage3_solver = Stage3Solver::new(
             self.config.max_stage3_iterations,
             self.config.tolerance * 1e-2,
-        );
+        )
+        .with_threads(self.config.solver_threads);
 
         let mut vars = start;
         let mut best_objective = problem.objective_with_max_delay(&vars)?;
@@ -241,6 +261,54 @@ mod tests {
             quhe.objective,
             aa.metrics.objective
         );
+    }
+
+    #[test]
+    fn a_solve_is_send_sync_with_no_shared_mutable_state() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Problem>();
+        assert_send_sync::<QuheAlgorithm>();
+        assert_send_sync::<QuheOutcome>();
+        assert_send_sync::<SystemScenario>();
+        assert_send_sync::<crate::error::QuheError>();
+    }
+
+    #[test]
+    fn batch_solve_matches_serial_solves_in_order() {
+        let scenarios: Vec<SystemScenario> = (1..=3).map(SystemScenario::paper_default).collect();
+        let config = QuheConfig {
+            max_outer_iterations: 2,
+            max_stage3_iterations: 8,
+            ..QuheConfig::default()
+        };
+        let algorithm = QuheAlgorithm::new(config);
+        let parallel = algorithm.solve_batch(&scenarios, 0);
+        let serial = algorithm.solve_batch(&scenarios, 1);
+        assert_eq!(parallel.len(), 3);
+        for (p, s) in parallel.iter().zip(&serial) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.objective, s.objective);
+            assert_eq!(p.variables, s.variables);
+        }
+    }
+
+    #[test]
+    fn stage3_thread_count_does_not_change_the_solution() {
+        let scenario = scenario();
+        let serial = QuheAlgorithm::new(QuheConfig {
+            solver_threads: 1,
+            ..QuheConfig::default()
+        })
+        .solve(&scenario)
+        .unwrap();
+        let parallel = QuheAlgorithm::new(QuheConfig {
+            solver_threads: 0,
+            ..QuheConfig::default()
+        })
+        .solve(&scenario)
+        .unwrap();
+        assert_eq!(serial.objective, parallel.objective);
+        assert_eq!(serial.variables, parallel.variables);
     }
 
     #[test]

@@ -23,30 +23,60 @@ impl SystemScenario {
     /// Combines a QKD network scenario and an MEC scenario.
     ///
     /// # Errors
-    /// * [`QuheError::DimensionMismatch`] if the number of QKD routes differs
-    ///   from the number of MEC clients.
-    /// * [`QuheError::InvalidConfig`] if `lambda_choices` is empty or not
-    ///   sorted ascending.
+    /// Returns [`QuheError::InvalidConfig`] naming the violated consistency
+    /// requirement:
+    /// * client-count mismatch — the number of QKD routes differs from the
+    ///   number of MEC clients (route `n` must serve client `n`);
+    /// * `lambda_choices` empty — constraint (17d) needs a non-empty choice
+    ///   set;
+    /// * `lambda_choices` containing a duplicate or out-of-order entry — the
+    ///   choice set must be strictly ascending so branch-and-bound bounds are
+    ///   well defined.
     pub fn new(
         qkd: NetworkScenario,
         mec: MecScenario,
         lambda_choices: Vec<u64>,
     ) -> QuheResult<Self> {
         if qkd.num_clients() != mec.num_clients() {
-            return Err(QuheError::DimensionMismatch {
-                expected: qkd.num_clients(),
-                actual: mec.num_clients(),
+            return Err(QuheError::InvalidConfig {
+                reason: format!(
+                    "client-count mismatch: the QKD network has {} routes but the MEC scenario \
+                     has {} clients (route n serves client n, so the counts must match)",
+                    qkd.num_clients(),
+                    mec.num_clients()
+                ),
             });
         }
         if lambda_choices.is_empty() {
             return Err(QuheError::InvalidConfig {
-                reason: "lambda_choices must not be empty".to_string(),
+                reason: "lambda_choices must not be empty: constraint (17d) draws every \
+                         polynomial degree from this set"
+                    .to_string(),
             });
         }
-        if lambda_choices.windows(2).any(|w| w[0] > w[1]) {
-            return Err(QuheError::InvalidConfig {
-                reason: "lambda_choices must be sorted ascending".to_string(),
-            });
+        for (index, pair) in lambda_choices.windows(2).enumerate() {
+            if pair[0] == pair[1] {
+                return Err(QuheError::InvalidConfig {
+                    reason: format!(
+                        "lambda_choices contains duplicate entry {} (positions {} and {})",
+                        pair[0],
+                        index,
+                        index + 1
+                    ),
+                });
+            }
+            if pair[0] > pair[1] {
+                return Err(QuheError::InvalidConfig {
+                    reason: format!(
+                        "lambda_choices must be sorted ascending, but {} at position {} \
+                         precedes {} at position {}",
+                        pair[0],
+                        index,
+                        pair[1],
+                        index + 1
+                    ),
+                });
+            }
         }
         Ok(Self {
             qkd,
@@ -96,8 +126,9 @@ impl SystemScenario {
     /// the QKD network fixed while varying budgets).
     ///
     /// # Errors
-    /// Returns [`QuheError::DimensionMismatch`] if the new MEC scenario has a
-    /// different number of clients.
+    /// Returns [`QuheError::InvalidConfig`] describing the client-count
+    /// mismatch if the new MEC scenario has a different number of clients
+    /// than the QKD network.
     pub fn with_mec(&self, mec: MecScenario) -> QuheResult<Self> {
         Self::new(self.qkd.clone(), mec, self.lambda_choices.clone())
     }
@@ -117,21 +148,38 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_sides_are_rejected() {
+    fn mismatched_sides_report_the_client_counts() {
         let qkd = surfnet_scenario();
         let mec = MecScenario::paper_with_num_clients(4, 1);
-        assert!(matches!(
-            SystemScenario::new(qkd, mec, vec![1 << 15]),
-            Err(QuheError::DimensionMismatch { .. })
-        ));
+        let err = SystemScenario::new(qkd, mec, vec![1 << 15]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("client-count mismatch"), "{msg}");
+        assert!(
+            msg.contains("6 routes") && msg.contains("4 clients"),
+            "{msg}"
+        );
     }
 
     #[test]
-    fn lambda_choices_are_validated() {
+    fn lambda_choice_validation_names_the_failure() {
         let qkd = surfnet_scenario();
         let mec = MecScenario::paper_default(1);
-        assert!(SystemScenario::new(qkd.clone(), mec.clone(), vec![]).is_err());
-        assert!(SystemScenario::new(qkd, mec, vec![1 << 16, 1 << 15]).is_err());
+        let empty = SystemScenario::new(qkd.clone(), mec.clone(), vec![])
+            .unwrap_err()
+            .to_string();
+        assert!(empty.contains("must not be empty"), "{empty}");
+        let unsorted = SystemScenario::new(qkd.clone(), mec.clone(), vec![1 << 16, 1 << 15])
+            .unwrap_err()
+            .to_string();
+        assert!(unsorted.contains("sorted ascending"), "{unsorted}");
+        assert!(
+            unsorted.contains("65536") && unsorted.contains("32768"),
+            "{unsorted}"
+        );
+        let duplicate = SystemScenario::new(qkd, mec, vec![1 << 15, 1 << 15, 1 << 16])
+            .unwrap_err()
+            .to_string();
+        assert!(duplicate.contains("duplicate entry 32768"), "{duplicate}");
     }
 
     #[test]

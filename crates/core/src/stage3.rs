@@ -69,6 +69,12 @@ pub struct Stage3Result {
 }
 
 /// Per-client constants of the Stage-3 cost.
+///
+/// The struct also carries the per-coordinate `scales` of the normalized
+/// decision vector, so every cost/rate/delay can be evaluated **directly in
+/// normalized coordinates** — the hot inner loop (numerical gradients inside
+/// the projected-gradient solver evaluate the objective thousands of times
+/// per Stage-3 call) never allocates an unscaled copy of the point.
 #[derive(Debug, Clone)]
 struct Stage3Constants {
     /// `kappa^(c) f^(se)` per client.
@@ -90,6 +96,13 @@ struct Stage3Constants {
     /// Objective weights.
     alpha_e: f64,
     alpha_t: f64,
+    /// Per-coordinate scales of the packed decision vector
+    /// `[p, b, f^(c), f^(s)]`: the inner solvers work on `y = x / scales` so
+    /// that powers (~0.2 W), bandwidths (~10^6 Hz) and CPU frequencies
+    /// (~10^9–10^10 Hz) all live on the unit scale — without this the
+    /// projected-gradient steps are dominated by the best-conditioned block
+    /// and the CPU frequencies never move.
+    scales: Vec<f64>,
 }
 
 impl Stage3Constants {
@@ -114,6 +127,11 @@ impl Stage3Constants {
             upload_bits.push(client.upload_bits);
             gains.push(client.channel_gain);
         }
+        let mut scales = Vec::with_capacity(4 * n);
+        scales.extend(mec.clients().iter().map(|c| c.max_power_w));
+        scales.extend(std::iter::repeat_n(mec.total_bandwidth_hz(), n));
+        scales.extend(mec.clients().iter().map(|c| c.max_client_frequency_hz));
+        scales.extend(std::iter::repeat_n(mec.total_server_frequency_hz(), n));
         Ok(Self {
             client_energy_coeff,
             server_energy_coeff,
@@ -124,6 +142,7 @@ impl Stage3Constants {
             noise_psd: mec.noise_psd(),
             alpha_e: weights.energy,
             alpha_t: weights.delay,
+            scales,
         })
     }
 
@@ -179,6 +198,74 @@ impl Stage3Constants {
         }
         total
     }
+
+    // --- Normalized-coordinate evaluation ------------------------------
+    //
+    // The methods below mirror their physical-coordinate counterparts but
+    // take the *normalized* point `y = x / scales` and rescale one
+    // coordinate at a time on the fly. This is the hot path: the inner
+    // projected-gradient solver evaluates the surrogate objective via
+    // finite differences, so per-evaluation heap allocations (the old
+    // `y.iter().zip(scales).collect::<Vec<_>>()` chains) dominated the
+    // Stage-3 profile.
+
+    /// The physical value of packed coordinate `i` at the normalized `y`.
+    fn phys(&self, y: &[f64], i: usize) -> f64 {
+        y[i] * self.scales[i]
+    }
+
+    /// Uplink rate of client `n` at the normalized point `y`.
+    fn rate_scaled(&self, y: &[f64], n: usize) -> f64 {
+        let num = self.num_clients();
+        let p = self.phys(y, n);
+        let b = self.phys(y, num + n);
+        b * (1.0 + p * self.gains[n] / (self.noise_psd * b)).log2()
+    }
+
+    /// End-to-end delay of client `n` at the normalized point `y`.
+    fn delay_scaled(&self, y: &[f64], n: usize) -> f64 {
+        let num = self.num_clients();
+        let f_c = self.phys(y, 2 * num + n);
+        let f_s = self.phys(y, 3 * num + n);
+        self.encryption_cycles[n] / f_c
+            + self.upload_bits[n] / self.rate_scaled(y, n)
+            + self.server_cycles[n] / f_s
+    }
+
+    /// Largest per-client delay at the normalized point `y`.
+    fn max_delay_scaled(&self, y: &[f64]) -> f64 {
+        (0..self.num_clients())
+            .map(|n| self.delay_scaled(y, n))
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// The ratio-free part of the Stage-3 cost at the normalized point `y`.
+    fn smooth_cost_scaled(&self, y: &[f64]) -> f64 {
+        let num = self.num_clients();
+        let mut total = 0.0;
+        for n in 0..num {
+            let f_c = self.phys(y, 2 * num + n);
+            let f_s = self.phys(y, 3 * num + n);
+            total += self.alpha_e * self.client_energy_coeff[n] * f_c * f_c;
+            total += self.alpha_e * self.server_energy_coeff[n] * f_s * f_s;
+        }
+        total + self.alpha_t * self.max_delay_scaled(y)
+    }
+
+    /// The full Stage-3 cost at the normalized point `y`.
+    fn total_cost_scaled(&self, y: &[f64]) -> f64 {
+        let num = self.num_clients();
+        let mut total = self.smooth_cost_scaled(y);
+        for n in 0..num {
+            total += self.alpha_e * self.phys(y, n) * self.upload_bits[n] / self.rate_scaled(y, n);
+        }
+        total
+    }
+
+    /// Unscales a normalized point into physical coordinates.
+    fn unscale(&self, y: &[f64]) -> Vec<f64> {
+        y.iter().zip(&self.scales).map(|(v, s)| v * s).collect()
+    }
 }
 
 /// Projection onto the Stage-3 feasible set: boxes for powers and client
@@ -209,6 +296,9 @@ pub struct Stage3Solver {
     max_iterations: usize,
     /// Convergence tolerance on the cost between outer iterations.
     tolerance: f64,
+    /// Worker threads for the multi-start exploration (`0` = available
+    /// parallelism, `1` = serial).
+    threads: usize,
 }
 
 impl Default for Stage3Solver {
@@ -216,34 +306,31 @@ impl Default for Stage3Solver {
         Self {
             max_iterations: 40,
             tolerance: 1e-6,
+            threads: 0,
         }
     }
 }
 
 impl Stage3Solver {
     /// Creates a Stage-3 solver with an explicit iteration budget and
-    /// tolerance.
+    /// tolerance. Multi-starts run on the machine's available parallelism;
+    /// see [`Stage3Solver::with_threads`].
     pub fn new(max_iterations: usize, tolerance: f64) -> Self {
         Self {
             max_iterations,
             tolerance,
+            threads: 0,
         }
     }
 
-    /// Per-coordinate scales used to normalize the decision vector: the inner
-    /// solvers work on `y = x / scale` so that powers (~0.2 W), bandwidths
-    /// (~10^6 Hz) and CPU frequencies (~10^9–10^10 Hz) all live on the unit
-    /// scale — without this the projected-gradient steps are dominated by the
-    /// best-conditioned block and the CPU frequencies never move.
-    fn scales(problem: &Problem) -> Vec<f64> {
-        let mec = problem.scenario().mec();
-        let n = problem.num_clients();
-        let mut scales = Vec::with_capacity(4 * n);
-        scales.extend(mec.clients().iter().map(|c| c.max_power_w));
-        scales.extend(std::iter::repeat_n(mec.total_bandwidth_hz(), n));
-        scales.extend(mec.clients().iter().map(|c| c.max_client_frequency_hz));
-        scales.extend(std::iter::repeat_n(mec.total_server_frequency_hz(), n));
-        scales
+    /// Overrides the worker-thread count for the multi-start exploration
+    /// (`0` = available parallelism, `1` = serial). The returned solution is
+    /// identical for any thread count: the starts are independent and the
+    /// best result is selected deterministically in start order.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Projection onto the feasible set expressed in normalized coordinates
@@ -320,10 +407,7 @@ impl Stage3Solver {
         let start = Instant::now();
         let constants = Stage3Constants::build(problem, &vars.lambda)?;
         let projection = Self::scaled_projection(problem);
-        let scales = Self::scales(problem);
         let n = constants.num_clients();
-        let unscale =
-            |y: &[f64]| -> Vec<f64> { y.iter().zip(&scales).map(|(v, s)| v * s).collect() };
         // The quadratic-transform surrogate is non-convex in the joint
         // variables, so a single warm start can land in a budget-dependent
         // local optimum (observed as the objective *dropping* when a resource
@@ -332,7 +416,7 @@ impl Stage3Solver {
         // budget-proportional points — and keep the best by true cost.
         let mut warm: Vec<f64> = Self::pack(vars)
             .iter()
-            .zip(&scales)
+            .zip(&constants.scales)
             .map(|(v, s)| v / s)
             .collect();
         projection.project(&mut warm);
@@ -351,19 +435,16 @@ impl Stage3Solver {
         }
 
         // Ratio terms p_n d_n / r_n handled by the quadratic transform,
-        // expressed on the normalized coordinates.
+        // expressed on the normalized coordinates (no per-evaluation
+        // allocation: the constants rescale coordinate-wise on the fly).
+        let constants_ref = &constants;
         let ratio_terms: Vec<RatioTerm<'_>> = (0..n)
             .map(|client| {
-                let c_num = &constants;
-                let c_den = &constants;
-                let scales_num = &scales;
-                let scales_den = &scales;
                 RatioTerm::new(
-                    move |y: &[f64]| y[client] * scales_num[client] * c_num.upload_bits[client],
                     move |y: &[f64]| {
-                        let x: Vec<f64> = y.iter().zip(scales_den).map(|(v, s)| v * s).collect();
-                        c_den.rate(&x, client)
+                        constants_ref.phys(y, client) * constants_ref.upload_bits[client]
                     },
+                    move |y: &[f64]| constants_ref.rate_scaled(y, client),
                 )
             })
             .collect();
@@ -380,41 +461,43 @@ impl Stage3Solver {
             tolerance: self.tolerance,
         });
 
-        let constants_inner = &constants;
-        let projection_inner = &projection;
-        let scales_inner = &scales;
-        let mut best: Option<(f64, quhe_opt::fractional::QuadraticTransformResult)> = None;
-        let mut last_error = None;
-        for y0 in &starts {
-            let attempt = qt.solve(
-                |y: &[f64]| {
-                    let x: Vec<f64> = y.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
-                    constants_inner.smooth_cost(&x)
-                },
+        // The starts are independent solves of the same surrogate problem, so
+        // they map cleanly onto a scoped worker pool. Results come back in
+        // start order and the best is chosen by strict comparison below, so
+        // the outcome is bit-identical to the serial loop.
+        let projection_ref = &projection;
+        let pool = threadpool::ThreadPool::new(self.threads);
+        let attempts = pool.par_map(&starts, |y0| {
+            qt.solve(
+                |y: &[f64]| constants_ref.smooth_cost_scaled(y),
                 &ratio_terms,
                 &weights,
                 y0,
                 |y, z| {
                     let z = z.to_vec();
                     let surrogate = |yy: &[f64]| {
-                        let x: Vec<f64> = yy.iter().zip(scales_inner).map(|(v, s)| v * s).collect();
-                        let mut value = constants_inner.smooth_cost(&x);
-                        for client in 0..n {
-                            let num = x[client] * constants_inner.upload_bits[client];
-                            let den = constants_inner.rate(&x, client);
-                            value += constants_inner.alpha_e
-                                * (num * num * z[client] + 1.0 / (4.0 * den * den * z[client]));
+                        let mut value = constants_ref.smooth_cost_scaled(yy);
+                        for (client, &z_c) in z.iter().enumerate() {
+                            let num =
+                                constants_ref.phys(yy, client) * constants_ref.upload_bits[client];
+                            let den = constants_ref.rate_scaled(yy, client);
+                            value += constants_ref.alpha_e
+                                * (num * num * z_c + 1.0 / (4.0 * den * den * z_c));
                         }
                         value
                     };
                     Ok(inner_solver
-                        .minimize(&surrogate, projection_inner, y)?
+                        .minimize(&surrogate, projection_ref, y)?
                         .solution)
                 },
-            );
-            // A diverging extra start must not abort the solve: the starts
-            // exist to improve robustness, so keep the best that converged
-            // and only fail if every start failed.
+            )
+        });
+        // A diverging extra start must not abort the solve: the starts exist
+        // to improve robustness, so keep the best that converged and only
+        // fail if every start failed.
+        let mut best: Option<(f64, quhe_opt::fractional::QuadraticTransformResult)> = None;
+        let mut last_error = None;
+        for attempt in attempts {
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(error) => {
@@ -422,7 +505,7 @@ impl Stage3Solver {
                     continue;
                 }
             };
-            let cost = constants.total_cost(&unscale(&outcome.solution));
+            let cost = constants.total_cost_scaled(&outcome.solution);
             if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
                 best = Some((cost, outcome));
             }
@@ -432,7 +515,7 @@ impl Stage3Solver {
             None => return Err(last_error.expect("at least one start was attempted").into()),
         };
 
-        let solution = unscale(&outcome.solution);
+        let solution = constants.unscale(&outcome.solution);
         let gap_trace = if with_gap_trace {
             self.interior_point_gap_trace(&constants, problem, &solution)?
         } else {
@@ -507,24 +590,23 @@ impl Stage3Solver {
         }
         start_point.push(constants.max_delay(&start_point) * 1.05);
 
-        let constants_obj = constants.clone();
-        let objective = move |x: &[f64]| -> f64 {
+        // Both closures borrow `constants` — the barrier problem lives only
+        // for the duration of this call, so no clone of the constant tables
+        // is needed.
+        let objective = |x: &[f64]| -> f64 {
             let t = x[4 * n];
-            let mut value = constants_obj.alpha_t * t;
+            let mut value = constants.alpha_t * t;
             for client in 0..n {
                 let f_c = x[2 * n + client];
                 let f_s = x[3 * n + client];
-                value +=
-                    constants_obj.alpha_e * constants_obj.client_energy_coeff[client] * f_c * f_c;
-                value +=
-                    constants_obj.alpha_e * constants_obj.server_energy_coeff[client] * f_s * f_s;
-                value += constants_obj.alpha_e * x[client] * constants_obj.upload_bits[client]
-                    / constants_obj.rate(x, client);
+                value += constants.alpha_e * constants.client_energy_coeff[client] * f_c * f_c;
+                value += constants.alpha_e * constants.server_energy_coeff[client] * f_s * f_s;
+                value += constants.alpha_e * x[client] * constants.upload_bits[client]
+                    / constants.rate(x, client);
             }
             value
         };
-        let constants_con = constants.clone();
-        let constraints = move |x: &[f64]| -> Vec<f64> {
+        let constraints = |x: &[f64]| -> Vec<f64> {
             let t = x[4 * n];
             let mut g = Vec::with_capacity(6 * n + 3);
             for client in 0..n {
@@ -534,7 +616,7 @@ impl Stage3Solver {
                 g.push(1e-6 * f_max[client] - x[2 * n + client]); // f_c > 0
                 g.push(x[2 * n + client] - f_max[client]); // 17g
                 g.push(1e-6 * f_total - x[3 * n + client]); // f_s > 0
-                g.push(constants_con.delay(x, client) - t); // 17i
+                g.push(constants.delay(x, client) - t); // 17i
             }
             g.push(x[n..2 * n].iter().sum::<f64>() - b_total); // 17f
             g.push(x[3 * n..4 * n].iter().sum::<f64>() - f_total); // 17h

@@ -17,7 +17,10 @@
 //! * [`fdma`] — bandwidth-budget accounting for constraint (17f),
 //! * [`scenario`] — the Section VI-A evaluation scenario: six clients placed
 //!   uniformly in a 1 km disk, with the paper's workload sizes, CPU budgets
-//!   and weights.
+//!   and weights,
+//! * [`generator`] — seed-deterministic scenario generators beyond the
+//!   paper's world (dense cells, heterogeneous fleets, far-edge deployments,
+//!   bursty workloads) and the named [`generator::ScenarioRegistry`].
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod compute;
 pub mod cost;
 pub mod error;
 pub mod fdma;
+pub mod generator;
 pub mod scenario;
 pub mod shannon;
 pub mod transmission;
@@ -54,6 +58,10 @@ pub mod prelude {
     pub use crate::cost::{ClientCostBreakdown, SystemCost};
     pub use crate::error::{MecError, MecResult};
     pub use crate::fdma::BandwidthBudget;
+    pub use crate::generator::{
+        BurstyWorkload, DenseCell, FarEdge, HeterogeneousDevices, PaperDefault, ScenarioGenerator,
+        ScenarioRegistry,
+    };
     pub use crate::scenario::{ClientProfile, MecScenario};
     pub use crate::shannon::{uplink_rate, RatePoint};
     pub use crate::transmission::{transmission_cost, TransmissionCost};

@@ -27,8 +27,10 @@ pub struct RatioTerm<'a> {
     pub denominator: ScalarFn<'a>,
 }
 
-/// A boxed scalar-valued function of the decision vector.
-pub type ScalarFn<'a> = Box<dyn Fn(&[f64]) -> f64 + 'a>;
+/// A boxed scalar-valued function of the decision vector. The `Send + Sync`
+/// bounds let a set of ratio terms be shared by reference across the threads
+/// of a parallel multi-start solve.
+pub type ScalarFn<'a> = Box<dyn Fn(&[f64]) -> f64 + Send + Sync + 'a>;
 
 impl<'a> std::fmt::Debug for RatioTerm<'a> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -40,8 +42,8 @@ impl<'a> RatioTerm<'a> {
     /// Creates a ratio term from numerator and denominator closures.
     pub fn new<N, D>(numerator: N, denominator: D) -> Self
     where
-        N: Fn(&[f64]) -> f64 + 'a,
-        D: Fn(&[f64]) -> f64 + 'a,
+        N: Fn(&[f64]) -> f64 + Send + Sync + 'a,
+        D: Fn(&[f64]) -> f64 + Send + Sync + 'a,
     {
         Self {
             numerator: Box::new(numerator),

@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::protocol::{EntanglementProtocol, ProtocolConfig, ProtocolOutcome};
     pub use crate::routes::{IncidenceMatrix, Route};
     pub use crate::secret_key::{binary_entropy, secret_key_fraction, SKF_THRESHOLD};
-    pub use crate::topology::{surfnet_scenario, Link, NetworkScenario, Node};
+    pub use crate::topology::{surfnet_scenario, synthetic_scenario, Link, NetworkScenario, Node};
     pub use crate::utility::{log_network_utility, network_utility, route_werner};
     pub use crate::werner::WernerParameter;
 }

@@ -218,6 +218,75 @@ pub fn surfnet_scenario() -> NetworkScenario {
         .expect("the SURFnet scenario is internally consistent")
 }
 
+/// Builds a seed-deterministic synthetic QKD network with `num_clients`
+/// routes, for scenarios larger (or smaller) than the paper's six SURFnet
+/// routes.
+///
+/// The topology is a two-level tree rooted at the key center: `ceil(sqrt(N))`
+/// trunk fibers fan out to hub nodes, and each client hangs off its hub
+/// (round-robin, so trunk loads stay balanced) through a dedicated access
+/// fiber. Every route therefore traverses one shared trunk plus one private
+/// access link, which preserves the structural property of the SURFnet
+/// instance that drives Stage 1: routes compete for capacity on shared
+/// upstream links. Link lengths are drawn uniformly (trunks 20–60 km, access
+/// 5–30 km) and rate coefficients follow the Table IV scale
+/// `beta_l ~ 2750 / length_km` with a ±10 % fade, all from a [`rand`] RNG
+/// seeded with `seed`.
+///
+/// # Panics
+/// Panics if `num_clients` is zero.
+pub fn synthetic_scenario(num_clients: usize, seed: u64) -> NetworkScenario {
+    use rand::{Rng, SeedableRng};
+    assert!(num_clients > 0, "a network requires at least one route");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let num_hubs = (num_clients as f64).sqrt().ceil() as usize;
+
+    let mut links = Vec::with_capacity(num_hubs + num_clients);
+    let beta_from_length = |length_km: f64, rng: &mut rand::rngs::StdRng| -> f64 {
+        2750.0 / length_km * rng.gen_range(0.9..1.1)
+    };
+    for id in 1..=num_hubs {
+        let length = rng.gen_range(20.0..60.0);
+        let beta = beta_from_length(length, &mut rng);
+        links.push(Link::new(id, length, beta).expect("sampled trunk parameters are positive"));
+    }
+    for client in 0..num_clients {
+        let id = num_hubs + client + 1;
+        let length = rng.gen_range(5.0..30.0);
+        let beta = beta_from_length(length, &mut rng);
+        links.push(Link::new(id, length, beta).expect("sampled access parameters are positive"));
+    }
+
+    let mut nodes = vec![Node {
+        id: 1,
+        name: "KeyCenter".to_string(),
+    }];
+    for hub in 0..num_hubs {
+        nodes.push(Node {
+            id: nodes.len() + 1,
+            name: format!("Hub{}", hub + 1),
+        });
+    }
+    let routes: Vec<Route> = (0..num_clients)
+        .map(|client| {
+            let hub = client % num_hubs;
+            nodes.push(Node {
+                id: nodes.len() + 1,
+                name: format!("Client{}", client + 1),
+            });
+            Route::new(
+                client + 1,
+                "KeyCenter",
+                format!("Client{}", client + 1),
+                vec![hub + 1, num_hubs + client + 1],
+            )
+            .expect("synthetic routes reference existing links")
+        })
+        .collect();
+    NetworkScenario::new("KeyCenter", nodes, links, routes)
+        .expect("the synthetic topology is internally consistent")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +340,36 @@ mod tests {
         let links = vec![Link::new(2, 10.0, 5.0).unwrap()];
         let routes = vec![Route::new(1, "a", "b", vec![2]).unwrap()];
         assert!(NetworkScenario::new("a", vec![], links, routes).is_err());
+    }
+
+    #[test]
+    fn synthetic_scenario_has_requested_size_and_shared_trunks() {
+        for n in [1, 6, 32, 128] {
+            let s = synthetic_scenario(n, 7);
+            assert_eq!(s.num_clients(), n);
+            let hubs = (n as f64).sqrt().ceil() as usize;
+            assert_eq!(s.num_links(), hubs + n);
+            assert_eq!(s.nodes().len(), 1 + hubs + n);
+            for route in s.routes() {
+                assert_eq!(route.source, "KeyCenter");
+                assert_eq!(route.link_ids.len(), 2);
+            }
+            // Each trunk is shared by roughly n / hubs routes.
+            for trunk in 0..hubs {
+                let users = s.incidence().routes_using_link(trunk).len();
+                assert!(users >= n / hubs, "trunk {trunk} serves {users} routes");
+            }
+            for (l, link) in s.links().iter().enumerate() {
+                assert_eq!(link.id, l + 1);
+                assert!(link.beta > 0.0 && link.length_km > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_scenario_is_deterministic_per_seed() {
+        assert_eq!(synthetic_scenario(12, 3), synthetic_scenario(12, 3));
+        assert_ne!(synthetic_scenario(12, 3), synthetic_scenario(12, 4));
     }
 
     #[test]

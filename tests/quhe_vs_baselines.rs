@@ -44,6 +44,41 @@ fn quhe_dominates_every_baseline_on_the_objective() {
 }
 
 #[test]
+fn quhe_beats_average_allocation_on_every_catalogued_scenario() {
+    // The Fig. 5(d) dominance claim generalized to the whole scenario
+    // catalogue, solved as one parallel batch (the same path `batch_eval`
+    // takes): every world, from the paper's cell to the 32-client dense
+    // cell, must end feasible and at least as good as average allocation.
+    let catalog = ScenarioCatalog::builtin();
+    let named = catalog.generate_all(42).unwrap();
+    let config = QuheConfig {
+        max_outer_iterations: 1,
+        max_stage3_iterations: 5,
+        // The batch is the parallel axis; keep Stage 3 serial inside each
+        // solve so the two pools don't multiply.
+        solver_threads: 1,
+        ..QuheConfig::default()
+    };
+    let scenarios: Vec<SystemScenario> = named.iter().map(|(_, s)| s.clone()).collect();
+    let outcomes = QuheAlgorithm::new(config).solve_batch(&scenarios, 0);
+    assert_eq!(outcomes.len(), named.len());
+    for ((name, scenario), outcome) in named.iter().zip(outcomes) {
+        let quhe = outcome.unwrap_or_else(|e| panic!("{name}: QuHE solve failed: {e}"));
+        let problem = Problem::new(scenario.clone(), config).unwrap();
+        problem
+            .check_feasible(&quhe.variables)
+            .unwrap_or_else(|e| panic!("{name}: infeasible solution: {e}"));
+        let aa = average_allocation(scenario, &config).unwrap();
+        assert!(
+            quhe.objective >= aa.metrics.objective - 1e-6,
+            "{name}: QuHE ({}) lost to AA ({})",
+            quhe.objective,
+            aa.metrics.objective
+        );
+    }
+}
+
+#[test]
 fn fig5d_qualitative_shape_holds() {
     // Fig. 5(d): QuHE/OCCR excel on energy; QuHE/OLAA achieve the highest
     // security level; QuHE has the best objective.

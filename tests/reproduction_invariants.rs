@@ -100,6 +100,67 @@ fn higher_power_budget_never_hurts() {
     assert!(high.objective >= low.objective - 0.05);
 }
 
+/// A solver configuration sized to the scenario: the large catalogue worlds
+/// (dense cells) get one outer iteration and a short Stage-3 budget so the
+/// debug-build test suite stays fast; the monotonicity and dominance
+/// assertions hold already at these budgets because Stage 1 is shared with
+/// the baselines and Stages 2–3 only improve on it.
+fn catalog_config(scenario: &SystemScenario) -> QuheConfig {
+    let big = scenario.num_clients() > 16;
+    QuheConfig {
+        max_outer_iterations: if big { 1 } else { 2 },
+        max_stage3_iterations: if big { 5 } else { 8 },
+        ..QuheConfig::default()
+    }
+}
+
+#[test]
+fn every_catalogued_scenario_is_deterministic_for_a_fixed_seed() {
+    let catalog = ScenarioCatalog::builtin();
+    assert!(catalog.names().len() >= 5, "the catalogue shrank");
+    for name in catalog.names() {
+        assert_eq!(
+            catalog.generate(name, 42).unwrap(),
+            catalog.generate(name, 42).unwrap(),
+            "{name} must generate identical scenarios for one seed"
+        );
+        assert_ne!(
+            catalog.generate(name, 42).unwrap(),
+            catalog.generate(name, 43).unwrap(),
+            "{name} must vary with the seed"
+        );
+    }
+}
+
+#[test]
+fn budget_monotonicity_holds_on_every_catalogued_scenario() {
+    // The Fig. 6 shape generalized: on every world of the catalogue, growing
+    // the bandwidth budget never hurts QuHE's achievable objective by more
+    // than solver noise (5 % relative slack for the large-magnitude worlds).
+    let catalog = ScenarioCatalog::builtin();
+    for name in catalog.names() {
+        let base = catalog.generate(name, 11).unwrap();
+        let config = catalog_config(&base);
+        let bandwidth = base.mec().total_bandwidth_hz();
+        let mut previous: Option<f64> = None;
+        for factor in [0.75, 1.5] {
+            let scenario = base
+                .with_mec(base.mec().clone().with_total_bandwidth(bandwidth * factor))
+                .unwrap();
+            let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+            if let Some(prev) = previous {
+                let slack = 0.05 * (1.0 + prev.abs());
+                assert!(
+                    quhe.objective >= prev - slack,
+                    "{name}: objective dropped from {prev} to {} when bandwidth grew",
+                    quhe.objective
+                );
+            }
+            previous = Some(quhe.objective);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

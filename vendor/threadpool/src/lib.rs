@@ -1,0 +1,205 @@
+//! Offline stand-in for a thread-pool crate: scoped data-parallel mapping
+//! over borrowed data.
+//!
+//! The real QuHE workloads are a small number of heavy, independent solver
+//! jobs (stage-3 multi-starts, whole-scenario solves of a batch grid), so the
+//! pool is deliberately simple: each [`ThreadPool::par_map`] call spawns its
+//! workers inside a [`std::thread::scope`] and the workers self-schedule jobs
+//! off a shared atomic counter. Self-scheduling gives the same load-balancing
+//! property as work stealing for coarse-grained jobs — an idle worker
+//! immediately claims the next unclaimed job — without any unsafe code or
+//! long-lived queues, and borrowed inputs (`&[T]`) need no `'static` bound.
+//!
+//! Results are returned in input order and the selection of jobs is
+//! deterministic; only the execution interleaving varies between runs, so a
+//! caller that reduces the results in input order is fully reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A fixed-size scoped thread pool.
+///
+/// The pool stores only its target worker count; threads are spawned per
+/// [`ThreadPool::par_map`] call inside a scope, so a pool is `Copy`-cheap to
+/// create and never leaks OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    /// A pool sized to the machine's available parallelism.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers. `0` means "use the machine's
+    /// available parallelism"; any positive value is used as given (so `1`
+    /// forces serial execution).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            available_parallelism()
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The number of worker threads this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every element of `items` and returns the results in
+    /// input order.
+    ///
+    /// Jobs are claimed by idle workers off a shared counter, so long and
+    /// short jobs balance automatically. With one worker (or zero/one item)
+    /// no threads are spawned and the map runs inline on the caller.
+    ///
+    /// # Panics
+    /// Propagates a panic from `f` once all workers have finished.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`ThreadPool::par_map`] but the closure also receives the item's
+    /// index.
+    ///
+    /// # Panics
+    /// Propagates a panic from `f` once all workers have finished.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    let result = f(index, item);
+                    *slots[index].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every job index below items.len() was claimed and completed")
+            })
+            .collect()
+    }
+}
+
+/// The machine's available parallelism (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One-shot convenience: `par_map` on a pool of `threads` workers
+/// (`0` = available parallelism).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    ThreadPool::new(threads).par_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = ThreadPool::new(4).par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_variant_sees_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = ThreadPool::new(3).par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = ThreadPool::new(8).par_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let items = vec![1, 2, 3];
+        let out = ThreadPool::new(1).par_map(&items, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = vec![];
+        let out = ThreadPool::default().par_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = ThreadPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.threads(), available_parallelism());
+    }
+
+    #[test]
+    fn borrowed_non_static_data_is_supported() {
+        let owned: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = owned.iter().map(String::as_str).collect();
+        let lengths = par_map(0, &refs, |s| s.len());
+        assert_eq!(lengths.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..16).collect();
+        ThreadPool::new(4).par_map(&items, |&x| {
+            if x == 7 {
+                panic!("job 7");
+            }
+            x
+        });
+    }
+}
