@@ -26,6 +26,10 @@
 //! * [`registry`] — the named catalogue of complete system scenarios
 //!   (paper default plus dense-cell, heterogeneous, far-edge and bursty
 //!   worlds), the unit of the parallel batch-evaluation pipeline.
+//! * [`online`] — the online dynamic-world engine: seed-deterministic
+//!   system-level event traces ([`online::SystemTrace`]) and
+//!   [`quhe::QuheAlgorithm::solve_online`], which tracks a drifting world
+//!   via warm-started incremental re-solves with a cold-solve fallback.
 //!
 //! # Example
 //!
@@ -46,6 +50,7 @@
 pub mod baselines;
 pub mod error;
 pub mod metrics;
+pub mod online;
 pub mod params;
 pub mod problem;
 pub mod quhe;
@@ -67,6 +72,9 @@ pub mod prelude {
     };
     pub use crate::error::{QuheError, QuheResult};
     pub use crate::metrics::MethodMetrics;
+    pub use crate::online::{
+        OnlineOutcome, OnlineStepRecord, OnlineTraceConfig, SolveKind, SystemStep, SystemTrace,
+    };
     pub use crate::params::{ObjectiveWeights, QuheConfig};
     pub use crate::problem::Problem;
     pub use crate::quhe::{QuheAlgorithm, QuheOutcome};

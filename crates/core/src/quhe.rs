@@ -104,6 +104,20 @@ impl QuheAlgorithm {
         threadpool::ThreadPool::new(threads).par_map(scenarios, |scenario| self.solve(scenario))
     }
 
+    /// Runs Algorithm 4 from the deterministic initial point with Stage 3
+    /// restricted to the single start carried through the alternation — no
+    /// multi-start basin exploration. This is the "cold single-start" solve:
+    /// the cheapest from-scratch solve, and the floor that the online
+    /// engine's warm-started steps are guaranteed never to fall below.
+    ///
+    /// # Errors
+    /// Propagates configuration, substrate and solver errors.
+    pub fn solve_single_start(&self, scenario: &SystemScenario) -> QuheResult<QuheOutcome> {
+        let problem = Problem::new(scenario.clone(), self.config)?;
+        let start = problem.initial_point()?;
+        self.run_from(&problem, start, false)
+    }
+
     /// Runs Algorithm 4 from an explicit starting point (used by the Fig. 3
     /// optimality study, which samples random initial resource
     /// configurations).
@@ -114,6 +128,32 @@ impl QuheAlgorithm {
         &self,
         problem: &Problem,
         start: DecisionVariables,
+    ) -> QuheResult<QuheOutcome> {
+        self.run_from(problem, start, true)
+    }
+
+    /// Like [`QuheAlgorithm::solve_from`] but with Stage 3 restricted to the
+    /// warm start throughout (no multi-start exploration). This is the
+    /// tracking mode of the online engine: starting at the previous step's
+    /// optimum, the alternation follows the drifted optimum of the same
+    /// basin instead of re-exploring — which is what makes a warm re-solve
+    /// strictly cheaper than a cold one.
+    ///
+    /// # Errors
+    /// Propagates configuration, substrate and solver errors.
+    pub fn solve_from_warm(
+        &self,
+        problem: &Problem,
+        start: DecisionVariables,
+    ) -> QuheResult<QuheOutcome> {
+        self.run_from(problem, start, false)
+    }
+
+    fn run_from(
+        &self,
+        problem: &Problem,
+        start: DecisionVariables,
+        stage3_multi_start: bool,
     ) -> QuheResult<QuheOutcome> {
         self.config.validate()?;
         let wall_clock = Instant::now();
@@ -163,9 +203,10 @@ impl QuheAlgorithm {
             // seen, since the surface depends on the variables only through
             // `lambda`. While `lambda` is unchanged the warm start already
             // sits in the best basin found and re-solving the fixed starts
-            // would only cost time.
+            // would only cost time. Single-start mode skips the exploration
+            // entirely and rides the carried start's basin.
             let surface_is_new = explored_lambdas.insert(vars.lambda.clone());
-            let stage3 = if surface_is_new {
+            let stage3 = if stage3_multi_start && surface_is_new {
                 stage3_solver.solve(problem, &vars)?
             } else {
                 stage3_solver.solve_warm_start_only(problem, &vars)?
@@ -309,6 +350,37 @@ mod tests {
         .unwrap();
         assert_eq!(serial.objective, parallel.objective);
         assert_eq!(serial.variables, parallel.variables);
+    }
+
+    #[test]
+    fn single_start_solve_is_feasible_and_never_beats_multi_start() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let single = QuheAlgorithm::new(config)
+            .solve_single_start(&scenario)
+            .unwrap();
+        let problem = Problem::new(scenario.clone(), config).unwrap();
+        problem.check_feasible(&single.variables).unwrap();
+        let multi = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+        assert!(
+            multi.objective >= single.objective - 1e-9,
+            "multi-start ({}) lost to its own single-start restriction ({})",
+            multi.objective,
+            single.objective
+        );
+    }
+
+    #[test]
+    fn warm_restart_from_an_optimum_converges_immediately() {
+        let scenario = scenario();
+        let config = QuheConfig::default();
+        let cold = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+        let problem = Problem::new(scenario, config).unwrap();
+        let warm = QuheAlgorithm::new(config)
+            .solve_from_warm(&problem, cold.variables.clone())
+            .unwrap();
+        assert_eq!(warm.outer_iterations, 1, "an optimum needs no re-descent");
+        assert!(warm.objective >= cold.objective - config.tolerance);
     }
 
     #[test]

@@ -183,6 +183,50 @@ mod tests {
     }
 
     #[test]
+    fn every_validation_message_is_pinned_verbatim() {
+        // PR 2 made `SystemScenario::new` name the violated consistency
+        // requirement; downstream tests and operators match on these strings,
+        // so each variant's full message is pinned here — change a message
+        // and this test names exactly what regressed.
+        let qkd = surfnet_scenario();
+        let mec = MecScenario::paper_default(1);
+
+        let mismatch = SystemScenario::new(
+            qkd.clone(),
+            MecScenario::paper_with_num_clients(4, 1),
+            vec![1 << 15],
+        )
+        .unwrap_err();
+        assert_eq!(
+            mismatch.to_string(),
+            "invalid configuration: client-count mismatch: the QKD network has 6 routes but \
+             the MEC scenario has 4 clients (route n serves client n, so the counts must match)"
+        );
+
+        let empty = SystemScenario::new(qkd.clone(), mec.clone(), vec![]).unwrap_err();
+        assert_eq!(
+            empty.to_string(),
+            "invalid configuration: lambda_choices must not be empty: constraint (17d) draws \
+             every polynomial degree from this set"
+        );
+
+        let duplicate =
+            SystemScenario::new(qkd.clone(), mec.clone(), vec![1 << 15, 1 << 15]).unwrap_err();
+        assert_eq!(
+            duplicate.to_string(),
+            "invalid configuration: lambda_choices contains duplicate entry 32768 \
+             (positions 0 and 1)"
+        );
+
+        let unsorted = SystemScenario::new(qkd, mec, vec![1 << 16, 1 << 15]).unwrap_err();
+        assert_eq!(
+            unsorted.to_string(),
+            "invalid configuration: lambda_choices must be sorted ascending, but 65536 at \
+             position 0 precedes 32768 at position 1"
+        );
+    }
+
+    #[test]
     fn with_mec_swaps_budgets() {
         let s = SystemScenario::paper_default(1);
         let swapped = s

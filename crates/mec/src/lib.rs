@@ -20,7 +20,10 @@
 //!   and weights,
 //! * [`generator`] — seed-deterministic scenario generators beyond the
 //!   paper's world (dense cells, heterogeneous fleets, far-edge deployments,
-//!   bursty workloads) and the named [`generator::ScenarioRegistry`].
+//!   bursty workloads) and the named [`generator::ScenarioRegistry`],
+//! * [`dynamic`] — dynamic worlds: discrete scenario events (client churn,
+//!   channel drift, load bursts, deadline tightening) and seed-deterministic
+//!   event traces for the online engine in `quhe-core`.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@
 pub mod channel;
 pub mod compute;
 pub mod cost;
+pub mod dynamic;
 pub mod error;
 pub mod fdma;
 pub mod generator;
@@ -56,6 +60,9 @@ pub mod prelude {
         client_encryption_cost, server_computation_cost, ClientComputeParams, ServerComputeParams,
     };
     pub use crate::cost::{ClientCostBreakdown, SystemCost};
+    pub use crate::dynamic::{
+        DynamicWorld, EventTrace, EventTraceConfig, ScenarioEvent, TraceStep,
+    };
     pub use crate::error::{MecError, MecResult};
     pub use crate::fdma::BandwidthBudget;
     pub use crate::generator::{

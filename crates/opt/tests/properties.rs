@@ -1,0 +1,165 @@
+//! Property tests for the `quhe-opt` primitives the QuHE stages are built
+//! on: projection idempotence and feasibility, line-search monotonicity, and
+//! quadratic-transform consistency with the direct fractional objective.
+//!
+//! These properties are the contracts the Stage-3 solver silently relies on;
+//! pinning them here means a refactor of the toolkit cannot regress them
+//! without a named failure.
+
+use proptest::prelude::*;
+use quhe_opt::diff::central_gradient;
+use quhe_opt::fractional::{QuadraticTransform, RatioTerm};
+use quhe_opt::gradient::{ProjectedGradient, ProjectedGradientConfig};
+use quhe_opt::line_search::ArmijoLineSearch;
+use quhe_opt::projection::{BoxProjection, Projection, SimplexCapProjection};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn box_projection_is_idempotent_and_feasible(
+        x in proptest::collection::vec(-10.0f64..10.0, 6),
+        lower in -3.0f64..0.0,
+        span in 0.1f64..5.0,
+    ) {
+        let upper = lower + span;
+        let boxed = BoxProjection::uniform(6, lower, upper).unwrap();
+        let projected = boxed.projected(&x);
+        // Feasibility: every coordinate lands inside the box.
+        for v in &projected {
+            prop_assert!(*v >= lower && *v <= upper, "{v} escaped [{lower}, {upper}]");
+        }
+        // Idempotence: projecting a projected point is an exact no-op.
+        prop_assert_eq!(boxed.projected(&projected), projected.clone());
+        prop_assert!(boxed.contains(&projected, 1e-12));
+        // Interior points are untouched.
+        let interior = boxed.midpoint();
+        prop_assert_eq!(boxed.projected(&interior), interior);
+    }
+
+    #[test]
+    fn simplex_cap_projection_is_idempotent_and_feasible(
+        x in proptest::collection::vec(-2.0f64..8.0, 5),
+        lower in 0.0f64..0.3,
+        slack in 0.5f64..10.0,
+    ) {
+        // The cap always dominates the lower-bound sum, so the set is
+        // non-empty by construction.
+        let cap = 5.0 * lower + slack;
+        let simplex = SimplexCapProjection::uniform(5, lower, cap).unwrap();
+        let projected = simplex.projected(&x);
+        // Feasibility: lower bounds and the budget both hold.
+        let total: f64 = projected.iter().sum();
+        prop_assert!(total <= cap + 1e-9, "budget violated: {total} > {cap}");
+        for v in &projected {
+            prop_assert!(*v >= lower - 1e-12, "{v} below the lower bound {lower}");
+        }
+        // Idempotence: a feasible point projects to itself exactly.
+        prop_assert_eq!(simplex.projected(&projected), projected.clone());
+        // The strictly feasible equal split is untouched.
+        let split = simplex.equal_split();
+        prop_assert_eq!(simplex.projected(&split), split.clone());
+    }
+
+    #[test]
+    fn line_search_never_increases_the_objective(
+        center in proptest::collection::vec(-3.0f64..3.0, 4),
+        curvature in proptest::collection::vec(0.1f64..4.0, 4),
+        start in proptest::collection::vec(-5.0f64..5.0, 4),
+    ) {
+        // A strictly convex quadratic with a random center and curvatures.
+        let f = move |x: &[f64]| -> f64 {
+            x.iter()
+                .zip(&center)
+                .zip(&curvature)
+                .map(|((xi, c), k)| k * (xi - c) * (xi - c))
+                .sum()
+        };
+        let fx = f(&start);
+        let grad = central_gradient(&f, &start, 1e-6);
+        let direction: Vec<f64> = grad.iter().map(|g| -g).collect();
+        // At the unconstrained minimum the gradient vanishes and there is no
+        // descent direction; skip those draws.
+        if grad.iter().map(|g| g * g).sum::<f64>() > 1e-12 {
+            let outcome = ArmijoLineSearch::default()
+                .search(&f, &start, fx, &grad, &direction, |_| true)
+                .unwrap();
+            prop_assert!(
+                outcome.value <= fx,
+                "line search increased the objective: {fx} -> {}",
+                outcome.value
+            );
+            prop_assert!(outcome.step > 0.0);
+            // The accepted point is exactly x + step * d.
+            for ((p, s), d) in outcome.point.iter().zip(&start).zip(&direction) {
+                prop_assert!((p - (s + outcome.step * d)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_transform_surrogate_is_tight_at_the_fixed_point(
+        num in 0.5f64..5.0,
+        den in 0.5f64..5.0,
+        z_scale in 0.1f64..10.0,
+    ) {
+        // At the optimal auxiliary z* = 1/(2 a b) the Eq. (26) surrogate
+        // equals the ratio a/b exactly — the fixed point of the alternating
+        // scheme evaluates the direct fractional objective.
+        let term = RatioTerm::new(move |_: &[f64]| num, move |_: &[f64]| den);
+        let x = [0.0];
+        let z_star = term.optimal_auxiliary(&x);
+        prop_assert!((term.surrogate(&x, z_star) - term.value(&x)).abs() < 1e-12);
+        // Away from the fixed point the surrogate upper-bounds the ratio, so
+        // minimizing it can never under-report the true objective.
+        let z_off = z_star * z_scale;
+        prop_assert!(term.surrogate(&x, z_off) >= term.value(&x) - 1e-12);
+    }
+
+    #[test]
+    fn quadratic_transform_solution_matches_the_direct_objective(
+        weight in 0.5f64..5.0,
+        offset in 0.5f64..3.0,
+        start in 0.2f64..9.0,
+    ) {
+        // minimize x + weight * (x^2 + 1) / (x + offset) over [0.1, 10].
+        let direct = move |x: f64| x + weight * (x * x + 1.0) / (x + offset);
+        let term = RatioTerm::new(
+            |x: &[f64]| x[0] * x[0] + 1.0,
+            move |x: &[f64]| x[0] + offset,
+        );
+        let terms = vec![term];
+        let projection = BoxProjection::uniform(1, 0.1, 10.0).unwrap();
+        let inner = ProjectedGradient::new(ProjectedGradientConfig::default());
+        let result = QuadraticTransform::default()
+            .solve(
+                |x: &[f64]| x[0],
+                &terms,
+                &[weight],
+                &[start],
+                |x, z| {
+                    let z0 = z[0];
+                    let surrogate = move |y: &[f64]| {
+                        let num = y[0] * y[0] + 1.0;
+                        let den = y[0] + offset;
+                        y[0] + weight * (num * num * z0 + 1.0 / (4.0 * den * den * z0))
+                    };
+                    Ok(inner.minimize(&surrogate, &projection, x)?.solution)
+                },
+            )
+            .unwrap();
+        // The reported objective is the direct fractional objective at the
+        // returned solution — the transform introduces no bias.
+        prop_assert!(
+            (result.objective - direct(result.solution[0])).abs() < 1e-9,
+            "reported {} vs direct {}",
+            result.objective,
+            direct(result.solution[0])
+        );
+        // And the alternation never worsened the start.
+        prop_assert!(result.objective <= direct(start) + 1e-9);
+        for pair in result.trace.windows(2) {
+            prop_assert!(pair[1] <= pair[0] + 1e-9, "trace increased: {pair:?}");
+        }
+    }
+}

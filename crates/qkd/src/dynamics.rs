@@ -1,0 +1,292 @@
+//! Time-varying QKD dynamics: key-rate drift and key-pool evolution.
+//!
+//! The paper evaluates a static SURFnet snapshot, but a deployed QKD network
+//! is a process in time: fiber conditions, detector efficiencies and
+//! entanglement-source duty cycles all fluctuate, so the rate coefficients
+//! `beta_l` of Eq. (3) drift between re-optimizations, and the per-route key
+//! pools fill (key distribution) and drain (encryption traffic) between
+//! steps. This module supplies both building blocks for the online
+//! dynamic-world engine:
+//!
+//! * [`LinkRateProcess`] — a seed-deterministic bounded multiplicative random
+//!   walk over the per-link rate coefficients. Each step multiplies every
+//!   `beta_l` by an independent factor in `[1 - a, 1 + a]` and clamps the
+//!   result to a band around the link's nominal coefficient, so a long trace
+//!   can neither extinguish a link nor grow it without bound.
+//! * [`KeyPoolProcess`] — per-route key-material ledgers (in bits) that are
+//!   refilled by the distribution path and depleted by encryption demand each
+//!   step, reporting how much demand was actually served and how much was
+//!   left unserved when a pool ran dry.
+//!
+//! Both processes are pure functions of their seed and inputs: replaying a
+//! trace reproduces the exact same world, which the differential tests of the
+//! online engine rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{QkdError, QkdResult};
+
+/// Lower clamp of a drifting coefficient, relative to its nominal value.
+pub const MIN_DRIFT_FACTOR: f64 = 0.25;
+
+/// Upper clamp of a drifting coefficient, relative to its nominal value.
+pub const MAX_DRIFT_FACTOR: f64 = 4.0;
+
+/// A bounded multiplicative random walk over per-link rate coefficients.
+#[derive(Debug, Clone)]
+pub struct LinkRateProcess {
+    nominal: Vec<f64>,
+    current: Vec<f64>,
+    amplitude: f64,
+    rng: StdRng,
+}
+
+impl LinkRateProcess {
+    /// Creates the process at the nominal coefficients `betas` with per-step
+    /// relative drift amplitude `amplitude` (e.g. `0.02` for ±2 % per step)
+    /// and a deterministic seed.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] for an empty coefficient
+    /// vector, a non-positive/non-finite coefficient, or an amplitude
+    /// outside `[0, 1)`.
+    pub fn new(betas: Vec<f64>, amplitude: f64, seed: u64) -> QkdResult<Self> {
+        if betas.is_empty() {
+            return Err(QkdError::InvalidParameter {
+                reason: "a rate process needs at least one link coefficient".to_string(),
+            });
+        }
+        for (l, &beta) in betas.iter().enumerate() {
+            if !(beta > 0.0 && beta.is_finite()) {
+                return Err(QkdError::InvalidParameter {
+                    reason: format!("link {}: nominal beta must be positive, got {beta}", l + 1),
+                });
+            }
+        }
+        if !(0.0..1.0).contains(&amplitude) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("drift amplitude must lie in [0, 1), got {amplitude}"),
+            });
+        }
+        Ok(Self {
+            current: betas.clone(),
+            nominal: betas,
+            amplitude,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The coefficients at the current step.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// The nominal (step-zero) coefficients the walk is clamped around.
+    pub fn nominal(&self) -> &[f64] {
+        &self.nominal
+    }
+
+    /// Advances the walk one step and returns the new coefficients. With
+    /// amplitude zero this is an exact no-op, so a "frozen" world replays
+    /// bit-identically.
+    pub fn step(&mut self) -> &[f64] {
+        if self.amplitude > 0.0 {
+            for (current, nominal) in self.current.iter_mut().zip(&self.nominal) {
+                let factor = 1.0 + self.amplitude * self.rng.gen_range(-1.0..1.0);
+                *current = (*current * factor)
+                    .clamp(MIN_DRIFT_FACTOR * nominal, MAX_DRIFT_FACTOR * nominal);
+            }
+        }
+        &self.current
+    }
+}
+
+/// Outcome of one step of one route's key pool.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PoolStep {
+    /// Pool level in bits after refill and depletion.
+    pub level_bits: f64,
+    /// Demand that was served from the pool this step, in bits.
+    pub served_bits: f64,
+    /// Demand that could not be served (the pool ran dry), in bits.
+    pub deficit_bits: f64,
+}
+
+/// Per-route key-material ledgers evolving between optimization steps.
+///
+/// Levels are tracked in (fractional) bits: refill is the key material the
+/// distribution path delivered during the step, depletion is the symmetric
+/// key the encryption phase consumed. Levels saturate at the pool capacity
+/// (buffering hardware is finite) and at zero (unserved demand is reported
+/// as a deficit, not borrowed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyPoolProcess {
+    capacity_bits: f64,
+    levels: Vec<f64>,
+}
+
+impl KeyPoolProcess {
+    /// Creates one pool per route, each with `capacity_bits` capacity and an
+    /// initial fill fraction `initial_fill` in `[0, 1]`.
+    ///
+    /// # Errors
+    /// Returns [`QkdError::InvalidParameter`] for zero routes, a non-positive
+    /// capacity, or an initial fill outside `[0, 1]`.
+    pub fn new(routes: usize, capacity_bits: f64, initial_fill: f64) -> QkdResult<Self> {
+        if routes == 0 {
+            return Err(QkdError::InvalidParameter {
+                reason: "a pool process needs at least one route".to_string(),
+            });
+        }
+        if !(capacity_bits > 0.0 && capacity_bits.is_finite()) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("pool capacity must be positive, got {capacity_bits}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&initial_fill) {
+            return Err(QkdError::InvalidParameter {
+                reason: format!("initial fill must lie in [0, 1], got {initial_fill}"),
+            });
+        }
+        Ok(Self {
+            capacity_bits,
+            levels: vec![initial_fill * capacity_bits; routes],
+        })
+    }
+
+    /// Pool capacity in bits (shared by every route).
+    pub fn capacity_bits(&self) -> f64 {
+        self.capacity_bits
+    }
+
+    /// Current per-route levels in bits.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Number of routes tracked.
+    pub fn num_routes(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Applies one step: each route first receives `refill_bits`, clamped at
+    /// capacity, then serves up to `demand_bits` from the pool.
+    ///
+    /// # Errors
+    /// * [`QkdError::DimensionMismatch`] if either input does not have one
+    ///   entry per route.
+    /// * [`QkdError::InvalidParameter`] for negative or non-finite entries.
+    pub fn step(&mut self, refill_bits: &[f64], demand_bits: &[f64]) -> QkdResult<Vec<PoolStep>> {
+        for input in [refill_bits, demand_bits] {
+            if input.len() != self.levels.len() {
+                return Err(QkdError::DimensionMismatch {
+                    expected: self.levels.len(),
+                    actual: input.len(),
+                });
+            }
+            if let Some(bad) = input.iter().find(|v| !(**v >= 0.0 && v.is_finite())) {
+                return Err(QkdError::InvalidParameter {
+                    reason: format!("refill/demand must be non-negative and finite, got {bad}"),
+                });
+            }
+        }
+        Ok(self
+            .levels
+            .iter_mut()
+            .zip(refill_bits.iter().zip(demand_bits))
+            .map(|(level, (&refill, &demand))| {
+                let filled = (*level + refill).min(self.capacity_bits);
+                let served = demand.min(filled);
+                *level = filled - served;
+                PoolStep {
+                    level_bits: *level,
+                    served_bits: served,
+                    deficit_bits: demand - served,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_process_is_seed_deterministic_and_bounded() {
+        let betas = vec![89.84, 53.79, 77.47];
+        let mut a = LinkRateProcess::new(betas.clone(), 0.05, 7).unwrap();
+        let mut b = LinkRateProcess::new(betas.clone(), 0.05, 7).unwrap();
+        for _ in 0..50 {
+            assert_eq!(a.step(), b.step());
+        }
+        for (current, nominal) in a.current().iter().zip(&betas) {
+            assert!(*current >= MIN_DRIFT_FACTOR * nominal);
+            assert!(*current <= MAX_DRIFT_FACTOR * nominal);
+        }
+        let mut c = LinkRateProcess::new(betas, 0.05, 8).unwrap();
+        assert_ne!(a.step(), c.step(), "different seeds must diverge");
+    }
+
+    #[test]
+    fn zero_amplitude_is_an_exact_no_op() {
+        let betas = vec![10.0, 20.0];
+        let mut process = LinkRateProcess::new(betas.clone(), 0.0, 3).unwrap();
+        for _ in 0..10 {
+            assert_eq!(process.step(), betas.as_slice());
+        }
+        assert_eq!(process.nominal(), betas.as_slice());
+    }
+
+    #[test]
+    fn rate_process_rejects_bad_inputs() {
+        assert!(LinkRateProcess::new(vec![], 0.1, 1).is_err());
+        assert!(LinkRateProcess::new(vec![0.0], 0.1, 1).is_err());
+        assert!(LinkRateProcess::new(vec![1.0], 1.0, 1).is_err());
+        assert!(LinkRateProcess::new(vec![1.0], -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn pool_refill_and_depletion_conserve_material() {
+        let mut pools = KeyPoolProcess::new(2, 100.0, 0.5).unwrap();
+        assert_eq!(pools.levels(), &[50.0, 50.0]);
+        let steps = pools.step(&[30.0, 30.0], &[20.0, 0.0]).unwrap();
+        assert_eq!(steps[0].level_bits, 60.0);
+        assert_eq!(steps[0].served_bits, 20.0);
+        assert_eq!(steps[0].deficit_bits, 0.0);
+        assert_eq!(steps[1].level_bits, 80.0);
+        assert_eq!(pools.levels(), &[60.0, 80.0]);
+        assert_eq!(pools.num_routes(), 2);
+        assert_eq!(pools.capacity_bits(), 100.0);
+    }
+
+    #[test]
+    fn pool_saturates_at_capacity_and_reports_deficits() {
+        let mut pools = KeyPoolProcess::new(1, 100.0, 0.9).unwrap();
+        // Refill beyond capacity: level caps at 100 before serving.
+        let step = pools.step(&[50.0], &[0.0]).unwrap()[0];
+        assert_eq!(step.level_bits, 100.0);
+        // Demand beyond the pool: everything is served down to zero, the
+        // remainder is a deficit.
+        let step = pools.step(&[0.0], &[130.0]).unwrap()[0];
+        assert_eq!(step.level_bits, 0.0);
+        assert_eq!(step.served_bits, 100.0);
+        assert_eq!(step.deficit_bits, 30.0);
+    }
+
+    #[test]
+    fn pool_validates_inputs() {
+        assert!(KeyPoolProcess::new(0, 100.0, 0.5).is_err());
+        assert!(KeyPoolProcess::new(1, 0.0, 0.5).is_err());
+        assert!(KeyPoolProcess::new(1, 100.0, 1.5).is_err());
+        let mut pools = KeyPoolProcess::new(2, 100.0, 0.5).unwrap();
+        assert!(matches!(
+            pools.step(&[1.0], &[1.0, 1.0]),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        assert!(pools.step(&[1.0, -1.0], &[0.0, 0.0]).is_err());
+        // Failed steps must not corrupt the ledger.
+        assert_eq!(pools.levels(), &[50.0, 50.0]);
+    }
+}

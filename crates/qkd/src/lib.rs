@@ -10,9 +10,11 @@
 //! Besides the analytic models used by the optimizer, the crate contains a
 //! Monte-Carlo entanglement-distribution protocol simulator
 //! ([`protocol`]) that generates sifted keys over a chain of noisy links and
-//! empirically recovers the same secret-key-fraction law, and a thread-safe
+//! empirically recovers the same secret-key-fraction law, a thread-safe
 //! [`keypool`] that buffers distributed key material for the encryption phase
-//! (consumed by `quhe-crypto`).
+//! (consumed by `quhe-crypto`), and the time-varying [`dynamics`] processes
+//! (bounded key-rate drift, key-pool depletion/refill) that drive the online
+//! dynamic-world engine in `quhe-core`.
 //!
 //! The concrete topology evaluated in the paper — six routes over the SURFnet
 //! research backbone with the link parameters of Tables III and IV — is
@@ -38,6 +40,7 @@
 
 pub mod allocation;
 pub mod capacity;
+pub mod dynamics;
 pub mod error;
 pub mod keypool;
 pub mod protocol;
@@ -54,6 +57,7 @@ pub use werner::WernerParameter;
 pub mod prelude {
     pub use crate::allocation::{optimal_werner, RateAllocation};
     pub use crate::capacity::{link_capacity, LinkCapacity};
+    pub use crate::dynamics::{KeyPoolProcess, LinkRateProcess, PoolStep};
     pub use crate::error::{QkdError, QkdResult};
     pub use crate::keypool::KeyPool;
     pub use crate::protocol::{EntanglementProtocol, ProtocolConfig, ProtocolOutcome};

@@ -133,6 +133,53 @@ impl NetworkScenario {
     pub fn num_links(&self) -> usize {
         self.links.len()
     }
+
+    /// Returns a copy of the scenario with every link's rate coefficient
+    /// replaced by the corresponding entry of `betas` (lengths and route
+    /// structure are preserved). This is the update primitive of the
+    /// time-varying key-rate dynamics in [`crate::dynamics`]: a drifting
+    /// world is the same topology operated at drifting `beta_l`.
+    ///
+    /// # Errors
+    /// * [`QkdError::DimensionMismatch`] if `betas` does not have one entry
+    ///   per link.
+    /// * [`QkdError::InvalidParameter`] if any new coefficient is
+    ///   non-positive or non-finite.
+    pub fn with_betas(&self, betas: &[f64]) -> QkdResult<Self> {
+        if betas.len() != self.links.len() {
+            return Err(QkdError::DimensionMismatch {
+                expected: self.links.len(),
+                actual: betas.len(),
+            });
+        }
+        let links = self
+            .links
+            .iter()
+            .zip(betas)
+            .map(|(link, &beta)| Link::new(link.id, link.length_km, beta))
+            .collect::<QkdResult<Vec<_>>>()?;
+        Self::new(
+            self.key_center.clone(),
+            self.nodes.clone(),
+            links,
+            self.routes.clone(),
+        )
+    }
+
+    /// The smallest rate coefficient along route `n` — the bottleneck that
+    /// bounds how fast key material can be distributed to client `n` at any
+    /// fidelity (capacity `beta (1 - w)` is maximal as `w -> 0`).
+    ///
+    /// # Panics
+    /// Panics when `n` is out of range (routes are validated against the
+    /// link set at construction, so the link lookups cannot fail).
+    pub fn route_bottleneck_beta(&self, n: usize) -> f64 {
+        self.routes[n]
+            .link_ids
+            .iter()
+            .map(|&id| self.links[id - 1].beta)
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 /// Link lengths (km) and rate coefficients `beta_l` of the paper's Table IV.
@@ -370,6 +417,33 @@ mod tests {
     fn synthetic_scenario_is_deterministic_per_seed() {
         assert_eq!(synthetic_scenario(12, 3), synthetic_scenario(12, 3));
         assert_ne!(synthetic_scenario(12, 3), synthetic_scenario(12, 4));
+    }
+
+    #[test]
+    fn with_betas_swaps_coefficients_and_validates() {
+        let s = surfnet_scenario();
+        let mut betas = s.betas();
+        for b in &mut betas {
+            *b *= 1.1;
+        }
+        let drifted = s.with_betas(&betas).unwrap();
+        assert_eq!(drifted.betas(), betas);
+        assert_eq!(drifted.routes(), s.routes());
+        assert_eq!(drifted.links()[0].length_km, s.links()[0].length_km);
+        // Wrong length and non-positive coefficients are rejected.
+        assert!(matches!(
+            s.with_betas(&betas[..3]),
+            Err(QkdError::DimensionMismatch { .. })
+        ));
+        betas[4] = 0.0;
+        assert!(s.with_betas(&betas).is_err());
+    }
+
+    #[test]
+    fn route_bottleneck_is_the_smallest_beta_on_the_route() {
+        let s = surfnet_scenario();
+        // Route 1 (Delft) uses links 17, 2, 1 with betas 90.52, 53.79, 89.84.
+        assert_eq!(s.route_bottleneck_beta(0), 53.79);
     }
 
     #[test]
