@@ -84,8 +84,8 @@ fn bench_whole_quhe(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("algorithm4", |b| {
         b.iter(|| {
-            QuheAlgorithm::new(config)
-                .solve(black_box(&scenario))
+            QuheSolver::new(config)
+                .solve(black_box(&scenario), &SolveSpec::cold())
                 .unwrap()
         })
     });

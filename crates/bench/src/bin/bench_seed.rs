@@ -1,6 +1,6 @@
-//! Emits a machine-readable benchmark record of the QuHE algorithm on the
-//! paper-default scenario, so successive PRs have a performance trajectory to
-//! compare against.
+//! Emits a machine-readable benchmark record of the selected registry solver
+//! (default `quhe`) on the paper-default scenario, so successive PRs have a
+//! performance trajectory to compare against.
 //!
 //! ```bash
 //! # writes BENCH_seed.json at the workspace root (or the path in $1):
@@ -10,12 +10,13 @@
 //!
 //! The JSON contains the final objective, per-stage and end-to-end wall-clock
 //! timings (median over `QUHE_BENCH_RUNS` runs, default 5), stage call
-//! counts, and the breakdown metrics at the solution. It is written by hand
-//! (no serde runtime in the offline build) with a stable key order.
+//! counts, and the breakdown metrics at the solution, written through the
+//! shared report writer.
 
 use std::time::Instant;
 
-use quhe_bench::{default_scenario, env_usize, experiment_config};
+use quhe_bench::report::write;
+use quhe_bench::{default_scenario, env_usize, output_path, selected_solver_name, solver_registry};
 use quhe_core::prelude::*;
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -24,20 +25,26 @@ fn median(samples: &mut [f64]) -> f64 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--quick")
-        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let solver_name = selected_solver_name(&args);
+    let out_path = output_path(&args, "BENCH_seed.json");
     let runs = env_usize("QUHE_BENCH_RUNS", 5).max(1);
     let scenario = default_scenario();
-    let config = experiment_config();
-    let algorithm = QuheAlgorithm::new(config);
+    let registry = solver_registry();
+    let solver = registry
+        .resolve(&solver_name)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let config = *solver.config();
+    let spec = SolveSpec::cold();
 
     // Stage timings are measured as standalone solves from the problem's
-    // deterministic initial point, not taken from the algorithm outcome: the
-    // outcome only records the *last* call per stage, which for stage 3 is
+    // deterministic initial point, not taken from the report telemetry: the
+    // report only records the *last* call per stage, which for stage 3 is
     // the cheap warm-start-only path once the outer loop has cached the
-    // lambda surface — a poor regression signal.
+    // lambda surface — a poor regression signal. They describe the staged
+    // QuHE pipeline, so for any other selected solver they are skipped and
+    // written as null rather than attributing QuHE's stage costs to it.
+    let measure_stages = solver.name() == "quhe";
     let problem = Problem::new(scenario.clone(), config)
         .unwrap_or_else(|e| panic!("problem construction failed: {e}"));
     let initial = problem
@@ -48,15 +55,18 @@ fn main() {
     let mut stage1_s = Vec::with_capacity(runs);
     let mut stage2_s = Vec::with_capacity(runs);
     let mut stage3_s = Vec::with_capacity(runs);
-    let mut outcome = None;
+    let mut report = None;
     for _ in 0..runs {
         let wall = Instant::now();
-        let result = algorithm
-            .solve(&scenario)
-            .unwrap_or_else(|e| panic!("QuHE solve failed: {e}"));
+        let result = solver
+            .solve(&scenario, &spec)
+            .unwrap_or_else(|e| panic!("{} solve failed: {e}", solver.name()));
         total_s.push(wall.elapsed().as_secs_f64());
-        outcome = Some(result);
+        report = Some(result);
 
+        if !measure_stages {
+            continue;
+        }
         let stage1 = Stage1Solver::new()
             .solve(&problem)
             .unwrap_or_else(|e| panic!("stage 1 failed: {e}"));
@@ -70,47 +80,51 @@ fn main() {
             .unwrap_or_else(|e| panic!("stage 3 failed: {e}"));
         stage3_s.push(stage3.runtime_s);
     }
-    let outcome = outcome.expect("at least one run");
+    let report = report.expect("at least one run");
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"schema\": \"quhe-bench/v1\",\n",
-            "  \"scenario\": \"paper_default\",\n",
-            "  \"runs\": {runs},\n",
-            "  \"objective\": {objective},\n",
-            "  \"qkd_utility\": {qkd_utility},\n",
-            "  \"security_utility\": {security_utility},\n",
-            "  \"delay_s\": {delay_s},\n",
-            "  \"energy_j\": {energy_j},\n",
-            "  \"outer_iterations\": {outer_iterations},\n",
-            "  \"converged\": {converged},\n",
-            "  \"stage_calls\": [{calls1}, {calls2}, {calls3}],\n",
-            "  \"timings_s\": {{\n",
-            "    \"total_median\": {total},\n",
-            "    \"stage1_median\": {stage1},\n",
-            "    \"stage2_median\": {stage2},\n",
-            "    \"stage3_median\": {stage3}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        runs = runs,
-        objective = outcome.objective,
-        qkd_utility = outcome.metrics.qkd_utility,
-        security_utility = outcome.metrics.security_utility,
-        delay_s = outcome.metrics.delay_s,
-        energy_j = outcome.metrics.energy_j,
-        outer_iterations = outcome.outer_iterations,
-        converged = outcome.converged,
-        calls1 = outcome.stage_calls[0],
-        calls2 = outcome.stage_calls[1],
-        calls3 = outcome.stage_calls[2],
-        total = median(&mut total_s),
-        stage1 = median(&mut stage1_s),
-        stage2 = median(&mut stage2_s),
-        stage3 = median(&mut stage3_s),
-    );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+    let stage_median = |samples: &mut Vec<f64>| {
+        if samples.is_empty() {
+            JsonValue::Null
+        } else {
+            JsonValue::from_f64(median(samples))
+        }
+    };
+    let timings = JsonValue::object()
+        .with("total_median", JsonValue::from_f64(median(&mut total_s)))
+        .with("stage1_median", stage_median(&mut stage1_s))
+        .with("stage2_median", stage_median(&mut stage2_s))
+        .with("stage3_median", stage_median(&mut stage3_s));
+    let document = JsonValue::object()
+        .with("schema", JsonValue::String("quhe-bench/v2".to_string()))
+        .with("scenario", JsonValue::String("paper_default".to_string()))
+        .with("solver", JsonValue::String(solver.name().to_string()))
+        .with("runs", JsonValue::from_usize(runs))
+        .with("objective", JsonValue::from_f64(report.objective))
+        .with(
+            "qkd_utility",
+            JsonValue::from_f64(report.metrics.qkd_utility),
+        )
+        .with(
+            "security_utility",
+            JsonValue::from_f64(report.metrics.security_utility),
+        )
+        .with("delay_s", JsonValue::from_f64(report.metrics.delay_s))
+        .with("energy_j", JsonValue::from_f64(report.metrics.energy_j))
+        .with(
+            "outer_iterations",
+            JsonValue::from_usize(report.outer_iterations),
+        )
+        .with("converged", JsonValue::Bool(report.converged))
+        .with(
+            "stage_calls",
+            JsonValue::Array(
+                report
+                    .stage_calls
+                    .iter()
+                    .map(|&c| JsonValue::from_usize(c))
+                    .collect(),
+            ),
+        )
+        .with("timings_s", timings);
+    write(&out_path, &document);
 }

@@ -3,20 +3,41 @@
 //! objective ("POBJ") trace, and the Stage-3 duality-gap trace from the
 //! interior-point polish.
 //!
+//! The whole figure comes out of a single [`Solver::solve`] call: the `quhe`
+//! registry solver runs one outer iteration under
+//! [`InstrumentationLevel::Full`], and the per-stage telemetry of the
+//! returned [`SolveReport`] carries all four traces (the first outer
+//! iteration's stage solves start from the deterministic initial point,
+//! which is exactly what the paper's figure shows).
+//!
 //! ```bash
 //! cargo run --release -p quhe-bench --bin fig4_convergence
 //! ```
 
-use quhe_bench::{default_scenario, experiment_config, fmt, fmt_sci, print_header, print_row};
+use quhe_bench::{default_scenario, fmt, fmt_sci, print_header, print_row, solver_registry};
 use quhe_core::prelude::*;
 
 fn main() {
     let scenario = default_scenario();
-    let config = experiment_config();
-    let problem = Problem::new(scenario, config).expect("valid configuration");
+    let registry = solver_registry();
+    // One outer iteration: the final per-stage telemetry is then the
+    // first-iteration telemetry the figure plots.
+    let mut config = *registry
+        .resolve("quhe")
+        .expect("quhe is a built-in")
+        .config();
+    config.max_outer_iterations = 1;
+    let report = QuheSolver::new(config)
+        .solve(
+            &scenario,
+            &SolveSpec::cold().with_instrumentation(InstrumentationLevel::Full),
+        )
+        .expect("QuHE solves");
+    let stage1 = report.stage1.as_ref().expect("full instrumentation");
+    let stage2 = report.stage2.as_ref().expect("full instrumentation");
+    let stage3 = report.stage3.as_ref().expect("full instrumentation");
 
     // Stage 1 (Fig. 4(a)): P3 objective across interior-point iterations.
-    let stage1 = Stage1Solver::new().solve(&problem).expect("stage 1 solves");
     println!("Fig. 4(a): objective function value in Stage 1 per iteration");
     let widths = [9, 16];
     print_header(&["Iteration", "P3 objective"], &widths);
@@ -30,12 +51,6 @@ fn main() {
 
     // Stage 2 (Fig. 4(b)): incumbent objective across branch-and-bound
     // improvements, starting from the Stage-1 rates.
-    let mut vars = problem.initial_point().expect("feasible start");
-    vars.phi = stage1.phi.clone();
-    vars.w = stage1.w.clone();
-    let stage2 = Stage2Solver::new()
-        .solve(&problem, &vars)
-        .expect("stage 2 solves");
     println!("Fig. 4(b): objective function value in Stage 2 (incumbent trace)");
     print_header(&["Step", "F_s2 incumbent"], &widths);
     for (i, value) in stage2.trace.iter().enumerate() {
@@ -48,11 +63,6 @@ fn main() {
 
     // Stage 3 (Fig. 4(c)/(d)): POBJ trace of the fractional-programming loop
     // and the duality gap of the final interior-point polish.
-    vars.lambda = stage2.lambda.clone();
-    vars.delay_bound = stage2.delay_bound;
-    let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
-        .solve_with_gap_trace(&problem, &vars)
-        .expect("stage 3 solves");
     println!("Fig. 4(c): primal objective (POBJ) in Stage 3 per outer iteration");
     print_header(&["Iteration", "POBJ"], &widths);
     for (i, value) in stage3.trace.iter().enumerate() {

@@ -7,12 +7,17 @@
 //! * (d) whole-procedure comparison of AA / OLAA / OCCR / QuHE on energy,
 //!   delay, the security utility and the overall objective.
 //!
+//! Every whole-procedure method is a registered [`Solver`]; (d) simply
+//! iterates the registry, so a custom registered solver would appear as an
+//! extra row.
+//!
 //! ```bash
 //! cargo run --release -p quhe-bench --bin fig5_comparison
 //! ```
 
 use quhe_bench::{
-    default_scenario, env_u64, experiment_config, fmt, fmt_sci, print_header, print_row,
+    default_scenario, display_name, env_u64, experiment_config, fmt, fmt_sci, print_header,
+    print_row, solver_registry,
 };
 use quhe_core::prelude::*;
 use rand::SeedableRng;
@@ -20,12 +25,13 @@ use rand::SeedableRng;
 fn main() {
     let scenario = default_scenario();
     let config = experiment_config();
+    let registry = solver_registry();
     let problem = Problem::new(scenario.clone(), config).expect("valid configuration");
     let mut rng = rand::rngs::StdRng::seed_from_u64(env_u64("QUHE_SEED", 42));
 
     // ------------------------------------------------------------ Fig 5(a) --
-    let quhe = QuheAlgorithm::new(config)
-        .solve(&scenario)
+    let quhe = registry
+        .solve("quhe", &scenario, &SolveSpec::cold())
         .expect("QuHE solves");
     println!("Fig. 5(a): stage calls and running time of the QuHE method\n");
     let widths = [10, 10];
@@ -65,12 +71,13 @@ fn main() {
         ],
         &widths,
     );
-    for result in [&gd, &sa, &rs] {
+    for report in [&gd, &sa, &rs] {
+        let telemetry = report.stage1.as_ref().expect("stage-1 telemetry");
         print_row(
             &[
-                result.name.clone(),
-                fmt(result.runtime_s, 3),
-                fmt(result.objective, 4),
+                report.solver.clone(),
+                fmt(telemetry.runtime_s, 3),
+                fmt(telemetry.objective, 4),
             ],
             &widths,
         );
@@ -78,28 +85,27 @@ fn main() {
     println!("(paper: QuHE 0.09 s, GD 5.84 s, SA 4.17 s, RS 0.05 s; QuHE and GD reach the same optimum)\n");
 
     // ------------------------------------------------------------ Fig 5(d) --
-    let aa = average_allocation(&scenario, &config).expect("AA runs");
-    let olaa_result = olaa(&scenario, &config).expect("OLAA runs");
-    let occr_result = occr(&scenario, &config).expect("OCCR runs");
     println!("Fig. 5(d): whole-procedure comparison (energy, delay, U_msl, objective)\n");
     let widths = [6, 14, 14, 10, 12];
     print_header(
         &["Method", "Energy (J)", "Delay (s)", "U_msl", "Objective"],
         &widths,
     );
-    for (name, metrics) in [
-        ("AA", aa.metrics),
-        ("OLAA", olaa_result.metrics),
-        ("OCCR", occr_result.metrics),
-        ("QuHE", quhe.metrics),
-    ] {
+    for solver in registry.iter() {
+        let report = if solver.name() == "quhe" {
+            quhe.clone()
+        } else {
+            solver
+                .solve(&scenario, &SolveSpec::cold())
+                .unwrap_or_else(|e| panic!("{} runs: {e}", solver.name()))
+        };
         print_row(
             &[
-                name.to_string(),
-                fmt_sci(metrics.energy_j),
-                fmt_sci(metrics.delay_s),
-                fmt(metrics.security_utility, 3),
-                fmt(metrics.objective, 4),
+                display_name(solver.name()).to_string(),
+                fmt_sci(report.metrics.energy_j),
+                fmt_sci(report.metrics.delay_s),
+                fmt(report.metrics.security_utility, 3),
+                fmt(report.metrics.objective, 4),
             ],
             &widths,
         );
@@ -117,13 +123,6 @@ fn main() {
     // demonstrates.
     let mut emphasized = config;
     emphasized.weights.security = 0.1;
-    let scenario_e = scenario;
-    let quhe_e = QuheAlgorithm::new(emphasized)
-        .solve(&scenario_e)
-        .expect("QuHE solves");
-    let aa_e = average_allocation(&scenario_e, &emphasized).expect("AA runs");
-    let olaa_e = olaa(&scenario_e, &emphasized).expect("OLAA runs");
-    let occr_e = occr(&scenario_e, &emphasized).expect("OCCR runs");
     println!("\nAblation: same comparison with alpha_msl raised to 0.1\n");
     let widths = [6, 14, 14, 10, 12, 16];
     print_header(
@@ -137,20 +136,24 @@ fn main() {
         ],
         &widths,
     );
-    for (name, metrics, lambda) in [
-        ("AA", aa_e.metrics, aa_e.variables.lambda.clone()),
-        ("OLAA", olaa_e.metrics, olaa_e.variables.lambda.clone()),
-        ("OCCR", occr_e.metrics, occr_e.variables.lambda.clone()),
-        ("QuHE", quhe_e.metrics, quhe_e.variables.lambda.clone()),
-    ] {
-        let degrees: Vec<u32> = lambda.iter().map(|l| l.trailing_zeros()).collect();
+    for solver in registry.iter() {
+        let report = solver
+            .with_config(emphasized)
+            .solve(&scenario, &SolveSpec::cold())
+            .unwrap_or_else(|e| panic!("{} runs: {e}", solver.name()));
+        let degrees: Vec<u32> = report
+            .variables
+            .lambda
+            .iter()
+            .map(|l| l.trailing_zeros())
+            .collect();
         print_row(
             &[
-                name.to_string(),
-                fmt_sci(metrics.energy_j),
-                fmt_sci(metrics.delay_s),
-                fmt(metrics.security_utility, 3),
-                fmt(metrics.objective, 4),
+                display_name(solver.name()).to_string(),
+                fmt_sci(report.metrics.energy_j),
+                fmt_sci(report.metrics.delay_s),
+                fmt(report.metrics.security_utility, 3),
+                fmt(report.metrics.objective, 4),
                 format!("2^{degrees:?}"),
             ],
             &widths,

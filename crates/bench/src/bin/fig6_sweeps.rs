@@ -1,7 +1,11 @@
-//! Regenerates Fig. 6 of the paper: the objective achieved by AA, OLAA, OCCR
-//! and QuHE under varying resource budgets —
+//! Regenerates Fig. 6 of the paper: the objective achieved by every
+//! registered solver under varying resource budgets —
 //! (a) total bandwidth, (b) maximum transmit power, (c) client CPU budget,
 //! (d) server CPU budget.
+//!
+//! The sweep iterates [`SolverRegistry::iter`], so the table columns are the
+//! registry (`QuHE`, `AA`, `OLAA`, `OCCR` by default) and a custom
+//! registered solver would appear as an extra column.
 //!
 //! ```bash
 //! # quick run (4 points per sweep):
@@ -10,7 +14,9 @@
 //! QUHE_POINTS=7 cargo run --release -p quhe-bench --bin fig6_sweeps
 //! ```
 
-use quhe_bench::{default_scenario, env_usize, experiment_config, fmt, print_header, print_row};
+use quhe_bench::{
+    default_scenario, display_name, env_usize, print_header, print_row, solver_registry,
+};
 use quhe_core::prelude::*;
 use quhe_mec::scenario::MecScenario;
 
@@ -28,34 +34,33 @@ fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
         .collect()
 }
 
-fn run_sweep(title: &str, points: Vec<SweepPoint>, config: &QuheConfig) {
+fn run_sweep(title: &str, points: Vec<SweepPoint>, registry: &SolverRegistry) {
     println!("{title}\n");
-    let widths = [14, 10, 10, 10, 10];
-    print_header(&["Setting", "AA", "OLAA", "OCCR", "QuHE"], &widths);
+    let mut header = vec!["Setting".to_string()];
+    header.extend(registry.names().iter().map(|n| display_name(n).to_string()));
+    let widths: Vec<usize> = std::iter::once(14)
+        .chain(std::iter::repeat_n(10, registry.len()))
+        .collect();
+    print_header(
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+        &widths,
+    );
     for point in points {
-        let aa = average_allocation(&point.scenario, config).expect("AA runs");
-        let olaa_r = olaa(&point.scenario, config).expect("OLAA runs");
-        let occr_r = occr(&point.scenario, config).expect("OCCR runs");
-        let quhe = QuheAlgorithm::new(*config)
-            .solve(&point.scenario)
-            .expect("QuHE solves");
-        print_row(
-            &[
-                point.label,
-                fmt(aa.metrics.objective, 4),
-                fmt(olaa_r.metrics.objective, 4),
-                fmt(occr_r.metrics.objective, 4),
-                fmt(quhe.objective, 4),
-            ],
-            &widths,
-        );
+        let mut cells = vec![point.label];
+        for solver in registry.iter() {
+            let report = solver
+                .solve(&point.scenario, &SolveSpec::cold())
+                .unwrap_or_else(|e| panic!("{} runs: {e}", solver.name()));
+            cells.push(format!("{:.4}", report.objective));
+        }
+        print_row(&cells, &widths);
     }
     println!();
 }
 
 fn main() {
     let base = default_scenario();
-    let config = experiment_config();
+    let registry = solver_registry();
     let points = env_usize("QUHE_POINTS", 4);
     let with_mec = |mec: MecScenario| -> SystemScenario {
         base.with_mec(mec).expect("client count unchanged")
@@ -71,7 +76,7 @@ fn main() {
                 scenario: with_mec(base.mec().clone().with_total_bandwidth(b)),
             })
             .collect(),
-        &config,
+        &registry,
     );
 
     // Fig. 6(b): maximum transmit power 0.2 .. 1.0 W.
@@ -84,7 +89,7 @@ fn main() {
                 scenario: with_mec(base.mec().clone().with_max_power(p)),
             })
             .collect(),
-        &config,
+        &registry,
     );
 
     // Fig. 6(c): client CPU budget 0.5e10 .. 1.5e10 Hz (the paper sweeps
@@ -98,7 +103,7 @@ fn main() {
                 scenario: with_mec(base.mec().clone().with_max_client_frequency(f)),
             })
             .collect(),
-        &config,
+        &registry,
     );
 
     // Fig. 6(d): server CPU budget 2e10 .. 3e10 Hz.
@@ -111,7 +116,7 @@ fn main() {
                 scenario: with_mec(base.mec().clone().with_total_server_frequency(f)),
             })
             .collect(),
-        &config,
+        &registry,
     );
 
     println!("(paper shape: QuHE dominates at every point; OCCR tracks QuHE on the bandwidth");

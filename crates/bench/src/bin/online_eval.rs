@@ -3,13 +3,14 @@
 //!
 //! For every world of [`ScenarioCatalog::builtin`] across a seed grid, the
 //! binary generates a drift-only [`SystemTrace`] (channels and key rates
-//! drift, the client set stays fixed), tracks it with
-//! [`QuheAlgorithm::solve_online`] and re-solves every step cold as the
-//! baseline, then emits `BENCH_online.json`: per-step objective, solve kind,
-//! warm-vs-cold outer iterations and wall-clock, and the fraction of steps
-//! where the warm start reproduced the cold optimum. In `--full` mode a
-//! second, mixed trace per world (client churn, load bursts, deadline
-//! tightening) exercises the structural-fallback path.
+//! drift, the client set stays fixed), tracks it with the `quhe` registry
+//! solver through [`solve_online_with`] and re-solves every step cold as the
+//! baseline (a [`SolveSpec::cold`] solve of the same step world), then emits
+//! `BENCH_online.json` through the shared report writer: per-step objective,
+//! solve kind, warm-vs-cold outer iterations and wall-clock, and the
+//! fraction of steps where the warm start reproduced the cold optimum. In
+//! `--full` mode a second, mixed trace per world (client churn, load bursts,
+//! deadline tightening) exercises the structural-fallback path.
 //!
 //! ```bash
 //! cargo run --release -p quhe-bench --bin online_eval            # full grid
@@ -26,7 +27,9 @@
 
 use std::time::Instant;
 
-use quhe_bench::{env_u64, env_usize};
+use quhe_bench::report::{grid_envelope, job_identity, write};
+use quhe_bench::{env_u64, env_usize, output_path};
+use quhe_core::online::step_config;
 use quhe_core::prelude::*;
 
 /// One evaluated step: the online record paired with its cold baselines —
@@ -62,17 +65,15 @@ struct JobResult {
 
 fn run_job(
     catalog: &ScenarioCatalog,
+    solver: &dyn Solver,
     name: &str,
     seed: u64,
     trace_kind: &'static str,
     trace_config: &OnlineTraceConfig,
-    config: &QuheConfig,
 ) -> JobResult {
     let trace = SystemTrace::generate(catalog, name, seed, trace_config)
         .unwrap_or_else(|e| panic!("{name} seed {seed}: trace generation failed: {e}"));
-    let algorithm = QuheAlgorithm::new(*config);
-    let online = algorithm
-        .solve_online(&trace)
+    let online = solve_online_with(solver, &trace)
         .unwrap_or_else(|e| panic!("{name} seed {seed}: online solve failed: {e}"));
 
     let steps: Vec<StepComparison> = online
@@ -80,21 +81,23 @@ fn run_job(
         .iter()
         .zip(trace.steps())
         .map(|(record, step)| {
-            let step_algorithm = QuheAlgorithm::new(algorithm.step_config(step));
+            let step_solver = solver.with_config(step_config(solver.config(), step));
             let cold_wall = Instant::now();
-            let cold = step_algorithm.solve(&step.scenario).unwrap_or_else(|e| {
-                panic!(
-                    "{name} seed {seed} step {}: cold solve failed: {e}",
-                    record.step
-                )
-            });
+            let cold = step_solver
+                .solve(&step.scenario, &SolveSpec::cold())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{name} seed {seed} step {}: cold solve failed: {e}",
+                        record.step
+                    )
+                });
             let cold_wall_s = cold_wall.elapsed().as_secs_f64();
             // Warm-eligible steps already solved the single-start floor as
             // their guard; only guard-less steps (the anchor, structural
             // re-solves) need it computed here.
             let cold_single_objective = record.guard_objective.unwrap_or_else(|| {
-                step_algorithm
-                    .solve_single_start(&step.scenario)
+                step_solver
+                    .solve(&step.scenario, &SolveSpec::single_start())
                     .unwrap_or_else(|e| {
                         panic!(
                             "{name} seed {seed} step {}: single-start solve failed: {e}",
@@ -136,11 +139,7 @@ fn run_job(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_online.json".to_string());
+    let out_path = output_path(&args, "BENCH_online.json");
 
     let base_seed = env_u64("QUHE_SEED", 42);
     let num_seeds = env_usize("QUHE_ONLINE_SEEDS", 3).max(1);
@@ -161,6 +160,10 @@ fn main() {
         solver_threads: 1,
         ..QuheConfig::default()
     };
+    let registry = SolverRegistry::builtin_with(config);
+    // Warm tracking is the point of this benchmark, so the job is pinned to
+    // the warm-capable `quhe` solver; the engine itself takes any solver.
+    let solver = registry.resolve("quhe").expect("quhe is a built-in");
     // Per-step drift of ±1 %: one trace step models ~1 s of wall clock, and
     // fading/key-rate drift on that horizon is gentle. The re-optimization
     // gain per step is then second-order (~1e-4), safely inside the 1e-3
@@ -178,7 +181,8 @@ fn main() {
 
     let catalog = ScenarioCatalog::builtin();
     eprintln!(
-        "online_eval: {} scenarios x {} seeds, {} steps{}{}",
+        "online_eval: solver '{}', {} scenarios x {} seeds, {} steps{}{}",
+        solver.name(),
         catalog.names().len(),
         seeds.len(),
         steps,
@@ -195,20 +199,20 @@ fn main() {
         for &seed in &seeds {
             jobs.push(run_job(
                 &catalog,
+                solver,
                 name,
                 seed,
                 "drift_only",
                 &drift_config,
-                &config,
             ));
             if !quick {
                 jobs.push(run_job(
                     &catalog,
+                    solver,
                     name,
                     seed,
                     "mixed",
                     &mixed_config,
-                    &config,
                 ));
             }
         }
@@ -240,117 +244,82 @@ fn main() {
         }
     }
 
-    let job_lines: Vec<String> = jobs
+    let job_values: Vec<JsonValue> = jobs
         .iter()
         .map(|job| {
-            let step_lines: Vec<String> = job
+            let step_values: Vec<JsonValue> = job
                 .steps
                 .iter()
                 .map(|s| {
-                    format!(
-                        concat!(
-                            "        {{\"step\": {step}, \"kind\": \"{kind}\", ",
-                            "\"events\": [{events}], \"objective\": {objective}, ",
-                            "\"cold_objective\": {cold_objective}, ",
-                            "\"cold_single_objective\": {cold_single}, ",
-                            "\"outer_iterations\": {iters}, ",
-                            "\"cold_outer_iterations\": {cold_iters}, ",
-                            "\"guard_outer_iterations\": {guard_iters}, ",
-                            "\"wall_s\": {wall}, \"guard_wall_s\": {guard_wall}, ",
-                            "\"cold_wall_s\": {cold_wall}, ",
-                            "\"matched_cold\": {matched}}}"
-                        ),
-                        step = s.step,
-                        kind = s.kind,
-                        events = s
-                            .events
-                            .iter()
-                            .map(|e| format!("\"{e}\""))
-                            .collect::<Vec<_>>()
-                            .join(", "),
-                        objective = s.objective,
-                        cold_objective = s.cold_objective,
-                        cold_single = s.cold_single_objective,
-                        iters = s.outer_iterations,
-                        cold_iters = s.cold_outer_iterations,
-                        guard_iters = s.guard_outer_iterations,
-                        wall = s.wall_s,
-                        guard_wall = s.guard_wall_s,
-                        cold_wall = s.cold_wall_s,
-                        matched = s.matched_cold,
-                    )
+                    JsonValue::object()
+                        .with("step", JsonValue::from_usize(s.step))
+                        .with("kind", JsonValue::String(s.kind.to_string()))
+                        .with("events", JsonValue::from_str_slice(&s.events))
+                        .with("objective", JsonValue::from_f64(s.objective))
+                        .with("cold_objective", JsonValue::from_f64(s.cold_objective))
+                        .with(
+                            "cold_single_objective",
+                            JsonValue::from_f64(s.cold_single_objective),
+                        )
+                        .with(
+                            "outer_iterations",
+                            JsonValue::from_usize(s.outer_iterations),
+                        )
+                        .with(
+                            "cold_outer_iterations",
+                            JsonValue::from_usize(s.cold_outer_iterations),
+                        )
+                        .with(
+                            "guard_outer_iterations",
+                            JsonValue::from_usize(s.guard_outer_iterations),
+                        )
+                        .with("wall_s", JsonValue::from_f64(s.wall_s))
+                        .with("guard_wall_s", JsonValue::from_f64(s.guard_wall_s))
+                        .with("cold_wall_s", JsonValue::from_f64(s.cold_wall_s))
+                        .with("matched_cold", JsonValue::Bool(s.matched_cold))
                 })
                 .collect();
-            format!(
-                concat!(
-                    "    {{\"scenario\": \"{name}\", \"seed\": {seed}, ",
-                    "\"trace\": \"{trace}\", \"clients\": {clients}, ",
-                    "\"warm_steps\": {warm}, \"fallback_steps\": {fallback}, ",
-                    "\"cold_steps\": {cold},\n      \"steps\": [\n{steps}\n      ]}}"
-                ),
-                name = job.name,
-                seed = job.seed,
-                trace = job.trace_kind,
-                clients = job.clients,
-                warm = job.warm_steps,
-                fallback = job.fallback_steps,
-                cold = job.cold_steps,
-                steps = step_lines.join(",\n"),
-            )
+            job_identity(&job.name, job.seed, job.clients)
+                .with("trace_kind", JsonValue::String(job.trace_kind.to_string()))
+                .with("warm_steps", JsonValue::from_usize(job.warm_steps))
+                .with("fallback_steps", JsonValue::from_usize(job.fallback_steps))
+                .with("cold_steps", JsonValue::from_usize(job.cold_steps))
+                .with("steps", JsonValue::Array(step_values))
         })
         .collect();
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"schema\": \"quhe-online/v1\",\n",
-            "  \"mode\": \"{mode}\",\n",
-            "  \"scenarios\": [{scenarios}],\n",
-            "  \"seeds\": [{seeds}],\n",
-            "  \"steps_per_trace\": {steps},\n",
-            "  \"jobs\": [\n{jobs}\n  ],\n",
-            "  \"drift_only_aggregate\": {{\n",
-            "    \"warm_steps\": {warm_total},\n",
-            "    \"pure_warm_steps\": {pure_warm},\n",
-            "    \"warm_outer_iterations\": {warm_iters},\n",
-            "    \"cold_outer_iterations\": {cold_iters},\n",
-            "    \"iteration_saving_fraction\": {iter_saving},\n",
-            "    \"tracking_wall_s\": {tracking_wall},\n",
-            "    \"guard_wall_s\": {guard_wall},\n",
-            "    \"cold_wall_s\": {cold_wall},\n",
-            "    \"wall_saving_fraction\": {wall_saving},\n",
-            "    \"matched_cold_fraction\": {matched_fraction}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        mode = if quick { "quick" } else { "full" },
-        scenarios = catalog
-            .names()
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", "),
-        seeds = seeds
-            .iter()
-            .map(u64::to_string)
-            .collect::<Vec<_>>()
-            .join(", "),
-        steps = steps,
-        jobs = job_lines.join(",\n"),
-        warm_total = warm_total,
-        pure_warm = pure_warm,
-        warm_iters = warm_iters,
-        cold_iters = cold_iters,
-        iter_saving = 1.0 - warm_iters as f64 / cold_iters as f64,
-        tracking_wall = tracking_wall,
-        guard_wall = guard_wall,
-        cold_wall = cold_wall,
-        wall_saving = 1.0 - tracking_wall / cold_wall,
-        matched_fraction = matched as f64 / warm_total as f64,
-    );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+    let aggregate = JsonValue::object()
+        .with("warm_steps", JsonValue::from_usize(warm_total))
+        .with("pure_warm_steps", JsonValue::from_usize(pure_warm))
+        .with("warm_outer_iterations", JsonValue::from_usize(warm_iters))
+        .with("cold_outer_iterations", JsonValue::from_usize(cold_iters))
+        .with(
+            "iteration_saving_fraction",
+            JsonValue::from_f64(1.0 - warm_iters as f64 / cold_iters as f64),
+        )
+        .with("tracking_wall_s", JsonValue::from_f64(tracking_wall))
+        .with("guard_wall_s", JsonValue::from_f64(guard_wall))
+        .with("cold_wall_s", JsonValue::from_f64(cold_wall))
+        .with(
+            "wall_saving_fraction",
+            JsonValue::from_f64(1.0 - tracking_wall / cold_wall),
+        )
+        .with(
+            "matched_cold_fraction",
+            JsonValue::from_f64(matched as f64 / warm_total as f64),
+        );
+
+    let document = grid_envelope(
+        "quhe-online/v2",
+        if quick { "quick" } else { "full" },
+        solver.name(),
+        &catalog.names(),
+        &seeds,
+    )
+    .with("steps_per_trace", JsonValue::from_usize(steps))
+    .with("jobs", JsonValue::Array(job_values))
+    .with("drift_only_aggregate", aggregate);
+    write(&out_path, &document);
 
     // Standing invariants of the online engine, enforced on every run: on a
     // drift-only trace every non-initial step is warm-started; each purely

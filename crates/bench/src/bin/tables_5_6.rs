@@ -17,9 +17,13 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(env_u64("QUHE_SEED", 42));
 
     let quhe = Stage1Solver::new().solve(&problem).expect("stage 1 solves");
-    let gd = stage1_gradient_descent(&problem).expect("gradient descent runs");
-    let sa = stage1_simulated_annealing(&problem, &mut rng).expect("simulated annealing runs");
-    let rs = stage1_random_selection(&problem, &mut rng).expect("random selection runs");
+    // The Stage-1 baselines report through the unified `SolveReport` shape;
+    // the found rates and Werner parameters live in the Stage-1 telemetry
+    // slot.
+    let stage1_of = |report: SolveReport| report.stage1.expect("stage-1 telemetry");
+    let gd = stage1_of(stage1_gradient_descent(&problem).expect("gradient descent runs"));
+    let sa = stage1_of(stage1_simulated_annealing(&problem, &mut rng).expect("annealing runs"));
+    let rs = stage1_of(stage1_random_selection(&problem, &mut rng).expect("random selection runs"));
 
     println!("Table V: phi values of different methods\n");
     let widths = [8, 14, 18, 16, 14];

@@ -19,10 +19,16 @@
 //!
 //! Every binary accepts the environment variables `QUHE_SEED` (default 42)
 //! and, where relevant, `QUHE_SAMPLES` / `QUHE_POINTS`, so that quick smoke
-//! runs and full paper-scale runs use the same code path.
+//! runs and full paper-scale runs use the same code path. Every solving
+//! binary routes through the unified [`Solver`] surface: the solver under
+//! test is looked up in [`SolverRegistry`] (select it with `--solver NAME`
+//! or `QUHE_SOLVER`, default `quhe`) and all JSON artifacts flow through the
+//! shared [`report`] writer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use quhe_core::prelude::*;
 
@@ -55,6 +61,45 @@ pub fn experiment_config() -> QuheConfig {
         max_outer_iterations: env_usize("QUHE_OUTER_ITERS", 5),
         max_stage3_iterations: env_usize("QUHE_STAGE3_ITERS", 20),
         ..QuheConfig::default()
+    }
+}
+
+/// The built-in solver registry under [`experiment_config`] — the solvers
+/// every experiment binary draws from.
+pub fn solver_registry() -> SolverRegistry {
+    SolverRegistry::builtin_with(experiment_config())
+}
+
+/// The solver name selected for this run: the value after a `--solver` flag,
+/// else `QUHE_SOLVER`, else `"quhe"`.
+pub fn selected_solver_name(args: &[String]) -> String {
+    args.iter()
+        .position(|a| a == "--solver")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("QUHE_SOLVER").ok())
+        .unwrap_or_else(|| "quhe".to_string())
+}
+
+/// The output path of a report-emitting binary: the first free argument —
+/// skipping flags and the value consumed by `--solver` — or `default`.
+pub fn output_path(args: &[String], default: &str) -> String {
+    args.iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[*i - 1] != "--solver"))
+        .map(|(_, a)| a.clone())
+        .unwrap_or_else(|| default.to_string())
+}
+
+/// The human-facing label of a built-in solver name (the paper's method
+/// names); unknown names pass through unchanged.
+pub fn display_name(solver: &str) -> &str {
+    match solver {
+        "quhe" => "QuHE",
+        "aa" => "AA",
+        "olaa" => "OLAA",
+        "occr" => "OCCR",
+        other => other,
     }
 }
 
@@ -109,5 +154,27 @@ mod tests {
     fn formatting_helpers_produce_expected_shapes() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert!(fmt_sci(12345.0).contains('e'));
+    }
+
+    #[test]
+    fn solver_selection_prefers_the_flag_and_defaults_to_quhe() {
+        let args: Vec<String> = ["--quick", "--solver", "olaa"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(selected_solver_name(&args), "olaa");
+        assert_eq!(selected_solver_name(&[]), "quhe");
+        assert_eq!(output_path(&args, "out.json"), "out.json");
+        let args: Vec<String> = ["--solver", "occr", "custom.json", "--quick"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(output_path(&args, "out.json"), "custom.json");
+        assert_eq!(
+            solver_registry().names(),
+            vec!["quhe", "aa", "olaa", "occr"]
+        );
+        assert_eq!(display_name("quhe"), "QuHE");
+        assert_eq!(display_name("custom"), "custom");
     }
 }

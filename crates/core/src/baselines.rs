@@ -10,11 +10,19 @@
 //!
 //! All three share the Stage-1 `(phi, w)` solution, matching the paper's
 //! Fig. 5(d) setup ("assuming the optimal `U_qkd` is obtained in Stage 1").
+//! They live as registered [`Solver`] implementations — `"aa"`, `"olaa"`,
+//! `"occr"` in [`SolverRegistry::builtin`](crate::solver::SolverRegistry) —
+//! and the free functions here are **deprecated shims** over that surface,
+//! pinned bit-identical by `tests/solver_parity.rs`.
 //!
 //! Stage-1 baselines (Fig. 5(b)/(c), Tables V and VI): plain gradient descent
 //! with learning rate 0.01, simulated annealing, and random selection over
 //! `10^4` uniform samples — all optimizing exactly the same P3 objective as
-//! QuHE's Stage 1.
+//! QuHE's Stage 1. They are not full-procedure solvers (they explore the
+//! `(phi, w)` block only), so they stay free functions, but they report
+//! through the unified [`SolveReport`] shape: the rate vector and Werner
+//! assignment land in the Stage-1 telemetry slot, and the report's variables
+//! are the average allocation carrying that `(phi, w)`.
 
 use std::time::Instant;
 
@@ -30,12 +38,12 @@ use crate::metrics::MethodMetrics;
 use crate::params::QuheConfig;
 use crate::problem::Problem;
 use crate::scenario::SystemScenario;
+use crate::solver::{AaSolver, OccrSolver, OlaaSolver, SolveReport, SolveSpec, Solver};
 use crate::stage1::{Stage1Result, Stage1Solver};
-use crate::stage2::Stage2Solver;
-use crate::stage3::Stage3Solver;
 use crate::variables::DecisionVariables;
 
-/// Result of one whole-procedure baseline.
+/// Result of one whole-procedure baseline (the legacy result shape; the
+/// unified surface returns [`SolveReport`]).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct BaselineResult {
     /// Name of the baseline ("AA", "OLAA", "OCCR").
@@ -48,7 +56,20 @@ pub struct BaselineResult {
     pub runtime_s: f64,
 }
 
-fn shared_stage1_start(problem: &Problem) -> QuheResult<(DecisionVariables, Stage1Result)> {
+impl BaselineResult {
+    fn from_report(name: &str, report: SolveReport) -> Self {
+        Self {
+            name: name.to_string(),
+            variables: report.variables,
+            metrics: report.metrics,
+            runtime_s: report.runtime_s,
+        }
+    }
+}
+
+pub(crate) fn shared_stage1_start(
+    problem: &Problem,
+) -> QuheResult<(DecisionVariables, Stage1Result)> {
     let stage1 = Stage1Solver::new().solve(problem)?;
     let mut vars = problem.initial_point()?;
     vars.phi = stage1.phi.clone();
@@ -62,20 +83,13 @@ fn shared_stage1_start(problem: &Problem) -> QuheResult<(DecisionVariables, Stag
 ///
 /// # Errors
 /// Propagates substrate and solver errors.
+#[deprecated(note = "use `AaSolver` (registry name \"aa\") with `SolveSpec::cold()` instead")]
 pub fn average_allocation(
     scenario: &SystemScenario,
     config: &QuheConfig,
 ) -> QuheResult<BaselineResult> {
-    let start = Instant::now();
-    let problem = Problem::new(scenario.clone(), *config)?;
-    let (vars, _) = shared_stage1_start(&problem)?;
-    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
-    Ok(BaselineResult {
-        name: "AA".to_string(),
-        variables: vars,
-        metrics,
-        runtime_s: start.elapsed().as_secs_f64(),
-    })
+    let report = AaSolver::new(*config).solve(scenario, &SolveSpec::cold())?;
+    Ok(BaselineResult::from_report("AA", report))
 }
 
 /// The **OLAA** baseline: optimize `lambda` with Stage 2, keep the
@@ -83,20 +97,10 @@ pub fn average_allocation(
 ///
 /// # Errors
 /// Propagates substrate and solver errors.
+#[deprecated(note = "use `OlaaSolver` (registry name \"olaa\") with `SolveSpec::cold()` instead")]
 pub fn olaa(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<BaselineResult> {
-    let start = Instant::now();
-    let problem = Problem::new(scenario.clone(), *config)?;
-    let (mut vars, _) = shared_stage1_start(&problem)?;
-    let stage2 = Stage2Solver::new().solve(&problem, &vars)?;
-    vars.lambda = stage2.lambda;
-    vars.delay_bound = stage2.delay_bound;
-    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
-    Ok(BaselineResult {
-        name: "OLAA".to_string(),
-        variables: vars,
-        metrics,
-        runtime_s: start.elapsed().as_secs_f64(),
-    })
+    let report = OlaaSolver::new(*config).solve(scenario, &SolveSpec::cold())?;
+    Ok(BaselineResult::from_report("OLAA", report))
 }
 
 /// The **OCCR** baseline: optimize the communication and computation
@@ -104,48 +108,27 @@ pub fn olaa(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<Baseli
 ///
 /// # Errors
 /// Propagates substrate and solver errors.
+#[deprecated(note = "use `OccrSolver` (registry name \"occr\") with `SolveSpec::cold()` instead")]
 pub fn occr(scenario: &SystemScenario, config: &QuheConfig) -> QuheResult<BaselineResult> {
-    let start = Instant::now();
-    let problem = Problem::new(scenario.clone(), *config)?;
-    let (mut vars, _) = shared_stage1_start(&problem)?;
-    let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
-        .solve(&problem, &vars)?;
-    vars.power = stage3.power;
-    vars.bandwidth = stage3.bandwidth;
-    vars.client_frequency = stage3.client_frequency;
-    vars.server_frequency = stage3.server_frequency;
-    vars.delay_bound = stage3.delay_bound;
-    let metrics = MethodMetrics::evaluate(&problem, &vars)?;
-    Ok(BaselineResult {
-        name: "OCCR".to_string(),
-        variables: vars,
-        metrics,
-        runtime_s: start.elapsed().as_secs_f64(),
-    })
+    let report = OccrSolver::new(*config).solve(scenario, &SolveSpec::cold())?;
+    Ok(BaselineResult::from_report("OCCR", report))
 }
 
-/// Result of one Stage-1 baseline (Fig. 5(b)/(c), Tables V and VI).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct Stage1BaselineResult {
-    /// Name of the method ("Gradient descent", "Simulated annealing",
-    /// "Random selection").
-    pub name: String,
-    /// The rate vector found.
-    pub phi: Vec<f64>,
-    /// The Werner assignment implied by Eq. (18).
-    pub w: Vec<f64>,
-    /// The P3 objective value at the solution.
-    pub objective: f64,
-    /// Wall-clock runtime in seconds.
-    pub runtime_s: f64,
-}
-
-fn stage1_baseline_result(
+/// Builds the unified report of a Stage-1 baseline: the found `(phi, w)`
+/// lands in the Stage-1 telemetry slot (with the P3 objective), and the
+/// report's variables are the average allocation carrying that `(phi, w)`
+/// with the delay bound tightened to the implied maximum delay.
+/// `converged` is the underlying optimizer's verdict (criterion met vs
+/// iteration cap); the spec echo is the canonical cold spec, since the
+/// heuristics take no spec of their own.
+fn stage1_baseline_report(
     problem: &Problem,
     name: &str,
     phi: Vec<f64>,
-    runtime_s: f64,
-) -> QuheResult<Stage1BaselineResult> {
+    iterations: usize,
+    converged: bool,
+    wall: Instant,
+) -> QuheResult<SolveReport> {
     let objective = Stage1Solver::p3_objective(problem, &phi);
     if !objective.is_finite() {
         return Err(QuheError::ConstraintViolation {
@@ -157,11 +140,33 @@ fn stage1_baseline_result(
         &phi,
         &problem.scenario().qkd().betas(),
     )?;
-    Ok(Stage1BaselineResult {
-        name: name.to_string(),
-        phi,
-        w,
+    let runtime_s = wall.elapsed().as_secs_f64();
+    let stage1 = Stage1Result {
+        phi: phi.clone(),
+        w: w.clone(),
         objective,
+        trace: Vec::new(),
+        runtime_s,
+        iterations,
+    };
+    let mut vars = problem.initial_point()?;
+    vars.phi = phi;
+    vars.w = w;
+    vars.delay_bound = problem.system_cost(&vars)?.total_delay_s;
+    let metrics = MethodMetrics::evaluate(problem, &vars)?;
+    Ok(SolveReport {
+        solver: name.to_string(),
+        spec: SolveSpec::cold(),
+        objective: metrics.objective,
+        variables: vars,
+        metrics,
+        outer_iterations: 0,
+        converged,
+        outer_trace: Vec::new(),
+        stage_calls: [1, 0, 0],
+        stage1: Some(stage1),
+        stage2: None,
+        stage3: None,
         runtime_s,
     })
 }
@@ -208,8 +213,8 @@ fn stage1_search_box(problem: &Problem) -> BoxProjection {
 ///
 /// # Errors
 /// Propagates solver errors and reports infeasible outputs.
-pub fn stage1_gradient_descent(problem: &Problem) -> QuheResult<Stage1BaselineResult> {
-    let start = Instant::now();
+pub fn stage1_gradient_descent(problem: &Problem) -> QuheResult<SolveReport> {
+    let wall = Instant::now();
     let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
     let bounds = stage1_search_box(problem);
     let solver = GradientDescent::new(GradientDescentConfig {
@@ -220,11 +225,13 @@ pub fn stage1_gradient_descent(problem: &Problem) -> QuheResult<Stage1BaselineRe
     });
     let start_point = vec![problem.config().min_entanglement_rate * 1.05; problem.num_clients()];
     let outcome = solver.minimize(&objective, &bounds, &start_point)?;
-    stage1_baseline_result(
+    stage1_baseline_report(
         problem,
         "Gradient descent",
         outcome.solution,
-        start.elapsed().as_secs_f64(),
+        outcome.iterations,
+        outcome.converged,
+        wall,
     )
 }
 
@@ -236,8 +243,8 @@ pub fn stage1_gradient_descent(problem: &Problem) -> QuheResult<Stage1BaselineRe
 pub fn stage1_simulated_annealing<R: Rng + ?Sized>(
     problem: &Problem,
     rng: &mut R,
-) -> QuheResult<Stage1BaselineResult> {
-    let start = Instant::now();
+) -> QuheResult<SolveReport> {
+    let wall = Instant::now();
     let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
     let bounds = stage1_search_box(problem);
     let solver = SimulatedAnnealing::new(SimulatedAnnealingConfig {
@@ -246,11 +253,13 @@ pub fn stage1_simulated_annealing<R: Rng + ?Sized>(
     });
     let start_point = vec![problem.config().min_entanglement_rate * 1.05; problem.num_clients()];
     let outcome = solver.minimize(&objective, &bounds, &start_point, rng)?;
-    stage1_baseline_result(
+    stage1_baseline_report(
         problem,
         "Simulated annealing",
         outcome.solution,
-        start.elapsed().as_secs_f64(),
+        outcome.iterations,
+        outcome.converged,
+        wall,
     )
 }
 
@@ -262,23 +271,26 @@ pub fn stage1_simulated_annealing<R: Rng + ?Sized>(
 pub fn stage1_random_selection<R: Rng + ?Sized>(
     problem: &Problem,
     rng: &mut R,
-) -> QuheResult<Stage1BaselineResult> {
-    let start = Instant::now();
+) -> QuheResult<SolveReport> {
+    let wall = Instant::now();
     let objective = |phi: &[f64]| Stage1Solver::p3_objective(problem, phi);
     let bounds = stage1_search_box(problem);
     let solver = RandomSearch::new(RandomSearchConfig { samples: 10_000 });
     let outcome = solver.minimize(&objective, &bounds, rng)?;
-    stage1_baseline_result(
+    stage1_baseline_report(
         problem,
         "Random selection",
         outcome.solution,
-        start.elapsed().as_secs_f64(),
+        outcome.iterations,
+        outcome.converged,
+        wall,
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::SolverRegistry;
     use rand::SeedableRng;
 
     fn scenario() -> SystemScenario {
@@ -292,24 +304,23 @@ mod tests {
     #[test]
     fn baselines_produce_feasible_assignments() {
         let scenario = scenario();
-        let config = QuheConfig::default();
+        let registry = SolverRegistry::builtin();
         let problem = problem();
-        for result in [
-            average_allocation(&scenario, &config).unwrap(),
-            olaa(&scenario, &config).unwrap(),
-            occr(&scenario, &config).unwrap(),
-        ] {
-            problem.check_feasible(&result.variables).unwrap();
-            assert!(result.metrics.objective.is_finite(), "{}", result.name);
+        for name in ["aa", "olaa", "occr"] {
+            let report = registry.solve(name, &scenario, &SolveSpec::cold()).unwrap();
+            problem.check_feasible(&report.variables).unwrap();
+            assert!(report.metrics.objective.is_finite(), "{name}");
         }
     }
 
     #[test]
     fn olaa_has_at_least_the_security_of_aa() {
         let scenario = scenario();
-        let config = QuheConfig::default();
-        let aa = average_allocation(&scenario, &config).unwrap();
-        let olaa = olaa(&scenario, &config).unwrap();
+        let registry = SolverRegistry::builtin();
+        let aa = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+        let olaa = registry
+            .solve("olaa", &scenario, &SolveSpec::cold())
+            .unwrap();
         assert!(olaa.metrics.security_utility >= aa.metrics.security_utility - 1e-12);
         assert!(olaa.metrics.objective >= aa.metrics.objective - 1e-9);
     }
@@ -317,25 +328,53 @@ mod tests {
     #[test]
     fn occr_reduces_energy_relative_to_aa() {
         let scenario = scenario();
-        let config = QuheConfig::default();
-        let aa = average_allocation(&scenario, &config).unwrap();
-        let occr = occr(&scenario, &config).unwrap();
+        let registry = SolverRegistry::builtin();
+        let aa = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+        let occr = registry
+            .solve("occr", &scenario, &SolveSpec::cold())
+            .unwrap();
         assert!(occr.metrics.energy_j <= aa.metrics.energy_j + 1e-9);
         assert!(occr.metrics.objective >= aa.metrics.objective - 1e-9);
     }
 
     #[test]
-    fn stage1_baselines_return_feasible_rates() {
+    fn baseline_stage_telemetry_reflects_the_stages_run() {
+        let scenario = scenario();
+        let registry = SolverRegistry::builtin();
+        let aa = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+        assert_eq!(aa.stage_calls, [1, 0, 0]);
+        assert!(aa.stage1.is_some() && aa.stage2.is_none() && aa.stage3.is_none());
+        let olaa = registry
+            .solve("olaa", &scenario, &SolveSpec::cold())
+            .unwrap();
+        assert_eq!(olaa.stage_calls, [1, 1, 0]);
+        assert!(olaa.stage2.is_some());
+        let occr = registry
+            .solve("occr", &scenario, &SolveSpec::cold())
+            .unwrap();
+        assert_eq!(occr.stage_calls, [1, 0, 1]);
+        assert!(occr.stage1.is_some() && occr.stage3.is_some());
+    }
+
+    #[test]
+    fn stage1_baselines_return_feasible_rates_in_unified_reports() {
         let problem = problem();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let gd = stage1_gradient_descent(&problem).unwrap();
         let sa = stage1_simulated_annealing(&problem, &mut rng).unwrap();
         let rs = stage1_random_selection(&problem, &mut rng).unwrap();
-        for result in [&gd, &sa, &rs] {
-            assert_eq!(result.phi.len(), 6);
-            assert_eq!(result.w.len(), 18);
-            assert!(result.objective.is_finite(), "{}", result.name);
-            assert!(result.phi.iter().all(|&p| p >= 0.5 - 1e-9));
+        for report in [&gd, &sa, &rs] {
+            let stage1 = report.stage1.as_ref().expect("stage-1 telemetry");
+            assert_eq!(stage1.phi.len(), 6);
+            assert_eq!(stage1.w.len(), 18);
+            assert!(stage1.objective.is_finite(), "{}", report.solver);
+            assert!(stage1.phi.iter().all(|&p| p >= 0.5 - 1e-9));
+            // The report's variables carry the same (phi, w) and are a
+            // complete, feasible assignment.
+            assert_eq!(report.variables.phi, stage1.phi);
+            assert_eq!(report.variables.w, stage1.w);
+            problem.check_feasible(&report.variables).unwrap();
+            assert!(report.objective.is_finite());
         }
     }
 
@@ -347,6 +386,6 @@ mod tests {
         let rs = stage1_random_selection(&problem, &mut rng).unwrap();
         // Random selection over a coarse sample cannot beat the convex solve
         // by more than numerical noise.
-        assert!(quhe.objective <= rs.objective + 1e-6);
+        assert!(quhe.objective <= rs.stage1.as_ref().unwrap().objective + 1e-6);
     }
 }

@@ -17,8 +17,17 @@
 //! * [`stage3`] — transmit powers, bandwidths and CPU frequencies via
 //!   quadratic-transform fractional programming (Eqs. 25–28, Algorithm 3).
 //! * [`quhe`] — the complete alternating procedure (Algorithm 4).
+//! * [`solver`] — the unified solver surface: the [`solver::Solver`] trait,
+//!   the [`solver::SolveSpec`] request builder, the [`solver::SolveReport`]
+//!   result type and the named [`solver::SolverRegistry`] of built-in
+//!   solvers (`quhe`, `aa`, `olaa`, `occr`). Every harness routes through
+//!   this; the legacy entry points on [`quhe::QuheAlgorithm`] and in
+//!   [`baselines`] are deprecated shims over it.
 //! * [`baselines`] — AA, OLAA and OCCR, plus the Stage-1 baselines (gradient
 //!   descent, simulated annealing, random selection) of Section VI-B.
+//! * [`json`] — the minimal JSON tree, writer and parser that
+//!   [`solver::SolveReport`] and the `quhe-bench` artifacts serialize
+//!   through (the offline build's working substitute for serde).
 //! * [`metrics`] — energy / delay / security / utility decomposition used by
 //!   the figures.
 //! * [`sampling`] — random initial configurations for the Fig. 3 optimality
@@ -37,11 +46,13 @@
 //! use quhe_core::prelude::*;
 //!
 //! let scenario = SystemScenario::paper_default(7);
-//! let config = QuheConfig::default();
-//! let result = QuheAlgorithm::new(config).solve(&scenario).unwrap();
-//! assert!(result.objective.is_finite());
-//! let problem = Problem::new(scenario, config).unwrap();
-//! assert!(problem.check_feasible(&result.variables).is_ok());
+//! let registry = SolverRegistry::builtin();
+//! let report = registry
+//!     .solve("quhe", &scenario, &SolveSpec::cold())
+//!     .unwrap();
+//! assert!(report.objective.is_finite());
+//! let problem = Problem::new(scenario, QuheConfig::default()).unwrap();
+//! assert!(problem.check_feasible(&report.variables).is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,6 +60,7 @@
 
 pub mod baselines;
 pub mod error;
+pub mod json;
 pub mod metrics;
 pub mod online;
 pub mod params;
@@ -57,6 +69,7 @@ pub mod quhe;
 pub mod registry;
 pub mod sampling;
 pub mod scenario;
+pub mod solver;
 pub mod stage1;
 pub mod stage2;
 pub mod stage3;
@@ -66,14 +79,20 @@ pub use error::{QuheError, QuheResult};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
+    // The deprecated legacy entry points stay importable through the prelude
+    // for one deprecation cycle; using them still warns at the call site.
+    #[allow(deprecated)]
+    pub use crate::baselines::{average_allocation, occr, olaa};
     pub use crate::baselines::{
-        average_allocation, occr, olaa, stage1_gradient_descent, stage1_random_selection,
-        stage1_simulated_annealing, BaselineResult,
+        stage1_gradient_descent, stage1_random_selection, stage1_simulated_annealing,
+        BaselineResult,
     };
     pub use crate::error::{QuheError, QuheResult};
+    pub use crate::json::{JsonError, JsonValue};
     pub use crate::metrics::MethodMetrics;
     pub use crate::online::{
-        OnlineOutcome, OnlineStepRecord, OnlineTraceConfig, SolveKind, SystemStep, SystemTrace,
+        solve_online_with, OnlineOutcome, OnlineStepRecord, OnlineTraceConfig, SolveKind,
+        SystemStep, SystemTrace,
     };
     pub use crate::params::{ObjectiveWeights, QuheConfig};
     pub use crate::problem::Problem;
@@ -81,6 +100,10 @@ pub mod prelude {
     pub use crate::registry::ScenarioCatalog;
     pub use crate::sampling::{sample_initial_points, OptimalityStudy};
     pub use crate::scenario::SystemScenario;
+    pub use crate::solver::{
+        AaSolver, InstrumentationLevel, OccrSolver, OlaaSolver, QuheSolver, SolveReport, SolveSpec,
+        Solver, SolverRegistry, StartMode,
+    };
     pub use crate::stage1::{Stage1Result, Stage1Solver};
     pub use crate::stage2::{Stage2Result, Stage2Solver};
     pub use crate::stage3::{Stage3Result, Stage3Solver};

@@ -9,18 +9,21 @@
 //! demand), and every step's scenario is rebuilt through
 //! [`SystemScenario::new`] so the whole timeline passes full validation.
 //!
-//! [`QuheAlgorithm::solve_online`] then tracks the timeline: each step is
-//! re-solved warm-started from the previous step's optimum (via
-//! [`QuheAlgorithm::solve_from_warm`], which rides the anchor's basin
+//! [`solve_online_with`] then tracks the timeline with any registered
+//! [`Solver`]: each step is re-solved warm-started from the previous step's
+//! optimum (a [`SolveSpec::warm_from`] solve, which rides the anchor's basin
 //! without re-running the Stage-3 multi-start), falling back to a cold
 //! multi-start solve when the world changed structurally (the client count
 //! differs, so the previous variables do not even have the right dimensions)
 //! or when the warm solve regressed suspiciously far below the previous
-//! objective. Steps whose world did not change at all reuse the previous
-//! outcome outright. Per-step work (solve kind, outer iterations, stage
-//! calls, wall-clock) is recorded so the warm-start saving is measurable —
-//! `online_eval` in `quhe-bench` turns those records into
-//! `BENCH_online.json`.
+//! objective. Solvers without warm-start support (the one-shot baselines)
+//! are re-solved cold at every changed step. Steps whose world did not
+//! change at all reuse the previous outcome outright. Per-step work (solve
+//! kind, outer iterations, stage calls, wall-clock) is recorded so the
+//! warm-start saving is measurable — `online_eval` in `quhe-bench` turns
+//! those records into `BENCH_online.json`.
+//! [`QuheAlgorithm::solve_online`] is the QuHE-specific convenience over the
+//! same engine.
 
 use std::time::Instant;
 
@@ -31,9 +34,10 @@ use quhe_qkd::topology::synthetic_scenario;
 use crate::error::{QuheError, QuheResult};
 use crate::params::QuheConfig;
 use crate::problem::Problem;
-use crate::quhe::{QuheAlgorithm, QuheOutcome};
+use crate::quhe::QuheAlgorithm;
 use crate::registry::ScenarioCatalog;
 use crate::scenario::SystemScenario;
+use crate::solver::{QuheSolver, SolveReport, SolveSpec, Solver};
 
 /// Stylized secret-key yield per entangled pair used by the key-pool ledger
 /// (a mid-range secret-key fraction; the ledger is a tracking model, not a
@@ -48,7 +52,7 @@ const KEY_BITS_PER_UPLOAD_BIT: f64 = 1e-8;
 /// Relative drop below the previous step's objective beyond which a warm
 /// re-solve is treated as having lost its basin and a cold multi-start
 /// fallback is triggered.
-const REGRESSION_SLACK: f64 = 0.05;
+pub const REGRESSION_SLACK: f64 = 0.05;
 
 /// Relative tracking tolerance of warm re-solves: a warm step is accepted
 /// once its first full alternation pass improves the objective by less than
@@ -365,8 +369,8 @@ pub struct OnlineStepRecord {
 pub struct OnlineOutcome {
     /// Per-step work records, one per trace step.
     pub records: Vec<OnlineStepRecord>,
-    /// Per-step solver outcomes, one per trace step.
-    pub outcomes: Vec<QuheOutcome>,
+    /// Per-step solver reports, one per trace step.
+    pub outcomes: Vec<SolveReport>,
 }
 
 impl OnlineOutcome {
@@ -392,196 +396,238 @@ impl OnlineOutcome {
     }
 }
 
+/// The per-step configuration: the base configuration with the step's
+/// accumulated delay-priority multiplier applied to the delay weight.
+pub fn step_config(base: &QuheConfig, step: &SystemStep) -> QuheConfig {
+    let mut config = *base;
+    config.weights.delay *= step.delay_weight_factor;
+    config
+}
+
+/// The configuration of the cold anchor solves inside [`solve_online_with`]:
+/// [`step_config`] with the tolerance tightened by
+/// [`ANCHOR_TOLERANCE_FACTOR`].
+pub fn anchor_config(base: &QuheConfig, step: &SystemStep) -> QuheConfig {
+    let mut config = step_config(base, step);
+    config.tolerance *= ANCHOR_TOLERANCE_FACTOR;
+    config
+}
+
+/// Tracks a dynamic world online with any [`Solver`]: solves every step of
+/// the trace, warm-starting each re-solve from the previous step's optimum
+/// when the solver supports it.
+///
+/// Per step, in order of preference:
+/// 1. **Cached** — the scenario and delay priority are unchanged: the
+///    previous report is reused without solving, so a frozen trace costs
+///    one cold solve total and reproduces it bit-identically.
+/// 2. **Warm** — same client count and [`Solver::supports_warm_start`]: a
+///    [`SolveSpec::warm_from`] solve runs from the previous optimum (with
+///    the delay bound re-tightened for the new world), tracking the anchor's
+///    basin without Stage-3 multi-start and stopping at the scale-aware
+///    [`TRACKING_TOLERANCE`] — one alternation pass when the world only
+///    drifted. The engine then verifies the *fallback guarantee* against the
+///    cold [`SolveSpec::single_start`] solve of the same world (the guard;
+///    its work is reported separately in the step record): a warm step is
+///    kept only if it reached at least that floor and stayed within
+///    [`REGRESSION_SLACK`] of the previous objective.
+/// 3. **Cold / fallback** — the first step and changed client counts solve
+///    cold multi-start at the tighter [`anchor_config`] (warm tracking needs
+///    a well-converged anchor). A warm solve that lost to the floor or
+///    regressed triggers the same cold re-anchor, and the best of the warm,
+///    floor and cold candidates is kept — a step therefore never reports
+///    less than the cold single-start baseline. Solvers without warm-start
+///    support solve every non-cached step (first, structural or drifted)
+///    cold at the plain [`step_config`] — they have no chain to anchor.
+///
+/// # Errors
+/// * [`QuheError::InvalidConfig`] for an empty trace.
+/// * Solver and substrate errors from the per-step solves.
+pub fn solve_online_with(solver: &dyn Solver, trace: &SystemTrace) -> QuheResult<OnlineOutcome> {
+    if trace.is_empty() {
+        return Err(QuheError::InvalidConfig {
+            reason: "solve_online needs a trace with at least one step".to_string(),
+        });
+    }
+    let base = *solver.config();
+    let mut records = Vec::with_capacity(trace.len());
+    let mut outcomes: Vec<SolveReport> = Vec::with_capacity(trace.len());
+    let mut previous: Option<&SystemStep> = None;
+    for (t, step) in trace.steps().iter().enumerate() {
+        let config = step_config(&base, step);
+        // Warm-capable solvers anchor their chain with a tighter-tolerance
+        // cold solve (a warm start can only track drift from a
+        // well-converged anchor). One-shot solvers have no chain, so every
+        // cold solve — first step, structural change or drift — runs at the
+        // plain step configuration and the per-step records stay comparable.
+        let anchor = if solver.supports_warm_start() {
+            solver.with_config(anchor_config(&base, step))
+        } else {
+            solver.with_config(config)
+        };
+        let wall = Instant::now();
+        // Per step: the solve kind, the kept report, the iterations and
+        // stage calls spent on the solve path, and the guard's own work.
+        let (kind, outcome, path_iterations, path_calls, guard) = match previous {
+            None => {
+                let cold = anchor.solve(&step.scenario, &SolveSpec::cold())?;
+                let (it, calls) = (cold.outer_iterations, cold.stage_calls);
+                (SolveKind::Cold, cold, it, calls, None)
+            }
+            Some(prev) => {
+                let prev_outcome = outcomes.last().expect("one outcome per solved step");
+                if step.scenario == prev.scenario
+                    && step.delay_weight_factor == prev.delay_weight_factor
+                {
+                    let reused = prev_outcome.clone();
+                    records.push(OnlineStepRecord {
+                        step: t,
+                        kind: SolveKind::Cached,
+                        objective: reused.objective,
+                        outer_iterations: 0,
+                        stage_calls: [0; 3],
+                        guard_outer_iterations: 0,
+                        guard_runtime_s: 0.0,
+                        guard_objective: None,
+                        runtime_s: wall.elapsed().as_secs_f64(),
+                        converged: reused.converged,
+                        num_clients: step.scenario.num_clients(),
+                        event_kinds: step.event_kinds.clone(),
+                    });
+                    outcomes.push(reused);
+                    previous = Some(step);
+                    continue;
+                }
+                if step.is_structural_change_from(prev) {
+                    let cold = anchor.solve(&step.scenario, &SolveSpec::cold())?;
+                    let (it, calls) = (cold.outer_iterations, cold.stage_calls);
+                    (SolveKind::Cold, cold, it, calls, None)
+                } else if !solver.supports_warm_start() {
+                    // One-shot solvers have no chain to track: re-solve the
+                    // drifted world cold. For them `anchor` already holds the
+                    // plain step configuration (see above), so this branch is
+                    // the same cold solve as the structural-change one.
+                    let cold = anchor.solve(&step.scenario, &SolveSpec::cold())?;
+                    let (it, calls) = (cold.outer_iterations, cold.stage_calls);
+                    (SolveKind::Cold, cold, it, calls, None)
+                } else {
+                    // Warm tracking with the scale-aware stop: the warm
+                    // solve needs exactly one alternation pass when the
+                    // world only drifted.
+                    let mut warm_config = config;
+                    warm_config.tolerance = config
+                        .tolerance
+                        .max(TRACKING_TOLERANCE * (1.0 + prev_outcome.objective.abs()));
+                    let problem = Problem::new(step.scenario.clone(), warm_config)?;
+                    let mut warm_start = prev_outcome.variables.clone();
+                    // Re-tighten the auxiliary delay bound for the new
+                    // world; the resource blocks carry over unchanged.
+                    warm_start.delay_bound = problem.system_cost(&warm_start)?.total_delay_s;
+                    // The regression reference is the previous solution
+                    // re-evaluated in *this* step's world and weights —
+                    // comparing against the previous step's objective
+                    // directly would mistake a pure weight change (e.g. a
+                    // deadline-tighten event raising the delay weight) for
+                    // a solver regression.
+                    let carried_objective = problem.objective_with_max_delay(&warm_start)?;
+                    let warm = solver
+                        .with_config(warm_config)
+                        .solve_prepared(&problem, &SolveSpec::warm_from(warm_start))?;
+                    // Floor guard: the engine itself checks the fallback
+                    // guarantee against the cold single-start solve of
+                    // this exact world and configuration. The guard is
+                    // independent of the warm solve, so its wall-clock is
+                    // recorded separately — it can run on an idle core.
+                    let guard_wall = Instant::now();
+                    let floor = solver
+                        .with_config(config)
+                        .solve(&step.scenario, &SolveSpec::single_start())?;
+                    let guard = Some((
+                        floor.outer_iterations,
+                        guard_wall.elapsed().as_secs_f64(),
+                        floor.objective,
+                    ));
+                    let slack = REGRESSION_SLACK * (1.0 + carried_objective.abs());
+                    if warm.objective >= floor.objective
+                        && warm.objective >= carried_objective - slack
+                    {
+                        let (it, calls) = (warm.outer_iterations, warm.stage_calls);
+                        (SolveKind::Warm, warm, it, calls, guard)
+                    } else {
+                        // The floor found a better basin, or the warm
+                        // chain regressed. Adopt the better of the two
+                        // candidates — and when even that regressed
+                        // beyond the slack, pay for a full cold
+                        // multi-start re-anchor. Either way the kept
+                        // objective is never below the single-start
+                        // floor.
+                        let mut path_iterations = warm.outer_iterations;
+                        let mut path_calls = warm.stage_calls;
+                        let mut kept = warm;
+                        if floor.objective > kept.objective {
+                            kept = floor;
+                        }
+                        if kept.objective < carried_objective - slack {
+                            let cold = anchor.solve(&step.scenario, &SolveSpec::cold())?;
+                            path_iterations += cold.outer_iterations;
+                            for (total, calls) in path_calls.iter_mut().zip(cold.stage_calls) {
+                                *total += calls;
+                            }
+                            if cold.objective > kept.objective {
+                                kept = cold;
+                            }
+                        }
+                        (
+                            SolveKind::WarmFallback,
+                            kept,
+                            path_iterations,
+                            path_calls,
+                            guard,
+                        )
+                    }
+                }
+            }
+        };
+        records.push(OnlineStepRecord {
+            step: t,
+            kind,
+            objective: outcome.objective,
+            outer_iterations: path_iterations,
+            stage_calls: path_calls,
+            guard_outer_iterations: guard.map_or(0, |(it, _, _)| it),
+            guard_runtime_s: guard.map_or(0.0, |(_, wall, _)| wall),
+            guard_objective: guard.map(|(_, _, objective)| objective),
+            runtime_s: wall.elapsed().as_secs_f64(),
+            converged: outcome.converged,
+            num_clients: step.scenario.num_clients(),
+            event_kinds: step.event_kinds.clone(),
+        });
+        outcomes.push(outcome);
+        previous = Some(step);
+    }
+    Ok(OnlineOutcome { records, outcomes })
+}
+
 impl QuheAlgorithm {
-    /// The per-step configuration: the base configuration with the step's
-    /// accumulated delay-priority multiplier applied to the delay weight.
+    /// The per-step configuration (see the free [`step_config`]).
     pub fn step_config(&self, step: &SystemStep) -> QuheConfig {
-        let mut config = *self.config();
-        config.weights.delay *= step.delay_weight_factor;
-        config
+        step_config(self.config(), step)
     }
 
-    /// The configuration of the cold anchor solves inside
-    /// [`QuheAlgorithm::solve_online`]: [`QuheAlgorithm::step_config`] with
-    /// the tolerance tightened by [`ANCHOR_TOLERANCE_FACTOR`].
+    /// The per-step anchor configuration (see the free [`anchor_config`]).
     pub fn anchor_config(&self, step: &SystemStep) -> QuheConfig {
-        let mut config = self.step_config(step);
-        config.tolerance *= ANCHOR_TOLERANCE_FACTOR;
-        config
+        anchor_config(self.config(), step)
     }
 
-    /// Tracks a dynamic world online: solves every step of the trace,
-    /// warm-starting each re-solve from the previous step's optimum.
-    ///
-    /// Per step, in order of preference:
-    /// 1. **Cached** — the scenario and delay priority are unchanged: the
-    ///    previous outcome is reused without solving, so a frozen trace costs
-    ///    one cold solve total and reproduces it bit-identically.
-    /// 2. **Warm** — same client count: [`QuheAlgorithm::solve_from_warm`]
-    ///    runs from the previous optimum (with the delay bound re-tightened
-    ///    for the new world), tracking the anchor's basin without Stage-3
-    ///    multi-start and stopping at the scale-aware [`TRACKING_TOLERANCE`]
-    ///    — one alternation pass when the world only drifted. The engine
-    ///    then verifies the *fallback guarantee* against the cold
-    ///    single-start solve ([`QuheAlgorithm::solve_single_start`]) of the
-    ///    same world (the guard; its work is reported separately in the
-    ///    step record): a warm step is kept only if it reached at least that
-    ///    floor and stayed within [`REGRESSION_SLACK`] of the previous
-    ///    objective.
-    /// 3. **Cold / fallback** — the first step and changed client counts
-    ///    solve cold multi-start at the tighter
-    ///    [`QuheAlgorithm::anchor_config`] (warm tracking needs a
-    ///    well-converged anchor). A warm solve that lost to the floor or
-    ///    regressed triggers the same cold re-anchor, and the best of the
-    ///    warm, floor and cold candidates is kept — a step therefore never
-    ///    reports less than the cold single-start baseline.
+    /// Tracks a dynamic world online with the QuHE solver — the convenience
+    /// form of [`solve_online_with`] with a [`QuheSolver`] under this
+    /// driver's configuration.
     ///
     /// # Errors
     /// * [`QuheError::InvalidConfig`] for an empty trace.
     /// * Solver and substrate errors from the per-step solves.
     pub fn solve_online(&self, trace: &SystemTrace) -> QuheResult<OnlineOutcome> {
-        if trace.is_empty() {
-            return Err(QuheError::InvalidConfig {
-                reason: "solve_online needs a trace with at least one step".to_string(),
-            });
-        }
-        let mut records = Vec::with_capacity(trace.len());
-        let mut outcomes: Vec<QuheOutcome> = Vec::with_capacity(trace.len());
-        let mut previous: Option<&SystemStep> = None;
-        for (t, step) in trace.steps().iter().enumerate() {
-            let config = self.step_config(step);
-            let anchor = QuheAlgorithm::new(self.anchor_config(step));
-            let wall = Instant::now();
-            // Per step: the solve kind, the kept outcome, the iterations and
-            // stage calls spent on the solve path, and the guard's own work.
-            let (kind, outcome, path_iterations, path_calls, guard) = match previous {
-                None => {
-                    let cold = anchor.solve(&step.scenario)?;
-                    let (it, calls) = (cold.outer_iterations, cold.stage_calls);
-                    (SolveKind::Cold, cold, it, calls, None)
-                }
-                Some(prev) => {
-                    let prev_outcome = outcomes.last().expect("one outcome per solved step");
-                    if step.scenario == prev.scenario
-                        && step.delay_weight_factor == prev.delay_weight_factor
-                    {
-                        let reused = prev_outcome.clone();
-                        records.push(OnlineStepRecord {
-                            step: t,
-                            kind: SolveKind::Cached,
-                            objective: reused.objective,
-                            outer_iterations: 0,
-                            stage_calls: [0; 3],
-                            guard_outer_iterations: 0,
-                            guard_runtime_s: 0.0,
-                            guard_objective: None,
-                            runtime_s: wall.elapsed().as_secs_f64(),
-                            converged: reused.converged,
-                            num_clients: step.scenario.num_clients(),
-                            event_kinds: step.event_kinds.clone(),
-                        });
-                        outcomes.push(reused);
-                        previous = Some(step);
-                        continue;
-                    }
-                    if step.is_structural_change_from(prev) {
-                        let cold = anchor.solve(&step.scenario)?;
-                        let (it, calls) = (cold.outer_iterations, cold.stage_calls);
-                        (SolveKind::Cold, cold, it, calls, None)
-                    } else {
-                        // Warm tracking with the scale-aware stop: the warm
-                        // solve needs exactly one alternation pass when the
-                        // world only drifted.
-                        let mut warm_config = config;
-                        warm_config.tolerance = config
-                            .tolerance
-                            .max(TRACKING_TOLERANCE * (1.0 + prev_outcome.objective.abs()));
-                        let problem = Problem::new(step.scenario.clone(), warm_config)?;
-                        let mut warm_start = prev_outcome.variables.clone();
-                        // Re-tighten the auxiliary delay bound for the new
-                        // world; the resource blocks carry over unchanged.
-                        warm_start.delay_bound = problem.system_cost(&warm_start)?.total_delay_s;
-                        // The regression reference is the previous solution
-                        // re-evaluated in *this* step's world and weights —
-                        // comparing against the previous step's objective
-                        // directly would mistake a pure weight change (e.g. a
-                        // deadline-tighten event raising the delay weight) for
-                        // a solver regression.
-                        let carried_objective = problem.objective_with_max_delay(&warm_start)?;
-                        let warm = QuheAlgorithm::new(warm_config)
-                            .solve_from_warm(&problem, warm_start)?;
-                        // Floor guard: the engine itself checks the fallback
-                        // guarantee against the cold single-start solve of
-                        // this exact world and configuration. The guard is
-                        // independent of the warm solve, so its wall-clock is
-                        // recorded separately — it can run on an idle core.
-                        let guard_wall = Instant::now();
-                        let floor =
-                            QuheAlgorithm::new(config).solve_single_start(&step.scenario)?;
-                        let guard = Some((
-                            floor.outer_iterations,
-                            guard_wall.elapsed().as_secs_f64(),
-                            floor.objective,
-                        ));
-                        let slack = REGRESSION_SLACK * (1.0 + carried_objective.abs());
-                        if warm.objective >= floor.objective
-                            && warm.objective >= carried_objective - slack
-                        {
-                            let (it, calls) = (warm.outer_iterations, warm.stage_calls);
-                            (SolveKind::Warm, warm, it, calls, guard)
-                        } else {
-                            // The floor found a better basin, or the warm
-                            // chain regressed. Adopt the better of the two
-                            // candidates — and when even that regressed
-                            // beyond the slack, pay for a full cold
-                            // multi-start re-anchor. Either way the kept
-                            // objective is never below the single-start
-                            // floor.
-                            let mut path_iterations = warm.outer_iterations;
-                            let mut path_calls = warm.stage_calls;
-                            let mut kept = warm;
-                            if floor.objective > kept.objective {
-                                kept = floor;
-                            }
-                            if kept.objective < carried_objective - slack {
-                                let cold = anchor.solve(&step.scenario)?;
-                                path_iterations += cold.outer_iterations;
-                                for (total, calls) in path_calls.iter_mut().zip(cold.stage_calls) {
-                                    *total += calls;
-                                }
-                                if cold.objective > kept.objective {
-                                    kept = cold;
-                                }
-                            }
-                            (
-                                SolveKind::WarmFallback,
-                                kept,
-                                path_iterations,
-                                path_calls,
-                                guard,
-                            )
-                        }
-                    }
-                }
-            };
-            records.push(OnlineStepRecord {
-                step: t,
-                kind,
-                objective: outcome.objective,
-                outer_iterations: path_iterations,
-                stage_calls: path_calls,
-                guard_outer_iterations: guard.map_or(0, |(it, _, _)| it),
-                guard_runtime_s: guard.map_or(0.0, |(_, wall, _)| wall),
-                guard_objective: guard.map(|(_, _, objective)| objective),
-                runtime_s: wall.elapsed().as_secs_f64(),
-                converged: outcome.converged,
-                num_clients: step.scenario.num_clients(),
-                event_kinds: step.event_kinds.clone(),
-            });
-            outcomes.push(outcome);
-            previous = Some(step);
-        }
-        Ok(OnlineOutcome { records, outcomes })
+        solve_online_with(&QuheSolver::new(*self.config()), trace)
     }
 }
 
@@ -663,8 +709,8 @@ mod tests {
         let online = algorithm.solve_online(&trace).unwrap();
         assert_eq!(online.records[0].kind, SolveKind::Cold);
         assert_eq!(online.count(SolveKind::Cached), 3);
-        let cold = QuheAlgorithm::new(algorithm.anchor_config(&trace.steps()[0]))
-            .solve(&trace.steps()[0].scenario)
+        let cold = QuheSolver::new(algorithm.anchor_config(&trace.steps()[0]))
+            .solve(&trace.steps()[0].scenario, &SolveSpec::cold())
             .unwrap();
         for outcome in &online.outcomes {
             assert_eq!(outcome.variables, cold.variables);
@@ -743,6 +789,34 @@ mod tests {
         }
         assert!(online.total_runtime_s() > 0.0);
         assert!(online.total_outer_iterations() >= 1);
+    }
+
+    #[test]
+    fn one_shot_solvers_track_a_trace_with_cold_re_solves() {
+        let catalog = ScenarioCatalog::builtin();
+        let trace = SystemTrace::generate(
+            &catalog,
+            "paper_default",
+            5,
+            &OnlineTraceConfig::drift_only(2),
+        )
+        .unwrap();
+        let aa = crate::solver::AaSolver::new(quick_config());
+        let online = solve_online_with(&aa, &trace).unwrap();
+        assert_eq!(online.records[0].kind, SolveKind::Cold);
+        for record in &online.records[1..] {
+            assert_eq!(record.kind, SolveKind::Cold, "step {}", record.step);
+            assert_eq!(record.guard_objective, None);
+        }
+        for outcome in &online.outcomes {
+            assert_eq!(outcome.solver, "aa");
+        }
+        // A frozen trace still caches for one-shot solvers.
+        let frozen =
+            SystemTrace::generate(&catalog, "paper_default", 5, &OnlineTraceConfig::frozen(2))
+                .unwrap();
+        let online = solve_online_with(&aa, &frozen).unwrap();
+        assert_eq!(online.count(SolveKind::Cached), 2);
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! The complete QuHE algorithm (Algorithm 4 of the paper): alternating
 //! optimization over the three blocks `(phi, w)`, `(lambda, T)` and
 //! `(p, b, f^(c), f^(s), T)` until the objective converges.
+//!
+//! The public entry points of this driver are **deprecated shims** over the
+//! unified solver surface in [`crate::solver`] — construct a
+//! [`QuheSolver`] (or look up `"quhe"` in
+//! [`crate::solver::SolverRegistry::builtin`]) and describe the run with a
+//! [`SolveSpec`] instead. The shims delegate to the exact same
+//! implementation and are pinned bit-identical by `tests/solver_parity.rs`;
+//! they remain for one deprecation cycle (see the README deprecation
+//! policy).
 
 use std::time::Instant;
 
@@ -9,6 +18,7 @@ use crate::metrics::MethodMetrics;
 use crate::params::QuheConfig;
 use crate::problem::Problem;
 use crate::scenario::SystemScenario;
+use crate::solver::{QuheSolver, SolveReport, SolveSpec, Solver};
 use crate::stage1::{Stage1Result, Stage1Solver};
 use crate::stage2::{Stage2Result, Stage2Solver};
 use crate::stage3::{Stage3Result, Stage3Solver};
@@ -27,7 +37,9 @@ pub struct OuterIterationRecord {
     pub after_stage3: f64,
 }
 
-/// Result of a full QuHE run.
+/// Result of a full QuHE run (the legacy result shape; the unified surface
+/// returns [`SolveReport`], which carries the same payload plus the solver
+/// name and spec echo).
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct QuheOutcome {
     /// The final variable assignment.
@@ -57,6 +69,20 @@ pub struct QuheOutcome {
     pub runtime_s: f64,
 }
 
+/// How one invocation of the alternating loop runs — the resolved form of a
+/// [`SolveSpec`] once the start point has been materialized.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunOptions {
+    /// Whether Stage 3 explores the canonical multi-start points on new
+    /// `lambda` surfaces.
+    pub(crate) stage3_multi_start: bool,
+    /// Number of canonical extra starts in multi-start mode.
+    pub(crate) stage3_start_budget: usize,
+    /// Whether each Stage-3 call also records the interior-point duality-gap
+    /// trace (never changes the solution; extra polish work).
+    pub(crate) with_gap_trace: bool,
+}
+
 /// The QuHE algorithm driver.
 #[derive(Debug, Clone, Copy)]
 pub struct QuheAlgorithm {
@@ -74,34 +100,39 @@ impl QuheAlgorithm {
         &self.config
     }
 
+    fn solver(&self) -> QuheSolver {
+        QuheSolver::new(self.config)
+    }
+
     /// Runs Algorithm 4 on the scenario, starting from the deterministic
     /// feasible point of [`Problem::initial_point`].
     ///
     /// # Errors
     /// Propagates configuration, substrate and solver errors.
+    #[deprecated(
+        note = "use `QuheSolver` (registry name \"quhe\") with `SolveSpec::cold()` instead"
+    )]
     pub fn solve(&self, scenario: &SystemScenario) -> QuheResult<QuheOutcome> {
-        let problem = Problem::new(scenario.clone(), self.config)?;
-        let start = problem.initial_point()?;
-        self.solve_from(&problem, start)
+        self.solver()
+            .solve(scenario, &SolveSpec::cold())?
+            .into_quhe_outcome()
     }
 
     /// Solves every scenario of a batch concurrently on a scoped worker pool
     /// (`threads = 0` sizes the pool to the machine, `1` runs serially) and
-    /// returns the outcomes in input order.
-    ///
-    /// Scenario solves share no mutable state — [`Problem`] and the stage
-    /// solvers are plain owned data — so each solve is independent and the
-    /// per-scenario results are identical to calling
-    /// [`QuheAlgorithm::solve`] in a loop. Batch callers usually also set
-    /// [`crate::params::QuheConfig::solver_threads`]` = 1` so the
-    /// scenario-level parallelism is not multiplied by the Stage-3
-    /// multi-start pool.
+    /// returns the outcomes in input order, bit-identical to a serial loop.
+    #[deprecated(
+        note = "use `Solver::solve_batch` on a `QuheSolver` with `SolveSpec::cold()` instead"
+    )]
     pub fn solve_batch(
         &self,
         scenarios: &[SystemScenario],
         threads: usize,
     ) -> Vec<QuheResult<QuheOutcome>> {
-        threadpool::ThreadPool::new(threads).par_map(scenarios, |scenario| self.solve(scenario))
+        Solver::solve_batch(&self.solver(), scenarios, &SolveSpec::cold(), threads)
+            .into_iter()
+            .map(|report| report.and_then(SolveReport::into_quhe_outcome))
+            .collect()
     }
 
     /// Runs Algorithm 4 from the deterministic initial point with Stage 3
@@ -112,48 +143,57 @@ impl QuheAlgorithm {
     ///
     /// # Errors
     /// Propagates configuration, substrate and solver errors.
+    #[deprecated(
+        note = "use `QuheSolver` (registry name \"quhe\") with `SolveSpec::single_start()` instead"
+    )]
     pub fn solve_single_start(&self, scenario: &SystemScenario) -> QuheResult<QuheOutcome> {
-        let problem = Problem::new(scenario.clone(), self.config)?;
-        let start = problem.initial_point()?;
-        self.run_from(&problem, start, false)
+        self.solver()
+            .solve(scenario, &SolveSpec::single_start())?
+            .into_quhe_outcome()
     }
 
-    /// Runs Algorithm 4 from an explicit starting point (used by the Fig. 3
-    /// optimality study, which samples random initial resource
-    /// configurations).
+    /// Runs Algorithm 4 from an explicit starting point with multi-start
+    /// exploration (used by the Fig. 3 optimality study, which samples random
+    /// initial resource configurations). The given problem is reused as-is,
+    /// exactly as before the deprecation.
     ///
     /// # Errors
     /// Propagates configuration, substrate and solver errors.
+    #[deprecated(
+        note = "use `QuheSolver` with `SolveSpec::warm_from(start).with_multi_start(true)` instead"
+    )]
     pub fn solve_from(
         &self,
         problem: &Problem,
         start: DecisionVariables,
     ) -> QuheResult<QuheOutcome> {
-        self.run_from(problem, start, true)
+        self.solver()
+            .solve_prepared(problem, &SolveSpec::warm_from(start).with_multi_start(true))?
+            .into_quhe_outcome()
     }
 
     /// Like [`QuheAlgorithm::solve_from`] but with Stage 3 restricted to the
-    /// warm start throughout (no multi-start exploration). This is the
-    /// tracking mode of the online engine: starting at the previous step's
-    /// optimum, the alternation follows the drifted optimum of the same
-    /// basin instead of re-exploring — which is what makes a warm re-solve
-    /// strictly cheaper than a cold one.
+    /// warm start throughout (no multi-start exploration) — the tracking mode
+    /// of the online engine.
     ///
     /// # Errors
     /// Propagates configuration, substrate and solver errors.
+    #[deprecated(note = "use `QuheSolver` with `SolveSpec::warm_from(start)` instead")]
     pub fn solve_from_warm(
         &self,
         problem: &Problem,
         start: DecisionVariables,
     ) -> QuheResult<QuheOutcome> {
-        self.run_from(problem, start, false)
+        self.solver()
+            .solve_prepared(problem, &SolveSpec::warm_from(start))?
+            .into_quhe_outcome()
     }
 
-    fn run_from(
+    pub(crate) fn run_from(
         &self,
         problem: &Problem,
         start: DecisionVariables,
-        stage3_multi_start: bool,
+        options: RunOptions,
     ) -> QuheResult<QuheOutcome> {
         self.config.validate()?;
         let wall_clock = Instant::now();
@@ -163,7 +203,8 @@ impl QuheAlgorithm {
             self.config.max_stage3_iterations,
             self.config.tolerance * 1e-2,
         )
-        .with_threads(self.config.solver_threads);
+        .with_threads(self.config.solver_threads)
+        .with_start_budget(options.stage3_start_budget);
 
         let mut vars = start;
         let mut best_objective = problem.objective_with_max_delay(&vars)?;
@@ -206,11 +247,8 @@ impl QuheAlgorithm {
             // would only cost time. Single-start mode skips the exploration
             // entirely and rides the carried start's basin.
             let surface_is_new = explored_lambdas.insert(vars.lambda.clone());
-            let stage3 = if stage3_multi_start && surface_is_new {
-                stage3_solver.solve(problem, &vars)?
-            } else {
-                stage3_solver.solve_warm_start_only(problem, &vars)?
-            };
+            let multi_start = options.stage3_multi_start && surface_is_new;
+            let stage3 = stage3_solver.run(problem, &vars, options.with_gap_trace, multi_start)?;
             stage_calls[2] += 1;
             vars.power = stage3.power.clone();
             vars.bandwidth = stage3.bandwidth.clone();
@@ -255,16 +293,20 @@ impl QuheAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baselines::average_allocation;
+    use crate::solver::AaSolver;
 
     fn scenario() -> SystemScenario {
         SystemScenario::paper_default(1)
     }
 
+    fn quhe(config: QuheConfig) -> QuheSolver {
+        QuheSolver::new(config)
+    }
+
     #[test]
     fn quhe_produces_a_feasible_solution() {
-        let result = QuheAlgorithm::new(QuheConfig::default())
-            .solve(&scenario())
+        let result = quhe(QuheConfig::default())
+            .solve(&scenario(), &SolveSpec::cold())
             .unwrap();
         let problem = Problem::new(scenario(), QuheConfig::default()).unwrap();
         problem.check_feasible(&result.variables).unwrap();
@@ -278,8 +320,8 @@ mod tests {
 
     #[test]
     fn objective_is_monotone_across_stages_and_iterations() {
-        let result = QuheAlgorithm::new(QuheConfig::default())
-            .solve(&scenario())
+        let result = quhe(QuheConfig::default())
+            .solve(&scenario(), &SolveSpec::cold())
             .unwrap();
         let mut previous = f64::NEG_INFINITY;
         for record in &result.outer_trace {
@@ -294,13 +336,15 @@ mod tests {
     fn quhe_beats_the_average_allocation_baseline() {
         let scenario = scenario();
         let config = QuheConfig::default();
-        let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
-        let aa = average_allocation(&scenario, &config).unwrap();
+        let quhe = quhe(config).solve(&scenario, &SolveSpec::cold()).unwrap();
+        let aa = AaSolver::new(config)
+            .solve(&scenario, &SolveSpec::cold())
+            .unwrap();
         assert!(
-            quhe.objective >= aa.metrics.objective - 1e-6,
+            quhe.objective >= aa.objective - 1e-6,
             "QuHE ({}) should not lose to AA ({})",
             quhe.objective,
-            aa.metrics.objective
+            aa.objective
         );
     }
 
@@ -310,44 +354,22 @@ mod tests {
         assert_send_sync::<Problem>();
         assert_send_sync::<QuheAlgorithm>();
         assert_send_sync::<QuheOutcome>();
+        assert_send_sync::<QuheSolver>();
+        assert_send_sync::<SolveReport>();
         assert_send_sync::<SystemScenario>();
         assert_send_sync::<crate::error::QuheError>();
     }
 
     #[test]
-    fn batch_solve_matches_serial_solves_in_order() {
-        let scenarios: Vec<SystemScenario> = (1..=3).map(SystemScenario::paper_default).collect();
-        let config = QuheConfig {
-            max_outer_iterations: 2,
-            max_stage3_iterations: 8,
-            ..QuheConfig::default()
-        };
-        let algorithm = QuheAlgorithm::new(config);
-        let parallel = algorithm.solve_batch(&scenarios, 0);
-        let serial = algorithm.solve_batch(&scenarios, 1);
-        assert_eq!(parallel.len(), 3);
-        for (p, s) in parallel.iter().zip(&serial) {
-            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
-            assert_eq!(p.objective, s.objective);
-            assert_eq!(p.variables, s.variables);
-        }
-    }
-
-    #[test]
     fn stage3_thread_count_does_not_change_the_solution() {
         let scenario = scenario();
-        let serial = QuheAlgorithm::new(QuheConfig {
-            solver_threads: 1,
-            ..QuheConfig::default()
-        })
-        .solve(&scenario)
-        .unwrap();
-        let parallel = QuheAlgorithm::new(QuheConfig {
-            solver_threads: 0,
-            ..QuheConfig::default()
-        })
-        .solve(&scenario)
-        .unwrap();
+        let solver = quhe(QuheConfig::default());
+        let serial = solver
+            .solve(&scenario, &SolveSpec::cold().with_threads(1))
+            .unwrap();
+        let parallel = solver
+            .solve(&scenario, &SolveSpec::cold().with_threads(0))
+            .unwrap();
         assert_eq!(serial.objective, parallel.objective);
         assert_eq!(serial.variables, parallel.variables);
     }
@@ -356,12 +378,12 @@ mod tests {
     fn single_start_solve_is_feasible_and_never_beats_multi_start() {
         let scenario = scenario();
         let config = QuheConfig::default();
-        let single = QuheAlgorithm::new(config)
-            .solve_single_start(&scenario)
+        let single = quhe(config)
+            .solve(&scenario, &SolveSpec::single_start())
             .unwrap();
         let problem = Problem::new(scenario.clone(), config).unwrap();
         problem.check_feasible(&single.variables).unwrap();
-        let multi = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+        let multi = quhe(config).solve(&scenario, &SolveSpec::cold()).unwrap();
         assert!(
             multi.objective >= single.objective - 1e-9,
             "multi-start ({}) lost to its own single-start restriction ({})",
@@ -374,19 +396,31 @@ mod tests {
     fn warm_restart_from_an_optimum_converges_immediately() {
         let scenario = scenario();
         let config = QuheConfig::default();
-        let cold = QuheAlgorithm::new(config).solve(&scenario).unwrap();
-        let problem = Problem::new(scenario, config).unwrap();
-        let warm = QuheAlgorithm::new(config)
-            .solve_from_warm(&problem, cold.variables.clone())
+        let solver = quhe(config);
+        let cold = solver.solve(&scenario, &SolveSpec::cold()).unwrap();
+        let warm = solver
+            .solve(&scenario, &SolveSpec::warm_from(cold.variables.clone()))
             .unwrap();
         assert_eq!(warm.outer_iterations, 1, "an optimum needs no re-descent");
         assert!(warm.objective >= cold.objective - config.tolerance);
     }
 
     #[test]
+    fn a_zero_multi_start_budget_degenerates_to_single_start() {
+        let scenario = scenario();
+        let solver = quhe(QuheConfig::default());
+        let no_budget = solver
+            .solve(&scenario, &SolveSpec::cold().with_multi_start_budget(0))
+            .unwrap();
+        let single = solver.solve(&scenario, &SolveSpec::single_start()).unwrap();
+        assert_eq!(no_budget.objective, single.objective);
+        assert_eq!(no_budget.variables, single.variables);
+    }
+
+    #[test]
     fn quhe_converges_within_the_iteration_budget() {
-        let result = QuheAlgorithm::new(QuheConfig::default())
-            .solve(&scenario())
+        let result = quhe(QuheConfig::default())
+            .solve(&scenario(), &SolveSpec::cold())
             .unwrap();
         assert!(
             result.converged,

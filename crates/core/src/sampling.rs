@@ -13,8 +13,8 @@ use rand::Rng;
 use crate::error::QuheResult;
 use crate::params::QuheConfig;
 use crate::problem::Problem;
-use crate::quhe::QuheAlgorithm;
 use crate::scenario::SystemScenario;
+use crate::solver::{QuheSolver, SolveSpec, Solver};
 use crate::variables::DecisionVariables;
 
 /// Draws `count` random feasible initial variable assignments.
@@ -55,12 +55,18 @@ impl OptimalityStudy {
         rng: &mut R,
     ) -> QuheResult<Self> {
         let problem = Problem::new(scenario.clone(), *config)?;
-        let algorithm = QuheAlgorithm::new(*config);
+        let solver = QuheSolver::new(*config);
         let starts = sample_initial_points(&problem, samples, rng)?;
         let mut objectives = Vec::with_capacity(samples);
         for start in starts {
-            let result = algorithm.solve_from(&problem, start)?;
-            objectives.push(result.objective);
+            // Each sampled configuration is explored with the full
+            // multi-start solve on the shared problem instance, exactly as
+            // the legacy `solve_from` did.
+            let report = solver.solve_prepared(
+                &problem,
+                &SolveSpec::warm_from(start).with_multi_start(true),
+            )?;
+            objectives.push(report.objective);
         }
         let bucket_counts = histogram(&objectives, &bucket_edges);
         Ok(Self {

@@ -64,6 +64,8 @@ pub struct Stage3Result {
     pub gap_trace: Vec<f64>,
     /// Number of outer iterations of the fractional-programming loop.
     pub iterations: usize,
+    /// Whether the winning start met the tolerance before the iteration cap.
+    pub converged: bool,
     /// Wall-clock runtime in seconds.
     pub runtime_s: f64,
 }
@@ -289,6 +291,27 @@ impl Projection for Stage3Projection {
     }
 }
 
+/// Default number of canonical extra starts explored by the multi-start
+/// basin search (the budget of [`Stage3Solver::with_start_budget`]).
+pub const DEFAULT_START_BUDGET: usize = 3;
+
+/// The relative resource levels of the first three canonical starts.
+const CANONICAL_START_LEVELS: [f64; 3] = [1.0, 0.5, 0.1];
+
+/// The deterministic canonical start levels for a given multi-start budget:
+/// the three canonical levels first, then a halving tail below the smallest
+/// so larger budgets probe ever-leaner allocations.
+fn start_levels(budget: usize) -> Vec<f64> {
+    (0..budget)
+        .map(|k| {
+            CANONICAL_START_LEVELS
+                .get(k)
+                .copied()
+                .unwrap_or_else(|| 0.1 * 0.5f64.powi(k as i32 - 2))
+        })
+        .collect()
+}
+
 /// The Stage-3 solver.
 #[derive(Debug, Clone, Copy)]
 pub struct Stage3Solver {
@@ -299,6 +322,8 @@ pub struct Stage3Solver {
     /// Worker threads for the multi-start exploration (`0` = available
     /// parallelism, `1` = serial).
     threads: usize,
+    /// Number of canonical extra starts explored in multi-start mode.
+    start_budget: usize,
 }
 
 impl Default for Stage3Solver {
@@ -307,6 +332,7 @@ impl Default for Stage3Solver {
             max_iterations: 40,
             tolerance: 1e-6,
             threads: 0,
+            start_budget: DEFAULT_START_BUDGET,
         }
     }
 }
@@ -320,6 +346,7 @@ impl Stage3Solver {
             max_iterations,
             tolerance,
             threads: 0,
+            start_budget: DEFAULT_START_BUDGET,
         }
     }
 
@@ -330,6 +357,16 @@ impl Stage3Solver {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Overrides the multi-start budget: how many canonical extra starts the
+    /// basin exploration probes alongside the carried warm start (default
+    /// [`DEFAULT_START_BUDGET`]). A budget of `0` degenerates multi-start
+    /// mode into the warm-start-only solve.
+    #[must_use]
+    pub fn with_start_budget(mut self, start_budget: usize) -> Self {
+        self.start_budget = start_budget;
         self
     }
 
@@ -397,7 +434,7 @@ impl Stage3Solver {
         self.run(problem, vars, false, false)
     }
 
-    fn run(
+    pub(crate) fn run(
         &self,
         problem: &Problem,
         vars: &DecisionVariables,
@@ -423,7 +460,7 @@ impl Stage3Solver {
         let n_f = n as f64;
         let mut starts: Vec<Vec<f64>> = vec![warm];
         if multi_start {
-            for level in [1.0, 0.5, 0.1] {
+            for level in start_levels(self.start_budget) {
                 let mut y: Vec<f64> = Vec::with_capacity(4 * n);
                 y.extend(std::iter::repeat_n(level, n)); // p / p_max
                 y.extend(std::iter::repeat_n(1.0 / n_f, n)); // b: even split
@@ -537,6 +574,7 @@ impl Stage3Solver {
             trace: outcome.trace,
             gap_trace,
             iterations: outcome.iterations,
+            converged: outcome.converged,
             runtime_s: start.elapsed().as_secs_f64(),
         })
     }
@@ -641,6 +679,16 @@ mod tests {
     use super::*;
     use crate::params::QuheConfig;
     use crate::scenario::SystemScenario;
+
+    #[test]
+    fn start_levels_extend_the_canonical_sequence() {
+        assert_eq!(start_levels(3), vec![1.0, 0.5, 0.1]);
+        assert_eq!(start_levels(1), vec![1.0]);
+        assert!(start_levels(0).is_empty());
+        let five = start_levels(5);
+        assert_eq!(&five[..3], &[1.0, 0.5, 0.1]);
+        assert!(five[3] < 0.1 && five[4] < five[3]);
+    }
 
     fn setup() -> (Problem, DecisionVariables) {
         let problem =

@@ -1,5 +1,6 @@
-//! Quickstart: run the QuHE algorithm on the paper's evaluation scenario and
-//! compare it against the three whole-procedure baselines.
+//! Quickstart: run the QuHE solver on the paper's evaluation scenario and
+//! compare it against the three whole-procedure baselines — all four through
+//! the unified `SolverRegistry` surface.
 //!
 //! ```bash
 //! cargo run --example quickstart
@@ -11,7 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Section VI-A scenario: the SURFnet QKD backbone (Tables III & IV)
     // paired with six MEC clients in a 1 km cell.
     let scenario = SystemScenario::paper_default(42);
-    let config = QuheConfig::default();
+    let registry = SolverRegistry::builtin();
 
     println!("== QuHE quickstart ==");
     println!(
@@ -23,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run the three-stage QuHE algorithm (Algorithm 4).
-    let quhe = QuheAlgorithm::new(config).solve(&scenario)?;
+    let quhe = registry.solve("quhe", &scenario, &SolveSpec::cold())?;
     println!("\nQuHE finished in {:.2} s:", quhe.runtime_s);
     println!("  outer iterations : {}", quhe.outer_iterations);
     println!(
@@ -37,23 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  polynomial degrees lambda* = {:?}", quhe.variables.lambda);
 
-    // Baselines of Section VI-B.
+    // Baselines of Section VI-B — the same call, different registry names.
     println!("\n== Baseline comparison (objective of Eq. 17) ==");
-    let aa = average_allocation(&scenario, &config)?;
-    let olaa = olaa(&scenario, &config)?;
-    let occr = occr(&scenario, &config)?;
-    for result in [&aa, &olaa, &occr] {
-        println!(
-            "  {:<5} objective = {:>10.4}",
-            result.name, result.metrics.objective
-        );
+    let mut best_baseline = f64::NEG_INFINITY;
+    for name in ["aa", "olaa", "occr"] {
+        let report = registry.solve(name, &scenario, &SolveSpec::cold())?;
+        println!("  {:<5} objective = {:>10.4}", name, report.objective);
+        best_baseline = best_baseline.max(report.objective);
     }
-    println!("  {:<5} objective = {:>10.4}", "QuHE", quhe.objective);
+    println!("  {:<5} objective = {:>10.4}", "quhe", quhe.objective);
 
-    let best_baseline = [&aa, &olaa, &occr]
-        .iter()
-        .map(|r| r.metrics.objective)
-        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "\nQuHE improves over the best baseline by {:.4}",
         quhe.objective - best_baseline

@@ -17,17 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_stage3_iterations: 10,
         ..QuheConfig::default()
     };
+    let registry = SolverRegistry::builtin_with(config);
 
     println!("== Objective vs. total bandwidth (cf. Fig. 6(a)) ==");
     println!("{:>12} | {:>10} | {:>10}", "B_total", "AA", "QuHE");
     for bandwidth in [5e6, 7.5e6, 10e6, 12.5e6, 15e6] {
         let scenario = base.with_mec(base.mec().clone().with_total_bandwidth(bandwidth))?;
-        let aa = average_allocation(&scenario, &config)?;
-        let quhe = QuheAlgorithm::new(config).solve(&scenario)?;
+        let aa = registry.solve("aa", &scenario, &SolveSpec::cold())?;
+        let quhe = registry.solve("quhe", &scenario, &SolveSpec::cold())?;
         println!(
             "{:>10.1} M | {:>10.4} | {:>10.4}",
             bandwidth / 1e6,
-            aa.metrics.objective,
+            aa.objective,
             quhe.objective
         );
     }
@@ -36,11 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>12} | {:>10} | {:>10}", "p_max (W)", "AA", "QuHE");
     for power in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let scenario = base.with_mec(base.mec().clone().with_max_power(power))?;
-        let aa = average_allocation(&scenario, &config)?;
-        let quhe = QuheAlgorithm::new(config).solve(&scenario)?;
+        let aa = registry.solve("aa", &scenario, &SolveSpec::cold())?;
+        let quhe = registry.solve("quhe", &scenario, &SolveSpec::cold())?;
         println!(
             "{:>12.1} | {:>10.4} | {:>10.4}",
-            power, aa.metrics.objective, quhe.objective
+            power, aa.objective, quhe.objective
         );
     }
 

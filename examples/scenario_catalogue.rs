@@ -65,10 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solver_threads: 1,
         ..QuheConfig::default()
     };
+    let registry = SolverRegistry::builtin_with(config);
     let named = catalog.generate_all(42)?;
     let scenarios: Vec<SystemScenario> = named.iter().map(|(_, s)| s.clone()).collect();
     println!("\nsolving {} scenarios in parallel...", scenarios.len());
-    let outcomes = QuheAlgorithm::new(config).solve_batch(&scenarios, 0);
+    let outcomes = registry
+        .resolve("quhe")?
+        .solve_batch(&scenarios, &SolveSpec::cold(), 0);
 
     println!(
         "\n{:<22} {:>8} {:>12} {:>12} {:>10}",
@@ -76,14 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for ((name, scenario), outcome) in named.iter().zip(outcomes) {
         let quhe = outcome?;
-        let aa = average_allocation(scenario, &config)?;
+        let aa = registry.solve("aa", scenario, &SolveSpec::cold())?;
         println!(
             "{:<22} {:>8} {:>12.4} {:>12.4} {:>10.4}",
             name,
             scenario.num_clients(),
             quhe.objective,
-            aa.metrics.objective,
-            quhe.objective - aa.metrics.objective
+            aa.objective,
+            quhe.objective - aa.objective
         );
     }
     Ok(())

@@ -21,16 +21,18 @@
 //!
 //! // The paper's Section VI-A scenario: SURFnet QKD network + 6 MEC clients.
 //! let scenario = SystemScenario::paper_default(42);
-//! let config = QuheConfig::default();
 //!
-//! // Run the three-stage QuHE algorithm.
-//! let result = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+//! // Every solver lives behind one registry: quhe, aa, olaa, occr.
+//! let registry = SolverRegistry::builtin();
+//! let result = registry
+//!     .solve("quhe", &scenario, &SolveSpec::cold())
+//!     .unwrap();
 //! println!("objective = {:.4}", result.objective);
 //! println!("{}", result.metrics);
 //!
-//! // Compare against the average-allocation baseline.
-//! let aa = average_allocation(&scenario, &config).unwrap();
-//! assert!(result.objective >= aa.metrics.objective - 1e-6);
+//! // Compare against the average-allocation baseline — same call, other name.
+//! let aa = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+//! assert!(result.objective >= aa.objective - 1e-6);
 //! ```
 //!
 //! See the `examples/` directory for end-to-end scenarios, including the full

@@ -32,8 +32,8 @@ fn zero_event_trace_is_bit_identical_to_repeated_solve() {
     for (outcome, step) in online.outcomes.iter().zip(trace.steps()) {
         // Cold solves inside the engine run at the anchor tolerance, so the
         // repeated-solve baseline uses the same documented configuration.
-        let repeated = QuheAlgorithm::new(algorithm.anchor_config(step))
-            .solve(&step.scenario)
+        let repeated = QuheSolver::new(algorithm.anchor_config(step))
+            .solve(&step.scenario, &SolveSpec::cold())
             .unwrap();
         assert_eq!(outcome.variables, repeated.variables);
         assert_eq!(outcome.objective, repeated.objective);
@@ -76,8 +76,8 @@ fn warm_steps_never_fall_below_the_cold_single_start_solve() {
                 continue;
             }
             warm_steps += 1;
-            let cold = QuheAlgorithm::new(algorithm.step_config(step))
-                .solve_single_start(&step.scenario)
+            let cold = QuheSolver::new(algorithm.step_config(step))
+                .solve(&step.scenario, &SolveSpec::single_start())
                 .unwrap();
             assert!(
                 record.objective >= cold.objective - 1e-6 * (1.0 + cold.objective.abs()),

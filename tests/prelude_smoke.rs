@@ -8,19 +8,21 @@ use quhe::prelude::*;
 fn prelude_is_sufficient_to_run_quhe_and_beat_average_allocation() {
     // Everything below resolves purely through `quhe::prelude::*`.
     let scenario = SystemScenario::paper_default(42);
-    let config = QuheConfig::default();
+    let registry = SolverRegistry::builtin();
 
-    let result = QuheAlgorithm::new(config)
-        .solve(&scenario)
+    let result = registry
+        .solve("quhe", &scenario, &SolveSpec::cold())
         .expect("QuHE solves the paper-default scenario");
     assert!(result.objective.is_finite());
 
-    let aa = average_allocation(&scenario, &config).expect("AA baseline runs");
+    let aa = registry
+        .solve("aa", &scenario, &SolveSpec::cold())
+        .expect("AA baseline runs");
     assert!(
-        result.objective >= aa.metrics.objective - 1e-6,
+        result.objective >= aa.objective - 1e-6,
         "QuHE ({}) must not lose to the average-allocation baseline ({})",
         result.objective,
-        aa.metrics.objective
+        aa.objective
     );
 }
 

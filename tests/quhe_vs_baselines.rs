@@ -1,6 +1,7 @@
 //! Integration tests of the full QuHE algorithm against the paper's
-//! baselines: feasibility, objective ordering and the qualitative claims of
-//! Section VI (Fig. 5(d)).
+//! baselines — all routed through the unified [`SolverRegistry`] surface:
+//! feasibility, objective ordering and the qualitative claims of Section VI
+//! (Fig. 5(d)).
 
 use quhe::prelude::*;
 
@@ -20,35 +21,40 @@ fn fast_config() -> QuheConfig {
 fn quhe_dominates_every_baseline_on_the_objective() {
     let scenario = scenario();
     let config = fast_config();
+    let registry = SolverRegistry::builtin_with(config);
     let problem = Problem::new(scenario.clone(), config).unwrap();
 
-    let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+    let quhe = registry
+        .solve("quhe", &scenario, &SolveSpec::cold())
+        .unwrap();
     problem.check_feasible(&quhe.variables).unwrap();
 
-    let aa = average_allocation(&scenario, &config).unwrap();
-    let olaa = olaa(&scenario, &config).unwrap();
-    let occr = occr(&scenario, &config).unwrap();
-    for baseline in [&aa, &olaa, &occr] {
+    let mut baseline_reports = Vec::new();
+    for name in ["aa", "olaa", "occr"] {
+        let baseline = registry.solve(name, &scenario, &SolveSpec::cold()).unwrap();
         problem.check_feasible(&baseline.variables).unwrap();
         assert!(
-            quhe.objective >= baseline.metrics.objective - 1e-6,
+            quhe.objective >= baseline.objective - 1e-6,
             "QuHE ({}) lost to {} ({})",
             quhe.objective,
-            baseline.name,
-            baseline.metrics.objective
+            baseline.solver,
+            baseline.objective
         );
+        baseline_reports.push(baseline);
     }
     // Partial optimizers beat pure average allocation.
-    assert!(olaa.metrics.objective >= aa.metrics.objective - 1e-9);
-    assert!(occr.metrics.objective >= aa.metrics.objective - 1e-9);
+    let aa = &baseline_reports[0];
+    assert!(baseline_reports[1].objective >= aa.objective - 1e-9);
+    assert!(baseline_reports[2].objective >= aa.objective - 1e-9);
 }
 
 #[test]
 fn quhe_beats_average_allocation_on_every_catalogued_scenario() {
     // The Fig. 5(d) dominance claim generalized to the whole scenario
-    // catalogue, solved as one parallel batch (the same path `batch_eval`
-    // takes): every world, from the paper's cell to the 32-client dense
-    // cell, must end feasible and at least as good as average allocation.
+    // catalogue, solved as one parallel batch via `Solver::solve_batch` (the
+    // same path `batch_eval` takes): every world, from the paper's cell to
+    // the 32-client dense cell, must end feasible and at least as good as
+    // average allocation.
     let catalog = ScenarioCatalog::builtin();
     let named = catalog.generate_all(42).unwrap();
     let config = QuheConfig {
@@ -59,8 +65,12 @@ fn quhe_beats_average_allocation_on_every_catalogued_scenario() {
         solver_threads: 1,
         ..QuheConfig::default()
     };
+    let registry = SolverRegistry::builtin_with(config);
     let scenarios: Vec<SystemScenario> = named.iter().map(|(_, s)| s.clone()).collect();
-    let outcomes = QuheAlgorithm::new(config).solve_batch(&scenarios, 0);
+    let outcomes = registry
+        .resolve("quhe")
+        .unwrap()
+        .solve_batch(&scenarios, &SolveSpec::cold(), 0);
     assert_eq!(outcomes.len(), named.len());
     for ((name, scenario), outcome) in named.iter().zip(outcomes) {
         let quhe = outcome.unwrap_or_else(|e| panic!("{name}: QuHE solve failed: {e}"));
@@ -68,12 +78,12 @@ fn quhe_beats_average_allocation_on_every_catalogued_scenario() {
         problem
             .check_feasible(&quhe.variables)
             .unwrap_or_else(|e| panic!("{name}: infeasible solution: {e}"));
-        let aa = average_allocation(scenario, &config).unwrap();
+        let aa = registry.solve("aa", scenario, &SolveSpec::cold()).unwrap();
         assert!(
-            quhe.objective >= aa.metrics.objective - 1e-6,
+            quhe.objective >= aa.objective - 1e-6,
             "{name}: QuHE ({}) lost to AA ({})",
             quhe.objective,
-            aa.metrics.objective
+            aa.objective
         );
     }
 }
@@ -83,11 +93,17 @@ fn fig5d_qualitative_shape_holds() {
     // Fig. 5(d): QuHE/OCCR excel on energy; QuHE/OLAA achieve the highest
     // security level; QuHE has the best objective.
     let scenario = scenario();
-    let config = fast_config();
-    let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
-    let aa = average_allocation(&scenario, &config).unwrap();
-    let olaa = olaa(&scenario, &config).unwrap();
-    let occr = occr(&scenario, &config).unwrap();
+    let registry = SolverRegistry::builtin_with(fast_config());
+    let quhe = registry
+        .solve("quhe", &scenario, &SolveSpec::cold())
+        .unwrap();
+    let aa = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+    let olaa = registry
+        .solve("olaa", &scenario, &SolveSpec::cold())
+        .unwrap();
+    let occr = registry
+        .solve("occr", &scenario, &SolveSpec::cold())
+        .unwrap();
 
     // Energy: resource-optimizing methods use no more energy than AA.
     assert!(occr.metrics.energy_j <= aa.metrics.energy_j * 1.001);
@@ -100,7 +116,7 @@ fn fig5d_qualitative_shape_holds() {
     // Overall objective ordering.
     let best_baseline = [&aa, &olaa, &occr]
         .iter()
-        .map(|r| r.metrics.objective)
+        .map(|r| r.objective)
         .fold(f64::NEG_INFINITY, f64::max);
     assert!(quhe.objective >= best_baseline - 1e-6);
 }
@@ -109,14 +125,16 @@ fn fig5d_qualitative_shape_holds() {
 fn stage1_methods_agree_on_the_optimum_but_not_on_runtime_quality() {
     // Fig. 5(b)/(c) and Tables V/VI: the convex Stage-1 solve and gradient
     // descent find (near-)identical solutions; random selection is worse or
-    // equal in objective.
+    // equal in objective. The heuristics report through the unified
+    // `SolveReport`, with the Stage-1 payload in the telemetry slot.
     use rand::SeedableRng;
     let problem = Problem::new(scenario(), QuheConfig::default()).unwrap();
     let quhe_stage1 = Stage1Solver::new().solve(&problem).unwrap();
-    let gd = stage1_gradient_descent(&problem).unwrap();
+    let stage1_of = |report: SolveReport| report.stage1.expect("stage-1 telemetry");
+    let gd = stage1_of(stage1_gradient_descent(&problem).unwrap());
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let sa = stage1_simulated_annealing(&problem, &mut rng).unwrap();
-    let rs = stage1_random_selection(&problem, &mut rng).unwrap();
+    let sa = stage1_of(stage1_simulated_annealing(&problem, &mut rng).unwrap());
+    let rs = stage1_of(stage1_random_selection(&problem, &mut rng).unwrap());
 
     // The convex solve is at least as good as every heuristic (the P3
     // objective is minimized).

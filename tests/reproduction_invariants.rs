@@ -61,9 +61,13 @@ fn fig6_shape_quhe_never_loses_as_budgets_grow() {
         let scenario = base
             .with_mec(base.mec().clone().with_total_bandwidth(bandwidth))
             .unwrap();
-        let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
-        let aa = average_allocation(&scenario, &config).unwrap();
-        assert!(quhe.objective >= aa.metrics.objective - 1e-6);
+        let quhe = QuheSolver::new(config)
+            .solve(&scenario, &SolveSpec::cold())
+            .unwrap();
+        let aa = AaSolver::new(config)
+            .solve(&scenario, &SolveSpec::cold())
+            .unwrap();
+        assert!(quhe.objective >= aa.objective - 1e-6);
         if let Some(prev) = previous {
             assert!(
                 quhe.objective >= prev - 0.05,
@@ -83,18 +87,21 @@ fn higher_power_budget_never_hurts() {
         max_stage3_iterations: 8,
         ..QuheConfig::default()
     };
-    let low = QuheAlgorithm::new(config)
+    let solver = QuheSolver::new(config);
+    let low = solver
         .solve(
             &base
                 .with_mec(base.mec().clone().with_max_power(0.2))
                 .unwrap(),
+            &SolveSpec::cold(),
         )
         .unwrap();
-    let high = QuheAlgorithm::new(config)
+    let high = solver
         .solve(
             &base
                 .with_mec(base.mec().clone().with_max_power(1.0))
                 .unwrap(),
+            &SolveSpec::cold(),
         )
         .unwrap();
     assert!(high.objective >= low.objective - 0.05);
@@ -147,7 +154,9 @@ fn budget_monotonicity_holds_on_every_catalogued_scenario() {
             let scenario = base
                 .with_mec(base.mec().clone().with_total_bandwidth(bandwidth * factor))
                 .unwrap();
-            let quhe = QuheAlgorithm::new(config).solve(&scenario).unwrap();
+            let quhe = QuheSolver::new(config)
+                .solve(&scenario, &SolveSpec::cold())
+                .unwrap();
             if let Some(prev) = previous {
                 let slack = 0.05 * (1.0 + prev.abs());
                 assert!(

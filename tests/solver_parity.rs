@@ -1,0 +1,181 @@
+//! API-parity pins: every legacy entry point is a thin deprecated shim over
+//! the unified `Solver`/`SolveSpec` surface, and this file pins the two
+//! surfaces **bit-identical** across the builtin scenario catalogue × 2
+//! seeds. If the shims or the new code path ever drift apart — different
+//! start construction, different config plumbing, a lossy outcome
+//! conversion — these tests fail on the exact world and seed.
+#![allow(deprecated)]
+
+use quhe::prelude::*;
+
+/// Budgets sized to the world so the debug-build suite stays fast (the
+/// catalogue is crossed several times here); parity is budget-independent
+/// because both surfaces run under the same budget.
+fn config_for(scenario: &SystemScenario) -> QuheConfig {
+    let big = scenario.num_clients() > 16;
+    QuheConfig {
+        max_outer_iterations: 1,
+        max_stage3_iterations: if big { 3 } else { 6 },
+        solver_threads: 1,
+        ..QuheConfig::default()
+    }
+}
+
+const SEEDS: [u64; 2] = [42, 43];
+
+/// Everything except the wall clock must match bit-for-bit.
+fn assert_outcome_matches_report(legacy: &QuheOutcome, report: &SolveReport, ctx: &str) {
+    assert_eq!(legacy.variables, report.variables, "{ctx}: variables");
+    assert_eq!(
+        legacy.objective.to_bits(),
+        report.objective.to_bits(),
+        "{ctx}: objective"
+    );
+    assert_eq!(legacy.metrics, report.metrics, "{ctx}: metrics");
+    assert_eq!(
+        legacy.outer_iterations, report.outer_iterations,
+        "{ctx}: outer iterations"
+    );
+    assert_eq!(legacy.converged, report.converged, "{ctx}: converged");
+    assert_eq!(legacy.outer_trace, report.outer_trace, "{ctx}: outer trace");
+    assert_eq!(legacy.stage_calls, report.stage_calls, "{ctx}: stage calls");
+    let stage2 = report.stage2.as_ref().expect("standard instrumentation");
+    assert_eq!(legacy.stage2.lambda, stage2.lambda, "{ctx}: stage-2 lambda");
+    let stage3 = report.stage3.as_ref().expect("standard instrumentation");
+    assert_eq!(legacy.stage3.power, stage3.power, "{ctx}: stage-3 power");
+}
+
+fn assert_baseline_matches_report(legacy: &BaselineResult, report: &SolveReport, ctx: &str) {
+    assert_eq!(legacy.variables, report.variables, "{ctx}: variables");
+    assert_eq!(legacy.metrics, report.metrics, "{ctx}: metrics");
+}
+
+#[test]
+fn legacy_quhe_entry_points_match_their_spec_equivalents_across_the_catalogue() {
+    let catalog = ScenarioCatalog::builtin();
+    for name in catalog.names() {
+        for seed in SEEDS {
+            let scenario = catalog.generate(name, seed).unwrap();
+            let config = config_for(&scenario);
+            let registry = SolverRegistry::builtin_with(config);
+            let algorithm = QuheAlgorithm::new(config);
+
+            // `solve` ≡ `SolveSpec::cold()`.
+            let legacy = algorithm.solve(&scenario).unwrap();
+            let report = registry
+                .solve("quhe", &scenario, &SolveSpec::cold())
+                .unwrap();
+            assert_outcome_matches_report(&legacy, &report, &format!("{name}/{seed} cold"));
+
+            // `solve_single_start` ≡ `SolveSpec::single_start()`.
+            let legacy_single = algorithm.solve_single_start(&scenario).unwrap();
+            let report_single = registry
+                .solve("quhe", &scenario, &SolveSpec::single_start())
+                .unwrap();
+            assert_outcome_matches_report(
+                &legacy_single,
+                &report_single,
+                &format!("{name}/{seed} single-start"),
+            );
+
+            // `solve_from_warm` ≡ `SolveSpec::warm_from(start)`, warm-started
+            // from the cold optimum of the same world.
+            let problem = Problem::new(scenario.clone(), config).unwrap();
+            let legacy_warm = algorithm
+                .solve_from_warm(&problem, legacy.variables.clone())
+                .unwrap();
+            let report_warm = registry
+                .solve(
+                    "quhe",
+                    &scenario,
+                    &SolveSpec::warm_from(legacy.variables.clone()),
+                )
+                .unwrap();
+            assert_outcome_matches_report(
+                &legacy_warm,
+                &report_warm,
+                &format!("{name}/{seed} warm"),
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_baselines_match_their_registry_solvers_across_the_catalogue() {
+    let catalog = ScenarioCatalog::builtin();
+    for name in catalog.names() {
+        for seed in SEEDS {
+            let scenario = catalog.generate(name, seed).unwrap();
+            let config = config_for(&scenario);
+            let registry = SolverRegistry::builtin_with(config);
+
+            let aa = average_allocation(&scenario, &config).unwrap();
+            assert_eq!(aa.name, "AA");
+            let aa_report = registry.solve("aa", &scenario, &SolveSpec::cold()).unwrap();
+            assert_baseline_matches_report(&aa, &aa_report, &format!("{name}/{seed} aa"));
+
+            let olaa_legacy = olaa(&scenario, &config).unwrap();
+            assert_eq!(olaa_legacy.name, "OLAA");
+            let olaa_report = registry
+                .solve("olaa", &scenario, &SolveSpec::cold())
+                .unwrap();
+            assert_baseline_matches_report(
+                &olaa_legacy,
+                &olaa_report,
+                &format!("{name}/{seed} olaa"),
+            );
+
+            let occr_legacy = occr(&scenario, &config).unwrap();
+            assert_eq!(occr_legacy.name, "OCCR");
+            let occr_report = registry
+                .solve("occr", &scenario, &SolveSpec::cold())
+                .unwrap();
+            assert_baseline_matches_report(
+                &occr_legacy,
+                &occr_report,
+                &format!("{name}/{seed} occr"),
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_solve_from_matches_exploring_warm_spec() {
+    use rand::SeedableRng;
+    let scenario = SystemScenario::paper_default(42);
+    let config = config_for(&scenario);
+    let problem = Problem::new(scenario.clone(), config).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+    for _ in 0..2 {
+        let start = problem.random_initial_point(&mut rng).unwrap();
+        let legacy = QuheAlgorithm::new(config)
+            .solve_from(&problem, start.clone())
+            .unwrap();
+        let report = QuheSolver::new(config)
+            .solve(
+                &scenario,
+                &SolveSpec::warm_from(start).with_multi_start(true),
+            )
+            .unwrap();
+        assert_outcome_matches_report(&legacy, &report, "solve_from");
+    }
+}
+
+#[test]
+fn legacy_solve_batch_matches_trait_solve_batch() {
+    let scenarios: Vec<SystemScenario> = SEEDS
+        .iter()
+        .map(|&s| SystemScenario::paper_default(s))
+        .collect();
+    let config = config_for(&scenarios[0]);
+    let legacy = QuheAlgorithm::new(config).solve_batch(&scenarios, 0);
+    let reports = QuheSolver::new(config).solve_batch(&scenarios, &SolveSpec::cold(), 0);
+    assert_eq!(legacy.len(), reports.len());
+    for (i, (l, r)) in legacy.iter().zip(&reports).enumerate() {
+        assert_outcome_matches_report(
+            l.as_ref().unwrap(),
+            r.as_ref().unwrap(),
+            &format!("batch item {i}"),
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The unified report surface: `SolveReport` serde round-trips (serialize →
+//! deserialize → equal, bit-for-bit on every float) and the
+//! `SolverRegistry` error messages, pinned verbatim.
+
+use quhe::prelude::*;
+
+fn quick_config() -> QuheConfig {
+    QuheConfig {
+        max_outer_iterations: 2,
+        max_stage3_iterations: 8,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    }
+}
+
+fn scenario() -> SystemScenario {
+    SystemScenario::paper_default(42)
+}
+
+#[test]
+fn quhe_report_round_trips_through_json_under_every_instrumentation_level() {
+    let scenario = scenario();
+    let solver = QuheSolver::new(quick_config());
+    for level in [
+        InstrumentationLevel::Minimal,
+        InstrumentationLevel::Standard,
+        InstrumentationLevel::Full,
+    ] {
+        let report = solver
+            .solve(&scenario, &SolveSpec::cold().with_instrumentation(level))
+            .unwrap();
+        let json = report.to_json();
+        let parsed = SolveReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report, "{level:?}");
+        // Bit-exactness spot checks on the float payloads.
+        assert_eq!(parsed.objective.to_bits(), report.objective.to_bits());
+        assert_eq!(
+            parsed.runtime_s.to_bits(),
+            report.runtime_s.to_bits(),
+            "runtime survives shortest-round-trip formatting"
+        );
+    }
+}
+
+#[test]
+fn baseline_and_stage1_reports_round_trip_through_json() {
+    let scenario = scenario();
+    let registry = SolverRegistry::builtin_with(quick_config());
+    for name in ["aa", "olaa", "occr"] {
+        let report = registry.solve(name, &scenario, &SolveSpec::cold()).unwrap();
+        let parsed = SolveReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report, "{name}");
+    }
+    // The Stage-1 heuristics report through the same shape.
+    let problem = Problem::new(scenario, quick_config()).unwrap();
+    let gd = stage1_gradient_descent(&problem).unwrap();
+    assert_eq!(SolveReport::from_json(&gd.to_json()).unwrap(), gd);
+}
+
+#[test]
+fn warm_specs_round_trip_with_their_start_assignment() {
+    let scenario = scenario();
+    let solver = QuheSolver::new(quick_config());
+    let cold = solver.solve(&scenario, &SolveSpec::cold()).unwrap();
+    let spec = SolveSpec::warm_from(cold.variables.clone())
+        .with_multi_start(true)
+        .with_multi_start_budget(2)
+        .with_threads(1)
+        .with_tolerance(1e-3)
+        .with_instrumentation(InstrumentationLevel::Minimal);
+    let report = solver.solve(&scenario, &spec).unwrap();
+    let parsed = SolveReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.spec, spec, "the spec echo survives the round trip");
+    match parsed.spec.start() {
+        StartMode::WarmFrom(vars) => assert_eq!(vars, &cold.variables),
+        other => panic!("expected warm_from, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_report_json_is_rejected_with_the_offending_field() {
+    let err = SolveReport::from_json("{").unwrap_err().to_string();
+    assert!(err.contains("malformed SolveReport JSON"), "{err}");
+    let err = SolveReport::from_json("{\"solver\": \"x\"}")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("missing field"), "{err}");
+}
+
+#[test]
+fn duplicate_solver_registration_message_is_pinned() {
+    let mut registry = SolverRegistry::builtin();
+    let err = registry
+        .register(Box::new(QuheSolver::new(QuheConfig::default())))
+        .unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "invalid configuration: solver 'quhe' is already registered"
+    );
+}
+
+#[test]
+fn unknown_solver_message_is_pinned() {
+    let err = SolverRegistry::builtin()
+        .solve("atlantis", &scenario(), &SolveSpec::cold())
+        .unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "invalid configuration: unknown solver 'atlantis'; registered: quhe, aa, olaa, occr"
+    );
+}
+
+#[test]
+fn builtin_registry_exposes_at_least_the_four_paper_methods() {
+    let registry = SolverRegistry::builtin();
+    assert!(registry.len() >= 4);
+    for name in ["quhe", "aa", "olaa", "occr"] {
+        assert!(registry.get(name).is_some(), "{name} missing");
+    }
+}
