@@ -1,0 +1,409 @@
+//! Serve-layer benchmark: replays a catalogue-derived request stream through
+//! the `quhe-serve` [`SolveService`] and measures what the cache buys.
+//!
+//! The stream mixes three request kinds over every world of
+//! [`ScenarioCatalog::builtin`] across a seed grid:
+//!
+//! * **duplicates** — exact repeats of a base request (the content-addressed
+//!   exact-hit path: zero solver work, bit-identical responses);
+//! * **drifted** — the same worlds after 1–3 steps of the serve protocol's
+//!   fixed ±1 % drift model (the shape-fingerprint warm-start path, guarded
+//!   by the cold single-start floor);
+//! * **fresh** — previously unseen seeds (the cold path).
+//!
+//! The service is warmed with one cold solve per (world, seed) base request,
+//! then the stream is replayed on the worker pool and `BENCH_serve.json`
+//! (schema `quhe-serve/v1`) is emitted through the shared report writer:
+//! cache split, throughput, p50/p95/mean per-request latency, and the
+//! warm-vs-cold outer-iteration saving measured against from-scratch
+//! reference solves of every warm-served scenario. The warm bill is the
+//! response's *path* iterations (warm solve plus any cold fallback); the
+//! floor guard's iterations are reported separately, mirroring the online
+//! engine's accounting. The run fails loudly if any exact hit is not
+//! bit-identical to a solved response for the same request, or if warm
+//! serving did not save latency-path iterations.
+//!
+//! ```bash
+//! cargo run --release -p quhe-bench --bin serve_bench            # full stream
+//! cargo run --release -p quhe-bench --bin serve_bench -- --quick # CI budgets
+//! cargo run --release -p quhe-bench --bin serve_bench -- out.json
+//! ```
+//!
+//! Environment: `QUHE_SEED` (base seed, default 42), `QUHE_SERVE_REQUESTS`
+//! (stream length, default 150 full / 40 quick), `QUHE_SERVE_THREADS`
+//! (worker count, default 0 = machine parallelism), `QUHE_SERVE_SEEDS`
+//! (base seeds per scenario, default 2), `QUHE_SERVE_DUP_PCT` /
+//! `QUHE_SERVE_DRIFT_PCT` (stream mix in percent, defaults 40 / 40; the
+//! remainder is fresh).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use quhe_bench::report::{grid_envelope, write};
+use quhe_bench::{env_u64, env_usize, output_path};
+use quhe_core::prelude::*;
+use quhe_serve::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Percentile over a sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = output_path(&args, "BENCH_serve.json");
+
+    let base_seed = env_u64("QUHE_SEED", 42);
+    let num_seeds = env_usize("QUHE_SERVE_SEEDS", 2).max(1);
+    let requests_len = env_usize("QUHE_SERVE_REQUESTS", if quick { 40 } else { 150 }).max(1);
+    let threads = env_usize("QUHE_SERVE_THREADS", 0);
+    let dup_pct = env_usize("QUHE_SERVE_DUP_PCT", 40).min(100);
+    let drift_pct = env_usize("QUHE_SERVE_DRIFT_PCT", 40).min(100 - dup_pct);
+    let seeds: Vec<u64> = (0..num_seeds as u64).map(|i| base_seed + i).collect();
+
+    // The online_eval configuration: coarse tracking-friendly tolerance,
+    // full Stage-3 budgets, serial per-solve (concurrency comes from the
+    // request shards, not from inside one solve).
+    let config = QuheConfig {
+        max_outer_iterations: if quick { 4 } else { 6 },
+        max_stage3_iterations: if quick { 30 } else { 40 },
+        tolerance: 1e-3,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    };
+    let service = SolveService::builtin(config);
+    let catalog_names: Vec<String> = service
+        .catalog()
+        .names()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    // Base requests: one per (world, seed). They are served once, serially,
+    // before the timed replay, so the stream measures a warmed service —
+    // duplicates are provable exact hits and drifted requests always find a
+    // same-shape anchor.
+    let base: Vec<SolveRequest> = catalog_names
+        .iter()
+        .flat_map(|name| seeds.iter().map(|&seed| SolveRequest::catalog(name, seed)))
+        .collect();
+    eprintln!(
+        "serve_bench: warming {} base requests ({} worlds x {} seeds)",
+        base.len(),
+        catalog_names.len(),
+        seeds.len()
+    );
+    let warmup_wall = Instant::now();
+    let warmup_responses: Vec<SolveResponse> = base
+        .iter()
+        .map(|request| {
+            service
+                .handle(request)
+                .unwrap_or_else(|e| panic!("warm-up solve failed: {e}"))
+        })
+        .collect();
+    let warmup_s = warmup_wall.elapsed().as_secs_f64();
+
+    // The replay stream: duplicate / drifted / fresh slots drawn from a
+    // seed-deterministic RNG.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed ^ 0x5e7e_b19c_0ffe_e000);
+    let mut fresh_counter = 0u64;
+    let stream: Vec<(&'static str, SolveRequest)> = (0..requests_len)
+        .map(|_| {
+            let world = &catalog_names[rng.gen_range(0..catalog_names.len())];
+            let seed = seeds[rng.gen_range(0..seeds.len())];
+            let roll = rng.gen_range(0..100);
+            if roll < dup_pct {
+                ("duplicate", SolveRequest::catalog(world, seed))
+            } else if roll < dup_pct + drift_pct {
+                let step = rng.gen_range(1..=3);
+                ("drifted", SolveRequest::drifted(world, seed, step))
+            } else {
+                fresh_counter += 1;
+                (
+                    "fresh",
+                    SolveRequest::catalog(world, base_seed + 1000 + fresh_counter),
+                )
+            }
+        })
+        .collect();
+    let requests: Vec<SolveRequest> = stream.iter().map(|(_, r)| r.clone()).collect();
+    eprintln!(
+        "serve_bench: replaying {requests_len} requests ({dup_pct}% duplicate, {drift_pct}% \
+         drifted) on {} threads{}",
+        if threads == 0 {
+            threadpool::available_parallelism()
+        } else {
+            threads
+        },
+        if quick { " (quick budgets)" } else { "" }
+    );
+
+    let replay_wall = Instant::now();
+    let responses = service.handle_batch(&requests, threads);
+    let replay_s = replay_wall.elapsed().as_secs_f64();
+    let responses: Vec<SolveResponse> = responses
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("serve failed: {e}")))
+        .collect();
+
+    // Exact-hit verification: a hit returns a cached report, and every
+    // cached report was first returned by the (warm-up or replay) response
+    // that solved and inserted it. So each hit must be bit-identical —
+    // including the producing solve's runtime_s, which the cache never
+    // rewrites — to *some* solved (non-hit) response for the same request.
+    // Under the concurrent replay, racing duplicates can produce more than
+    // one solved response per request (the cache keeps the first insert),
+    // which is why the check is membership, not first-in-request-order.
+    let mut solved_by_request: HashMap<String, Vec<&SolveResponse>> = HashMap::new();
+    for (request, response) in base.iter().zip(&warmup_responses) {
+        solved_by_request
+            .entry(request.to_json())
+            .or_default()
+            .push(response);
+    }
+    for (request, response) in requests.iter().zip(&responses) {
+        if response.cache != CacheOutcome::Hit {
+            solved_by_request
+                .entry(request.to_json())
+                .or_default()
+                .push(response);
+        }
+    }
+    let mut hits_verified = 0usize;
+    for (request, response) in requests.iter().zip(&responses) {
+        if response.cache != CacheOutcome::Hit {
+            continue;
+        }
+        let key = request.to_json();
+        let producers = solved_by_request.get(&key).map_or(&[][..], Vec::as_slice);
+        assert!(
+            producers.iter().any(|p| {
+                p.report == response.report
+                    && p.report.runtime_s.to_bits() == response.report.runtime_s.to_bits()
+            }),
+            "exact hit for {key} matches no solved response (the cache rewrote a report?)"
+        );
+        hits_verified += 1;
+    }
+
+    // Warm-vs-cold iteration saving: re-solve every warm-served scenario
+    // from scratch (outside the timed replay), deduplicated by fingerprint.
+    // The warm bill uses the response's *path* iterations — the warm solve
+    // plus any cold fallback, the same accounting as the online engine —
+    // and the floor guard's iterations are summed separately (the guard is
+    // an independent single-start solve a deployment can run off the
+    // latency path).
+    let solver = service.registry().resolve("quhe").expect("built-in");
+    let mut cold_reference: HashMap<u128, SolveReport> = HashMap::new();
+    let mut warm_iters = 0usize;
+    let mut guard_iters = 0usize;
+    let mut cold_iters = 0usize;
+    let mut warm_responses = 0usize;
+    for (request, response) in requests.iter().zip(&responses) {
+        if !matches!(
+            response.cache,
+            CacheOutcome::Warm | CacheOutcome::WarmFallback
+        ) {
+            continue;
+        }
+        warm_responses += 1;
+        warm_iters += response.path_outer_iterations;
+        guard_iters += response.guard_outer_iterations;
+        if let std::collections::hash_map::Entry::Vacant(slot) =
+            cold_reference.entry(response.fingerprint.as_u128())
+        {
+            let scenario = service
+                .resolve_scenario(&request.scenario)
+                .expect("already resolved once");
+            let cold = solver
+                .solve(&scenario, &request.spec)
+                .unwrap_or_else(|e| panic!("cold reference solve failed: {e}"));
+            slot.insert(cold);
+        }
+    }
+    // Every occurrence of a warm-served scenario counts its reference once,
+    // mirroring how the warm responses are counted.
+    for response in &responses {
+        if matches!(
+            response.cache,
+            CacheOutcome::Warm | CacheOutcome::WarmFallback
+        ) {
+            cold_iters += cold_reference[&response.fingerprint.as_u128()].outer_iterations;
+        }
+    }
+
+    let stats = service.stats();
+    let count = |outcome: CacheOutcome| responses.iter().filter(|r| r.cache == outcome).count();
+    let (hits, warm, fallback, cold) = (
+        count(CacheOutcome::Hit),
+        count(CacheOutcome::Warm),
+        count(CacheOutcome::WarmFallback),
+        count(CacheOutcome::Cold),
+    );
+
+    let mut latencies: Vec<f64> = responses.iter().map(|r| r.service_wall_s).collect();
+    latencies.sort_by(f64::total_cmp);
+    let mean_latency = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    let kind_mean = |outcome: CacheOutcome| {
+        let walls: Vec<f64> = responses
+            .iter()
+            .filter(|r| r.cache == outcome)
+            .map(|r| r.service_wall_s)
+            .collect();
+        if walls.is_empty() {
+            f64::NAN
+        } else {
+            walls.iter().sum::<f64>() / walls.len() as f64
+        }
+    };
+
+    let request_values: Vec<JsonValue> = stream
+        .iter()
+        .zip(&responses)
+        .map(|((kind, request), response)| {
+            let mut value = JsonValue::object()
+                .with("requested", JsonValue::String((*kind).to_string()))
+                .with("request", request.scenario.to_json_value())
+                .with("cache", JsonValue::String(response.cache.tag().to_string()))
+                .with("wall_s", JsonValue::from_f64(response.service_wall_s))
+                .with(
+                    "outer_iterations",
+                    JsonValue::from_usize(response.path_outer_iterations),
+                )
+                .with(
+                    "guard_outer_iterations",
+                    JsonValue::from_usize(response.guard_outer_iterations),
+                )
+                .with("objective", JsonValue::from_f64(response.report.objective));
+            if matches!(
+                response.cache,
+                CacheOutcome::Warm | CacheOutcome::WarmFallback
+            ) {
+                value.set(
+                    "cold_outer_iterations",
+                    JsonValue::from_usize(
+                        cold_reference[&response.fingerprint.as_u128()].outer_iterations,
+                    ),
+                );
+            }
+            value
+        })
+        .collect();
+
+    let document = grid_envelope(
+        "quhe-serve/v1",
+        if quick { "quick" } else { "full" },
+        "quhe",
+        &catalog_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &seeds,
+    )
+    .with("threads", JsonValue::from_usize(threads))
+    .with("requests", JsonValue::from_usize(requests_len))
+    .with("duplicate_pct", JsonValue::from_usize(dup_pct))
+    .with("drift_pct", JsonValue::from_usize(drift_pct))
+    .with("warmup_solves", JsonValue::from_usize(base.len()))
+    .with("warmup_wall_s", JsonValue::from_f64(warmup_s))
+    .with("replay_wall_s", JsonValue::from_f64(replay_s))
+    .with(
+        "throughput_rps",
+        JsonValue::from_f64(requests_len as f64 / replay_s),
+    )
+    .with(
+        "cache_split",
+        JsonValue::object()
+            .with("hit", JsonValue::from_usize(hits))
+            .with("warm", JsonValue::from_usize(warm))
+            .with("warm_fallback", JsonValue::from_usize(fallback))
+            .with("cold", JsonValue::from_usize(cold)),
+    )
+    .with(
+        "hit_fraction",
+        JsonValue::from_f64(hits as f64 / requests_len as f64),
+    )
+    .with(
+        "warm_fraction",
+        JsonValue::from_f64((warm + fallback) as f64 / requests_len as f64),
+    )
+    .with(
+        "latency_s",
+        JsonValue::object()
+            .with("p50", JsonValue::from_f64(percentile(&latencies, 0.50)))
+            .with("p95", JsonValue::from_f64(percentile(&latencies, 0.95)))
+            .with("mean", JsonValue::from_f64(mean_latency))
+            .with("max", JsonValue::from_f64(*latencies.last().unwrap()))
+            .with(
+                "hit_mean",
+                JsonValue::from_f64(kind_mean(CacheOutcome::Hit)),
+            )
+            .with(
+                "warm_mean",
+                JsonValue::from_f64(kind_mean(CacheOutcome::Warm)),
+            )
+            .with(
+                "cold_mean",
+                JsonValue::from_f64(kind_mean(CacheOutcome::Cold)),
+            ),
+    )
+    .with(
+        "warm_vs_cold",
+        JsonValue::object()
+            .with("warm_responses", JsonValue::from_usize(warm_responses))
+            // Path iterations: the warm solve plus any cold fallback — the
+            // full latency-path bill of warm serving.
+            .with("warm_outer_iterations", JsonValue::from_usize(warm_iters))
+            // Floor-guard iterations, billed separately: an independent
+            // single-start solve per warm-served request, deployable off
+            // the latency path.
+            .with("guard_outer_iterations", JsonValue::from_usize(guard_iters))
+            .with("cold_outer_iterations", JsonValue::from_usize(cold_iters))
+            .with(
+                "iteration_saving_fraction",
+                JsonValue::from_f64(if cold_iters > 0 {
+                    1.0 - warm_iters as f64 / cold_iters as f64
+                } else {
+                    f64::NAN
+                }),
+            ),
+    )
+    .with(
+        "hits_verified_bit_identical",
+        JsonValue::from_usize(hits_verified),
+    )
+    .with(
+        "cached_reports",
+        JsonValue::from_usize(stats.cached_reports),
+    )
+    .with("requests_log", JsonValue::Array(request_values));
+    write(&out_path, &document);
+
+    // Standing invariants of the serve layer, enforced on every run: the
+    // stream must exercise the exact-hit path (verified bit-identical above)
+    // and the warm path, and warm serving must save outer iterations over
+    // from-scratch solves of the same scenarios.
+    assert!(hits >= 1, "the stream produced no exact cache hits");
+    assert!(
+        warm + fallback >= 1,
+        "the stream produced no warm-served responses"
+    );
+    assert!(
+        warm_iters < cold_iters,
+        "warm serving spent {warm_iters} path outer iterations, cold references {cold_iters}"
+    );
+    eprintln!(
+        "serve_bench: {requests_len} requests in {replay_s:.3}s ({:.1} req/s) — \
+         {hits} hit / {warm} warm / {fallback} fallback / {cold} cold; \
+         p50 {:.4}s p95 {:.4}s; warm path {warm_iters} (+{guard_iters} guard) vs cold \
+         {cold_iters} outer iterations ({:.0}% saved on the latency path)",
+        requests_len as f64 / replay_s,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        100.0 * (1.0 - warm_iters as f64 / cold_iters.max(1) as f64),
+    );
+}

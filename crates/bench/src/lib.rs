@@ -16,6 +16,7 @@
 //! | `bench_seed` | `BENCH_seed.json`: single-scenario perf record |
 //! | `batch_eval` | `BENCH_batch.json`: scenario-catalogue grid, serial vs parallel |
 //! | `online_eval` | `BENCH_online.json`: dynamic traces, warm-started tracking vs cold re-solving |
+//! | `serve_bench` | `BENCH_serve.json`: solve-service request streams, cache hit/warm/cold split, latency percentiles |
 //!
 //! Every binary accepts the environment variables `QUHE_SEED` (default 42)
 //! and, where relevant, `QUHE_SAMPLES` / `QUHE_POINTS`, so that quick smoke

@@ -52,8 +52,11 @@ pub enum JsonValue {
     /// An array.
     Array(Vec<JsonValue>),
     /// An object as an ordered key → value list (insertion order is the
-    /// serialization order; duplicate keys are not rejected, lookups return
-    /// the first).
+    /// serialization order; lookups return the first match). The parser
+    /// rejects documents with duplicate keys — in a request/response
+    /// protocol a silently dropped duplicate is an injection hazard — but
+    /// the builder API ([`JsonValue::set`]) does not re-check, so
+    /// programmatically built trees are trusted to keep keys unique.
     Object(Vec<(String, JsonValue)>),
 }
 
@@ -490,7 +493,14 @@ impl Parser<'_> {
         }
         loop {
             self.skip_whitespace();
+            let key_offset = self.pos;
             let key = self.parse_string()?;
+            if fields.iter().any(|(existing, _)| *existing == key) {
+                return Err(JsonError {
+                    offset: key_offset,
+                    message: format!("duplicate object key '{key}'"),
+                });
+            }
             self.skip_whitespace();
             self.expect(b':')?;
             self.skip_whitespace();
@@ -588,6 +598,24 @@ mod tests {
             assert!(!err.message.is_empty(), "{bad}: {err}");
             assert!(err.to_string().contains("byte"), "{bad}");
         }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected_naming_the_key() {
+        let err = JsonValue::parse("{\"a\": 1, \"b\": 2, \"a\": 3}").unwrap_err();
+        assert_eq!(err.message, "duplicate object key 'a'");
+        assert_eq!(err.offset, 17, "offset points at the duplicated key");
+        assert_eq!(
+            err.to_string(),
+            "JSON parse error at byte 17: duplicate object key 'a'"
+        );
+        // Duplicates are rejected at any nesting depth.
+        let nested = JsonValue::parse("[{\"x\": {\"k\": 1, \"k\": 2}}]").unwrap_err();
+        assert_eq!(nested.message, "duplicate object key 'k'");
+        // Equal keys in *different* objects are fine, as is repeated content
+        // under distinct keys.
+        let ok = JsonValue::parse("{\"a\": {\"k\": 1}, \"b\": {\"k\": 1}}").unwrap();
+        assert_eq!(ok.as_object().unwrap().len(), 2);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`json`] — the minimal JSON tree, writer and parser that
 //!   [`solver::SolveReport`] and the `quhe-bench` artifacts serialize
 //!   through (the offline build's working substitute for serde).
+//! * [`fingerprint`] — content-addressed scenario fingerprints (full and
+//!   shape digests of the canonical byte encoding), the cache keys of the
+//!   `quhe-serve` solve service.
 //! * [`metrics`] — energy / delay / security / utility decomposition used by
 //!   the figures.
 //! * [`sampling`] — random initial configurations for the Fig. 3 optimality
@@ -60,6 +63,7 @@
 
 pub mod baselines;
 pub mod error;
+pub mod fingerprint;
 pub mod json;
 pub mod metrics;
 pub mod online;
@@ -88,11 +92,12 @@ pub mod prelude {
         BaselineResult,
     };
     pub use crate::error::{QuheError, QuheResult};
+    pub use crate::fingerprint::Fingerprint;
     pub use crate::json::{JsonError, JsonValue};
     pub use crate::metrics::MethodMetrics;
     pub use crate::online::{
-        solve_online_with, OnlineOutcome, OnlineStepRecord, OnlineTraceConfig, SolveKind,
-        SystemStep, SystemTrace,
+        prepare_warm_tracking, solve_online_with, OnlineOutcome, OnlineStepRecord,
+        OnlineTraceConfig, SolveKind, SystemStep, SystemTrace,
     };
     pub use crate::params::{ObjectiveWeights, QuheConfig};
     pub use crate::problem::Problem;

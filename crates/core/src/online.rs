@@ -38,6 +38,7 @@ use crate::quhe::QuheAlgorithm;
 use crate::registry::ScenarioCatalog;
 use crate::scenario::SystemScenario;
 use crate::solver::{QuheSolver, SolveReport, SolveSpec, Solver};
+use crate::variables::DecisionVariables;
 
 /// Stylized secret-key yield per entangled pair used by the key-pool ledger
 /// (a mid-range secret-key fraction; the ledger is a tracking model, not a
@@ -413,6 +414,36 @@ pub fn anchor_config(base: &QuheConfig, step: &SystemStep) -> QuheConfig {
     config
 }
 
+/// Prepares a warm tracking re-solve from an anchor optimum — the one
+/// definition of "warm-start semantics" shared by the online engine's
+/// per-step warm solves and the `quhe-serve` near-miss path, so the two
+/// cannot silently drift apart: the tolerance is widened to the scale-aware
+/// [`TRACKING_TOLERANCE`] stop (a warm solve only needs to follow the drift
+/// between the anchor's world and this one, not re-polish the anchor's
+/// optimum), the problem is built under that widened configuration (read it
+/// back with [`Problem::config`]), and the carried assignment's auxiliary
+/// delay bound is re-tightened for the target scenario while the resource
+/// blocks carry over unchanged.
+///
+/// # Errors
+/// Scenario-consistency and substrate errors from problem construction and
+/// cost evaluation.
+pub fn prepare_warm_tracking(
+    config: &QuheConfig,
+    scenario: &SystemScenario,
+    anchor_objective: f64,
+    anchor_variables: &DecisionVariables,
+) -> QuheResult<(Problem, DecisionVariables)> {
+    let mut warm_config = *config;
+    warm_config.tolerance = config
+        .tolerance
+        .max(TRACKING_TOLERANCE * (1.0 + anchor_objective.abs()));
+    let problem = Problem::new(scenario.clone(), warm_config)?;
+    let mut warm_start = anchor_variables.clone();
+    warm_start.delay_bound = problem.system_cost(&warm_start)?.total_delay_s;
+    Ok((problem, warm_start))
+}
+
 /// Tracks a dynamic world online with any [`Solver`]: solves every step of
 /// the trace, warm-starting each re-solve from the previous step's optimum
 /// when the solver supports it.
@@ -514,15 +545,13 @@ pub fn solve_online_with(solver: &dyn Solver, trace: &SystemTrace) -> QuheResult
                     // Warm tracking with the scale-aware stop: the warm
                     // solve needs exactly one alternation pass when the
                     // world only drifted.
-                    let mut warm_config = config;
-                    warm_config.tolerance = config
-                        .tolerance
-                        .max(TRACKING_TOLERANCE * (1.0 + prev_outcome.objective.abs()));
-                    let problem = Problem::new(step.scenario.clone(), warm_config)?;
-                    let mut warm_start = prev_outcome.variables.clone();
-                    // Re-tighten the auxiliary delay bound for the new
-                    // world; the resource blocks carry over unchanged.
-                    warm_start.delay_bound = problem.system_cost(&warm_start)?.total_delay_s;
+                    let (problem, warm_start) = prepare_warm_tracking(
+                        &config,
+                        &step.scenario,
+                        prev_outcome.objective,
+                        &prev_outcome.variables,
+                    )?;
+                    let warm_config = *problem.config();
                     // The regression reference is the previous solution
                     // re-evaluated in *this* step's world and weights —
                     // comparing against the previous step's objective

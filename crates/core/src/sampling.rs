@@ -77,25 +77,43 @@ impl OptimalityStudy {
     }
 
     /// The maximum objective observed.
+    ///
+    /// An empty study has no statistics: like [`OptimalityStudy::min`],
+    /// [`OptimalityStudy::mean`] and [`OptimalityStudy::fraction_within`],
+    /// this returns NaN when `objectives` is empty. NaN is the one value the
+    /// JSON layer treats consistently — [`crate::json::JsonValue::from_f64`]
+    /// writes it as `null` and [`crate::json::JsonValue::as_f64_or_nan`]
+    /// reads `null` back as NaN, so the empty-set contract survives a
+    /// serialization round trip (the previous `±INFINITY` sentinels also
+    /// serialized to `null` but silently came back as NaN, disagreeing with
+    /// the `0.0` that `mean` returned).
     pub fn max(&self) -> f64 {
+        if self.objectives.is_empty() {
+            return f64::NAN;
+        }
         self.objectives
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// The minimum objective observed.
+    /// The minimum objective observed (NaN for an empty study; see
+    /// [`OptimalityStudy::max`] for the empty-set contract).
     pub fn min(&self) -> f64 {
+        if self.objectives.is_empty() {
+            return f64::NAN;
+        }
         self.objectives
             .iter()
             .cloned()
             .fold(f64::INFINITY, f64::min)
     }
 
-    /// The mean objective.
+    /// The mean objective (NaN for an empty study; see
+    /// [`OptimalityStudy::max`] for the empty-set contract).
     pub fn mean(&self) -> f64 {
         if self.objectives.is_empty() {
-            0.0
+            f64::NAN
         } else {
             self.objectives.iter().sum::<f64>() / self.objectives.len() as f64
         }
@@ -104,10 +122,11 @@ impl OptimalityStudy {
     /// Fraction of runs whose objective is within `fraction` of the best run
     /// (relative to the best-minus-worst spread); the paper's "very good"
     /// and "good" rates are instances of this with the spread replaced by
-    /// fixed buckets.
+    /// fixed buckets. NaN for an empty study (see [`OptimalityStudy::max`]
+    /// for the empty-set contract).
     pub fn fraction_within(&self, fraction: f64) -> f64 {
         if self.objectives.is_empty() {
-            return 0.0;
+            return f64::NAN;
         }
         let best = self.max();
         let worst = self.min();
@@ -160,6 +179,28 @@ mod tests {
             problem.check_feasible(p).unwrap();
         }
         assert_ne!(points[0], points[1]);
+    }
+
+    #[test]
+    fn empty_study_statistics_agree_on_nan() {
+        // The empty-set contract: all four statistics return NaN, which the
+        // JSON layer writes as `null` and reads back as NaN — one consistent
+        // story instead of the old 0.0 / ±INFINITY split.
+        let study = OptimalityStudy {
+            objectives: Vec::new(),
+            bucket_edges: vec![0.0, 1.0],
+            bucket_counts: vec![0],
+        };
+        assert!(study.min().is_nan());
+        assert!(study.max().is_nan());
+        assert!(study.mean().is_nan());
+        assert!(study.fraction_within(0.5).is_nan());
+        // And the JSON round trip preserves the contract for every one.
+        for value in [study.min(), study.max(), study.mean()] {
+            let json = crate::json::JsonValue::from_f64(value);
+            assert_eq!(json, crate::json::JsonValue::Null);
+            assert!(json.as_f64_or_nan().unwrap().is_nan());
+        }
     }
 
     #[test]

@@ -250,7 +250,10 @@ impl SolveSpec {
         Ok(())
     }
 
-    fn to_json_value(&self) -> JsonValue {
+    /// Serializes the spec to a [`JsonValue`] tree — the `spec` field of the
+    /// serve protocol's request JSON and of every serialized
+    /// [`SolveReport`].
+    pub fn to_json_value(&self) -> JsonValue {
         let start = match &self.start {
             StartMode::WarmFrom(vars) => JsonValue::object()
                 .with("mode", JsonValue::String("warm_from".to_string()))
@@ -282,7 +285,12 @@ impl SolveSpec {
             )
     }
 
-    fn from_json_value(value: &JsonValue) -> QuheResult<Self> {
+    /// Deserializes a spec serialized with [`SolveSpec::to_json_value`].
+    ///
+    /// # Errors
+    /// [`QuheError::InvalidConfig`] naming the first missing or malformed
+    /// field.
+    pub fn from_json_value(value: &JsonValue) -> QuheResult<Self> {
         let start_value = field(value, "start")?;
         let mode = str_field(start_value, "mode")?;
         let start = match mode.as_str() {
@@ -354,7 +362,17 @@ pub struct SolveReport {
     pub stage2: Option<Stage2Result>,
     /// Stage-3 telemetry of the final (or only) Stage-3 call.
     pub stage3: Option<Stage3Result>,
-    /// Total wall-clock runtime in seconds.
+    /// Total wall-clock runtime of the *solve* in seconds.
+    ///
+    /// Accounting contract (audited across every `Instant::now()` capture in
+    /// this module): the clock starts before problem construction and stops
+    /// when the solver returns, so `runtime_s` covers solver work only.
+    /// Serving-layer bookkeeping — cache lookups, fingerprinting, warm-start
+    /// floor guards — must never be added to it: a cached report travels
+    /// with the wall time of the solve that *produced* it, and the serve
+    /// layer reports its own wall clock separately
+    /// (`service_wall_s` in `quhe-serve`), exactly as the online engine
+    /// keeps its guard wall in `OnlineStepRecord::guard_runtime_s`.
     pub runtime_s: f64,
 }
 

@@ -1,0 +1,282 @@
+//! The content-addressed report cache behind the solve service.
+//!
+//! Entries are addressed two ways, both through the canonical scenario
+//! fingerprints of [`quhe_core::fingerprint`]:
+//!
+//! * **exact** — the full [`Fingerprint`] plus the solver name plus the
+//!   canonical spec key. A hit returns the stored [`SolveReport`] clone
+//!   bit-identically (including its original `runtime_s` — the cache never
+//!   rewrites a report). Because distinct scenarios could in principle
+//!   collide on a 128-bit digest, every hit also verifies full
+//!   [`SystemScenario`] equality: a collision degrades to a miss, never to a
+//!   wrong answer.
+//! * **shape** — the shape fingerprint plus the solver name. A match
+//!   nominates the most recently cached *anchor* (a from-scratch cold
+//!   multi-start solve) of the same world shape as a warm-start donor for a
+//!   near-miss request.
+//!
+//! The cache is a bounded FIFO: at capacity, the oldest entry is evicted
+//! from both indexes. Workers share one cache behind a [`parking_lot`]
+//! mutex — lookups and inserts are index operations (the heavy solver work
+//! happens outside the lock), so contention stays negligible next to a
+//! solve.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use quhe_core::fingerprint::Fingerprint;
+use quhe_core::scenario::SystemScenario;
+use quhe_core::solver::SolveReport;
+
+/// One cached solve: the scenario it answers (kept for hit verification),
+/// its addresses, and the report.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The exact scenario this report solves.
+    pub scenario: SystemScenario,
+    /// Full content fingerprint of [`CacheEntry::scenario`].
+    pub fingerprint: Fingerprint,
+    /// Shape fingerprint of [`CacheEntry::scenario`].
+    pub shape: Fingerprint,
+    /// Registry name of the solver that produced the report.
+    pub solver: String,
+    /// Canonical spec key (compact JSON of the request's `SolveSpec`).
+    pub spec_key: String,
+    /// The stored report, returned bit-identically on exact hits.
+    pub report: SolveReport,
+    /// Whether this entry may donate warm starts: true only when the report
+    /// came from a from-scratch cold multi-start solve — a plain cold
+    /// request, or a warm-fallback whose cold re-solve won. Warm- and
+    /// floor-served reports are cached for exact reuse but never
+    /// re-anchored, so warm chains always hang off a well-converged anchor.
+    pub anchor: bool,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    order: VecDeque<Arc<CacheEntry>>,
+    by_full: HashMap<u128, Vec<Arc<CacheEntry>>>,
+    by_shape: HashMap<u128, Vec<Arc<CacheEntry>>>,
+}
+
+impl CacheInner {
+    fn unlink(map: &mut HashMap<u128, Vec<Arc<CacheEntry>>>, key: u128, entry: &Arc<CacheEntry>) {
+        if let Some(bucket) = map.get_mut(&key) {
+            bucket.retain(|e| !Arc::ptr_eq(e, entry));
+            if bucket.is_empty() {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+/// A bounded, thread-safe, content-addressed report cache.
+#[derive(Debug)]
+pub struct ScenarioCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("entries", &self.order.len())
+            .finish()
+    }
+}
+
+impl ScenarioCache {
+    /// A cache holding at most `capacity` reports (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().order.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact lookup: full fingerprint, solver, spec key — and verified
+    /// scenario equality. Returns a clone of the stored report.
+    pub fn lookup_exact(
+        &self,
+        fingerprint: Fingerprint,
+        scenario: &SystemScenario,
+        solver: &str,
+        spec_key: &str,
+    ) -> Option<SolveReport> {
+        let inner = self.inner.lock();
+        inner
+            .by_full
+            .get(&fingerprint.as_u128())?
+            .iter()
+            .find(|e| e.solver == solver && e.spec_key == spec_key && e.scenario == *scenario)
+            .map(|e| e.report.clone())
+    }
+
+    /// Shape lookup: the most recently cached anchor of the same world shape
+    /// under the same solver, if any. `num_clients` is the requesting
+    /// scenario's client count: an anchor whose stored scenario disagrees is
+    /// skipped, so a shape-fingerprint hash collision across different
+    /// world sizes degrades to a miss instead of donating warm-start
+    /// variables of the wrong dimensions (same-size collisions merely donate
+    /// a poor start, which the service's single-start floor guard absorbs).
+    pub fn lookup_anchor(
+        &self,
+        shape: Fingerprint,
+        solver: &str,
+        num_clients: usize,
+    ) -> Option<Arc<CacheEntry>> {
+        let inner = self.inner.lock();
+        inner
+            .by_shape
+            .get(&shape.as_u128())?
+            .iter()
+            .rev()
+            .find(|e| e.anchor && e.solver == solver && e.scenario.num_clients() == num_clients)
+            .cloned()
+    }
+
+    /// Inserts a solved report, evicting the oldest entry when full. A
+    /// duplicate of an already-cached `(fingerprint, solver, spec_key,
+    /// scenario)` combination is dropped (two workers racing on the same
+    /// request both solve it; only one result needs to stay). The scenario
+    /// equality term keeps the collision policy intact: a distinct scenario
+    /// colliding on the full fingerprint still gets its own entry instead of
+    /// being locked out of the cache.
+    pub fn insert(&self, entry: CacheEntry) {
+        let mut inner = self.inner.lock();
+        if let Some(bucket) = inner.by_full.get(&entry.fingerprint.as_u128()) {
+            if bucket.iter().any(|e| {
+                e.solver == entry.solver
+                    && e.spec_key == entry.spec_key
+                    && e.scenario == entry.scenario
+            }) {
+                return;
+            }
+        }
+        while inner.order.len() >= self.capacity {
+            let Some(evicted) = inner.order.pop_front() else {
+                break;
+            };
+            CacheInner::unlink(&mut inner.by_full, evicted.fingerprint.as_u128(), &evicted);
+            CacheInner::unlink(&mut inner.by_shape, evicted.shape.as_u128(), &evicted);
+        }
+        let entry = Arc::new(entry);
+        inner
+            .by_full
+            .entry(entry.fingerprint.as_u128())
+            .or_default()
+            .push(Arc::clone(&entry));
+        inner
+            .by_shape
+            .entry(entry.shape.as_u128())
+            .or_default()
+            .push(Arc::clone(&entry));
+        inner.order.push_back(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quhe_core::params::QuheConfig;
+    use quhe_core::solver::{QuheSolver, SolveSpec, Solver};
+
+    fn entry(seed: u64, solver: &str, anchor: bool) -> CacheEntry {
+        let scenario = SystemScenario::paper_default(seed);
+        let config = QuheConfig {
+            max_outer_iterations: 1,
+            max_stage3_iterations: 4,
+            solver_threads: 1,
+            ..QuheConfig::default()
+        };
+        let report = QuheSolver::new(config)
+            .solve(&scenario, &SolveSpec::single_start())
+            .unwrap();
+        CacheEntry {
+            fingerprint: scenario.fingerprint(),
+            shape: scenario.shape_fingerprint(),
+            scenario,
+            solver: solver.to_string(),
+            spec_key: SolveSpec::cold().to_json_value().to_compact_string(),
+            report,
+            anchor,
+        }
+    }
+
+    #[test]
+    fn exact_lookup_requires_all_three_keys_and_scenario_equality() {
+        let cache = ScenarioCache::new(8);
+        let e = entry(1, "quhe", true);
+        let (fp, scenario, spec_key) = (e.fingerprint, e.scenario.clone(), e.spec_key.clone());
+        cache.insert(e);
+        assert!(cache
+            .lookup_exact(fp, &scenario, "quhe", &spec_key)
+            .is_some());
+        assert!(cache.lookup_exact(fp, &scenario, "aa", &spec_key).is_none());
+        assert!(cache.lookup_exact(fp, &scenario, "quhe", "{}").is_none());
+        let other = SystemScenario::paper_default(2);
+        assert!(cache
+            .lookup_exact(other.fingerprint(), &other, "quhe", &spec_key)
+            .is_none());
+    }
+
+    #[test]
+    fn anchor_lookup_prefers_the_most_recent_anchor() {
+        let cache = ScenarioCache::new(8);
+        let first = entry(1, "quhe", true);
+        let shape = first.shape;
+        cache.insert(first);
+        // A non-anchor entry of the same scenario shape under another spec
+        // key must not be nominated.
+        let mut warm = entry(1, "quhe", false);
+        warm.spec_key = "warm".to_string();
+        warm.report.objective += 1.0;
+        cache.insert(warm);
+        let anchor = cache.lookup_anchor(shape, "quhe", 6).unwrap();
+        assert!(anchor.anchor);
+        assert!(cache.lookup_anchor(shape, "aa", 6).is_none());
+        // A client-count mismatch (e.g. a cross-size hash collision) is a miss.
+        assert!(cache.lookup_anchor(shape, "quhe", 7).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_entry_from_both_indexes() {
+        let cache = ScenarioCache::new(2);
+        let entries: Vec<CacheEntry> = (1..=3).map(|s| entry(s, "quhe", true)).collect();
+        let first = (entries[0].fingerprint, entries[0].scenario.clone());
+        let first_shape = entries[0].shape;
+        let spec_key = entries[0].spec_key.clone();
+        for e in entries {
+            cache.insert(e);
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache
+            .lookup_exact(first.0, &first.1, "quhe", &spec_key)
+            .is_none());
+        assert!(cache.lookup_anchor(first_shape, "quhe", 6).is_none());
+    }
+
+    #[test]
+    fn duplicate_triples_are_inserted_once() {
+        let cache = ScenarioCache::new(8);
+        cache.insert(entry(1, "quhe", true));
+        cache.insert(entry(1, "quhe", true));
+        assert_eq!(cache.len(), 1);
+    }
+}

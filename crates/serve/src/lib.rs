@@ -1,0 +1,66 @@
+//! # quhe-serve — the solve service of the QuHE reproduction
+//!
+//! A long-running serving layer over the unified solver surface of
+//! `quhe-core`: requests name a scenario (catalogue world, deterministic
+//! drifted variant, or inline parameters), a registry solver and a
+//! [`SolveSpec`](quhe_core::solver::SolveSpec); responses carry a
+//! [`SolveReport`](quhe_core::solver::SolveReport) plus serving metadata.
+//! Both sides are JSON through [`quhe_core::json`], so the protocol shares
+//! the report vocabulary of every `BENCH_*.json` artifact.
+//!
+//! The service's core is a **content-addressed cache** keyed by the
+//! canonical scenario fingerprints of [`quhe_core::fingerprint`]:
+//!
+//! * an **exact** fingerprint hit returns the cached report bit-identically
+//!   with zero solver work (the report keeps the original solve's
+//!   `runtime_s`; the lookup cost appears only in the response's
+//!   `service_wall_s`);
+//! * a **shape** hit — the same world modulo drifted channel/load fields —
+//!   warm-starts the solve from the cached anchor's optimum, guarded by the
+//!   cold single-start floor exactly like the online engine's per-step
+//!   fallback guarantee, with a cold re-solve when the warm solve regresses;
+//! * everything else solves cold and populates the cache.
+//!
+//! [`SolveService::handle_batch`] shards request streams across the scoped
+//! worker pool with all workers sharing one cache. The `serve_bench` binary
+//! in `quhe-bench` replays catalogue-derived request streams through this
+//! service and emits `BENCH_serve.json`; `examples/serve_roundtrip.rs` walks
+//! the JSON protocol end to end.
+//!
+//! ```
+//! use quhe_serve::prelude::*;
+//! use quhe_core::params::QuheConfig;
+//!
+//! let service = SolveService::builtin(QuheConfig {
+//!     max_outer_iterations: 1,
+//!     max_stage3_iterations: 4,
+//!     solver_threads: 1,
+//!     ..QuheConfig::default()
+//! });
+//! let request = SolveRequest::catalog("paper_default", 42);
+//! let cold = service.handle(&request).unwrap();
+//! let hit = service.handle(&request).unwrap();
+//! assert_eq!(hit.cache, CacheOutcome::Hit);
+//! assert_eq!(hit.report, cold.report); // bit-identical, zero solver work
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheEntry, ScenarioCache};
+pub use request::{InlineScenario, ScenarioSpec, SolveRequest};
+pub use service::{
+    CacheOutcome, ServiceStats, SolveResponse, SolveService, DEFAULT_CACHE_CAPACITY,
+    DRIFT_AMPLITUDE,
+};
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::cache::ScenarioCache;
+    pub use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
+    pub use crate::service::{CacheOutcome, ServiceStats, SolveResponse, SolveService};
+}

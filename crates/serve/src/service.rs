@@ -1,0 +1,866 @@
+//! The solve service: request resolution, cache consultation, warm-start
+//! reuse and the response protocol.
+//!
+//! [`SolveService::handle`] processes one [`SolveRequest`] through a fixed
+//! preference order:
+//!
+//! 1. **Exact hit** — the resolved scenario's full fingerprint, the solver
+//!    name and the canonical spec key match a cached entry (with scenario
+//!    equality verified): the cached [`SolveReport`] is returned
+//!    bit-identically with zero solver work. The report keeps the
+//!    `runtime_s` of the solve that produced it; the lookup's own wall goes
+//!    to [`SolveResponse::service_wall_s`].
+//! 2. **Warm near miss** — no exact hit, but a cached *anchor* (a cold
+//!    multi-start solve) shares the scenario's shape fingerprint: the
+//!    request is solved [`SolveSpec::warm_from`] the anchor's optimum at the
+//!    online engine's scale-aware tracking tolerance, then checked against
+//!    the cold single-start floor of this exact scenario (the same fallback
+//!    guarantee [`quhe_core::online::solve_online_with`] enforces per step).
+//!    A warm solve that reaches the floor is returned as
+//!    [`CacheOutcome::Warm`]; one that regresses triggers a full cold
+//!    re-solve and the best of the three candidates is returned as
+//!    [`CacheOutcome::WarmFallback`] — a response therefore never reports an
+//!    objective below the single-start cold floor.
+//! 3. **Cold** — no reusable state: the request is solved as specified and
+//!    cached for future requests.
+//!
+//! [`SolveService::handle_batch`] shards a request stream across the scoped
+//! worker pool; the cache is shared, so duplicates arriving on different
+//! workers still collapse to one solve plus hits (modulo racing workers that
+//! start the same scenario before either finishes — both results are
+//! correct, and the cache keeps one).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use quhe_core::error::{QuheError, QuheResult};
+use quhe_core::fingerprint::Fingerprint;
+use quhe_core::json::JsonValue;
+use quhe_core::online::{prepare_warm_tracking, OnlineTraceConfig, SystemTrace};
+use quhe_core::params::QuheConfig;
+use quhe_core::registry::ScenarioCatalog;
+use quhe_core::scenario::SystemScenario;
+use quhe_core::solver::{SolveReport, SolveSpec, Solver, SolverRegistry, StartMode};
+use quhe_mec::scenario::MecScenario;
+use quhe_qkd::topology::synthetic_scenario;
+
+use crate::cache::{CacheEntry, ScenarioCache};
+use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
+
+/// Per-step relative drift amplitude of the serve protocol's fixed drift
+/// model (applied to both MEC channel gains and QKD key rates by
+/// [`ScenarioSpec::Drifted`] resolution) — the gentle ±1 % regime of
+/// `online_eval`.
+pub const DRIFT_AMPLITUDE: f64 = 0.01;
+
+/// Default number of cached reports ([`SolveService::with_cache_capacity`]
+/// overrides).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Exact fingerprint hit: the cached report, bit-identical, zero solver
+    /// work.
+    Hit,
+    /// Warm near miss: solved from a same-shape anchor's optimum and kept
+    /// (met the single-start cold floor).
+    Warm,
+    /// Warm near miss that regressed: the best of the warm, floor and cold
+    /// candidates.
+    WarmFallback,
+    /// Solved from scratch as requested.
+    Cold,
+}
+
+impl CacheOutcome {
+    /// Stable machine-readable tag (the response JSON's `cache` field).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Warm => "warm",
+            CacheOutcome::WarmFallback => "warm_fallback",
+            CacheOutcome::Cold => "cold",
+        }
+    }
+
+    /// Parses a [`CacheOutcome::tag`].
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "hit" => Some(CacheOutcome::Hit),
+            "warm" => Some(CacheOutcome::Warm),
+            "warm_fallback" => Some(CacheOutcome::WarmFallback),
+            "cold" => Some(CacheOutcome::Cold),
+            _ => None,
+        }
+    }
+}
+
+/// One solve response: the report plus the serving metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// Echo of the request's correlation id.
+    pub id: Option<String>,
+    /// Registry name of the solver that answered.
+    pub solver: String,
+    /// How the response was produced.
+    pub cache: CacheOutcome,
+    /// Full content fingerprint of the resolved scenario.
+    pub fingerprint: Fingerprint,
+    /// Shape fingerprint of the resolved scenario.
+    pub shape_fingerprint: Fingerprint,
+    /// Wall-clock the *service* spent on this request — resolution, cache
+    /// lookups, guard solves and solver work. Deliberately separate from
+    /// [`SolveReport::runtime_s`], which always carries the wall time of the
+    /// solve that produced the report: a cache hit reports the original
+    /// solve's `runtime_s` next to a microsecond `service_wall_s`.
+    pub service_wall_s: f64,
+    /// Outer iterations spent on the serving path of *this* request: 0 for
+    /// exact hits, the solve's iterations for cold responses, and the warm
+    /// solve's plus any cold fallback's for warm-served responses — the
+    /// same accounting as `OnlineStepRecord::outer_iterations`, so the true
+    /// cost of a warm-served request (not just the kept report's) is
+    /// visible.
+    pub path_outer_iterations: usize,
+    /// Outer iterations of the single-start floor guard (0 when no guard
+    /// ran — hits, cold responses). Reported separately from the path, as
+    /// in `OnlineStepRecord::guard_outer_iterations`: the guard is an
+    /// independent solve a deployment can push onto an idle core.
+    pub guard_outer_iterations: usize,
+    /// The solve report (bit-identical to the cached one on exact hits).
+    pub report: SolveReport,
+}
+
+fn malformed(detail: &str) -> QuheError {
+    QuheError::InvalidConfig {
+        reason: format!("malformed SolveResponse JSON: {detail}"),
+    }
+}
+
+impl SolveResponse {
+    /// Serializes to the response JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object()
+            .with(
+                "id",
+                self.id
+                    .as_ref()
+                    .map_or(JsonValue::Null, |id| JsonValue::String(id.clone())),
+            )
+            .with("solver", JsonValue::String(self.solver.clone()))
+            .with("cache", JsonValue::String(self.cache.tag().to_string()))
+            .with("fingerprint", JsonValue::String(self.fingerprint.to_hex()))
+            .with(
+                "shape_fingerprint",
+                JsonValue::String(self.shape_fingerprint.to_hex()),
+            )
+            .with("service_wall_s", JsonValue::from_f64(self.service_wall_s))
+            .with(
+                "path_outer_iterations",
+                JsonValue::from_usize(self.path_outer_iterations),
+            )
+            .with(
+                "guard_outer_iterations",
+                JsonValue::from_usize(self.guard_outer_iterations),
+            )
+            .with("report", self.report.to_json_value())
+    }
+
+    /// Serializes to a pretty-printed JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_pretty_string()
+    }
+
+    /// Deserializes from the response JSON object.
+    ///
+    /// # Errors
+    /// [`QuheError::InvalidConfig`] naming the first missing or malformed
+    /// field.
+    pub fn from_json_value(value: &JsonValue) -> QuheResult<Self> {
+        let str_field = |key: &str| -> QuheResult<String> {
+            Ok(value
+                .get(key)
+                .ok_or_else(|| malformed(&format!("missing field '{key}'")))?
+                .as_str()
+                .ok_or_else(|| malformed(&format!("field '{key}' must be a string")))?
+                .to_string())
+        };
+        let fp_field = |key: &str| -> QuheResult<Fingerprint> {
+            Fingerprint::from_hex(&str_field(key)?)
+                .ok_or_else(|| malformed(&format!("field '{key}' must be 32 hex characters")))
+        };
+        let id = match value.get("id") {
+            None | Some(JsonValue::Null) => None,
+            Some(other) => Some(
+                other
+                    .as_str()
+                    .ok_or_else(|| malformed("field 'id' must be a string or null"))?
+                    .to_string(),
+            ),
+        };
+        let cache = CacheOutcome::from_tag(&str_field("cache")?)
+            .ok_or_else(|| malformed("unknown cache outcome"))?;
+        let usize_field = |key: &str| -> QuheResult<usize> {
+            value
+                .get(key)
+                .ok_or_else(|| malformed(&format!("missing field '{key}'")))?
+                .as_usize()
+                .ok_or_else(|| malformed(&format!("field '{key}' must be a non-negative integer")))
+        };
+        Ok(Self {
+            id,
+            solver: str_field("solver")?,
+            cache,
+            fingerprint: fp_field("fingerprint")?,
+            shape_fingerprint: fp_field("shape_fingerprint")?,
+            service_wall_s: value
+                .get("service_wall_s")
+                .ok_or_else(|| malformed("missing field 'service_wall_s'"))?
+                .as_f64()
+                .ok_or_else(|| malformed("field 'service_wall_s' must be a number"))?,
+            path_outer_iterations: usize_field("path_outer_iterations")?,
+            guard_outer_iterations: usize_field("guard_outer_iterations")?,
+            report: SolveReport::from_json_value(
+                value
+                    .get("report")
+                    .ok_or_else(|| malformed("missing field 'report'"))?,
+            )?,
+        })
+    }
+
+    /// Parses a response serialized with [`SolveResponse::to_json`].
+    ///
+    /// # Errors
+    /// [`QuheError::InvalidConfig`] for malformed JSON or a malformed
+    /// response shape.
+    pub fn from_json(text: &str) -> QuheResult<Self> {
+        let value = JsonValue::parse(text).map_err(|e| QuheError::InvalidConfig {
+            reason: format!("malformed SolveResponse JSON: {e}"),
+        })?;
+        Self::from_json_value(&value)
+    }
+}
+
+/// Monotonic serving counters, readable while workers are running.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    exact_hits: AtomicUsize,
+    warm_hits: AtomicUsize,
+    warm_fallbacks: AtomicUsize,
+    cold_solves: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered from the cache bit-identically.
+    pub exact_hits: usize,
+    /// Requests answered by an accepted warm solve.
+    pub warm_hits: usize,
+    /// Requests where the warm solve regressed and a fallback ran.
+    pub warm_fallbacks: usize,
+    /// Requests solved from scratch.
+    pub cold_solves: usize,
+    /// Reports currently cached.
+    pub cached_reports: usize,
+}
+
+impl ServiceStats {
+    /// Total requests served.
+    pub fn total(&self) -> usize {
+        self.exact_hits + self.warm_hits + self.warm_fallbacks + self.cold_solves
+    }
+}
+
+/// A multi-worker solve service over a solver registry and a scenario
+/// catalogue, with a shared content-addressed report cache.
+#[derive(Debug)]
+pub struct SolveService {
+    registry: SolverRegistry,
+    catalog: ScenarioCatalog,
+    cache: ScenarioCache,
+    counters: ServiceCounters,
+}
+
+impl SolveService {
+    /// A service over an explicit registry and catalogue with the default
+    /// cache capacity.
+    pub fn new(registry: SolverRegistry, catalog: ScenarioCatalog) -> Self {
+        Self {
+            registry,
+            catalog,
+            cache: ScenarioCache::new(DEFAULT_CACHE_CAPACITY),
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// The built-in solvers and catalogue under a shared configuration.
+    pub fn builtin(config: QuheConfig) -> Self {
+        Self::new(
+            SolverRegistry::builtin_with(config),
+            ScenarioCatalog::builtin(),
+        )
+    }
+
+    /// Replaces the cache with one holding at most `capacity` reports.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ScenarioCache::new(capacity);
+        self
+    }
+
+    /// The solver registry.
+    pub fn registry(&self) -> &SolverRegistry {
+        &self.registry
+    }
+
+    /// The scenario catalogue.
+    pub fn catalog(&self) -> &ScenarioCatalog {
+        &self.catalog
+    }
+
+    /// A snapshot of the serving counters and cache occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            exact_hits: self.counters.exact_hits.load(Ordering::Relaxed),
+            warm_hits: self.counters.warm_hits.load(Ordering::Relaxed),
+            warm_fallbacks: self.counters.warm_fallbacks.load(Ordering::Relaxed),
+            cold_solves: self.counters.cold_solves.load(Ordering::Relaxed),
+            cached_reports: self.cache.len(),
+        }
+    }
+
+    /// Resolves a [`ScenarioSpec`] to a concrete scenario.
+    ///
+    /// # Errors
+    /// Unknown catalogue names, invalid inline parameters and
+    /// scenario-consistency failures.
+    pub fn resolve_scenario(&self, spec: &ScenarioSpec) -> QuheResult<SystemScenario> {
+        match spec {
+            ScenarioSpec::Catalog { name, seed } => self.catalog.generate(name, *seed),
+            ScenarioSpec::Drifted { name, seed, step } => {
+                let config = OnlineTraceConfig {
+                    drift_amplitude: DRIFT_AMPLITUDE,
+                    key_rate_drift: DRIFT_AMPLITUDE,
+                    ..OnlineTraceConfig::drift_only(*step)
+                };
+                let trace = SystemTrace::generate(&self.catalog, name, *seed, &config)?;
+                Ok(trace
+                    .steps()
+                    .last()
+                    .expect("a generated trace has at least the initial step")
+                    .scenario
+                    .clone())
+            }
+            ScenarioSpec::Inline(inline) => resolve_inline(inline),
+        }
+    }
+
+    /// Handles one request: resolve, consult the cache, solve as needed.
+    ///
+    /// # Errors
+    /// Resolution failures, unknown solver names and solver errors.
+    pub fn handle(&self, request: &SolveRequest) -> QuheResult<SolveResponse> {
+        let wall = Instant::now();
+        let scenario = self.resolve_scenario(&request.scenario)?;
+        self.handle_resolved(
+            request.id.clone(),
+            &scenario,
+            &request.solver,
+            &request.spec,
+            wall,
+        )
+    }
+
+    /// Handles a request whose scenario is already resolved (the entry point
+    /// tests and embedding callers use to serve concrete scenarios).
+    ///
+    /// # Errors
+    /// Unknown solver names and solver errors.
+    pub fn handle_scenario(
+        &self,
+        id: Option<String>,
+        scenario: &SystemScenario,
+        solver: &str,
+        spec: &SolveSpec,
+    ) -> QuheResult<SolveResponse> {
+        self.handle_resolved(id, scenario, solver, spec, Instant::now())
+    }
+
+    fn handle_resolved(
+        &self,
+        id: Option<String>,
+        scenario: &SystemScenario,
+        solver_name: &str,
+        spec: &SolveSpec,
+        wall: Instant,
+    ) -> QuheResult<SolveResponse> {
+        let solver = self.registry.resolve(solver_name)?;
+        let fingerprint = scenario.fingerprint();
+        let shape_fingerprint = scenario.shape_fingerprint();
+        let spec_key = spec.to_json_value().to_compact_string();
+
+        let respond =
+            |cache: CacheOutcome, report: SolveReport, path_iters: usize, guard_iters: usize| {
+                SolveResponse {
+                    id: id.clone(),
+                    solver: solver_name.to_string(),
+                    cache,
+                    fingerprint,
+                    shape_fingerprint,
+                    service_wall_s: wall.elapsed().as_secs_f64(),
+                    path_outer_iterations: path_iters,
+                    guard_outer_iterations: guard_iters,
+                    report,
+                }
+            };
+
+        // 1. Exact hit: zero solver work, the cached report bit-identically.
+        if let Some(report) = self
+            .cache
+            .lookup_exact(fingerprint, scenario, solver_name, &spec_key)
+        {
+            self.counters.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(respond(CacheOutcome::Hit, report, 0, 0));
+        }
+
+        // 2. Warm near miss: only for plain cold requests to a warm-capable
+        //    solver — single-start and explicit warm requests are served as
+        //    written.
+        if matches!(spec.start(), StartMode::Cold) && solver.supports_warm_start() {
+            if let Some(anchor) =
+                self.cache
+                    .lookup_anchor(shape_fingerprint, solver_name, scenario.num_clients())
+            {
+                let (outcome, report, is_anchor, path_iters, guard_iters) =
+                    self.solve_warm(solver, scenario, spec, &anchor)?;
+                match outcome {
+                    CacheOutcome::Warm => self.counters.warm_hits.fetch_add(1, Ordering::Relaxed),
+                    _ => self.counters.warm_fallbacks.fetch_add(1, Ordering::Relaxed),
+                };
+                // Cache for exact reuse. Warm-path results anchor future
+                // warm chains only when the kept report actually came from
+                // the from-scratch cold multi-start fallback — a fresher
+                // converged anchor than the one that just lost; warm and
+                // floor winners never re-anchor.
+                self.cache.insert(CacheEntry {
+                    scenario: scenario.clone(),
+                    fingerprint,
+                    shape: shape_fingerprint,
+                    solver: solver_name.to_string(),
+                    spec_key,
+                    report: report.clone(),
+                    anchor: is_anchor && spec.multi_start(),
+                });
+                return Ok(respond(outcome, report, path_iters, guard_iters));
+            }
+        }
+
+        // 3. Cold: solve as requested and cache.
+        let report = solver.solve(scenario, spec)?;
+        self.counters.cold_solves.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(CacheEntry {
+            scenario: scenario.clone(),
+            fingerprint,
+            shape: shape_fingerprint,
+            solver: solver_name.to_string(),
+            spec_key,
+            report: report.clone(),
+            // Only full cold multi-start solves anchor warm chains.
+            anchor: matches!(spec.start(), StartMode::Cold) && spec.multi_start(),
+        });
+        let path_iters = report.outer_iterations;
+        Ok(respond(CacheOutcome::Cold, report, path_iters, 0))
+    }
+
+    /// The warm near-miss path: warm solve at the tracking tolerance,
+    /// single-start floor guard, cold fallback on regression. Mirrors the
+    /// per-step logic of [`quhe_core::online::solve_online_with`]. Returns,
+    /// alongside the outcome and kept report: whether the kept report is a
+    /// from-scratch cold multi-start solve (eligible to anchor future warm
+    /// chains), the outer iterations spent on the solve path (warm plus any
+    /// fallback), and the floor guard's own iterations.
+    fn solve_warm(
+        &self,
+        solver: &dyn Solver,
+        scenario: &SystemScenario,
+        spec: &SolveSpec,
+        anchor: &CacheEntry,
+    ) -> QuheResult<(CacheOutcome, SolveReport, bool, usize, usize)> {
+        let config = spec.effective_config(solver.config());
+        // One shared definition of warm-start semantics with the online
+        // engine: scale-aware tracking tolerance, problem built under it,
+        // delay bound re-tightened for this scenario.
+        let (problem, warm_start) = prepare_warm_tracking(
+            &config,
+            scenario,
+            anchor.report.objective,
+            &anchor.report.variables,
+        )?;
+        let warm = solver.with_config(*problem.config()).solve_prepared(
+            &problem,
+            &SolveSpec::warm_from(warm_start).with_instrumentation(spec.instrumentation()),
+        )?;
+
+        // Floor guard: the cold single-start solve of this exact scenario
+        // and configuration — the response must never fall below it.
+        let floor = solver.with_config(config).solve(
+            scenario,
+            &SolveSpec::single_start().with_instrumentation(spec.instrumentation()),
+        )?;
+
+        let guard_iters = floor.outer_iterations;
+        if warm.objective >= floor.objective {
+            let path_iters = warm.outer_iterations;
+            return Ok((CacheOutcome::Warm, warm, false, path_iters, guard_iters));
+        }
+        // The warm solve lost its basin: pay for the requested cold solve
+        // and keep the best of the three candidates. The path bill covers
+        // both solves, as in the online engine's fallback accounting.
+        let cold = solver.solve(scenario, spec)?;
+        let path_iters = warm.outer_iterations + cold.outer_iterations;
+        let mut kept = warm;
+        if floor.objective > kept.objective {
+            kept = floor;
+        }
+        let cold_won = cold.objective > kept.objective;
+        if cold_won {
+            kept = cold;
+        }
+        Ok((
+            CacheOutcome::WarmFallback,
+            kept,
+            cold_won,
+            path_iters,
+            guard_iters,
+        ))
+    }
+
+    /// Handles a JSON request string, returning a JSON response string —
+    /// never an `Err`: malformed requests and solver failures become an
+    /// `{"error": ..., "id": ...}` envelope.
+    pub fn handle_json(&self, text: &str) -> String {
+        let request = match SolveRequest::from_json(text) {
+            Ok(request) => request,
+            Err(e) => return error_json(None, &e),
+        };
+        match self.handle(&request) {
+            Ok(response) => response.to_json(),
+            Err(e) => error_json(request.id.as_deref(), &e),
+        }
+    }
+
+    /// Handles a batch of requests concurrently on a scoped worker pool
+    /// (`threads = 0` sizes the pool to the machine, `1` runs serially),
+    /// returning responses in request order. All workers share the cache.
+    pub fn handle_batch(
+        &self,
+        requests: &[SolveRequest],
+        threads: usize,
+    ) -> Vec<QuheResult<SolveResponse>> {
+        threadpool::ThreadPool::new(threads).par_map(requests, |request| self.handle(request))
+    }
+}
+
+fn error_json(id: Option<&str>, error: &QuheError) -> String {
+    JsonValue::object()
+        .with(
+            "id",
+            id.map_or(JsonValue::Null, |i| JsonValue::String(i.to_string())),
+        )
+        .with("error", JsonValue::String(error.to_string()))
+        .to_pretty_string()
+}
+
+fn resolve_inline(inline: &InlineScenario) -> QuheResult<SystemScenario> {
+    // Overrides arrive on untrusted requests and the `with_*` builders
+    // mutate without re-validating (their in-repo callers sweep known-good
+    // grids), so the positivity checks `MecScenario::new` would enforce are
+    // applied here — a bad value must come back as the error envelope, not
+    // as a downstream panic.
+    for (name, value) in [
+        ("total_bandwidth_hz", inline.total_bandwidth_hz),
+        (
+            "total_server_frequency_hz",
+            inline.total_server_frequency_hz,
+        ),
+        ("max_power_w", inline.max_power_w),
+        ("max_client_frequency_hz", inline.max_client_frequency_hz),
+    ] {
+        if let Some(v) = value {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(QuheError::InvalidConfig {
+                    reason: format!("inline {name} must be positive and finite, got {v}"),
+                });
+            }
+        }
+    }
+    let mut mec = MecScenario::paper_with_num_clients(inline.num_clients, inline.seed);
+    if let Some(bandwidth) = inline.total_bandwidth_hz {
+        mec = mec.with_total_bandwidth(bandwidth);
+    }
+    if let Some(frequency) = inline.total_server_frequency_hz {
+        mec = mec.with_total_server_frequency(frequency);
+    }
+    if let Some(power) = inline.max_power_w {
+        mec = mec.with_max_power(power);
+    }
+    if let Some(frequency) = inline.max_client_frequency_hz {
+        mec = mec.with_max_client_frequency(frequency);
+    }
+    let lambda_choices = inline
+        .lambda_choices
+        .clone()
+        .unwrap_or_else(|| vec![1 << 15, 1 << 16, 1 << 17]);
+    SystemScenario::new(
+        synthetic_scenario(inline.num_clients, inline.seed),
+        mec,
+        lambda_choices,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> QuheConfig {
+        QuheConfig {
+            max_outer_iterations: 2,
+            max_stage3_iterations: 8,
+            solver_threads: 1,
+            ..QuheConfig::default()
+        }
+    }
+
+    fn quick_service() -> SolveService {
+        SolveService::builtin(quick_config())
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_bit_identically() {
+        let service = quick_service();
+        let request = SolveRequest::catalog("paper_default", 42).with_id("first");
+        let cold = service.handle(&request).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Cold);
+
+        let hit = service
+            .handle(&SolveRequest::catalog("paper_default", 42).with_id("second"))
+            .unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit);
+        assert_eq!(hit.id.as_deref(), Some("second"));
+        // A hit spends zero solver work on its path; the cold response's
+        // path bill is exactly its solve.
+        assert_eq!(hit.path_outer_iterations, 0);
+        assert_eq!(hit.guard_outer_iterations, 0);
+        assert_eq!(cold.path_outer_iterations, cold.report.outer_iterations);
+        assert_eq!(cold.guard_outer_iterations, 0);
+        // Bit-identical: the whole report, including the original wall time.
+        assert_eq!(hit.report, cold.report);
+        assert_eq!(
+            hit.report.runtime_s.to_bits(),
+            cold.report.runtime_s.to_bits(),
+            "a hit carries the producing solve's wall time"
+        );
+        let stats = service.stats();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.total(), 2);
+    }
+
+    #[test]
+    fn different_spec_or_solver_is_not_an_exact_hit() {
+        let service = quick_service();
+        service
+            .handle(&SolveRequest::catalog("paper_default", 1))
+            .unwrap();
+        let single = service
+            .handle(&SolveRequest::catalog("paper_default", 1).with_spec(SolveSpec::single_start()))
+            .unwrap();
+        assert_ne!(single.cache, CacheOutcome::Hit);
+        let aa = service
+            .handle(&SolveRequest::catalog("paper_default", 1).with_solver("aa"))
+            .unwrap();
+        assert_eq!(aa.cache, CacheOutcome::Cold);
+    }
+
+    #[test]
+    fn drifted_requests_warm_start_and_respect_the_floor() {
+        let service = quick_service();
+        let base = service
+            .handle(&SolveRequest::catalog("paper_default", 42))
+            .unwrap();
+        assert_eq!(base.cache, CacheOutcome::Cold);
+
+        let drifted_request = SolveRequest::drifted("paper_default", 42, 2);
+        let scenario = service.resolve_scenario(&drifted_request.scenario).unwrap();
+        assert_eq!(scenario.shape_fingerprint(), base.shape_fingerprint);
+        assert_ne!(scenario.fingerprint(), base.fingerprint);
+
+        let drifted = service.handle(&drifted_request).unwrap();
+        assert!(
+            matches!(
+                drifted.cache,
+                CacheOutcome::Warm | CacheOutcome::WarmFallback
+            ),
+            "drifted request served {:?}",
+            drifted.cache
+        );
+        // Warm serving always runs the floor guard; a purely warm response
+        // bills exactly its warm solve on the path.
+        assert!(drifted.guard_outer_iterations >= 1);
+        if drifted.cache == CacheOutcome::Warm {
+            assert_eq!(
+                drifted.path_outer_iterations,
+                drifted.report.outer_iterations
+            );
+        }
+        // The fallback guarantee: never below the cold single-start floor.
+        let floor = service
+            .registry()
+            .resolve("quhe")
+            .unwrap()
+            .solve(&scenario, &SolveSpec::single_start())
+            .unwrap();
+        assert!(drifted.report.objective >= floor.objective);
+        // And the drifted result was cached for exact reuse.
+        let repeat = service.handle(&drifted_request).unwrap();
+        assert_eq!(repeat.cache, CacheOutcome::Hit);
+        assert_eq!(repeat.report, drifted.report);
+    }
+
+    #[test]
+    fn one_shot_solvers_never_warm_start() {
+        let service = quick_service();
+        service
+            .handle(&SolveRequest::catalog("paper_default", 7).with_solver("aa"))
+            .unwrap();
+        let drifted = service
+            .handle(&SolveRequest::drifted("paper_default", 7, 1).with_solver("aa"))
+            .unwrap();
+        assert_eq!(drifted.cache, CacheOutcome::Cold);
+    }
+
+    #[test]
+    fn inline_scenarios_resolve_with_overrides() {
+        let service = quick_service();
+        let request = SolveRequest {
+            id: None,
+            scenario: ScenarioSpec::Inline(InlineScenario {
+                total_bandwidth_hz: Some(5e6),
+                ..InlineScenario::new(4, 9)
+            }),
+            solver: "aa".to_string(),
+            spec: SolveSpec::cold(),
+        };
+        let scenario = service.resolve_scenario(&request.scenario).unwrap();
+        assert_eq!(scenario.num_clients(), 4);
+        assert_eq!(scenario.mec().total_bandwidth_hz(), 5e6);
+        let response = service.handle(&request).unwrap();
+        assert_eq!(response.cache, CacheOutcome::Cold);
+        assert!(response.report.objective.is_finite());
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let service = quick_service();
+        let response = service
+            .handle(&SolveRequest::catalog("paper_default", 3).with_id("rt"))
+            .unwrap();
+        let parsed = SolveResponse::from_json(&response.to_json()).unwrap();
+        assert_eq!(parsed, response);
+        assert_eq!(
+            parsed.report.objective.to_bits(),
+            response.report.objective.to_bits()
+        );
+    }
+
+    #[test]
+    fn handle_json_wraps_errors_in_an_envelope() {
+        let service = quick_service();
+        let ok = service.handle_json(
+            "{\"id\": \"j1\", \"scenario\": {\"catalog\": \"paper_default\", \"seed\": 5}}",
+        );
+        let response = SolveResponse::from_json(&ok).unwrap();
+        assert_eq!(response.id.as_deref(), Some("j1"));
+
+        let bad = service.handle_json("{\"scenario\": {}}");
+        let value = JsonValue::parse(&bad).unwrap();
+        assert!(value
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("'catalog' or 'inline'"));
+
+        let unknown = service.handle_json(
+            "{\"id\": \"j2\", \"scenario\": {\"catalog\": \"atlantis\", \"seed\": 1}}",
+        );
+        let value = JsonValue::parse(&unknown).unwrap();
+        assert_eq!(value.get("id").and_then(JsonValue::as_str), Some("j2"));
+        assert!(value
+            .get("error")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("atlantis"));
+
+        // Hostile inline overrides come back as the envelope, never as a
+        // panic: the unchecked `with_*` builders are guarded by the
+        // service's own validation.
+        for bad in [
+            "{\"id\": \"j3\", \"scenario\": {\"inline\": {\"num_clients\": 2, \"seed\": 1, \
+             \"total_bandwidth_hz\": -1.0}}}",
+            "{\"id\": \"j4\", \"scenario\": {\"inline\": {\"num_clients\": 2, \"seed\": 1, \
+             \"max_power_w\": 0.0}}}",
+        ] {
+            let value = JsonValue::parse(&service.handle_json(bad)).unwrap();
+            assert!(
+                value
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .contains("must be positive and finite"),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_serving_matches_serial_and_dedupes() {
+        let service = quick_service();
+        // Warm the cache serially, then replay duplicates concurrently:
+        // every one must be an exact hit, bit-identical to the original
+        // (duplicates racing ahead of any cached original would instead
+        // each solve cold — correct, just unde-duplicated).
+        let first = service
+            .handle(&SolveRequest::catalog("paper_default", 1))
+            .unwrap();
+        let duplicates: Vec<SolveRequest> = (0..4)
+            .map(|_| SolveRequest::catalog("paper_default", 1))
+            .collect();
+        for response in service.handle_batch(&duplicates, 2) {
+            let response = response.unwrap();
+            assert_eq!(response.cache, CacheOutcome::Hit);
+            assert_eq!(response.report, first.report);
+        }
+
+        // A cold batch produces the same solutions as a fresh serial
+        // service (wall clocks differ; the solutions must not).
+        let requests = [
+            SolveRequest::catalog("far_edge", 1),
+            SolveRequest::catalog("far_edge", 2),
+        ];
+        let parallel = service.handle_batch(&requests, 2);
+        let serial = quick_service();
+        for (request, parallel_response) in requests.iter().zip(parallel) {
+            let parallel_response = parallel_response.unwrap();
+            let response = serial.handle(request).unwrap();
+            assert_eq!(
+                response.report.objective,
+                parallel_response.report.objective
+            );
+            assert_eq!(
+                response.report.variables,
+                parallel_response.report.variables
+            );
+        }
+    }
+}

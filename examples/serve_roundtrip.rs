@@ -1,0 +1,90 @@
+//! The solve service end to end: JSON request in, JSON response out, with
+//! the three cache paths on display.
+//!
+//! The walkthrough builds a [`SolveService`] over the built-in solvers and
+//! catalogue, then sends three requests through the JSON protocol:
+//!
+//! 1. a cold request for a catalogue world — solved from scratch and cached;
+//! 2. the *same* request again — an exact fingerprint hit: zero solver work,
+//!    and the report (including its `runtime_s`) is bit-identical to the
+//!    first response;
+//! 3. a drifted variant of the same world — a shape-fingerprint near miss:
+//!    warm-started from the cached optimum and guarded by the cold
+//!    single-start floor.
+//!
+//! ```bash
+//! cargo run --release --example serve_roundtrip
+//! ```
+
+use quhe::prelude::*;
+
+fn main() {
+    let service = SolveService::builtin(QuheConfig {
+        max_outer_iterations: 4,
+        max_stage3_iterations: 30,
+        tolerance: 1e-3,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    });
+
+    // 1. A cold request, as it would arrive on the wire.
+    let request = r#"{"id": "req-1", "scenario": {"catalog": "paper_default", "seed": 42}, "solver": "quhe"}"#;
+    println!("request 1 (cold): {request}");
+    let cold = SolveResponse::from_json(&service.handle_json(request)).unwrap();
+    println!(
+        "  -> cache={} objective={:.4} solve runtime={:.3}s service wall={:.3}s fingerprint={}",
+        cold.cache.tag(),
+        cold.report.objective,
+        cold.report.runtime_s,
+        cold.service_wall_s,
+        cold.fingerprint
+    );
+    assert_eq!(cold.cache, CacheOutcome::Cold);
+
+    // 2. The same request again: an exact content-addressed hit.
+    let hit = SolveResponse::from_json(&service.handle_json(request)).unwrap();
+    println!(
+        "request 2 (repeat) -> cache={} solve runtime={:.3}s service wall={:.6}s",
+        hit.cache.tag(),
+        hit.report.runtime_s,
+        hit.service_wall_s
+    );
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    // Bit-identical, including the wall time of the solve that produced it —
+    // the lookup's own (tiny) cost lives only in service_wall_s.
+    assert_eq!(hit.report, cold.report);
+    assert_eq!(
+        hit.report.runtime_s.to_bits(),
+        cold.report.runtime_s.to_bits()
+    );
+
+    // 3. The same world after two drift steps: same shape, different
+    //    content — served warm from the cached anchor.
+    let drifted_request = SolveRequest::drifted("paper_default", 42, 2).with_id("req-3");
+    println!("request 3 (drifted): {}", drifted_request.to_json());
+    let drifted = service.handle(&drifted_request).unwrap();
+    println!(
+        "  -> cache={} objective={:.4} outer_iterations={} (cold solve took {})",
+        drifted.cache.tag(),
+        drifted.report.objective,
+        drifted.report.outer_iterations,
+        cold.report.outer_iterations
+    );
+    assert!(matches!(
+        drifted.cache,
+        CacheOutcome::Warm | CacheOutcome::WarmFallback
+    ));
+    assert_eq!(drifted.shape_fingerprint, cold.shape_fingerprint);
+    assert_ne!(drifted.fingerprint, cold.fingerprint);
+
+    let stats = service.stats();
+    println!(
+        "service stats: {} cold / {} hit / {} warm / {} fallback, {} cached reports",
+        stats.cold_solves,
+        stats.exact_hits,
+        stats.warm_hits,
+        stats.warm_fallbacks,
+        stats.cached_reports
+    );
+    assert_eq!(stats.total(), 3);
+}

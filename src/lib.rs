@@ -13,6 +13,7 @@
 //! | [`mec`] | `quhe-mec` | Wireless channel + Shannon rate, transmission/computation delay and energy models, scenario generation |
 //! | [`opt`] | `quhe-opt` | Projected gradient, Newton, log-barrier interior point, branch-and-bound, fractional programming, simulated annealing, block descent |
 //! | [`core`] | `quhe-core` | Problem P1, the three-stage QuHE algorithm, baselines (AA/OLAA/OCCR, GD/SA/RS), metrics and the optimality study |
+//! | [`serve`] | `quhe-serve` | Solve service: JSON request/response protocol, content-addressed scenario cache, warm-start reuse, multi-worker batch serving |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use quhe_crypto as crypto;
 pub use quhe_mec as mec;
 pub use quhe_opt as opt;
 pub use quhe_qkd as qkd;
+pub use quhe_serve as serve;
 
 /// Commonly used items from every crate of the workspace.
 pub mod prelude {
@@ -55,4 +57,5 @@ pub mod prelude {
     pub use quhe_mec::prelude::*;
     pub use quhe_opt::prelude::*;
     pub use quhe_qkd::prelude::*;
+    pub use quhe_serve::prelude::*;
 }

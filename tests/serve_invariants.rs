@@ -1,0 +1,158 @@
+//! Differential tests of the serve layer, in the style of
+//! `online_invariants.rs`: for catalogue worlds across seeds,
+//!
+//! * a cold response through the service is solution-identical to a direct
+//!   cold `SolveReport` of the same scenario (bit-for-bit on every float
+//!   except the wall clock, which is physical time);
+//! * an exact cache hit is bit-identical to the service's cold response —
+//!   *including* `runtime_s`: a hit carries the wall time of the solve that
+//!   produced the report, never the lookup's;
+//! * a warm near-miss response never falls below the cold single-start
+//!   floor of its own scenario — the serve layer inherits the online
+//!   engine's fallback guarantee.
+
+use quhe::prelude::*;
+
+/// Iteration budgets sized for the debug-build test suite; the invariants
+/// hold at any budget because they compare runs sharing the same budget.
+fn test_config() -> QuheConfig {
+    QuheConfig {
+        max_outer_iterations: 2,
+        max_stage3_iterations: 8,
+        tolerance: 1e-3,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    }
+}
+
+/// The (world, seed) grid: every built-in world once, the paper world on a
+/// second seed.
+fn grid() -> Vec<(String, u64)> {
+    let catalog = ScenarioCatalog::builtin();
+    let mut grid: Vec<(String, u64)> = catalog
+        .names()
+        .iter()
+        .map(|name| (name.to_string(), 5))
+        .collect();
+    grid.push(("paper_default".to_string(), 6));
+    grid
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_the_cold_report() {
+    let service = SolveService::builtin(test_config());
+    let reference_solver = QuheSolver::new(test_config());
+    for (name, seed) in grid() {
+        let request = SolveRequest::catalog(&name, seed);
+        let scenario = service.resolve_scenario(&request.scenario).unwrap();
+
+        let cold = service.handle(&request).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Cold, "{name} seed {seed}");
+        assert_eq!(cold.fingerprint, scenario.fingerprint());
+
+        // The service's cold path is the plain registry solve: every
+        // solution field matches a direct solve bit-for-bit (runtime_s is
+        // physical wall time and necessarily differs).
+        let direct = reference_solver
+            .solve(&scenario, &SolveSpec::cold())
+            .unwrap();
+        assert_eq!(
+            cold.report.objective.to_bits(),
+            direct.objective.to_bits(),
+            "{name} seed {seed}"
+        );
+        assert_eq!(cold.report.variables, direct.variables);
+        assert_eq!(cold.report.outer_trace, direct.outer_trace);
+        assert_eq!(cold.report.stage_calls, direct.stage_calls);
+        assert_eq!(cold.report.metrics, direct.metrics);
+
+        // The repeat is an exact hit: the whole report comes back
+        // bit-identically, including the original solve's wall time — the
+        // lookup's cost is visible only in service_wall_s.
+        let hit = service.handle(&request).unwrap();
+        assert_eq!(hit.cache, CacheOutcome::Hit, "{name} seed {seed}");
+        assert_eq!(hit.report, cold.report);
+        assert_eq!(
+            hit.report.runtime_s.to_bits(),
+            cold.report.runtime_s.to_bits(),
+            "{name} seed {seed}: a hit must carry the producing solve's runtime_s"
+        );
+        assert!(
+            hit.service_wall_s < cold.service_wall_s,
+            "{name} seed {seed}: the lookup cannot cost more than the solve"
+        );
+    }
+}
+
+#[test]
+fn warm_near_misses_never_fall_below_the_single_start_floor() {
+    let service = SolveService::builtin(test_config());
+    let floor_solver = QuheSolver::new(test_config());
+    let mut warm_served = 0usize;
+    for (name, seed) in grid() {
+        // Anchor the world, then request drifted variants of it.
+        let base = service.handle(&SolveRequest::catalog(&name, seed)).unwrap();
+        for step in 1..=2 {
+            let request = SolveRequest::drifted(&name, seed, step);
+            let scenario = service.resolve_scenario(&request.scenario).unwrap();
+            // Drift preserves the world shape — that is what makes the
+            // cached anchor warm-start compatible.
+            assert_eq!(
+                scenario.shape_fingerprint(),
+                base.shape_fingerprint,
+                "{name} seed {seed} step {step}"
+            );
+            assert_ne!(scenario.fingerprint(), base.fingerprint);
+
+            let response = service.handle(&request).unwrap();
+            assert!(
+                matches!(
+                    response.cache,
+                    CacheOutcome::Warm | CacheOutcome::WarmFallback
+                ),
+                "{name} seed {seed} step {step}: drifted request served {:?}",
+                response.cache
+            );
+            warm_served += 1;
+
+            // The fallback guarantee, checked against an independent cold
+            // single-start solve of the same world (deterministic, so the
+            // floor the service computed internally is this exact value).
+            let floor = floor_solver
+                .solve(&scenario, &SolveSpec::single_start())
+                .unwrap();
+            assert!(
+                response.report.objective >= floor.objective,
+                "{name} seed {seed} step {step}: warm objective {} below the floor {}",
+                response.report.objective,
+                floor.objective
+            );
+        }
+    }
+    assert!(warm_served >= grid().len(), "warm path barely exercised");
+}
+
+#[test]
+fn served_solutions_are_feasible_in_their_scenarios() {
+    let service = SolveService::builtin(test_config());
+    for (request, expect_kind) in [
+        (
+            SolveRequest::catalog("paper_default", 9),
+            CacheOutcome::Cold,
+        ),
+        (
+            SolveRequest::drifted("paper_default", 9, 1),
+            CacheOutcome::Warm,
+        ),
+    ] {
+        let scenario = service.resolve_scenario(&request.scenario).unwrap();
+        let response = service.handle(&request).unwrap();
+        // The drifted step may fall back, which is still warm-served.
+        if expect_kind == CacheOutcome::Cold {
+            assert_eq!(response.cache, expect_kind);
+        }
+        let problem = Problem::new(scenario, test_config()).unwrap();
+        problem.check_feasible(&response.report.variables).unwrap();
+        assert!(response.report.objective.is_finite());
+    }
+}

@@ -89,6 +89,34 @@ fn malformed_report_json_is_rejected_with_the_offending_field() {
 }
 
 #[test]
+fn duplicate_object_keys_are_rejected_with_a_pinned_message() {
+    // A protocol hazard for the serve layer: accepting `{"a": 1, "a": 2}`
+    // and silently keeping one value would let a request smuggle two
+    // conflicting fields past validation. The parser rejects duplicates,
+    // naming the offending key and its byte offset.
+    let err = JsonValue::parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "JSON parse error at byte 9: duplicate object key 'a'"
+    );
+
+    // Positive: the same keys in *different* objects are legal, and a
+    // well-formed report survives the stricter parser unchanged.
+    assert!(JsonValue::parse("{\"a\": {\"k\": 1}, \"b\": {\"k\": 2}}").is_ok());
+    let report = QuheSolver::new(quick_config())
+        .solve(&scenario(), &SolveSpec::cold())
+        .unwrap();
+    assert_eq!(SolveReport::from_json(&report.to_json()).unwrap(), report);
+
+    // Negative: a serialized report with a duplicated field is rejected as a
+    // whole, naming the key.
+    let json = report.to_json();
+    let duplicated = json.replacen("\"objective\":", "\"objective\": 0, \"objective\":", 1);
+    let err = SolveReport::from_json(&duplicated).unwrap_err().to_string();
+    assert!(err.contains("duplicate object key 'objective'"), "{err}");
+}
+
+#[test]
 fn duplicate_solver_registration_message_is_pinned() {
     let mut registry = SolverRegistry::builtin();
     let err = registry
