@@ -1,0 +1,597 @@
+//! Sustained-load harness for the framed TCP front end → `BENCH_load.json`.
+//!
+//! The harness starts a real [`TcpServer`] on a loopback socket and drives
+//! it with Zipf-distributed traffic over the scenario catalogue — the
+//! serving regime the cache-and-coalesce design targets: a hot head of
+//! popular worlds, a long tail, and drift-step near misses that exercise the
+//! warm-start path. Three phases, each measured separately:
+//!
+//! 1. **flash** — every client concurrently requests the *same* never-seen
+//!    world: the flash-crowd pattern the singleflight table exists for. The
+//!    world must be solved exactly once however the burst interleaves.
+//! 2. **closed** — a closed loop: each client sends, waits for the reply,
+//!    repeats. Measures per-request latency and the sustainable throughput
+//!    at the offered concurrency.
+//! 3. **open** — an open loop: clients send at a fixed aggregate rate
+//!    without waiting, pipelined on their connections. When the rate
+//!    exceeds capacity the bounded admission queue sheds with `overloaded`
+//!    envelopes — the shed rate and the p50/p95/p99 of what *was* served are
+//!    the headline numbers.
+//!
+//! ```bash
+//! cargo run --release --bin load_bench            # full run
+//! cargo run --release --bin load_bench -- --quick # CI smoke
+//! ```
+//!
+//! Knobs (environment): `QUHE_SEED`, `QUHE_LOAD_CLIENTS`,
+//! `QUHE_LOAD_REQUESTS` (closed-loop requests per client),
+//! `QUHE_LOAD_RATE` (open-loop aggregate requests/s), `QUHE_LOAD_SECONDS`
+//! (open-loop duration), `QUHE_LOAD_ZIPF` (popularity exponent),
+//! `QUHE_LOAD_SEEDS` (catalogue seeds per world), `QUHE_LOAD_DRIFT_PCT`,
+//! `QUHE_LOAD_FRESH_PCT`, `QUHE_LOAD_WORKERS`, `QUHE_LOAD_QUEUE`.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use quhe_bench::report::{grid_envelope, percentile, write};
+use quhe_bench::{env_f64, env_u64, env_usize, output_path};
+use quhe_core::json::JsonValue;
+use quhe_core::params::QuheConfig;
+use quhe_serve::wire::{self, read_frame};
+use quhe_serve::{ServiceConfig, ServiceStats, SolveRequest, TcpServer, WireReply};
+use rand::{Rng, SeedableRng};
+
+/// One measured reply, however it came back.
+struct Sample {
+    /// Seconds from frame write to reply frame.
+    latency_s: f64,
+    /// The response's cache tag, or the error kind for error envelopes.
+    tag: String,
+    ok: bool,
+}
+
+/// The Zipf request population: catalogue worlds × seeds ranked by
+/// popularity, sampled by cumulative weight.
+struct Population {
+    items: Vec<(String, u64)>,
+    cumulative: Vec<f64>,
+}
+
+impl Population {
+    fn new(worlds: &[String], seeds: &[u64], exponent: f64, rng: &mut impl Rng) -> Self {
+        let mut items: Vec<(String, u64)> = worlds
+            .iter()
+            .flat_map(|w| seeds.iter().map(|&s| (w.clone(), s)))
+            .collect();
+        // Shuffle so the hot head is not always the first catalogue entry;
+        // deterministic under the run seed.
+        for i in (1..items.len()).rev() {
+            items.swap(i, rng.gen_range(0..=i));
+        }
+        let mut total = 0.0;
+        let cumulative = (0..items.len())
+            .map(|rank| {
+                total += 1.0 / ((rank + 1) as f64).powf(exponent);
+                total
+            })
+            .collect();
+        Self { items, cumulative }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> &(String, u64) {
+        let total = *self.cumulative.last().expect("non-empty population");
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+}
+
+/// Draws the next request of the Zipf mix: mostly popular catalogue worlds,
+/// `drift_pct` drift-step near misses, `fresh_pct` never-seen seeds.
+fn draw_request(
+    population: &Population,
+    drift_pct: usize,
+    fresh_pct: usize,
+    fresh_counter: &mut u64,
+    base_seed: u64,
+    rng: &mut impl Rng,
+) -> SolveRequest {
+    let (world, seed) = population.sample(rng).clone();
+    let roll = rng.gen_range(0..100);
+    if roll < fresh_pct {
+        *fresh_counter += 1;
+        SolveRequest::catalog(&world, base_seed + 500_000 + *fresh_counter)
+    } else if roll < fresh_pct + drift_pct {
+        SolveRequest::drifted(&world, seed, rng.gen_range(1..=3))
+    } else {
+        SolveRequest::catalog(&world, seed)
+    }
+}
+
+fn connect(server: &TcpServer) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connecting to the loopback");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream
+}
+
+/// Synchronous roundtrip of one request; panics on transport errors (the
+/// harness fails loudly, like every experiment binary).
+fn roundtrip(stream: &mut TcpStream, request: &SolveRequest) -> Sample {
+    let body = request.to_json();
+    let started = Instant::now();
+    wire::write_frame(stream, body.as_bytes()).expect("writing a request frame");
+    let frame = read_frame(stream)
+        .expect("reading a reply frame")
+        .expect("the server must answer");
+    let latency_s = started.elapsed().as_secs_f64();
+    match WireReply::from_json(std::str::from_utf8(&frame).unwrap()).expect("parsing the reply") {
+        WireReply::Ok(response) => Sample {
+            latency_s,
+            tag: response.cache.tag().to_string(),
+            ok: true,
+        },
+        WireReply::Err { kind, .. } => Sample {
+            latency_s,
+            tag: kind,
+            ok: false,
+        },
+    }
+}
+
+/// Aggregates one phase's samples into the report's phase block.
+struct PhaseOutcome {
+    samples: Vec<Sample>,
+    wall_s: f64,
+    stats_delta: StatsDelta,
+    max_queue_depth: usize,
+}
+
+struct StatsDelta {
+    exact_hits: usize,
+    warm: usize,
+    cold_solves: usize,
+    coalesced: usize,
+}
+
+fn stats_delta(before: &ServiceStats, after: &ServiceStats) -> StatsDelta {
+    StatsDelta {
+        exact_hits: after.exact_hits - before.exact_hits,
+        warm: (after.warm_hits + after.warm_fallbacks) - (before.warm_hits + before.warm_fallbacks),
+        cold_solves: after.cold_solves - before.cold_solves,
+        coalesced: after.coalesced - before.coalesced,
+    }
+}
+
+fn phase_json(name: &str, outcome: &PhaseOutcome, offered: usize) -> JsonValue {
+    let served: Vec<&Sample> = outcome.samples.iter().filter(|s| s.ok).collect();
+    let shed = outcome
+        .samples
+        .iter()
+        .filter(|s| !s.ok && s.tag == "overloaded")
+        .count();
+    let other_errors = outcome.samples.len() - served.len() - shed;
+    let mut latencies: Vec<f64> = served.iter().map(|s| s.latency_s).collect();
+    latencies.sort_by(f64::total_cmp);
+    let mut split: HashMap<&str, usize> = HashMap::new();
+    for sample in &served {
+        *split.entry(sample.tag.as_str()).or_default() += 1;
+    }
+    let split_count = |tag: &str| JsonValue::from_usize(split.get(tag).copied().unwrap_or(0));
+    JsonValue::object()
+        .with("phase", JsonValue::String(name.to_string()))
+        .with("offered", JsonValue::from_usize(offered))
+        .with("served", JsonValue::from_usize(served.len()))
+        .with("shed", JsonValue::from_usize(shed))
+        .with("other_errors", JsonValue::from_usize(other_errors))
+        .with(
+            "shed_rate",
+            JsonValue::from_f64(shed as f64 / offered.max(1) as f64),
+        )
+        .with("wall_s", JsonValue::from_f64(outcome.wall_s))
+        .with(
+            "sustained_rps",
+            JsonValue::from_f64(served.len() as f64 / outcome.wall_s),
+        )
+        .with(
+            "offered_rps",
+            JsonValue::from_f64(offered as f64 / outcome.wall_s),
+        )
+        .with(
+            "cache_split",
+            JsonValue::object()
+                .with("hit", split_count("hit"))
+                .with("warm", split_count("warm"))
+                .with("warm_fallback", split_count("warm_fallback"))
+                .with("cold", split_count("cold"))
+                .with("coalesced", split_count("coalesced")),
+        )
+        .with(
+            "service_counters",
+            JsonValue::object()
+                .with(
+                    "exact_hits",
+                    JsonValue::from_usize(outcome.stats_delta.exact_hits),
+                )
+                .with("warm", JsonValue::from_usize(outcome.stats_delta.warm))
+                .with(
+                    "cold_solves",
+                    JsonValue::from_usize(outcome.stats_delta.cold_solves),
+                )
+                .with(
+                    "coalesced",
+                    JsonValue::from_usize(outcome.stats_delta.coalesced),
+                ),
+        )
+        .with(
+            "max_queue_depth",
+            JsonValue::from_usize(outcome.max_queue_depth),
+        )
+        .with(
+            "latency_s",
+            JsonValue::object()
+                .with("p50", JsonValue::from_f64(percentile(&latencies, 0.50)))
+                .with("p95", JsonValue::from_f64(percentile(&latencies, 0.95)))
+                .with("p99", JsonValue::from_f64(percentile(&latencies, 0.99)))
+                .with(
+                    "mean",
+                    JsonValue::from_f64(if latencies.is_empty() {
+                        f64::NAN
+                    } else {
+                        latencies.iter().sum::<f64>() / latencies.len() as f64
+                    }),
+                )
+                .with(
+                    "max",
+                    JsonValue::from_f64(latencies.last().copied().unwrap_or(f64::NAN)),
+                ),
+        )
+}
+
+/// Runs `body` while a monitor thread tracks the queue's high-water mark
+/// over the phase.
+fn measured_phase(server: &TcpServer, body: impl FnOnce() -> Vec<Sample>) -> PhaseOutcome {
+    let before = server.service().stats();
+    let high_before = server.stats().max_queue_depth;
+    let stop = AtomicBool::new(false);
+    let (samples, wall_s, sampled_depth) = std::thread::scope(|scope| {
+        let monitor = scope.spawn(|| {
+            let mut max_depth = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                max_depth = max_depth.max(server.stats().queue_depth);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            max_depth
+        });
+        let wall = Instant::now();
+        let samples = body();
+        let wall_s = wall.elapsed().as_secs_f64();
+        stop.store(true, Ordering::SeqCst);
+        (samples, wall_s, monitor.join().expect("queue monitor"))
+    });
+    // The server's high-water mark is exact but global; it attributes to
+    // this phase only when it moved. The 2ms sampler catches the rest.
+    let high_after = server.stats().max_queue_depth;
+    let max_queue_depth = if high_after > high_before {
+        sampled_depth.max(high_after)
+    } else {
+        sampled_depth
+    };
+    PhaseOutcome {
+        samples,
+        wall_s,
+        stats_delta: stats_delta(&before, &server.service().stats()),
+        max_queue_depth,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = output_path(&args, "BENCH_load.json");
+
+    let base_seed = env_u64("QUHE_SEED", 42);
+    let clients = env_usize("QUHE_LOAD_CLIENTS", if quick { 4 } else { 8 }).max(1);
+    let closed_requests = env_usize("QUHE_LOAD_REQUESTS", if quick { 6 } else { 25 }).max(1);
+    let open_rate = env_f64("QUHE_LOAD_RATE", if quick { 120.0 } else { 150.0 }).max(1.0);
+    let open_seconds = env_f64("QUHE_LOAD_SECONDS", if quick { 1.5 } else { 8.0 }).max(0.1);
+    let zipf = env_f64("QUHE_LOAD_ZIPF", 1.1);
+    let num_seeds = env_usize("QUHE_LOAD_SEEDS", 3).max(1);
+    let drift_pct = env_usize("QUHE_LOAD_DRIFT_PCT", 25).min(100);
+    let fresh_pct = env_usize("QUHE_LOAD_FRESH_PCT", 10).min(100 - drift_pct);
+    // More workers than cores is deliberate: workers blocked on a coalesced
+    // flight cost nothing, and extra workers keep hits flowing while a cold
+    // solve occupies a core.
+    let workers = env_usize("QUHE_LOAD_WORKERS", 4).max(1);
+    let queue_bound = env_usize("QUHE_LOAD_QUEUE", if quick { 8 } else { 16 }).max(1);
+
+    let config = QuheConfig {
+        max_outer_iterations: if quick { 2 } else { 4 },
+        max_stage3_iterations: if quick { 8 } else { 30 },
+        tolerance: 1e-3,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    };
+    let service = Arc::new(
+        ServiceConfig::new(config)
+            .with_worker_threads(workers)
+            .with_queue_bound(queue_bound)
+            .build(),
+    );
+    let catalog_names: Vec<String> = service
+        .catalog()
+        .names()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let seeds: Vec<u64> = (0..num_seeds as u64).map(|i| base_seed + i).collect();
+    let server = TcpServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    eprintln!(
+        "load_bench: {} on {} workers, queue bound {queue_bound}, {clients} clients \
+         (zipf s={zipf}, {drift_pct}% drift, {fresh_pct}% fresh{})",
+        server.local_addr(),
+        workers,
+        if quick { ", quick budgets" } else { "" }
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(base_seed ^ 0x10ad_be7c_0ffe_e000);
+    let population = Population::new(&catalog_names, &seeds, zipf, &mut rng);
+
+    // Phase 1: flash crowd. Every client asks for the same never-seen world
+    // at the same moment; the singleflight table must collapse the burst to
+    // one solve.
+    eprintln!("load_bench: flash phase ({clients} identical concurrent requests)");
+    let flash = measured_phase(&server, || {
+        let barrier = Arc::new(Barrier::new(clients));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let barrier = Arc::clone(&barrier);
+                    let server = &server;
+                    scope.spawn(move || {
+                        let mut stream = connect(server);
+                        let request = SolveRequest::catalog("paper_default", base_seed + 900_001)
+                            .with_id(&format!("flash-{c}"));
+                        barrier.wait();
+                        roundtrip(&mut stream, &request)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    });
+    assert_eq!(
+        flash.stats_delta.cold_solves, 1,
+        "a flash crowd must collapse to exactly one solve"
+    );
+
+    // Phase 2: closed loop over the Zipf mix.
+    eprintln!("load_bench: closed phase ({clients} clients x {closed_requests} requests)");
+    let closed_offered = clients * closed_requests;
+    // Per-client deterministic streams, drawn up front so the timed loop is
+    // pure send/receive.
+    let mut fresh_counter = 0u64;
+    let closed_streams: Vec<Vec<SolveRequest>> = (0..clients)
+        .map(|_| {
+            (0..closed_requests)
+                .map(|_| {
+                    draw_request(
+                        &population,
+                        drift_pct,
+                        fresh_pct,
+                        &mut fresh_counter,
+                        base_seed,
+                        &mut rng,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let closed = measured_phase(&server, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = closed_streams
+                .iter()
+                .map(|requests| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let mut stream = connect(server);
+                        requests
+                            .iter()
+                            .map(|request| roundtrip(&mut stream, request))
+                            .collect::<Vec<Sample>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    });
+
+    // Phase 3: open loop at a fixed aggregate rate — requests are pipelined
+    // without waiting, so the admission queue, not the client, is the
+    // backpressure point.
+    let open_per_client = ((open_rate * open_seconds / clients as f64).ceil() as usize).max(1);
+    let open_offered = open_per_client * clients;
+    let interval = Duration::from_secs_f64(clients as f64 / open_rate);
+    eprintln!(
+        "load_bench: open phase ({open_offered} requests at {open_rate:.0} rps over \
+         ~{open_seconds:.1}s)"
+    );
+    let open_streams: Vec<Vec<SolveRequest>> = (0..clients)
+        .map(|client| {
+            (0..open_per_client)
+                .map(|seq| {
+                    draw_request(
+                        &population,
+                        drift_pct,
+                        fresh_pct,
+                        &mut fresh_counter,
+                        base_seed,
+                        &mut rng,
+                    )
+                    .with_id(&format!("o{client}-{seq}"))
+                })
+                .collect()
+        })
+        .collect();
+    let open = measured_phase(&server, || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = open_streams
+                .iter()
+                .enumerate()
+                .map(|(client, requests)| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let mut stream = connect(server);
+                        let mut reader = stream.try_clone().expect("cloning the socket");
+                        let send_times: Arc<Mutex<Vec<Instant>>> =
+                            Arc::new(Mutex::new(Vec::with_capacity(requests.len())));
+                        let expected = requests.len();
+                        let reader_times = Arc::clone(&send_times);
+                        let reader_handle = scope.spawn(move || {
+                            let mut samples = Vec::with_capacity(expected);
+                            while samples.len() < expected {
+                                let frame = read_frame(&mut reader)
+                                    .expect("reading a reply frame")
+                                    .expect("a reply per request");
+                                let now = Instant::now();
+                                let reply =
+                                    WireReply::from_json(std::str::from_utf8(&frame).unwrap())
+                                        .expect("parsing the reply");
+                                let (id, tag, ok) = match &reply {
+                                    WireReply::Ok(response) => (
+                                        response.id.clone(),
+                                        response.cache.tag().to_string(),
+                                        true,
+                                    ),
+                                    WireReply::Err { id, kind, .. } => {
+                                        (id.clone(), kind.clone(), false)
+                                    }
+                                };
+                                let seq: usize = id
+                                    .as_deref()
+                                    .and_then(|i| i.rsplit('-').next())
+                                    .and_then(|s| s.parse().ok())
+                                    .expect("replies echo the sequenced id");
+                                let sent = reader_times.lock().unwrap()[seq];
+                                samples.push(Sample {
+                                    latency_s: now.duration_since(sent).as_secs_f64(),
+                                    tag,
+                                    ok,
+                                });
+                            }
+                            samples
+                        });
+                        // Paced, staggered sends: client k fires at
+                        // (k/C + n) * interval.
+                        let start =
+                            Instant::now() + interval.mul_f64(client as f64 / clients as f64);
+                        for (seq, request) in requests.iter().enumerate() {
+                            let due = start + interval.mul_f64(seq as f64);
+                            let now = Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                            let body = request.to_json();
+                            send_times.lock().unwrap().push(Instant::now());
+                            wire::write_frame(&mut stream, body.as_bytes())
+                                .expect("writing a paced frame");
+                        }
+                        reader_handle.join().unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    });
+
+    // Every reply that was not served must be the structured shed envelope:
+    // the server's own shed counter corroborates the client-observed count.
+    let observed_shed = open
+        .samples
+        .iter()
+        .filter(|s| s.tag == "overloaded")
+        .count()
+        + closed
+            .samples
+            .iter()
+            .filter(|s| s.tag == "overloaded")
+            .count();
+    let net = server.stats();
+    assert_eq!(
+        net.shed, observed_shed,
+        "every shed request must be answered with the overloaded envelope"
+    );
+    assert!(
+        open.samples.iter().all(|s| s.ok || s.tag == "overloaded"),
+        "open-loop errors must all be shed envelopes"
+    );
+
+    let totals = service.stats();
+    let document = grid_envelope(
+        "quhe-load/v1",
+        if quick { "quick" } else { "full" },
+        "quhe",
+        &catalog_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &seeds,
+    )
+    .with("clients", JsonValue::from_usize(clients))
+    .with("workers", JsonValue::from_usize(workers))
+    .with("queue_bound", JsonValue::from_usize(queue_bound))
+    .with("zipf_exponent", JsonValue::from_f64(zipf))
+    .with("drift_pct", JsonValue::from_usize(drift_pct))
+    .with("fresh_pct", JsonValue::from_usize(fresh_pct))
+    .with(
+        "phases",
+        JsonValue::Array(vec![
+            phase_json("flash", &flash, clients),
+            phase_json("closed", &closed, closed_offered),
+            phase_json("open", &open, open_offered),
+        ]),
+    )
+    .with(
+        "service_totals",
+        JsonValue::object()
+            .with("exact_hits", JsonValue::from_usize(totals.exact_hits))
+            .with("warm_hits", JsonValue::from_usize(totals.warm_hits))
+            .with(
+                "warm_fallbacks",
+                JsonValue::from_usize(totals.warm_fallbacks),
+            )
+            .with("cold_solves", JsonValue::from_usize(totals.cold_solves))
+            .with("coalesced", JsonValue::from_usize(totals.coalesced))
+            .with(
+                "cached_reports",
+                JsonValue::from_usize(totals.cached_reports),
+            ),
+    )
+    .with(
+        "net",
+        JsonValue::object()
+            .with("connections", JsonValue::from_usize(net.connections))
+            .with("frames", JsonValue::from_usize(net.frames))
+            .with("responses", JsonValue::from_usize(net.responses))
+            .with("shed", JsonValue::from_usize(net.shed))
+            .with(
+                "rejected_frames",
+                JsonValue::from_usize(net.rejected_frames),
+            )
+            .with(
+                "max_queue_depth",
+                JsonValue::from_usize(net.max_queue_depth),
+            ),
+    )
+    .with("shed_envelopes_match", JsonValue::Bool(true));
+
+    server.shutdown();
+    write(&out_path, &document);
+}

@@ -39,21 +39,13 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use quhe_bench::report::{grid_envelope, write};
+use quhe_bench::report::{grid_envelope, percentile, write};
 use quhe_bench::{env_u64, env_usize, output_path};
 use quhe_core::prelude::*;
 use quhe_serve::prelude::*;
 use rand::{Rng, SeedableRng};
 
 /// Percentile over a sorted slice (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
-    }
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -77,7 +69,7 @@ fn main() {
         solver_threads: 1,
         ..QuheConfig::default()
     };
-    let service = SolveService::builtin(config);
+    let service = ServiceConfig::new(config).build();
     let catalog_names: Vec<String> = service
         .catalog()
         .names()
@@ -241,11 +233,12 @@ fn main() {
 
     let stats = service.stats();
     let count = |outcome: CacheOutcome| responses.iter().filter(|r| r.cache == outcome).count();
-    let (hits, warm, fallback, cold) = (
+    let (hits, warm, fallback, cold, coalesced) = (
         count(CacheOutcome::Hit),
         count(CacheOutcome::Warm),
         count(CacheOutcome::WarmFallback),
         count(CacheOutcome::Cold),
+        count(CacheOutcome::Coalesced),
     );
 
     let mut latencies: Vec<f64> = responses.iter().map(|r| r.service_wall_s).collect();
@@ -321,7 +314,8 @@ fn main() {
             .with("hit", JsonValue::from_usize(hits))
             .with("warm", JsonValue::from_usize(warm))
             .with("warm_fallback", JsonValue::from_usize(fallback))
-            .with("cold", JsonValue::from_usize(cold)),
+            .with("cold", JsonValue::from_usize(cold))
+            .with("coalesced", JsonValue::from_usize(coalesced)),
     )
     .with(
         "hit_fraction",

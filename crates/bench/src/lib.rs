@@ -41,6 +41,14 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Reads an environment variable as `f64`, with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Reads an environment variable as `u64`, with a default.
 pub fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)

@@ -54,6 +54,17 @@ pub fn solve_measurement(object: &mut JsonValue, report: &SolveReport, wall_s: f
     object.set("wall_s", JsonValue::from_f64(wall_s));
 }
 
+/// The `p`-th percentile of an ascending-sorted sample (nearest-rank), `NaN`
+/// when empty — the convention every latency block of a `BENCH_*.json`
+/// report uses.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Serializes the document, writes it to `out_path`, echoes it to stdout and
 /// notes the path on stderr — the uniform tail of every report-emitting
 /// binary.

@@ -37,6 +37,34 @@ pub enum QuheError {
     Mec(MecError),
     /// An error bubbled up from the optimization toolkit.
     Opt(OptError),
+    /// The service refused the request because it is at capacity — the
+    /// serving layer's shed-load signal. A client receiving this should back
+    /// off and retry; nothing was solved and nothing was cached.
+    Overloaded {
+        /// What was saturated (e.g. the admission queue) and its bound.
+        reason: String,
+    },
+    /// The service is shutting down and no longer accepts new requests.
+    ShuttingDown,
+}
+
+impl QuheError {
+    /// Stable machine-readable tag of the error's kind — the `error.kind`
+    /// field of the serve layer's wire envelope. Tags are part of the wire
+    /// protocol: existing values never change meaning, new variants add new
+    /// tags.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuheError::InvalidConfig { .. } => "invalid_request",
+            QuheError::ConstraintViolation { .. } => "constraint_violation",
+            QuheError::DimensionMismatch { .. } => "dimension_mismatch",
+            QuheError::Qkd(_) => "qkd",
+            QuheError::Mec(_) => "mec",
+            QuheError::Opt(_) => "opt",
+            QuheError::Overloaded { .. } => "overloaded",
+            QuheError::ShuttingDown => "shutting_down",
+        }
+    }
 }
 
 impl fmt::Display for QuheError {
@@ -52,6 +80,8 @@ impl fmt::Display for QuheError {
             QuheError::Qkd(e) => write!(f, "qkd substrate error: {e}"),
             QuheError::Mec(e) => write!(f, "mec substrate error: {e}"),
             QuheError::Opt(e) => write!(f, "optimization error: {e}"),
+            QuheError::Overloaded { reason } => write!(f, "service overloaded: {reason}"),
+            QuheError::ShuttingDown => write!(f, "service shutting down"),
         }
     }
 }
@@ -101,6 +131,27 @@ mod tests {
         }
         .into();
         assert!(matches!(e, QuheError::Mec(_)));
+    }
+
+    #[test]
+    fn kinds_are_stable_wire_tags() {
+        let overloaded = QuheError::Overloaded {
+            reason: "queue full (64 pending)".to_string(),
+        };
+        assert_eq!(overloaded.kind(), "overloaded");
+        assert!(overloaded.to_string().contains("queue full"));
+        assert_eq!(QuheError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(
+            QuheError::InvalidConfig {
+                reason: "x".to_string()
+            }
+            .kind(),
+            "invalid_request"
+        );
+        assert_eq!(
+            QuheError::from(QkdError::InvalidWerner { value: 2.0 }).kind(),
+            "qkd"
+        );
     }
 
     #[test]

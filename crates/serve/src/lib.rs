@@ -21,22 +21,38 @@
 //!   fallback guarantee, with a cold re-solve when the warm solve regresses;
 //! * everything else solves cold and populates the cache.
 //!
+//! In front of the cache sits a [`coalesce`] singleflight table: identical
+//! requests arriving **concurrently** elect one leader that solves while
+//! every follower blocks on the flight and receives the report
+//! bit-identically — N identical in-flight requests cost one solve, closing
+//! the window the completed-solve cache cannot cover.
+//!
+//! The [`net`] module puts a network front end on the service: a framed TCP
+//! listener ([`wire`]: 4-byte length-prefixed JSON frames, versioned
+//! `quhe-serve/v2` envelope with stable error kinds) feeding a bounded
+//! admission queue drained by a worker pool, with shed-load `overloaded`
+//! envelopes when the queue is full and graceful shutdown. Sizing — cache
+//! capacity, worker threads, queue bound, coalescing — lives in one
+//! [`ServiceConfig`] builder.
+//!
 //! [`SolveService::handle_batch`] shards request streams across the scoped
-//! worker pool with all workers sharing one cache. The `serve_bench` binary
-//! in `quhe-bench` replays catalogue-derived request streams through this
-//! service and emits `BENCH_serve.json`; `examples/serve_roundtrip.rs` walks
-//! the JSON protocol end to end.
+//! worker pool with all workers sharing one cache. The `serve_bench` and
+//! `load_bench` binaries in `quhe-bench` drive this service (in-process and
+//! over TCP respectively) and emit `BENCH_serve.json` / `BENCH_load.json`;
+//! `examples/serve_roundtrip.rs` walks the JSON protocol end to end and
+//! `examples/tcp_client.rs` the framed TCP front end.
 //!
 //! ```
 //! use quhe_serve::prelude::*;
 //! use quhe_core::params::QuheConfig;
 //!
-//! let service = SolveService::builtin(QuheConfig {
+//! let service = ServiceConfig::new(QuheConfig {
 //!     max_outer_iterations: 1,
 //!     max_stage3_iterations: 4,
 //!     solver_threads: 1,
 //!     ..QuheConfig::default()
-//! });
+//! })
+//! .build();
 //! let request = SolveRequest::catalog("paper_default", 42);
 //! let cold = service.handle(&request).unwrap();
 //! let hit = service.handle(&request).unwrap();
@@ -48,19 +64,28 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod coalesce;
+pub mod net;
 pub mod request;
 pub mod service;
+pub mod wire;
 
 pub use cache::{CacheEntry, ScenarioCache};
+pub use net::{NetStats, TcpServer};
 pub use request::{InlineScenario, ScenarioSpec, SolveRequest};
 pub use service::{
-    CacheOutcome, ServiceStats, SolveResponse, SolveService, DEFAULT_CACHE_CAPACITY,
-    DRIFT_AMPLITUDE,
+    CacheOutcome, ServiceConfig, ServiceStats, SolveResponse, SolveService, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_QUEUE_BOUND, DRIFT_AMPLITUDE,
 };
+pub use wire::{Protocol, WireReply, MAX_FRAME_BYTES, PROTOCOL_V2};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::cache::ScenarioCache;
+    pub use crate::net::{NetStats, TcpServer};
     pub use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
-    pub use crate::service::{CacheOutcome, ServiceStats, SolveResponse, SolveService};
+    pub use crate::service::{
+        CacheOutcome, ServiceConfig, ServiceStats, SolveResponse, SolveService,
+    };
+    pub use crate::wire::{Protocol, WireReply, PROTOCOL_V2};
 }

@@ -30,9 +30,9 @@
 //! start the same scenario before either finishes — both results are
 //! correct, and the cache keeps one).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use quhe_core::error::{QuheError, QuheResult};
 use quhe_core::fingerprint::Fingerprint;
 use quhe_core::json::JsonValue;
@@ -45,7 +45,9 @@ use quhe_mec::scenario::MecScenario;
 use quhe_qkd::topology::synthetic_scenario;
 
 use crate::cache::{CacheEntry, ScenarioCache};
+use crate::coalesce::{FlightKey, FlightResult, Join, Singleflight};
 use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
+use crate::wire;
 
 /// Per-step relative drift amplitude of the serve protocol's fixed drift
 /// model (applied to both MEC channel gains and QKD key rates by
@@ -53,9 +55,13 @@ use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
 /// `online_eval`.
 pub const DRIFT_AMPLITUDE: f64 = 0.01;
 
-/// Default number of cached reports ([`SolveService::with_cache_capacity`]
+/// Default number of cached reports ([`ServiceConfig::with_cache_capacity`]
 /// overrides).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Default bound of the network front end's admission queue: requests past
+/// this many pending are shed with an `overloaded` error envelope.
+pub const DEFAULT_QUEUE_BOUND: usize = 64;
 
 /// How a response was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +77,10 @@ pub enum CacheOutcome {
     WarmFallback,
     /// Solved from scratch as requested.
     Cold,
+    /// Coalesced onto an identical request already in flight: this request
+    /// spent no solver work and received the leader's report bit-identically
+    /// the moment the leader finished.
+    Coalesced,
 }
 
 impl CacheOutcome {
@@ -81,6 +91,7 @@ impl CacheOutcome {
             CacheOutcome::Warm => "warm",
             CacheOutcome::WarmFallback => "warm_fallback",
             CacheOutcome::Cold => "cold",
+            CacheOutcome::Coalesced => "coalesced",
         }
     }
 
@@ -91,6 +102,7 @@ impl CacheOutcome {
             "warm" => Some(CacheOutcome::Warm),
             "warm_fallback" => Some(CacheOutcome::WarmFallback),
             "cold" => Some(CacheOutcome::Cold),
+            "coalesced" => Some(CacheOutcome::Coalesced),
             _ => None,
         }
     }
@@ -241,13 +253,17 @@ impl SolveResponse {
     }
 }
 
-/// Monotonic serving counters, readable while workers are running.
-#[derive(Debug, Default)]
-struct ServiceCounters {
-    exact_hits: AtomicUsize,
-    warm_hits: AtomicUsize,
-    warm_fallbacks: AtomicUsize,
-    cold_solves: AtomicUsize,
+/// Monotonic serving counters behind one lock, so a [`ServiceStats`]
+/// snapshot is a consistent point in time even while workers are counting —
+/// independently updated atomics could be observed torn (a request counted
+/// in one counter but not yet in a related one).
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    exact_hits: usize,
+    warm_hits: usize,
+    warm_fallbacks: usize,
+    cold_solves: usize,
+    coalesced: usize,
 }
 
 /// A point-in-time snapshot of the serving counters.
@@ -261,6 +277,9 @@ pub struct ServiceStats {
     pub warm_fallbacks: usize,
     /// Requests solved from scratch.
     pub cold_solves: usize,
+    /// Requests coalesced onto an identical in-flight request (they spent no
+    /// solver work and received the leader's report bit-identically).
+    pub coalesced: usize,
     /// Reports currently cached.
     pub cached_reports: usize,
 }
@@ -268,44 +287,171 @@ pub struct ServiceStats {
 impl ServiceStats {
     /// Total requests served.
     pub fn total(&self) -> usize {
-        self.exact_hits + self.warm_hits + self.warm_fallbacks + self.cold_solves
+        self.exact_hits + self.warm_hits + self.warm_fallbacks + self.cold_solves + self.coalesced
+    }
+}
+
+/// Configuration of a [`SolveService`] and the defaults its network front
+/// end inherits — the one place to size the serving stack:
+///
+/// ```
+/// use quhe_serve::service::ServiceConfig;
+/// use quhe_core::params::QuheConfig;
+///
+/// let service = ServiceConfig::new(QuheConfig {
+///     max_outer_iterations: 1,
+///     max_stage3_iterations: 4,
+///     solver_threads: 1,
+///     ..QuheConfig::default()
+/// })
+/// .with_cache_capacity(256)
+/// .with_worker_threads(2)
+/// .with_queue_bound(32)
+/// .build();
+/// assert_eq!(service.cache().capacity(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    solver: QuheConfig,
+    cache_capacity: usize,
+    worker_threads: usize,
+    queue_bound: usize,
+    coalescing: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new(QuheConfig::default())
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration with the given solver configuration and the service
+    /// defaults: [`DEFAULT_CACHE_CAPACITY`], machine-sized workers,
+    /// [`DEFAULT_QUEUE_BOUND`], coalescing on.
+    pub fn new(solver: QuheConfig) -> Self {
+        Self {
+            solver,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            worker_threads: 0,
+            queue_bound: DEFAULT_QUEUE_BOUND,
+            coalescing: true,
+        }
+    }
+
+    /// Sets the report-cache capacity (at least 1).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the worker-thread count used by the network front end and as
+    /// the default of batch serving (`0` sizes to the machine).
+    #[must_use]
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Sets the admission-queue bound of the network front end: requests
+    /// beyond this many pending are shed with an `overloaded` envelope.
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound.max(1);
+        self
+    }
+
+    /// Enables or disables in-flight request coalescing (default on).
+    #[must_use]
+    pub fn with_coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// The solver configuration.
+    pub fn solver(&self) -> &QuheConfig {
+        &self.solver
+    }
+
+    /// The report-cache capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// The worker-thread count (`0` = machine-sized).
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// The admission-queue bound.
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Whether in-flight request coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
+    }
+
+    /// Builds a service over the built-in solvers and catalogue.
+    pub fn build(self) -> SolveService {
+        let registry = SolverRegistry::builtin_with(self.solver);
+        self.build_with(registry, ScenarioCatalog::builtin())
+    }
+
+    /// Builds a service over an explicit registry and catalogue.
+    pub fn build_with(self, registry: SolverRegistry, catalog: ScenarioCatalog) -> SolveService {
+        SolveService {
+            registry,
+            catalog,
+            cache: ScenarioCache::new(self.cache_capacity),
+            counters: Mutex::new(Counters::default()),
+            flights: Singleflight::new(),
+            config: self,
+        }
     }
 }
 
 /// A multi-worker solve service over a solver registry and a scenario
-/// catalogue, with a shared content-addressed report cache.
+/// catalogue, with a shared content-addressed report cache and an in-flight
+/// singleflight table. Built from a [`ServiceConfig`].
 #[derive(Debug)]
 pub struct SolveService {
     registry: SolverRegistry,
     catalog: ScenarioCatalog,
     cache: ScenarioCache,
-    counters: ServiceCounters,
+    counters: Mutex<Counters>,
+    flights: Singleflight,
+    config: ServiceConfig,
 }
 
 impl SolveService {
-    /// A service over an explicit registry and catalogue with the default
-    /// cache capacity.
+    /// A service over an explicit registry and catalogue under the default
+    /// [`ServiceConfig`] sizing.
     pub fn new(registry: SolverRegistry, catalog: ScenarioCatalog) -> Self {
-        Self {
-            registry,
-            catalog,
-            cache: ScenarioCache::new(DEFAULT_CACHE_CAPACITY),
-            counters: ServiceCounters::default(),
-        }
+        ServiceConfig::default().build_with(registry, catalog)
     }
 
     /// The built-in solvers and catalogue under a shared configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServiceConfig::new(config).build()` — the builder also \
+                sizes the cache, workers, queue bound and coalescing"
+    )]
     pub fn builtin(config: QuheConfig) -> Self {
-        Self::new(
-            SolverRegistry::builtin_with(config),
-            ScenarioCatalog::builtin(),
-        )
+        ServiceConfig::new(config).build()
     }
 
     /// Replaces the cache with one holding at most `capacity` reports.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `ServiceConfig::with_cache_capacity` before building"
+    )]
     #[must_use]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = ScenarioCache::new(capacity);
+        self.config = self.config.with_cache_capacity(capacity);
         self
     }
 
@@ -319,15 +465,32 @@ impl SolveService {
         &self.catalog
     }
 
-    /// A snapshot of the serving counters and cache occupancy.
+    /// The report cache.
+    pub fn cache(&self) -> &ScenarioCache {
+        &self.cache
+    }
+
+    /// The configuration this service was built from (the network front end
+    /// reads its worker and queue sizing from here).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// A consistent snapshot of the serving counters and cache occupancy.
     pub fn stats(&self) -> ServiceStats {
+        let counters = *self.counters.lock();
         ServiceStats {
-            exact_hits: self.counters.exact_hits.load(Ordering::Relaxed),
-            warm_hits: self.counters.warm_hits.load(Ordering::Relaxed),
-            warm_fallbacks: self.counters.warm_fallbacks.load(Ordering::Relaxed),
-            cold_solves: self.counters.cold_solves.load(Ordering::Relaxed),
+            exact_hits: counters.exact_hits,
+            warm_hits: counters.warm_hits,
+            warm_fallbacks: counters.warm_fallbacks,
+            cold_solves: counters.cold_solves,
+            coalesced: counters.coalesced,
             cached_reports: self.cache.len(),
         }
+    }
+
+    fn count(&self, bump: impl FnOnce(&mut Counters)) {
+        bump(&mut self.counters.lock());
     }
 
     /// Resolves a [`ScenarioSpec`] to a concrete scenario.
@@ -395,10 +558,95 @@ impl SolveService {
         spec: &SolveSpec,
         wall: Instant,
     ) -> QuheResult<SolveResponse> {
+        // Resolve the solver name before anything else so an unknown name
+        // fails fast without touching the flight table.
+        self.registry.resolve(solver_name)?;
+        let fingerprint = scenario.fingerprint();
+        let spec_key = spec.to_json_value().to_compact_string();
+
+        // Fast path: an exact hit needs no flight — the report already
+        // exists, concurrent duplicates each read it bit-identically.
+        if let Some(report) = self
+            .cache
+            .lookup_exact(fingerprint, scenario, solver_name, &spec_key)
+        {
+            self.count(|c| c.exact_hits += 1);
+            return Ok(SolveResponse {
+                id,
+                solver: solver_name.to_string(),
+                cache: CacheOutcome::Hit,
+                fingerprint,
+                shape_fingerprint: scenario.shape_fingerprint(),
+                service_wall_s: wall.elapsed().as_secs_f64(),
+                path_outer_iterations: 0,
+                guard_outer_iterations: 0,
+                report,
+            });
+        }
+
+        if !self.config.coalescing() {
+            return self.serve_slow(id, scenario, solver_name, spec, spec_key, wall);
+        }
+
+        // Singleflight: identical concurrent requests elect one leader; the
+        // rest block on its flight and receive the report bit-identically.
+        match self.flights.join(FlightKey {
+            fingerprint: fingerprint.as_u128(),
+            solver: solver_name.to_string(),
+            spec_key: spec_key.clone(),
+        }) {
+            Join::Lead(token) => {
+                let result = self.serve_slow(id, scenario, solver_name, spec, spec_key, wall);
+                token.publish(match &result {
+                    Ok(response) => Ok(FlightResult {
+                        leader_outcome: response.cache,
+                        fingerprint: response.fingerprint,
+                        shape_fingerprint: response.shape_fingerprint,
+                        report: response.report.clone(),
+                    }),
+                    Err(e) => Err(e.clone()),
+                });
+                result
+            }
+            Join::Coalesced(outcome) => {
+                let flight = outcome?;
+                self.count(|c| c.coalesced += 1);
+                Ok(SolveResponse {
+                    id,
+                    solver: solver_name.to_string(),
+                    cache: CacheOutcome::Coalesced,
+                    fingerprint: flight.fingerprint,
+                    shape_fingerprint: flight.shape_fingerprint,
+                    // The wall includes the time spent blocked on the
+                    // leader — that is what this request actually waited.
+                    service_wall_s: wall.elapsed().as_secs_f64(),
+                    // No solver work was spent on this request's behalf;
+                    // the leader's own response carries the path bill.
+                    path_outer_iterations: 0,
+                    guard_outer_iterations: 0,
+                    report: flight.report,
+                })
+            }
+        }
+    }
+
+    /// The cache-miss path: warm near miss or cold solve. Runs at most once
+    /// per in-flight key when coalescing is on (this is what the leader
+    /// executes); re-checks the exact index first because a previous leader
+    /// for the same key may have completed between this request's fast-path
+    /// lookup and its flight-table join.
+    fn serve_slow(
+        &self,
+        id: Option<String>,
+        scenario: &SystemScenario,
+        solver_name: &str,
+        spec: &SolveSpec,
+        spec_key: String,
+        wall: Instant,
+    ) -> QuheResult<SolveResponse> {
         let solver = self.registry.resolve(solver_name)?;
         let fingerprint = scenario.fingerprint();
         let shape_fingerprint = scenario.shape_fingerprint();
-        let spec_key = spec.to_json_value().to_compact_string();
 
         let respond =
             |cache: CacheOutcome, report: SolveReport, path_iters: usize, guard_iters: usize| {
@@ -415,12 +663,12 @@ impl SolveService {
                 }
             };
 
-        // 1. Exact hit: zero solver work, the cached report bit-identically.
+        // 1. Exact hit (latecomer re-check, see above).
         if let Some(report) = self
             .cache
             .lookup_exact(fingerprint, scenario, solver_name, &spec_key)
         {
-            self.counters.exact_hits.fetch_add(1, Ordering::Relaxed);
+            self.count(|c| c.exact_hits += 1);
             return Ok(respond(CacheOutcome::Hit, report, 0, 0));
         }
 
@@ -435,8 +683,8 @@ impl SolveService {
                 let (outcome, report, is_anchor, path_iters, guard_iters) =
                     self.solve_warm(solver, scenario, spec, &anchor)?;
                 match outcome {
-                    CacheOutcome::Warm => self.counters.warm_hits.fetch_add(1, Ordering::Relaxed),
-                    _ => self.counters.warm_fallbacks.fetch_add(1, Ordering::Relaxed),
+                    CacheOutcome::Warm => self.count(|c| c.warm_hits += 1),
+                    _ => self.count(|c| c.warm_fallbacks += 1),
                 };
                 // Cache for exact reuse. Warm-path results anchor future
                 // warm chains only when the kept report actually came from
@@ -458,7 +706,7 @@ impl SolveService {
 
         // 3. Cold: solve as requested and cache.
         let report = solver.solve(scenario, spec)?;
-        self.counters.cold_solves.fetch_add(1, Ordering::Relaxed);
+        self.count(|c| c.cold_solves += 1);
         self.cache.insert(CacheEntry {
             scenario: scenario.clone(),
             fingerprint,
@@ -538,15 +786,23 @@ impl SolveService {
 
     /// Handles a JSON request string, returning a JSON response string —
     /// never an `Err`: malformed requests and solver failures become an
-    /// `{"error": ..., "id": ...}` envelope.
+    /// error envelope.
+    ///
+    /// The response shape follows the request's protocol version: a
+    /// `quhe-serve/v2` body is answered with the v2 envelope (`ok`
+    /// discriminator, stable `error.kind`), a legacy unversioned v1 body
+    /// with the deprecated v1 shapes (the plain response object, or
+    /// `{"id", "error": "<message>"}`), so existing callers keep working.
+    /// See [`crate::wire`] for both shapes.
     pub fn handle_json(&self, text: &str) -> String {
-        let request = match SolveRequest::from_json(text) {
+        let (proto, id, request) = wire::parse_request(text);
+        let request = match request {
             Ok(request) => request,
-            Err(e) => return error_json(None, &e),
+            Err(e) => return wire::error_envelope(proto, id.as_deref(), &e),
         };
         match self.handle(&request) {
-            Ok(response) => response.to_json(),
-            Err(e) => error_json(request.id.as_deref(), &e),
+            Ok(response) => wire::ok_envelope(proto, &response),
+            Err(e) => wire::error_envelope(proto, request.id.as_deref(), &e),
         }
     }
 
@@ -560,16 +816,6 @@ impl SolveService {
     ) -> Vec<QuheResult<SolveResponse>> {
         threadpool::ThreadPool::new(threads).par_map(requests, |request| self.handle(request))
     }
-}
-
-fn error_json(id: Option<&str>, error: &QuheError) -> String {
-    JsonValue::object()
-        .with(
-            "id",
-            id.map_or(JsonValue::Null, |i| JsonValue::String(i.to_string())),
-        )
-        .with("error", JsonValue::String(error.to_string()))
-        .to_pretty_string()
 }
 
 fn resolve_inline(inline: &InlineScenario) -> QuheResult<SystemScenario> {
@@ -633,7 +879,7 @@ mod tests {
     }
 
     fn quick_service() -> SolveService {
-        SolveService::builtin(quick_config())
+        ServiceConfig::new(quick_config()).build()
     }
 
     #[test]
@@ -821,6 +1067,142 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn deprecated_constructors_match_the_config_builder() {
+        // The shims must stay behaviour-identical to the builder they
+        // forward to: same cache capacity, same serving decisions.
+        #[allow(deprecated)]
+        let legacy = SolveService::builtin(quick_config()).with_cache_capacity(7);
+        let modern = ServiceConfig::new(quick_config())
+            .with_cache_capacity(7)
+            .build();
+        assert_eq!(legacy.cache().capacity(), 7);
+        assert_eq!(legacy.config().cache_capacity(), 7);
+        assert_eq!(legacy.config(), modern.config());
+
+        let request = SolveRequest::catalog("paper_default", 11);
+        let from_legacy = legacy.handle(&request).unwrap();
+        let from_modern = modern.handle(&request).unwrap();
+        assert_eq!(from_legacy.cache, CacheOutcome::Cold);
+        assert_eq!(from_modern.cache, CacheOutcome::Cold);
+        assert_eq!(
+            from_legacy.report.objective.to_bits(),
+            from_modern.report.objective.to_bits()
+        );
+        assert_eq!(from_legacy.report.variables, from_modern.report.variables);
+    }
+
+    #[test]
+    fn concurrent_identical_cold_requests_coalesce_to_one_solve() {
+        let service = std::sync::Arc::new(quick_service());
+        let clients = 4;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients));
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let service = std::sync::Arc::clone(&service);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service
+                        .handle(&SolveRequest::catalog("paper_default", 77).with_id(&i.to_string()))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let responses: Vec<SolveResponse> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let stats = service.stats();
+        assert_eq!(
+            stats.cold_solves, 1,
+            "identical concurrent requests must trigger exactly one solve: {stats:?}"
+        );
+        assert_eq!(stats.total(), clients);
+        // Every response carries the bit-identical report, whatever path
+        // (leader, coalesced follower, or post-publication cache hit)
+        // served it, and coalesced responses bill zero solver work.
+        let reference = &responses[0].report;
+        for response in &responses {
+            assert_eq!(&response.report, reference);
+            assert_eq!(
+                response.report.runtime_s.to_bits(),
+                reference.runtime_s.to_bits()
+            );
+            if response.cache == CacheOutcome::Coalesced {
+                assert_eq!(response.path_outer_iterations, 0);
+                assert_eq!(response.guard_outer_iterations, 0);
+            }
+        }
+        // A later identical request is a plain cache hit, not a flight.
+        let after = service
+            .handle(&SolveRequest::catalog("paper_default", 77))
+            .unwrap();
+        assert_eq!(after.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let service = ServiceConfig::new(quick_config())
+            .with_coalescing(false)
+            .build();
+        assert!(!service.config().coalescing());
+        let response = service
+            .handle(&SolveRequest::catalog("paper_default", 3))
+            .unwrap();
+        assert_eq!(response.cache, CacheOutcome::Cold);
+        assert_eq!(service.stats().coalesced, 0);
+    }
+
+    #[test]
+    fn v2_bodies_are_answered_with_the_v2_envelope() {
+        let service = quick_service();
+        let ok = service.handle_json(
+            "{\"proto\": \"quhe-serve/v2\", \"id\": \"w1\", \
+             \"scenario\": {\"catalog\": \"paper_default\", \"seed\": 5}}",
+        );
+        let value = JsonValue::parse(&ok).unwrap();
+        assert_eq!(
+            value.get("proto").and_then(JsonValue::as_str),
+            Some("quhe-serve/v2")
+        );
+        assert_eq!(value.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let response = SolveResponse::from_json_value(value.get("result").unwrap()).unwrap();
+        assert_eq!(response.id.as_deref(), Some("w1"));
+
+        let bad = service.handle_json(
+            "{\"proto\": \"quhe-serve/v2\", \"id\": \"w2\", \
+             \"scenario\": {\"catalog\": \"paper_default\", \"seed\": 1}, \
+             \"solver\": \"atlantis\"}",
+        );
+        let value = JsonValue::parse(&bad).unwrap();
+        assert_eq!(value.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(value.get("id").and_then(JsonValue::as_str), Some("w2"));
+        let error = value.get("error").unwrap();
+        assert_eq!(
+            error.get("kind").and_then(JsonValue::as_str),
+            Some("invalid_request")
+        );
+        assert!(error
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("atlantis"));
+
+        // Scenario-domain failures keep their own stable kind.
+        let unknown_world = service.handle_json(
+            "{\"proto\": \"quhe-serve/v2\", \"id\": \"w3\", \
+             \"scenario\": {\"catalog\": \"atlantis\", \"seed\": 1}}",
+        );
+        let value = JsonValue::parse(&unknown_world).unwrap();
+        assert_eq!(value.get("ok").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(
+            value
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("mec")
+        );
     }
 
     #[test]

@@ -19,13 +19,14 @@
 use quhe::prelude::*;
 
 fn main() {
-    let service = SolveService::builtin(QuheConfig {
+    let service = ServiceConfig::new(QuheConfig {
         max_outer_iterations: 4,
         max_stage3_iterations: 30,
         tolerance: 1e-3,
         solver_threads: 1,
         ..QuheConfig::default()
-    });
+    })
+    .build();
 
     // 1. A cold request, as it would arrive on the wire.
     let request = r#"{"id": "req-1", "scenario": {"catalog": "paper_default", "seed": 42}, "solver": "quhe"}"#;

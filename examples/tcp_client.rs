@@ -1,0 +1,131 @@
+//! The framed TCP front end from a client's point of view.
+//!
+//! The example starts a [`TcpServer`] on an ephemeral loopback port — in a
+//! deployment this is the long-running process — and then speaks to it over
+//! a plain `TcpStream` exactly as an external client would:
+//!
+//! 1. a `quhe-serve/v2` request, framed as 4-byte big-endian length + JSON:
+//!    cold solve;
+//! 2. the identical request again: an exact cache hit, bit-identical report;
+//! 3. a drifted near miss: warm-started from the cached anchor;
+//! 4. a garbage frame: the structured error envelope comes back and the
+//!    *same connection* keeps working — malformed input never costs the
+//!    session.
+//!
+//! ```bash
+//! cargo run --release --example tcp_client
+//! ```
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use quhe::core::json::JsonValue;
+use quhe::prelude::*;
+use quhe::serve::wire::{self, read_frame};
+
+/// Frames `body`, sends it, and returns the parsed reply envelope.
+fn exchange(stream: &mut TcpStream, body: &str) -> WireReply {
+    wire::write_frame(stream, body.as_bytes()).expect("writing the request frame");
+    let frame = read_frame(stream)
+        .expect("reading the reply frame")
+        .expect("the server answers every frame");
+    WireReply::from_json(std::str::from_utf8(&frame).expect("replies are UTF-8 JSON"))
+        .expect("parsing the reply envelope")
+}
+
+/// A v2 body: the request object plus the protocol marker.
+fn v2_body(request: &SolveRequest) -> String {
+    let mut value = request.to_json_value();
+    value.set("proto", JsonValue::String(PROTOCOL_V2.to_string()));
+    value.to_compact_string()
+}
+
+fn main() {
+    // Server side: a solve service behind the framed TCP listener. The
+    // builder sizes everything; port 0 picks an ephemeral port.
+    let service = ServiceConfig::new(QuheConfig {
+        max_outer_iterations: 4,
+        max_stage3_iterations: 30,
+        tolerance: 1e-3,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    })
+    .with_worker_threads(2)
+    .build();
+    let server = TcpServer::bind(Arc::new(service), "127.0.0.1:0").expect("binding the listener");
+    println!("serving on {} ({PROTOCOL_V2})", server.local_addr());
+
+    // Client side: one ordinary TCP connection.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connecting");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // 1. Cold solve.
+    let request = SolveRequest::catalog("paper_default", 42).with_id("req-1");
+    println!("\n-> {}", v2_body(&request));
+    let WireReply::Ok(cold) = exchange(&mut stream, &v2_body(&request)) else {
+        panic!("the cold request must succeed");
+    };
+    println!(
+        "<- id={:?} cache={} objective={:.4} solve runtime={:.3}s",
+        cold.id,
+        cold.cache.tag(),
+        cold.report.objective,
+        cold.report.runtime_s
+    );
+    assert_eq!(cold.cache, CacheOutcome::Cold);
+
+    // 2. The identical request: an exact hit, bit-identical report.
+    let again = request.clone().with_id("req-2");
+    let WireReply::Ok(hit) = exchange(&mut stream, &v2_body(&again)) else {
+        panic!("the repeat request must succeed");
+    };
+    println!(
+        "<- id={:?} cache={} (report bit-identical: {})",
+        hit.id,
+        hit.cache.tag(),
+        hit.report == cold.report
+    );
+    assert_eq!(hit.cache, CacheOutcome::Hit);
+    assert_eq!(hit.report, cold.report);
+
+    // 3. A drifted near miss: same world shape, perturbed channels — served
+    //    from the warm-start path.
+    let drifted = SolveRequest::drifted("paper_default", 42, 1).with_id("req-3");
+    let WireReply::Ok(warm) = exchange(&mut stream, &v2_body(&drifted)) else {
+        panic!("the drifted request must succeed");
+    };
+    println!(
+        "<- id={:?} cache={} objective={:.4}",
+        warm.id,
+        warm.cache.tag(),
+        warm.report.objective
+    );
+    assert!(matches!(
+        warm.cache,
+        CacheOutcome::Warm | CacheOutcome::WarmFallback
+    ));
+
+    // 4. Garbage on the wire: a structured error envelope, and the
+    //    connection survives to serve the next request.
+    println!("\n-> this is not json");
+    let WireReply::Err { kind, message, .. } = exchange(&mut stream, "this is not json") else {
+        panic!("garbage must be rejected");
+    };
+    println!("<- error kind={kind} message={message:?}");
+    assert_eq!(kind, "invalid_request");
+    let WireReply::Ok(after) = exchange(&mut stream, &v2_body(&again.with_id("req-4"))) else {
+        panic!("the connection must survive the malformed frame");
+    };
+    println!(
+        "<- id={:?} cache={} — connection survived the garbage frame",
+        after.id,
+        after.cache.tag()
+    );
+
+    drop(stream);
+    server.shutdown();
+    println!("\nserver drained and shut down cleanly");
+}

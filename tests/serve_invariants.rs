@@ -40,7 +40,7 @@ fn grid() -> Vec<(String, u64)> {
 
 #[test]
 fn cache_hits_are_bit_identical_to_the_cold_report() {
-    let service = SolveService::builtin(test_config());
+    let service = ServiceConfig::new(test_config()).build();
     let reference_solver = QuheSolver::new(test_config());
     for (name, seed) in grid() {
         let request = SolveRequest::catalog(&name, seed);
@@ -86,7 +86,7 @@ fn cache_hits_are_bit_identical_to_the_cold_report() {
 
 #[test]
 fn warm_near_misses_never_fall_below_the_single_start_floor() {
-    let service = SolveService::builtin(test_config());
+    let service = ServiceConfig::new(test_config()).build();
     let floor_solver = QuheSolver::new(test_config());
     let mut warm_served = 0usize;
     for (name, seed) in grid() {
@@ -134,7 +134,7 @@ fn warm_near_misses_never_fall_below_the_single_start_floor() {
 
 #[test]
 fn served_solutions_are_feasible_in_their_scenarios() {
-    let service = SolveService::builtin(test_config());
+    let service = ServiceConfig::new(test_config()).build();
     for (request, expect_kind) in [
         (
             SolveRequest::catalog("paper_default", 9),
