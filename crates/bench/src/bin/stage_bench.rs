@@ -1,0 +1,193 @@
+//! Per-stage and per-primitive micro-benchmark of the cold-solve fast path.
+//!
+//! ```bash
+//! # writes BENCH_stage.json at the workspace root (or the path in $1):
+//! cargo run --release -p quhe-bench --bin stage_bench
+//! cargo run --release -p quhe-bench --bin stage_bench -- --quick /tmp/stage.json
+//! ```
+//!
+//! Two layers are measured on the paper-default scenario:
+//!
+//! * **Primitives** — the inner-loop operations the cold path is built from:
+//!   a Cholesky factorization, a triangular re-solve against an existing
+//!   factor, one damped-Newton step, and the simplex-cap projection in both
+//!   its cheap (budget slack) and expensive (budget violated, bisection)
+//!   regimes. Reported as nanoseconds per call.
+//! * **Stages** — standalone Stage 1/2/3 solves from the deterministic
+//!   initial point, exactly as `bench_seed` measures them. Reported as
+//!   median seconds per solve plus their sum, the cold-solve stage total the
+//!   CI regression gate compares against the committed artifact.
+//!
+//! `--quick` shrinks the repetition counts for CI smoke runs; the JSON
+//! schema is identical in both modes.
+
+use std::time::Instant;
+
+use quhe_bench::report::write;
+use quhe_bench::{default_scenario, env_usize, experiment_config, output_path};
+use quhe_core::prelude::*;
+use quhe_opt::linalg::{CholeskyFactor, DenseMatrix};
+use quhe_opt::newton::{DampedNewton, NewtonConfig, NewtonWorkspace};
+use quhe_opt::projection::{Projection, SimplexCapProjection};
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Median nanoseconds per call of `op` over `reps` batches of `batch` calls.
+fn per_call_ns<F: FnMut()>(reps: usize, batch: usize, mut op: F) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let wall = Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        samples.push(wall.elapsed().as_secs_f64() * 1e9 / batch as f64);
+    }
+    median(&mut samples)
+}
+
+/// A small SPD test matrix (diagonally dominant), sized like the packed
+/// Stage-3 decision vector of the paper-default scenario.
+fn spd_matrix(n: usize) -> DenseMatrix {
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let off = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            a.set(i, j, if i == j { n as f64 + 1.0 } else { off });
+        }
+    }
+    a
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = output_path(&args, "BENCH_stage.json");
+    let runs = env_usize("QUHE_BENCH_RUNS", if quick { 3 } else { 7 }).max(1);
+    let (reps, batch) = if quick { (5, 200) } else { (15, 2000) };
+
+    // --- Primitives -------------------------------------------------------
+    let dim = 24; // 4 blocks x 6 clients, the paper-default Stage-3 packing
+    let a = spd_matrix(dim);
+    let rhs: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut chol = CholeskyFactor::new();
+    let mut solution = Vec::new();
+
+    let factor_ns = per_call_ns(reps, batch, || {
+        chol.refresh(std::hint::black_box(&a)).expect("SPD");
+    });
+    let solve_ns = per_call_ns(reps, batch, || {
+        chol.solve_into(std::hint::black_box(&rhs), &mut solution)
+            .expect("factored");
+        std::hint::black_box(&solution);
+    });
+
+    // One damped-Newton step (FD gradient + Hessian, factorization, line
+    // search) on a shifted quadratic bowl of the Stage-1 dimension.
+    let newton = DampedNewton::new(NewtonConfig {
+        max_iterations: 1,
+        ..NewtonConfig::default()
+    });
+    let bowl = |x: &[f64]| -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| (1.0 + i as f64 * 0.5) * (v - 0.3).powi(2))
+            .sum()
+    };
+    let mut newton_ws = NewtonWorkspace::new();
+    let start = vec![1.0; 6];
+    let newton_step_ns = per_call_ns(reps, batch / 10 + 1, || {
+        let result = newton
+            .minimize_with(
+                &bowl,
+                &|_: &[f64]| true,
+                std::hint::black_box(&start),
+                &mut newton_ws,
+            )
+            .expect("newton step");
+        std::hint::black_box(result.objective);
+    });
+
+    // The simplex-cap projection in both regimes: inside the budget (early
+    // return) and outside (bisection for the common shift).
+    let simplex = SimplexCapProjection::uniform(6, 0.1, 3.0).expect("feasible set");
+    let inside: Vec<f64> = vec![0.3; 6];
+    let outside: Vec<f64> = vec![1.7; 6];
+    let mut point = Vec::new();
+    let project_slack_ns = per_call_ns(reps, batch, || {
+        point.clear();
+        point.extend_from_slice(std::hint::black_box(&inside));
+        simplex.project(&mut point);
+        std::hint::black_box(&point);
+    });
+    let project_bisect_ns = per_call_ns(reps, batch, || {
+        point.clear();
+        point.extend_from_slice(std::hint::black_box(&outside));
+        simplex.project(&mut point);
+        std::hint::black_box(&point);
+    });
+
+    // --- Stages -----------------------------------------------------------
+    let scenario = default_scenario();
+    let config = experiment_config();
+    let problem = Problem::new(scenario, config)
+        .unwrap_or_else(|e| panic!("problem construction failed: {e}"));
+    let initial = problem
+        .initial_point()
+        .unwrap_or_else(|e| panic!("initial point failed: {e}"));
+
+    let mut stage1_s = Vec::with_capacity(runs);
+    let mut stage2_s = Vec::with_capacity(runs);
+    let mut stage3_s = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let stage1 = Stage1Solver::new()
+            .solve(&problem)
+            .unwrap_or_else(|e| panic!("stage 1 failed: {e}"));
+        stage1_s.push(stage1.runtime_s);
+        let stage2 = Stage2Solver::new()
+            .solve(&problem, &initial)
+            .unwrap_or_else(|e| panic!("stage 2 failed: {e}"));
+        stage2_s.push(stage2.runtime_s);
+        let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
+            .solve(&problem, &initial)
+            .unwrap_or_else(|e| panic!("stage 3 failed: {e}"));
+        stage3_s.push(stage3.runtime_s);
+    }
+    let stage1_median = median(&mut stage1_s);
+    let stage2_median = median(&mut stage2_s);
+    let stage3_median = median(&mut stage3_s);
+
+    let primitives = JsonValue::object()
+        .with("cholesky_factor_ns", JsonValue::from_f64(factor_ns))
+        .with("cholesky_solve_ns", JsonValue::from_f64(solve_ns))
+        .with("newton_step_ns", JsonValue::from_f64(newton_step_ns))
+        .with(
+            "project_simplex_slack_ns",
+            JsonValue::from_f64(project_slack_ns),
+        )
+        .with(
+            "project_simplex_bisect_ns",
+            JsonValue::from_f64(project_bisect_ns),
+        );
+    let stages = JsonValue::object()
+        .with("stage1_median", JsonValue::from_f64(stage1_median))
+        .with("stage2_median", JsonValue::from_f64(stage2_median))
+        .with("stage3_median", JsonValue::from_f64(stage3_median))
+        .with(
+            "stage_sum",
+            JsonValue::from_f64(stage1_median + stage2_median + stage3_median),
+        );
+    let document = JsonValue::object()
+        .with(
+            "schema",
+            JsonValue::String("quhe-stage-bench/v1".to_string()),
+        )
+        .with("scenario", JsonValue::String("paper_default".to_string()))
+        .with("quick", JsonValue::Bool(quick))
+        .with("runs", JsonValue::from_usize(runs))
+        .with("primitives_ns", primitives)
+        .with("stages_s", stages);
+    write(&out_path, &document);
+}

@@ -14,6 +14,7 @@
 //! | `tables_5_6` | Tables V and VI: per-method `phi` and `w` values |
 //! | `fig6_sweeps` | Fig. 6(a)–(d): objective vs. resource budgets |
 //! | `bench_seed` | `BENCH_seed.json`: single-scenario perf record |
+//! | `stage_bench` | `BENCH_stage.json`: per-stage + per-primitive cold-path timings |
 //! | `batch_eval` | `BENCH_batch.json`: scenario-catalogue grid, serial vs parallel |
 //! | `online_eval` | `BENCH_online.json`: dynamic traces, warm-started tracking vs cold re-solving |
 //! | `serve_bench` | `BENCH_serve.json`: solve-service request streams, cache hit/warm/cold split, latency percentiles |

@@ -78,6 +78,9 @@ pub(crate) struct RunOptions {
     pub(crate) stage3_multi_start: bool,
     /// Number of canonical extra starts in multi-start mode.
     pub(crate) stage3_start_budget: usize,
+    /// Whether Stage 3 may abandon dominated canonical starts early (never
+    /// changes the winner; see [`crate::stage3::Stage3Solver::with_start_pruning`]).
+    pub(crate) stage3_prune_starts: bool,
     /// Whether each Stage-3 call also records the interior-point duality-gap
     /// trace (never changes the solution; extra polish work).
     pub(crate) with_gap_trace: bool,
@@ -204,7 +207,8 @@ impl QuheAlgorithm {
             self.config.tolerance * 1e-2,
         )
         .with_threads(self.config.solver_threads)
-        .with_start_budget(options.stage3_start_budget);
+        .with_start_budget(options.stage3_start_budget)
+        .with_start_pruning(options.stage3_prune_starts);
 
         let mut vars = start;
         let mut best_objective = problem.objective_with_max_delay(&vars)?;

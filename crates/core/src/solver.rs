@@ -120,6 +120,7 @@ pub struct SolveSpec {
     start: StartMode,
     multi_start: Option<bool>,
     multi_start_budget: Option<usize>,
+    start_pruning: Option<bool>,
     threads: Option<usize>,
     tolerance: Option<f64>,
     instrumentation: InstrumentationLevel,
@@ -138,6 +139,7 @@ impl SolveSpec {
             start: StartMode::Cold,
             multi_start: None,
             multi_start_budget: None,
+            start_pruning: None,
             threads: None,
             tolerance: None,
             instrumentation: InstrumentationLevel::Standard,
@@ -178,6 +180,17 @@ impl SolveSpec {
         self
     }
 
+    /// Enables or disables Stage-3 dominated-start pruning (default:
+    /// enabled). Pruning abandons multi-start explorations that provably
+    /// cannot beat the warm start's objective; it never changes the returned
+    /// solution, only how much work dominated starts burn, so disabling it
+    /// is useful only for timing comparisons and determinism audits.
+    #[must_use]
+    pub fn with_start_pruning(mut self, start_pruning: bool) -> Self {
+        self.start_pruning = Some(start_pruning);
+        self
+    }
+
     /// Overrides the solver's worker-thread count (`0` = machine
     /// parallelism, `1` = serial). Thread count never changes the solution.
     #[must_use]
@@ -215,6 +228,11 @@ impl SolveSpec {
     /// The Stage-3 multi-start budget in effect.
     pub fn multi_start_budget(&self) -> usize {
         self.multi_start_budget.unwrap_or(DEFAULT_START_BUDGET)
+    }
+
+    /// Whether Stage-3 dominated-start pruning is active (default: `true`).
+    pub fn start_pruning(&self) -> bool {
+        self.start_pruning.unwrap_or(true)
     }
 
     /// The instrumentation level.
@@ -272,6 +290,10 @@ impl SolveSpec {
                     .map_or(JsonValue::Null, JsonValue::from_usize),
             )
             .with(
+                "start_pruning",
+                self.start_pruning.map_or(JsonValue::Null, JsonValue::Bool),
+            )
+            .with(
                 "threads",
                 self.threads.map_or(JsonValue::Null, JsonValue::from_usize),
             )
@@ -316,6 +338,16 @@ impl SolveSpec {
                 ),
             },
             multi_start_budget: opt_usize_field(value, "multi_start_budget")?,
+            // Tolerate the field's absence: specs serialized before pruning
+            // existed deserialize to the default (pruning on).
+            start_pruning: match value.get("start_pruning") {
+                None | Some(JsonValue::Null) => None,
+                Some(other) => Some(
+                    other
+                        .as_bool()
+                        .ok_or_else(|| malformed("start_pruning must be a bool or null"))?,
+                ),
+            },
             threads: opt_usize_field(value, "threads")?,
             tolerance: match field(value, "tolerance")? {
                 JsonValue::Null => None,
@@ -640,6 +672,7 @@ impl Solver for QuheSolver {
         let options = RunOptions {
             stage3_multi_start: spec.multi_start(),
             stage3_start_budget: spec.multi_start_budget(),
+            stage3_prune_starts: spec.start_pruning(),
             with_gap_trace: spec.instrumentation() == InstrumentationLevel::Full,
         };
         let outcome = QuheAlgorithm::new(config).run_from(problem, start, options)?;
@@ -785,6 +818,7 @@ impl Solver for OccrSolver {
         let stage3 = Stage3Solver::new(config.max_stage3_iterations, config.tolerance * 1e-2)
             .with_threads(config.solver_threads)
             .with_start_budget(spec.multi_start_budget())
+            .with_start_pruning(spec.start_pruning())
             .run(
                 &problem,
                 &vars,

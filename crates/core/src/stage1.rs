@@ -10,10 +10,12 @@
 //! objective so the Stage-1 baselines (gradient descent, simulated annealing,
 //! random selection) can optimize exactly the same function.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
-use quhe_opt::barrier::{BarrierSolver, FnProblem};
+use quhe_opt::barrier::{BarrierSolver, InequalityProblem};
 use quhe_qkd::allocation::optimal_werner;
+use quhe_qkd::routes::IncidenceMatrix;
 use quhe_qkd::secret_key::{secret_key_fraction_raw, SKF_THRESHOLD};
 
 use crate::error::{QuheError, QuheResult};
@@ -21,6 +23,159 @@ use crate::problem::Problem;
 
 /// Small margin keeping iterates strictly inside open constraints.
 const STRICT_MARGIN: f64 = 1e-6;
+
+/// Per-point quantities shared by the P3 objective and constraints.
+///
+/// The barrier solver evaluates the feasibility predicate, the objective and
+/// the constraint vector of the *same* trial point back to back, and each of
+/// them needs `phi = exp(varphi)` and the per-link loads. The cache is keyed
+/// on the exact bits of the evaluation point, so a hit replays values that
+/// were computed from identical inputs — bit-identical by construction — and
+/// a miss recomputes them with the original expressions in the original
+/// accumulation order.
+#[derive(Debug, Default)]
+struct P3Cache {
+    /// The evaluation point the cached values belong to (bitwise key).
+    varphi: Vec<f64>,
+    /// `phi_n = exp(varphi_n)`.
+    phi: Vec<f64>,
+    /// Per-link load `sum_{n on l} phi_n`, routes in ascending order.
+    load: Vec<f64>,
+    /// Per-link Werner factor `1 - load_l / beta_l`.
+    factor: Vec<f64>,
+    valid: bool,
+}
+
+/// Problem P3 (Eq. 20) in `varphi = ln(phi)` as an [`InequalityProblem`].
+///
+/// Compared to the closure formulation this precomputes the route/link
+/// incidence lists once (ascending, matching the incidence-matrix iteration
+/// order bit-for-bit) and fills the solver's reused constraint buffer without
+/// allocating.
+#[derive(Debug)]
+struct P3Problem {
+    n_routes: usize,
+    phi_min: f64,
+    betas: Vec<f64>,
+    /// Links on each route, ascending.
+    route_links: Vec<Vec<usize>>,
+    /// Routes crossing each link, ascending.
+    link_routes: Vec<Vec<usize>>,
+    start: Vec<f64>,
+    cache: RefCell<P3Cache>,
+}
+
+impl P3Problem {
+    fn new(incidence: &IncidenceMatrix, betas: Vec<f64>, phi_min: f64) -> Self {
+        let n_routes = incidence.num_routes();
+        let n_links = incidence.num_links();
+        let route_links = (0..n_routes).map(|n| incidence.links_on_route(n)).collect();
+        let link_routes = (0..n_links)
+            .map(|l| incidence.routes_using_link(l))
+            .collect();
+        // Strictly feasible start: slightly above the minimum rate.
+        let start = vec![(phi_min * 1.05).ln(); n_routes];
+        Self {
+            n_routes,
+            phi_min,
+            betas,
+            route_links,
+            link_routes,
+            start,
+            cache: RefCell::new(P3Cache::default()),
+        }
+    }
+
+    /// Ensures the cache describes `varphi`, recomputing on a bitwise miss.
+    fn refresh(&self, varphi: &[f64]) -> std::cell::RefMut<'_, P3Cache> {
+        let mut cache = self.cache.borrow_mut();
+        let hit = cache.valid
+            && cache.varphi.len() == varphi.len()
+            && cache
+                .varphi
+                .iter()
+                .zip(varphi)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !hit {
+            let c = &mut *cache;
+            c.varphi.clear();
+            c.varphi.extend_from_slice(varphi);
+            c.phi.clear();
+            c.phi.extend(varphi.iter().map(|v| v.exp()));
+            c.load.clear();
+            let phi = &c.phi;
+            c.load.extend(
+                self.link_routes
+                    .iter()
+                    .map(|routes| routes.iter().map(|&n| phi[n]).sum::<f64>()),
+            );
+            c.factor.clear();
+            let load = &c.load;
+            c.factor.extend(
+                self.betas
+                    .iter()
+                    .enumerate()
+                    .map(|(l, &beta)| 1.0 - load[l] / beta),
+            );
+            c.valid = true;
+        }
+        cache
+    }
+}
+
+impl InequalityProblem for P3Problem {
+    fn dimension(&self) -> usize {
+        self.n_routes
+    }
+
+    fn objective(&self, varphi: &[f64]) -> f64 {
+        let cache = self.refresh(varphi);
+        let mut total = 0.0;
+        for (n, &p) in cache.phi.iter().enumerate() {
+            let mut varpi = 1.0;
+            for &l in &self.route_links[n] {
+                varpi *= cache.factor[l];
+            }
+            if varpi <= SKF_THRESHOLD {
+                return f64::INFINITY;
+            }
+            total -= secret_key_fraction_raw(varpi).ln() + p.ln();
+        }
+        total
+    }
+
+    fn constraints(&self, varphi: &[f64]) -> Vec<f64> {
+        let mut g = Vec::new();
+        self.constraints_into(varphi, &mut g);
+        g
+    }
+
+    fn constraints_into(&self, varphi: &[f64], out: &mut Vec<f64>) {
+        let cache = self.refresh(varphi);
+        out.clear();
+        out.reserve(2 * self.n_routes + self.betas.len());
+        // (20a) phi_min - phi_n <= 0.
+        for &p in cache.phi.iter() {
+            out.push(self.phi_min - p);
+        }
+        // (20b) load_l / beta_l - (1 - margin) <= 0.
+        for (l, &beta) in self.betas.iter().enumerate() {
+            out.push(cache.load[l] / beta - (1.0 - STRICT_MARGIN));
+        }
+        // (20c) threshold - varpi_n <= 0.
+        for links in &self.route_links {
+            let mut varpi = 1.0;
+            for &l in links {
+                varpi *= cache.factor[l];
+            }
+            out.push(SKF_THRESHOLD + STRICT_MARGIN - varpi);
+        }
+    }
+
+    fn strictly_feasible_point(&self) -> Option<Vec<f64>> {
+        Some(self.start.clone())
+    }
+}
 
 /// Result of Stage 1.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -121,66 +276,8 @@ impl Stage1Solver {
         let incidence = scenario.qkd().incidence().clone();
         let betas = scenario.qkd().betas();
         let phi_min = problem.config().min_entanglement_rate;
-        let n_routes = incidence.num_routes();
-        let n_links = incidence.num_links();
 
-        // Objective in varphi = ln(phi).
-        let incidence_obj = incidence.clone();
-        let betas_obj = betas.clone();
-        let objective = move |varphi: &[f64]| -> f64 {
-            let phi: Vec<f64> = varphi.iter().map(|v| v.exp()).collect();
-            let mut total = 0.0;
-            for (n, &p) in phi.iter().enumerate() {
-                let mut varpi = 1.0;
-                for l in incidence_obj.links_on_route(n) {
-                    let load = incidence_obj
-                        .link_load(l, &phi)
-                        .expect("phi has the right length");
-                    varpi *= 1.0 - load / betas_obj[l];
-                }
-                if varpi <= SKF_THRESHOLD {
-                    return f64::INFINITY;
-                }
-                total -= secret_key_fraction_raw(varpi).ln() + p.ln();
-            }
-            total
-        };
-
-        // Constraints (20a)-(20c) as g(x) <= 0.
-        let incidence_con = incidence.clone();
-        let betas_con = betas.clone();
-        let constraints = move |varphi: &[f64]| -> Vec<f64> {
-            let phi: Vec<f64> = varphi.iter().map(|v| v.exp()).collect();
-            let mut g = Vec::with_capacity(n_routes + n_links + n_routes);
-            // (20a) phi_min - phi_n <= 0.
-            for &p in &phi {
-                g.push(phi_min - p);
-            }
-            // (20b) load_l / beta_l - (1 - margin) <= 0.
-            for (l, &beta) in betas_con.iter().enumerate() {
-                let load = incidence_con
-                    .link_load(l, &phi)
-                    .expect("phi has the right length");
-                g.push(load / beta - (1.0 - STRICT_MARGIN));
-            }
-            // (20c) threshold - varpi_n <= 0.
-            for n in 0..n_routes {
-                let mut varpi = 1.0;
-                for l in incidence_con.links_on_route(n) {
-                    let load = incidence_con
-                        .link_load(l, &phi)
-                        .expect("phi has the right length");
-                    varpi *= 1.0 - load / betas_con[l];
-                }
-                g.push(SKF_THRESHOLD + STRICT_MARGIN - varpi);
-            }
-            g
-        };
-
-        // Strictly feasible start: slightly above the minimum rate.
-        let start_point = vec![(phi_min * 1.05).ln(); n_routes];
-        let barrier_problem =
-            FnProblem::new(n_routes, objective, constraints).with_start(start_point);
+        let barrier_problem = P3Problem::new(&incidence, betas.clone(), phi_min);
         let solver = BarrierSolver::default();
         let solution = solver.solve(&barrier_problem, None)?;
 

@@ -24,11 +24,15 @@
 //! interior-point polish to produce the duality-gap trace of the paper's
 //! Fig. 4(d).
 
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use quhe_opt::barrier::{BarrierConfig, BarrierSolver, FnProblem};
-use quhe_opt::fractional::{QuadraticTransform, QuadraticTransformConfig, RatioTerm};
-use quhe_opt::gradient::{ProjectedGradient, ProjectedGradientConfig};
+use quhe_opt::fractional::{
+    QuadraticTransform, QuadraticTransformConfig, QuadraticTransformResult, RatioTerm,
+};
+use quhe_opt::gradient::{GradientWorkspace, ProjectedGradient, ProjectedGradientConfig};
 use quhe_opt::newton::NewtonConfig;
 use quhe_opt::projection::{BoxProjection, Projection, SimplexCapProjection};
 
@@ -268,6 +272,200 @@ impl Stage3Constants {
     fn unscale(&self, y: &[f64]) -> Vec<f64> {
         y.iter().zip(&self.scales).map(|(v, s)| v * s).collect()
     }
+
+    /// [`Stage3Constants::delay_scaled`] with the client's uplink rate
+    /// supplied by the caller instead of recomputed — same expression, so the
+    /// result is bit-identical whenever `rate` carries the bits of
+    /// `rate_scaled(y, n)`.
+    fn delay_with_rate(&self, y: &[f64], n: usize, rate: f64) -> f64 {
+        let num = self.num_clients();
+        let f_c = self.phys(y, 2 * num + n);
+        let f_s = self.phys(y, 3 * num + n);
+        self.encryption_cycles[n] / f_c + self.upload_bits[n] / rate + self.server_cycles[n] / f_s
+    }
+
+    /// The quadratic-transform surrogate objective at the normalized point
+    /// `y` for fixed auxiliaries `z` — the inner-solver hot path.
+    ///
+    /// Bit-identical to `smooth_cost_scaled(y)` followed by the per-client
+    /// surrogate additions (the shape the inner closure used to spell out):
+    /// every sum is accumulated in the same order; the only change is that
+    /// each client's rate is computed once into `rates` and reused by the
+    /// delay and the surrogate term instead of being recomputed — same
+    /// inputs, same expression, same bits, half the `log2` calls.
+    fn surrogate_scaled(&self, y: &[f64], z: &[f64], rates: &mut Vec<f64>) -> f64 {
+        let num = self.num_clients();
+        rates.clear();
+        rates.extend((0..num).map(|n| self.rate_scaled(y, n)));
+        let mut total = 0.0;
+        for n in 0..num {
+            let f_c = self.phys(y, 2 * num + n);
+            let f_s = self.phys(y, 3 * num + n);
+            total += self.alpha_e * self.client_energy_coeff[n] * f_c * f_c;
+            total += self.alpha_e * self.server_energy_coeff[n] * f_s * f_s;
+        }
+        let max_delay = (0..num)
+            .map(|n| self.delay_with_rate(y, n, rates[n]))
+            .fold(0.0_f64, f64::max);
+        let mut value = total + self.alpha_t * max_delay;
+        for (n, &z_c) in z.iter().enumerate() {
+            let num_v = self.phys(y, n) * self.upload_bits[n];
+            let den = rates[n];
+            value += self.alpha_e * (num_v * num_v * z_c + 1.0 / (4.0 * den * den * z_c));
+        }
+        value
+    }
+
+    /// Full surrogate value at `w`, where `w` differs from the base point of
+    /// the current gradient call in exactly one coordinate `i`.
+    ///
+    /// Perturbing coordinate `i` touches only client `i % n` (packed layout
+    /// `[p, b, f^(c), f^(s)]`), and within that client only the quantities
+    /// its block feeds: power/bandwidth (blocks 0–1) move the rate and the
+    /// surrogate term, frequencies (blocks 2–3) the energies — the delay
+    /// moves either way. Every untouched per-client quantity is taken from
+    /// the base caches (bitwise equal to recomputing it, since its inputs
+    /// did not change) and all sums are re-accumulated in the evaluation
+    /// order of [`Stage3Constants::surrogate_scaled`], so the result is
+    /// bit-identical to a full evaluation at `w` at a fraction of the
+    /// transcendental cost.
+    fn surrogate_perturbed(&self, w: &[f64], z: &[f64], i: usize, cache: &Stage3EvalCache) -> f64 {
+        let num = self.num_clients();
+        let client = i % num;
+        let block = i / num;
+        let rate_c = if block < 2 {
+            self.rate_scaled(w, client)
+        } else {
+            cache.base_rate[client]
+        };
+        let mut total = 0.0;
+        for n in 0..num {
+            if n == client && block >= 2 {
+                let f_c = self.phys(w, 2 * num + n);
+                let f_s = self.phys(w, 3 * num + n);
+                total += self.alpha_e * self.client_energy_coeff[n] * f_c * f_c;
+                total += self.alpha_e * self.server_energy_coeff[n] * f_s * f_s;
+            } else {
+                total += cache.base_energy_client[n];
+                total += cache.base_energy_server[n];
+            }
+        }
+        let max_delay = (0..num)
+            .map(|n| {
+                if n == client {
+                    self.delay_with_rate(w, n, rate_c)
+                } else {
+                    cache.base_delay[n]
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        let mut value = total + self.alpha_t * max_delay;
+        for (n, &z_c) in z.iter().enumerate() {
+            if n == client && block < 2 {
+                let num_v = self.phys(w, n) * self.upload_bits[n];
+                let den = rate_c;
+                value += self.alpha_e * (num_v * num_v * z_c + 1.0 / (4.0 * den * den * z_c));
+            } else {
+                value += cache.base_term[n];
+            }
+        }
+        value
+    }
+
+    /// Central finite-difference gradient of the surrogate at `y`,
+    /// bit-identical to `central_gradient_into` applied to the full
+    /// surrogate: same per-coordinate step `step * max(1, |y_i|)`, same
+    /// `(f(y+h) - f(y-h)) / (2h)` formula, with each perturbed evaluation
+    /// done incrementally through [`Stage3Constants::surrogate_perturbed`].
+    /// One full evaluation refreshes the base caches; after that, the `8n`
+    /// perturbed evaluations of the black-box gradient collapse from `n`
+    /// rate computations each to at most one.
+    fn surrogate_gradient(
+        &self,
+        y: &[f64],
+        z: &[f64],
+        step: f64,
+        grad: &mut Vec<f64>,
+        cache: &mut Stage3EvalCache,
+    ) {
+        let num = self.num_clients();
+        cache.base_rate.clear();
+        cache
+            .base_rate
+            .extend((0..num).map(|n| self.rate_scaled(y, n)));
+        cache.base_energy_client.clear();
+        cache.base_energy_server.clear();
+        for n in 0..num {
+            let f_c = self.phys(y, 2 * num + n);
+            let f_s = self.phys(y, 3 * num + n);
+            cache
+                .base_energy_client
+                .push(self.alpha_e * self.client_energy_coeff[n] * f_c * f_c);
+            cache
+                .base_energy_server
+                .push(self.alpha_e * self.server_energy_coeff[n] * f_s * f_s);
+        }
+        cache.base_delay.clear();
+        cache
+            .base_delay
+            .extend((0..num).map(|n| self.delay_with_rate(y, n, cache.base_rate[n])));
+        cache.base_term.clear();
+        for (n, &z_c) in z.iter().enumerate() {
+            let num_v = self.phys(y, n) * self.upload_bits[n];
+            let den = cache.base_rate[n];
+            cache
+                .base_term
+                .push(self.alpha_e * (num_v * num_v * z_c + 1.0 / (4.0 * den * den * z_c)));
+        }
+
+        grad.clear();
+        grad.resize(y.len(), 0.0);
+        let mut work = std::mem::take(&mut cache.work);
+        work.clear();
+        work.extend_from_slice(y);
+        for i in 0..y.len() {
+            let h = step * y[i].abs().max(1.0);
+            let orig = work[i];
+            work[i] = orig + h;
+            let fp = self.surrogate_perturbed(&work, z, i, cache);
+            work[i] = orig - h;
+            let fm = self.surrogate_perturbed(&work, z, i, cache);
+            work[i] = orig;
+            grad[i] = (fp - fm) / (2.0 * h);
+        }
+        cache.work = work;
+    }
+}
+
+/// Scratch and base-point caches behind the fused Stage-3 surrogate
+/// evaluation and its incremental finite-difference gradient. Carries no
+/// numeric state between calls — only capacity — so reuse across starts,
+/// outer iterations, and solver calls is always safe.
+#[derive(Debug, Clone, Default)]
+struct Stage3EvalCache {
+    /// Per-client uplink rates at the point being evaluated (scratch of
+    /// [`Stage3Constants::surrogate_scaled`]).
+    rates: Vec<f64>,
+    /// Perturbed-point buffer of the gradient loop.
+    work: Vec<f64>,
+    /// Base-point caches refreshed at the start of every gradient call.
+    base_rate: Vec<f64>,
+    base_energy_client: Vec<f64>,
+    base_energy_server: Vec<f64>,
+    base_delay: Vec<f64>,
+    base_term: Vec<f64>,
+}
+
+/// Per-thread reusable storage for one Stage-3 start solve: the
+/// projected-gradient workspace plus the fused-evaluation caches. Owned by
+/// the solver's workspace pool, checked out for the duration of one
+/// quadratic-transform run, and returned afterwards — so the pool holds one
+/// workspace per thread that has ever run a start, reused across starts,
+/// outer alternation iterations, and solver calls.
+#[derive(Debug, Clone, Default)]
+struct Stage3Workspace {
+    eval: Stage3EvalCache,
+    pg: GradientWorkspace,
 }
 
 /// Projection onto the Stage-3 feasible set: boxes for powers and client
@@ -313,7 +511,10 @@ fn start_levels(budget: usize) -> Vec<f64> {
 }
 
 /// The Stage-3 solver.
-#[derive(Debug, Clone, Copy)]
+///
+/// Cloning is cheap and shares the solver's workspace pool, so a cloned
+/// solver benefits from (and contributes to) the same warmed-up buffers.
+#[derive(Debug, Clone)]
 pub struct Stage3Solver {
     /// Maximum outer (quadratic transform) iterations.
     max_iterations: usize,
@@ -324,16 +525,17 @@ pub struct Stage3Solver {
     threads: usize,
     /// Number of canonical extra starts explored in multi-start mode.
     start_budget: usize,
+    /// Whether dominated canonical starts may be abandoned early once they
+    /// provably cannot beat the warm start's objective.
+    prune_starts: bool,
+    /// Pool of per-thread solve workspaces, reused across starts, outer
+    /// alternation iterations, and solver calls.
+    workspaces: Arc<Mutex<Vec<Stage3Workspace>>>,
 }
 
 impl Default for Stage3Solver {
     fn default() -> Self {
-        Self {
-            max_iterations: 40,
-            tolerance: 1e-6,
-            threads: 0,
-            start_budget: DEFAULT_START_BUDGET,
-        }
+        Self::new(40, 1e-6)
     }
 }
 
@@ -347,6 +549,8 @@ impl Stage3Solver {
             tolerance,
             threads: 0,
             start_budget: DEFAULT_START_BUDGET,
+            prune_starts: true,
+            workspaces: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -367,6 +571,22 @@ impl Stage3Solver {
     #[must_use]
     pub fn with_start_budget(mut self, start_budget: usize) -> Self {
         self.start_budget = start_budget;
+        self
+    }
+
+    /// Enables or disables dominated-start pruning (default: enabled). When
+    /// enabled, the carried warm start is solved first and its objective
+    /// becomes the incumbent every canonical extra start must beat; a
+    /// canonical run whose optimistic remaining-improvement forecast still
+    /// trails the incumbent is abandoned early. A pruned run's objective is
+    /// strictly worse than the incumbent by construction, so the strict
+    /// best-cost selection never picks it and the multi-start winner is
+    /// unchanged; the pruning decision reads only the run's own
+    /// already-computed values and the fixed incumbent, so it is identical
+    /// for any thread count.
+    #[must_use]
+    pub fn with_start_pruning(mut self, prune_starts: bool) -> Self {
+        self.prune_starts = prune_starts;
         self
     }
 
@@ -492,49 +712,87 @@ impl Stage3Solver {
             tolerance: 1e-8,
             ..ProjectedGradientConfig::default()
         };
+        let fd_step = inner_config.fd_step;
         let inner_solver = ProjectedGradient::new(inner_config);
         let qt = QuadraticTransform::new(QuadraticTransformConfig {
             max_iterations: self.max_iterations,
             tolerance: self.tolerance,
         });
 
-        // The starts are independent solves of the same surrogate problem, so
-        // they map cleanly onto a scoped worker pool. Results come back in
-        // start order and the best is chosen by strict comparison below, so
-        // the outcome is bit-identical to the serial loop.
+        // One full quadratic-transform run from one start. Each run checks a
+        // workspace out of the solver's pool (growing the pool on first use),
+        // threads it through the whole run — the fused surrogate evaluation,
+        // the incremental gradient, and the projected-gradient inner solves
+        // all write into its preallocated buffers — and returns it afterwards.
         let projection_ref = &projection;
-        let pool = threadpool::ThreadPool::new(self.threads);
-        let attempts = pool.par_map(&starts, |y0| {
-            qt.solve(
+        let workspaces = &self.workspaces;
+        let solve_start = |y0: &[f64],
+                           incumbent: Option<f64>|
+         -> Result<QuadraticTransformResult, quhe_opt::OptError> {
+            let mut sw = workspaces
+                .lock()
+                .map(|mut pool| pool.pop())
+                .unwrap_or_default()
+                .unwrap_or_default();
+            let eval = RefCell::new(std::mem::take(&mut sw.eval));
+            let pg = &mut sw.pg;
+            let result = qt.solve_with_incumbent(
                 |y: &[f64]| constants_ref.smooth_cost_scaled(y),
                 &ratio_terms,
                 &weights,
                 y0,
+                incumbent,
                 |y, z| {
-                    let z = z.to_vec();
                     let surrogate = |yy: &[f64]| {
-                        let mut value = constants_ref.smooth_cost_scaled(yy);
-                        for (client, &z_c) in z.iter().enumerate() {
-                            let num =
-                                constants_ref.phys(yy, client) * constants_ref.upload_bits[client];
-                            let den = constants_ref.rate_scaled(yy, client);
-                            value += constants_ref.alpha_e
-                                * (num * num * z_c + 1.0 / (4.0 * den * den * z_c));
-                        }
-                        value
+                        constants_ref.surrogate_scaled(yy, z, &mut eval.borrow_mut().rates)
+                    };
+                    let gradient = |yy: &[f64], grad: &mut Vec<f64>| {
+                        constants_ref.surrogate_gradient(
+                            yy,
+                            z,
+                            fd_step,
+                            grad,
+                            &mut eval.borrow_mut(),
+                        );
                     };
                     Ok(inner_solver
-                        .minimize(&surrogate, projection_ref, y)?
+                        .minimize_with_gradient(&surrogate, gradient, projection_ref, y, pg)?
                         .solution)
                 },
-            )
-        });
+            );
+            sw.eval = eval.into_inner();
+            if let Ok(mut pool) = workspaces.lock() {
+                pool.push(sw);
+            }
+            result
+        };
+
+        // The carried warm start is solved first: when pruning is active its
+        // objective becomes the incumbent the canonical extra starts must
+        // beat. The incumbent is fixed before any canonical start runs, so
+        // every canonical run prunes identically for any thread count, and a
+        // pruned run's objective is strictly worse than the incumbent — the
+        // strict best-cost selection below can never pick it, leaving the
+        // multi-start winner exactly what it would be without pruning.
+        let warm_attempt = solve_start(&starts[0], None);
+        let incumbent = if multi_start && self.prune_starts {
+            warm_attempt.as_ref().ok().map(|outcome| outcome.objective)
+        } else {
+            None
+        };
+        // The remaining starts are independent solves of the same surrogate
+        // problem, so they map cleanly onto a scoped worker pool. Results
+        // come back in start order and the best is chosen by strict
+        // comparison below, so the outcome is bit-identical to the serial
+        // loop.
+        let pool = threadpool::ThreadPool::new(self.threads);
+        let rest = pool.par_map(&starts[1..], |y0| solve_start(y0, incumbent));
         // A diverging extra start must not abort the solve: the starts exist
         // to improve robustness, so keep the best that converged and only
         // fail if every start failed.
-        let mut best: Option<(f64, quhe_opt::fractional::QuadraticTransformResult)> = None;
+        let mut best: Option<(f64, QuadraticTransformResult)> = None;
         let mut last_error = None;
-        for attempt in attempts {
+        for attempt in std::iter::once(warm_attempt).chain(rest) {
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(error) => {

@@ -10,8 +10,10 @@
 //! standard duality-gap bound and is what this reproduction reports as the
 //! "duality gap" trace of the paper's Fig. 4(d).
 
+use std::cell::RefCell;
+
 use crate::error::{OptError, OptResult};
-use crate::newton::{DampedNewton, NewtonConfig};
+use crate::newton::{DampedNewton, NewtonConfig, NewtonWorkspace};
 use crate::OptimizeResult;
 
 /// A smooth convex problem `minimize f(x) subject to g_i(x) <= 0`.
@@ -22,6 +24,15 @@ pub trait InequalityProblem {
     fn objective(&self, x: &[f64]) -> f64;
     /// Values of all inequality constraints `g_i(x)` (feasible iff all `<= 0`).
     fn constraints(&self, x: &[f64]) -> Vec<f64>;
+    /// Writes the constraint values into `out` (cleared first), producing the
+    /// same values in the same order as [`InequalityProblem::constraints`].
+    ///
+    /// The barrier solver calls this in its evaluation hot loop; problems
+    /// that can fill a reused buffer without allocating should override the
+    /// default, which simply delegates to the allocating variant.
+    fn constraints_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        *out = self.constraints(x);
+    }
     /// A strictly feasible starting point, if the caller knows one.
     fn strictly_feasible_point(&self) -> Option<Vec<f64>> {
         None
@@ -206,11 +217,15 @@ impl BarrierSolver {
                 actual: start.len(),
             });
         }
+        // Each closure owns one constraint buffer (distinct cells, so the
+        // feasibility check inside the Newton line search never aliases the
+        // barrier objective's buffer); all constraint evaluations of the
+        // whole solve reuse these two allocations.
+        let feas_buf = RefCell::new(Vec::new());
         let strictly_feasible = |x: &[f64]| {
-            problem
-                .constraints(x)
-                .iter()
-                .all(|&g| g < 0.0 && g.is_finite())
+            let mut g = feas_buf.borrow_mut();
+            problem.constraints_into(x, &mut g);
+            g.iter().all(|&g| g < 0.0 && g.is_finite())
         };
         if !strictly_feasible(&start) {
             return Err(OptError::InfeasibleStart {
@@ -224,6 +239,8 @@ impl BarrierSolver {
         let mut objective_trace = vec![problem.objective(&x)];
         let mut gap_trace = Vec::new();
         let newton = DampedNewton::new(self.config.newton);
+        let mut newton_ws = NewtonWorkspace::new();
+        let obj_buf = RefCell::new(Vec::new());
         let mut outer = 0;
         let mut converged = false;
 
@@ -232,7 +249,9 @@ impl BarrierSolver {
             let t_now = t;
             let barrier_objective = |y: &[f64]| {
                 let mut value = t_now * problem.objective(y);
-                for g in problem.constraints(y) {
+                let mut constraints = obj_buf.borrow_mut();
+                problem.constraints_into(y, &mut constraints);
+                for &g in constraints.iter() {
                     if g >= 0.0 {
                         return f64::INFINITY;
                     }
@@ -240,7 +259,8 @@ impl BarrierSolver {
                 }
                 value
             };
-            let centered = newton.minimize(&barrier_objective, &strictly_feasible, &x)?;
+            let centered =
+                newton.minimize_with(&barrier_objective, &strictly_feasible, &x, &mut newton_ws)?;
             x = centered.solution;
             objective_trace.push(problem.objective(&x));
             let gap = m / t_now;

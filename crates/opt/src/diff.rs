@@ -19,19 +19,39 @@ pub fn central_gradient<F>(f: &F, x: &[f64], step: f64) -> Vec<f64>
 where
     F: Fn(&[f64]) -> f64,
 {
-    let mut grad = vec![0.0; x.len()];
-    let mut work = x.to_vec();
+    let mut grad = Vec::new();
+    let mut work = Vec::new();
+    central_gradient_into(f, x, step, &mut grad, &mut work);
+    grad
+}
+
+/// In-place variant of [`central_gradient`]: writes the gradient into `grad`
+/// and uses `work` as the evaluation-point buffer, so repeated calls (one per
+/// solver iteration) allocate nothing once the buffers have grown to
+/// `x.len()`. Bit-identical to [`central_gradient`].
+pub fn central_gradient_into<F>(
+    f: &F,
+    x: &[f64],
+    step: f64,
+    grad: &mut Vec<f64>,
+    work: &mut Vec<f64>,
+) where
+    F: Fn(&[f64]) -> f64,
+{
+    grad.clear();
+    grad.resize(x.len(), 0.0);
+    work.clear();
+    work.extend_from_slice(x);
     for i in 0..x.len() {
         let h = step * x[i].abs().max(1.0);
         let orig = work[i];
         work[i] = orig + h;
-        let fp = f(&work);
+        let fp = f(work);
         work[i] = orig - h;
-        let fm = f(&work);
+        let fm = f(work);
         work[i] = orig;
         grad[i] = (fp - fm) / (2.0 * h);
     }
-    grad
 }
 
 /// Central-difference Hessian of `f` at `x` with relative step `step`.
@@ -42,20 +62,43 @@ pub fn central_hessian<F>(f: &F, x: &[f64], step: f64) -> DenseMatrix
 where
     F: Fn(&[f64]) -> f64,
 {
+    let mut h = DenseMatrix::zeros(0, 0);
+    let mut work = Vec::new();
+    let mut steps = Vec::new();
+    central_hessian_into(f, x, step, &mut h, &mut work, &mut steps);
+    h
+}
+
+/// In-place variant of [`central_hessian`]: writes the Hessian into `h`
+/// (reshaped as needed) and uses `work`/`steps` as scratch, so repeated calls
+/// allocate nothing once the buffers have grown. Bit-identical to
+/// [`central_hessian`].
+pub fn central_hessian_into<F>(
+    f: &F,
+    x: &[f64],
+    step: f64,
+    h: &mut DenseMatrix,
+    work: &mut Vec<f64>,
+    steps: &mut Vec<f64>,
+) where
+    F: Fn(&[f64]) -> f64,
+{
     let n = x.len();
-    let mut h = DenseMatrix::zeros(n, n);
+    h.reshape_zeroed(n, n);
     let f0 = f(x);
-    let mut work = x.to_vec();
-    let steps: Vec<f64> = x.iter().map(|xi| step * xi.abs().max(1.0)).collect();
+    work.clear();
+    work.extend_from_slice(x);
+    steps.clear();
+    steps.extend(x.iter().map(|xi| step * xi.abs().max(1.0)));
 
     for i in 0..n {
         // Diagonal: (f(x+h) - 2 f(x) + f(x-h)) / h^2.
         let hi = steps[i];
         let orig = work[i];
         work[i] = orig + hi;
-        let fp = f(&work);
+        let fp = f(work);
         work[i] = orig - hi;
-        let fm = f(&work);
+        let fm = f(work);
         work[i] = orig;
         h.set(i, i, (fp - 2.0 * f0 + fm) / (hi * hi));
 
@@ -64,13 +107,13 @@ where
             let (oi, oj) = (work[i], work[j]);
             work[i] = oi + hi;
             work[j] = oj + hj;
-            let fpp = f(&work);
+            let fpp = f(work);
             work[j] = oj - hj;
-            let fpm = f(&work);
+            let fpm = f(work);
             work[i] = oi - hi;
-            let fmm = f(&work);
+            let fmm = f(work);
             work[j] = oj + hj;
-            let fmp = f(&work);
+            let fmp = f(work);
             work[i] = oi;
             work[j] = oj;
             let val = (fpp - fpm - fmp + fmm) / (4.0 * hi * hj);
@@ -78,7 +121,6 @@ where
             h.set(j, i, val);
         }
     }
-    h
 }
 
 #[cfg(test)]

@@ -125,6 +125,11 @@ pub struct QuadraticTransformResult {
     pub iterations: usize,
     /// Whether the tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Whether the run was abandoned early because it provably could not
+    /// beat the incumbent passed to
+    /// [`QuadraticTransform::solve_with_incumbent`] (always `false` for
+    /// [`QuadraticTransform::solve`]).
+    pub pruned: bool,
     /// True-objective trace across outer iterations.
     pub trace: Vec<f64>,
     /// Final auxiliary variables, one per ratio term.
@@ -169,6 +174,37 @@ impl QuadraticTransform {
         terms: &[RatioTerm<'_>],
         weights: &[f64],
         start: &[f64],
+        solve_inner: FS,
+    ) -> OptResult<QuadraticTransformResult>
+    where
+        FC: Fn(&[f64]) -> f64,
+        FS: FnMut(&[f64], &[f64]) -> OptResult<Vec<f64>>,
+    {
+        self.solve_with_incumbent(other_costs, terms, weights, start, None, solve_inner)
+    }
+
+    /// [`QuadraticTransform::solve`] with incumbent-based dominated-run
+    /// pruning: when `incumbent` is `Some(best)`, the loop is abandoned as
+    /// soon as the current objective trails `best` by more than an optimistic
+    /// bound on the achievable remaining improvement
+    /// (`remaining_iterations * last_improvement`, doubled for safety). A
+    /// pruned run returns `pruned: true` with its current (dominated) point;
+    /// its objective is strictly worse than the incumbent by construction.
+    ///
+    /// The pruning decision depends only on this run's own already-computed
+    /// values and the fixed incumbent, so it is deterministic: concurrent
+    /// runs over different starts prune identically regardless of thread
+    /// count or completion order.
+    ///
+    /// # Errors
+    /// Same contract as [`QuadraticTransform::solve`].
+    pub fn solve_with_incumbent<FC, FS>(
+        &self,
+        other_costs: FC,
+        terms: &[RatioTerm<'_>],
+        weights: &[f64],
+        start: &[f64],
+        incumbent: Option<f64>,
         mut solve_inner: FS,
     ) -> OptResult<QuadraticTransformResult>
     where
@@ -201,6 +237,7 @@ impl QuadraticTransform {
         let mut trace = vec![fx];
         let mut auxiliaries = vec![0.0; terms.len()];
         let mut converged = false;
+        let mut pruned = false;
         let mut iterations = 0;
 
         for iter in 0..self.config.max_iterations {
@@ -237,6 +274,17 @@ impl QuadraticTransform {
                 converged = true;
                 break;
             }
+            if let Some(best) = incumbent {
+                // Optimistic forecast: no later iteration of this monotone
+                // loop plausibly improves faster than twice the latest
+                // improvement for every remaining iteration. A run whose
+                // forecast still trails the incumbent is dominated.
+                let remaining = (self.config.max_iterations - iterations) as f64;
+                if fx - 2.0 * remaining * improvement > best {
+                    pruned = true;
+                    break;
+                }
+            }
         }
 
         Ok(QuadraticTransformResult {
@@ -244,6 +292,7 @@ impl QuadraticTransform {
             objective: fx,
             iterations,
             converged,
+            pruned,
             trace,
             auxiliaries,
         })

@@ -8,7 +8,7 @@
 //! gradient descent is kept as well because the paper uses it — with learning
 //! rate 0.01 — as one of the Stage-1 baselines (Fig. 5(b)/(c)).
 
-use crate::diff::{central_gradient, DEFAULT_FD_STEP};
+use crate::diff::{central_gradient, central_gradient_into, DEFAULT_FD_STEP};
 use crate::error::{OptError, OptResult};
 use crate::linalg::VectorExt;
 use crate::line_search::{ArmijoLineSearch, LineSearchConfig};
@@ -65,6 +65,32 @@ impl ProjectedGradientConfig {
     }
 }
 
+/// Reusable storage for [`ProjectedGradient::minimize_with`] and
+/// [`ProjectedGradient::minimize_with_gradient`].
+///
+/// Holds the iterate, gradient, trial/direction, and line-search buffers so
+/// a full projected-gradient solve performs no per-iteration allocation, and
+/// consecutive solves (e.g. the inner solves of a quadratic-transform sweep)
+/// reuse the same storage. A workspace carries no numeric state between
+/// calls — only capacity.
+#[derive(Debug, Clone, Default)]
+pub struct GradientWorkspace {
+    x: Vec<f64>,
+    grad: Vec<f64>,
+    fd_work: Vec<f64>,
+    trial: Vec<f64>,
+    direction: Vec<f64>,
+    candidate: Vec<f64>,
+    projected: Vec<f64>,
+}
+
+impl GradientWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Projected gradient descent with Armijo backtracking.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProjectedGradient {
@@ -94,9 +120,68 @@ impl ProjectedGradient {
         F: Fn(&[f64]) -> f64,
         P: Projection,
     {
+        self.minimize_with(f, projection, start, &mut GradientWorkspace::new())
+    }
+
+    /// [`ProjectedGradient::minimize`] with caller-provided storage; the
+    /// gradient is computed by central finite differences. Bit-identical to
+    /// [`ProjectedGradient::minimize`].
+    ///
+    /// # Errors
+    /// Same contract as [`ProjectedGradient::minimize`].
+    pub fn minimize_with<F, P>(
+        &self,
+        f: &F,
+        projection: &P,
+        start: &[f64],
+        ws: &mut GradientWorkspace,
+    ) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Projection,
+    {
+        // The FD scratch buffer is moved out of the workspace so the gradient
+        // closure and the iteration loop can borrow disjoint storage.
+        let mut fd_work = std::mem::take(&mut ws.fd_work);
+        let step = self.config.fd_step;
+        let result = self.minimize_with_gradient(
+            f,
+            |x: &[f64], grad: &mut Vec<f64>| central_gradient_into(f, x, step, grad, &mut fd_work),
+            projection,
+            start,
+            ws,
+        );
+        ws.fd_work = fd_work;
+        result
+    }
+
+    /// [`ProjectedGradient::minimize_with`] with a caller-provided gradient
+    /// oracle: `gradient(x, out)` must write `∇f(x)` into `out`. Callers that
+    /// can evaluate the gradient faster than black-box finite differences
+    /// (e.g. by exploiting per-coordinate structure) plug in here; supplying
+    /// an oracle that reproduces the central-difference values bit-for-bit
+    /// keeps the iterates bit-identical to [`ProjectedGradient::minimize`].
+    ///
+    /// # Errors
+    /// Same contract as [`ProjectedGradient::minimize`].
+    pub fn minimize_with_gradient<F, G, P>(
+        &self,
+        f: &F,
+        mut gradient: G,
+        projection: &P,
+        start: &[f64],
+        ws: &mut GradientWorkspace,
+    ) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        G: FnMut(&[f64], &mut Vec<f64>),
+        P: Projection,
+    {
         self.config.validate()?;
-        let mut x = projection.projected(start);
-        let mut fx = f(&x);
+        ws.x.clear();
+        ws.x.extend_from_slice(start);
+        projection.project(&mut ws.x);
+        let mut fx = f(&ws.x);
         if !fx.is_finite() {
             return Err(OptError::NonFiniteValue {
                 context: "projected gradient starting objective".to_string(),
@@ -106,11 +191,16 @@ impl ProjectedGradient {
         let mut trace = vec![fx];
         let mut converged = false;
         let mut iterations = 0;
+        // Accepted step lengths are stable from one iteration to the next, so
+        // each search is warm-started at the previous accepted backtrack
+        // count; `search_into_hinted` returns the same step as the cold
+        // search (see its contract) for a fraction of the evaluations.
+        let mut backtrack_hint = 0;
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
-            let grad = central_gradient(f, &x, self.config.fd_step);
-            if !grad.is_finite() {
+            gradient(&ws.x, &mut ws.grad);
+            if !ws.grad.is_finite() {
                 return Err(OptError::NonFiniteValue {
                     context: format!("gradient at iteration {iter}"),
                 });
@@ -118,20 +208,55 @@ impl ProjectedGradient {
             // Projected-gradient direction: project the full gradient step and
             // move towards the projected point. This guarantees feasibility of
             // every trial point for convex sets.
-            let trial = projection.projected(&x.axpy(-1.0, &grad));
-            let direction: Vec<f64> = trial.iter().zip(&x).map(|(t, xi)| t - xi).collect();
-            let dir_norm = direction.norm_inf();
+            ws.trial.clear();
+            ws.trial
+                .extend(ws.x.iter().zip(&ws.grad).map(|(a, b)| a + (-1.0) * b));
+            projection.project(&mut ws.trial);
+            ws.direction.clear();
+            ws.direction
+                .extend(ws.trial.iter().zip(&ws.x).map(|(t, xi)| t - xi));
+            let dir_norm = ws.direction.norm_inf();
             if dir_norm < self.config.tolerance {
                 converged = true;
                 break;
             }
-            match ls.search(f, &x, fx, &grad, &direction, |p| {
-                projection.contains(p, 1e-9)
-            }) {
+            // Every line-search candidate `x + t d`, `t` in (0, 1], is the
+            // convex combination `(1-t) x + t trial` of two feasible points,
+            // hence feasible for the convex set up to rounding far below the
+            // 1e-9 tolerance the previous `contains` check allowed — so the
+            // check is vacuous and skipped (the post-step projection below
+            // still repairs any rounding, exactly as before).
+            match ls.search_into_hinted(
+                f,
+                &ws.x,
+                fx,
+                &ws.grad,
+                &ws.direction,
+                |_| true,
+                &mut ws.candidate,
+                backtrack_hint,
+            ) {
                 Ok(outcome) => {
+                    backtrack_hint = outcome.backtracks;
                     let decrease = fx - outcome.value;
-                    x = projection.projected(&outcome.point);
-                    fx = f(&x);
+                    ws.projected.clear();
+                    ws.projected.extend_from_slice(&ws.candidate);
+                    projection.project(&mut ws.projected);
+                    let unchanged = ws
+                        .projected
+                        .iter()
+                        .zip(&ws.candidate)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if unchanged {
+                        // The projection was a bitwise no-op, so re-evaluating
+                        // f at the same bits would reproduce the line-search
+                        // value exactly; skip the redundant evaluation.
+                        std::mem::swap(&mut ws.x, &mut ws.candidate);
+                        fx = outcome.value;
+                    } else {
+                        std::mem::swap(&mut ws.x, &mut ws.projected);
+                        fx = f(&ws.x);
+                    }
                     trace.push(fx);
                     if decrease.abs() < self.config.tolerance {
                         converged = true;
@@ -149,7 +274,7 @@ impl ProjectedGradient {
         }
 
         Ok(OptimizeResult {
-            solution: x,
+            solution: ws.x.clone(),
             objective: fx,
             iterations,
             converged,

@@ -156,6 +156,15 @@ impl DenseMatrix {
         out
     }
 
+    /// Resizes the matrix to `rows x cols` in place and fills it with zeros,
+    /// reusing the existing storage when it is already large enough.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Adds `alpha * I` to a square matrix in place (Tikhonov damping).
     ///
     /// # Panics
@@ -169,30 +178,85 @@ impl DenseMatrix {
 
     /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
     ///
+    /// One-shot convenience over [`CholeskyFactor`]: factors, solves, and
+    /// discards the factor. Callers that solve against many right-hand sides
+    /// or re-solve with slowly changing matrices should hold a
+    /// [`CholeskyFactor`] and use [`CholeskyFactor::refresh`] +
+    /// [`CholeskyFactor::solve_into`] to skip the per-call allocations.
+    ///
     /// # Errors
     /// * [`OptError::DimensionMismatch`] if `b.len() != self.rows()` or the
     ///   matrix is not square.
     /// * [`OptError::SingularSystem`] if the factorization encounters a
     ///   non-positive pivot.
     pub fn solve_spd(&self, b: &[f64]) -> OptResult<Vec<f64>> {
-        if self.rows != self.cols {
+        let mut factor = CholeskyFactor::new();
+        factor.refresh(self)?;
+        let mut x = Vec::new();
+        factor.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
+/// A reusable Cholesky factorization `A = L L^T` of a symmetric
+/// positive-definite matrix.
+///
+/// The factor is computed once per matrix ([`CholeskyFactor::refresh`]) and
+/// can then be re-solved against many right-hand sides
+/// ([`CholeskyFactor::solve_into`]) without refactorizing or allocating —
+/// the ownership model of the solver workspaces: the factor's storage
+/// outlives individual solves and is refreshed in place only when the matrix
+/// actually changes. The arithmetic is identical to
+/// [`DenseMatrix::solve_spd`] (which is now a thin wrapper), so solutions
+/// are bit-for-bit the same.
+#[derive(Debug, Clone, Default)]
+pub struct CholeskyFactor {
+    n: usize,
+    /// Lower-triangular factor, row-major `n x n` (upper part unused).
+    l: Vec<f64>,
+    /// Forward-substitution intermediate, reused across solves.
+    y: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// An empty factor; call [`CholeskyFactor::refresh`] before solving.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The dimension of the factored matrix (0 before the first refresh).
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// (Re)factorizes `a` into this factor's storage.
+    ///
+    /// # Errors
+    /// * [`OptError::DimensionMismatch`] if `a` is not square.
+    /// * [`OptError::SingularSystem`] if the factorization encounters a
+    ///   non-positive pivot (the factor is left invalid; refresh again
+    ///   before solving).
+    pub fn refresh(&mut self, a: &DenseMatrix) -> OptResult<()> {
+        if a.rows() != a.cols() {
             return Err(OptError::DimensionMismatch {
-                expected: self.rows,
-                actual: self.cols,
+                expected: a.rows(),
+                actual: a.cols(),
             });
         }
-        if b.len() != self.rows {
-            return Err(OptError::DimensionMismatch {
-                expected: self.rows,
-                actual: b.len(),
-            });
-        }
-        let n = self.rows;
-        // Cholesky factorization A = L L^T, L lower triangular.
-        let mut l = vec![0.0_f64; n * n];
+        let n = a.rows();
+        self.n = n;
+        self.l.clear();
+        self.l.resize(n * n, 0.0);
+        let l = &mut self.l;
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = self.get(i, j);
+                let mut sum = a.get(i, j);
                 for k in 0..j {
                     sum -= l[i * n + k] * l[j * n + k];
                 }
@@ -206,8 +270,29 @@ impl DenseMatrix {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Solves `A x = b` against the current factor, writing the solution
+    /// into `x` (resized as needed). No allocation happens once `x` and the
+    /// internal intermediate have grown to the system dimension.
+    ///
+    /// # Errors
+    /// [`OptError::DimensionMismatch`] if `b.len()` differs from the
+    /// factored dimension.
+    pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> OptResult<()> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(OptError::DimensionMismatch {
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        let l = &self.l;
         // Forward substitution: L y = b.
-        let mut y = vec![0.0_f64; n];
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        let y = &mut self.y;
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -216,7 +301,8 @@ impl DenseMatrix {
             y[i] = sum / l[i * n + i];
         }
         // Back substitution: L^T x = y.
-        let mut x = vec![0.0_f64; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in (i + 1)..n {
@@ -224,7 +310,7 @@ impl DenseMatrix {
             }
             x[i] = sum / l[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 }
 

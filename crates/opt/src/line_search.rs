@@ -72,6 +72,18 @@ pub struct LineSearchOutcome {
     pub backtracks: usize,
 }
 
+/// Result of a successful [`ArmijoLineSearch::search_into`]: the accepted
+/// point itself is left in the caller-provided trial buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSearchStep {
+    /// Accepted step length.
+    pub step: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Number of backtracking steps taken.
+    pub backtracks: usize,
+}
+
 /// Armijo backtracking line search.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ArmijoLineSearch {
@@ -117,6 +129,39 @@ impl ArmijoLineSearch {
         F: Fn(&[f64]) -> f64,
         P: Fn(&[f64]) -> bool,
     {
+        let mut trial = Vec::new();
+        let step = self.search_into(f, x, fx, grad, direction, feasible, &mut trial)?;
+        Ok(LineSearchOutcome {
+            step: step.step,
+            point: trial,
+            value: step.value,
+            backtracks: step.backtracks,
+        })
+    }
+
+    /// Allocation-free variant of [`ArmijoLineSearch::search`]: every trial
+    /// point is written into `trial`, and on success the accepted point is
+    /// left there. Repeated calls with the same buffer (one per solver
+    /// iteration) allocate nothing once the buffer has grown to `x.len()`.
+    /// Bit-identical to [`ArmijoLineSearch::search`].
+    ///
+    /// # Errors
+    /// Same contract as [`ArmijoLineSearch::search`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_into<F, P>(
+        &self,
+        f: &F,
+        x: &[f64],
+        fx: f64,
+        grad: &[f64],
+        direction: &[f64],
+        feasible: P,
+        trial: &mut Vec<f64>,
+    ) -> OptResult<LineSearchStep>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Fn(&[f64]) -> bool,
+    {
         self.config.validate()?;
         if !fx.is_finite() {
             return Err(OptError::NonFiniteValue {
@@ -129,15 +174,16 @@ impl ArmijoLineSearch {
             // accepting a rounding-level step would silently stall the caller.
             return Err(OptError::DidNotConverge { iterations: 0 });
         }
+        assert_eq!(x.len(), direction.len(), "search_into: length mismatch");
         let mut step = self.config.initial_step;
         for backtracks in 0..self.config.max_backtracks {
-            let candidate = x.axpy(step, direction);
-            if feasible(&candidate) {
-                let value = f(&candidate);
+            trial.clear();
+            trial.extend(x.iter().zip(direction).map(|(a, b)| a + step * b));
+            if feasible(trial) {
+                let value = f(trial);
                 if value.is_finite() && value <= fx + self.config.c1 * step * slope {
-                    return Ok(LineSearchOutcome {
+                    return Ok(LineSearchStep {
                         step,
-                        point: candidate,
                         value,
                         backtracks,
                     });
@@ -148,6 +194,135 @@ impl ArmijoLineSearch {
         Err(OptError::DidNotConverge {
             iterations: self.config.max_backtracks,
         })
+    }
+
+    /// [`ArmijoLineSearch::search_into`] warm-started at `hint` backtracks
+    /// instead of at the initial step.
+    ///
+    /// The plain search rediscovers the accepted step from scratch: every
+    /// call pays one objective evaluation per rejected trial, and iterative
+    /// solvers whose accepted step length is stable across iterations pay
+    /// that rejection cost again and again. This variant starts testing at
+    /// the hinted backtrack count (typically the count accepted by the
+    /// previous iteration): if the hinted step is rejected it backtracks
+    /// further exactly like the plain search, and if it is accepted it walks
+    /// *back up* toward longer steps until it finds the first accepted one.
+    /// With an accurate hint the accepted step costs 2 objective evaluations
+    /// instead of `backtracks + 1`.
+    ///
+    /// Trial steps are generated by the same repeated multiplication as the
+    /// plain search, so every tested step length — and therefore every trial
+    /// point, objective value, and the returned outcome — carries exactly the
+    /// bits the plain search would produce for the same backtrack count.
+    /// The result is identical to [`ArmijoLineSearch::search_into`] whenever
+    /// acceptance is monotone in the backtrack count (shorter steps accepted
+    /// whenever a longer one is), which holds for smooth objectives along
+    /// descent directions over convex feasible sets — the regime of every
+    /// solver in this crate. `hint = 0` degenerates to the plain search.
+    ///
+    /// # Errors
+    /// Same contract as [`ArmijoLineSearch::search`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_into_hinted<F, P>(
+        &self,
+        f: &F,
+        x: &[f64],
+        fx: f64,
+        grad: &[f64],
+        direction: &[f64],
+        feasible: P,
+        trial: &mut Vec<f64>,
+        hint: usize,
+    ) -> OptResult<LineSearchStep>
+    where
+        F: Fn(&[f64]) -> f64,
+        P: Fn(&[f64]) -> bool,
+    {
+        self.config.validate()?;
+        if !fx.is_finite() {
+            return Err(OptError::NonFiniteValue {
+                context: "line search initial objective".to_string(),
+            });
+        }
+        let slope = grad.dot(direction);
+        if slope >= 0.0 {
+            return Err(OptError::DidNotConverge { iterations: 0 });
+        }
+        assert_eq!(
+            x.len(),
+            direction.len(),
+            "search_into_hinted: length mismatch"
+        );
+        // Step lengths must match the plain search bit-for-bit, so they are
+        // produced by the same repeated multiplication rather than a power.
+        let step_at = |k: usize| -> f64 {
+            let mut s = self.config.initial_step;
+            for _ in 0..k {
+                s *= self.config.shrink;
+            }
+            s
+        };
+        let attempt = |step: f64, trial: &mut Vec<f64>| -> Option<f64> {
+            trial.clear();
+            trial.extend(x.iter().zip(direction).map(|(a, b)| a + step * b));
+            if feasible(trial) {
+                let value = f(trial);
+                if value.is_finite() && value <= fx + self.config.c1 * step * slope {
+                    return Some(value);
+                }
+            }
+            None
+        };
+        let mut backtracks = hint.min(self.config.max_backtracks - 1);
+        let mut step = step_at(backtracks);
+        match attempt(step, trial) {
+            Some(accepted) => {
+                // Accepted at the hint: walk toward longer steps until one is
+                // rejected; the plain search would have stopped at the first
+                // (longest) accepted step.
+                let mut value = accepted;
+                while backtracks > 0 {
+                    let longer = step_at(backtracks - 1);
+                    match attempt(longer, trial) {
+                        Some(v) => {
+                            backtracks -= 1;
+                            step = longer;
+                            value = v;
+                        }
+                        None => {
+                            // `trial` holds the rejected longer point; restore
+                            // the accepted one (same expression, same bits).
+                            trial.clear();
+                            trial.extend(x.iter().zip(direction).map(|(a, b)| a + step * b));
+                            break;
+                        }
+                    }
+                }
+                Ok(LineSearchStep {
+                    step,
+                    value,
+                    backtracks,
+                })
+            }
+            None => {
+                // Rejected at the hint: shrink further, exactly like the
+                // plain search continuing past `hint` backtracks.
+                while backtracks + 1 < self.config.max_backtracks {
+                    backtracks += 1;
+                    step *= self.config.shrink;
+                    if let Some(value) = attempt(step, trial) {
+                        return Ok(LineSearchStep {
+                            step,
+                            value,
+                            backtracks,
+                        });
+                    }
+                }
+                Err(OptError::DidNotConverge {
+                    iterations: self.config.max_backtracks,
+                })
+            }
+        }
     }
 }
 
@@ -191,6 +366,85 @@ mod tests {
         let ls = ArmijoLineSearch::default();
         assert!(matches!(
             ls.search(&f, &x, 1.0, &g, &d, |_| true),
+            Err(OptError::DidNotConverge { .. })
+        ));
+    }
+
+    #[test]
+    fn hinted_search_matches_plain_search_for_every_hint() {
+        // Smooth strictly convex objective: acceptance is monotone in the
+        // backtrack count, so the hinted search must reproduce the plain
+        // search bit-for-bit no matter how wrong the hint is.
+        let f = |x: &[f64]| (x[0] - 0.3).powi(2) + 50.0 * (x[1] + 0.2).powi(2);
+        let x = [2.0, 1.0];
+        let g = central_gradient(&f, &x, 1e-6);
+        let d: Vec<f64> = g.iter().map(|v| -v).collect();
+        let ls = ArmijoLineSearch::default();
+        let mut plain_trial = Vec::new();
+        let plain = ls
+            .search_into(&f, &x, f(&x), &g, &d, |_| true, &mut plain_trial)
+            .unwrap();
+        for hint in 0..ls.config().max_backtracks + 5 {
+            let mut trial = Vec::new();
+            let hinted = ls
+                .search_into_hinted(&f, &x, f(&x), &g, &d, |_| true, &mut trial, hint)
+                .unwrap();
+            assert_eq!(hinted.step.to_bits(), plain.step.to_bits(), "hint {hint}");
+            assert_eq!(hinted.value.to_bits(), plain.value.to_bits(), "hint {hint}");
+            assert_eq!(hinted.backtracks, plain.backtracks, "hint {hint}");
+            assert_eq!(
+                trial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                plain_trial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "hint {hint}: accepted point differs"
+            );
+        }
+    }
+
+    #[test]
+    fn hinted_search_respects_feasibility_predicate() {
+        let f = |x: &[f64]| x[0];
+        let x = [1.0];
+        let g = [1.0];
+        let d = [-1.0];
+        let ls = ArmijoLineSearch::default();
+        let mut plain_trial = Vec::new();
+        let plain = ls
+            .search_into(
+                &f,
+                &x,
+                1.0,
+                &g,
+                &d,
+                |p: &[f64]| p[0] >= 0.9,
+                &mut plain_trial,
+            )
+            .unwrap();
+        for hint in [0, 1, plain.backtracks, plain.backtracks + 7] {
+            let mut trial = Vec::new();
+            let hinted = ls
+                .search_into_hinted(
+                    &f,
+                    &x,
+                    1.0,
+                    &g,
+                    &d,
+                    |p: &[f64]| p[0] >= 0.9,
+                    &mut trial,
+                    hint,
+                )
+                .unwrap();
+            assert_eq!(hinted.step.to_bits(), plain.step.to_bits(), "hint {hint}");
+            assert!(trial[0] >= 0.9);
+        }
+    }
+
+    #[test]
+    fn hinted_search_rejects_ascent_directions() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let ls = ArmijoLineSearch::default();
+        let mut trial = Vec::new();
+        assert!(matches!(
+            ls.search_into_hinted(&f, &[1.0], 1.0, &[2.0], &[1.0], |_| true, &mut trial, 3),
             Err(OptError::DidNotConverge { .. })
         ));
     }

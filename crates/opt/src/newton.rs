@@ -4,9 +4,9 @@
 //! step, mirroring how CVX's interior-point solver handles the convex
 //! subproblems of the QuHE paper's Stage 1 and Stage 3.
 
-use crate::diff::{central_gradient, central_hessian};
+use crate::diff::{central_gradient_into, central_hessian_into};
 use crate::error::{OptError, OptResult};
-use crate::linalg::VectorExt;
+use crate::linalg::{CholeskyFactor, DenseMatrix, VectorExt};
 use crate::line_search::{ArmijoLineSearch, LineSearchConfig};
 use crate::OptimizeResult;
 
@@ -59,6 +59,34 @@ impl NewtonConfig {
     }
 }
 
+/// Reusable storage for [`DampedNewton::minimize_with`].
+///
+/// Holds the iterate, gradient, Hessian, Cholesky factor, and
+/// direction/trial buffers so that a full Newton solve performs no
+/// per-iteration allocation, and consecutive solves (e.g. the centering
+/// steps of a barrier sweep) reuse the same storage. A workspace carries no
+/// numeric state between calls — only capacity — so reusing one across
+/// unrelated problems is always safe.
+#[derive(Debug, Clone, Default)]
+pub struct NewtonWorkspace {
+    x: Vec<f64>,
+    grad: Vec<f64>,
+    rhs: Vec<f64>,
+    direction: Vec<f64>,
+    trial: Vec<f64>,
+    fd_work: Vec<f64>,
+    fd_steps: Vec<f64>,
+    hess: DenseMatrix,
+    chol: CholeskyFactor,
+}
+
+impl NewtonWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Damped Newton minimizer with numerical derivatives.
 ///
 /// The optional domain predicate passed to [`DampedNewton::minimize`]
@@ -94,14 +122,36 @@ impl DampedNewton {
         F: Fn(&[f64]) -> f64,
         D: Fn(&[f64]) -> bool,
     {
+        self.minimize_with(f, in_domain, start, &mut NewtonWorkspace::new())
+    }
+
+    /// [`DampedNewton::minimize`] with caller-provided storage: all
+    /// gradients, Hessians, Cholesky factors, and direction/trial points are
+    /// written into `ws`, so a solve allocates only its returned
+    /// solution/trace. Bit-identical to [`DampedNewton::minimize`].
+    ///
+    /// # Errors
+    /// Same contract as [`DampedNewton::minimize`].
+    pub fn minimize_with<F, D>(
+        &self,
+        f: &F,
+        in_domain: &D,
+        start: &[f64],
+        ws: &mut NewtonWorkspace,
+    ) -> OptResult<OptimizeResult>
+    where
+        F: Fn(&[f64]) -> f64,
+        D: Fn(&[f64]) -> bool,
+    {
         self.config.validate()?;
         if !in_domain(start) {
             return Err(OptError::InfeasibleStart {
                 reason: "newton starting point outside the domain".to_string(),
             });
         }
-        let mut x = start.to_vec();
-        let mut fx = f(&x);
+        ws.x.clear();
+        ws.x.extend_from_slice(start);
+        let mut fx = f(&ws.x);
         if !fx.is_finite() {
             return Err(OptError::NonFiniteValue {
                 context: "newton starting objective".to_string(),
@@ -114,35 +164,57 @@ impl DampedNewton {
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
-            let grad = central_gradient(f, &x, self.config.fd_step);
-            let mut hess = central_hessian(f, &x, self.config.fd_step.sqrt() * 1e-2);
+            central_gradient_into(f, &ws.x, self.config.fd_step, &mut ws.grad, &mut ws.fd_work);
+            central_hessian_into(
+                f,
+                &ws.x,
+                self.config.fd_step.sqrt() * 1e-2,
+                &mut ws.hess,
+                &mut ws.fd_work,
+                &mut ws.fd_steps,
+            );
             // Try the pure Newton system first, escalate damping on failure.
             let mut damping = self.config.damping;
-            let neg_grad: Vec<f64> = grad.iter().map(|g| -g).collect();
-            let direction = loop {
-                match hess.solve_spd(&neg_grad) {
-                    Ok(d) => break d,
+            ws.rhs.clear();
+            ws.rhs.extend(ws.grad.iter().map(|g| -g));
+            loop {
+                let factored = ws
+                    .chol
+                    .refresh(&ws.hess)
+                    .and_then(|()| ws.chol.solve_into(&ws.rhs, &mut ws.direction));
+                match factored {
+                    Ok(()) => break,
                     Err(OptError::SingularSystem) if damping < 1e6 => {
-                        hess.add_diagonal(damping.max(1e-10));
+                        ws.hess.add_diagonal(damping.max(1e-10));
                         damping = (damping.max(1e-10)) * 10.0;
                     }
                     Err(_) => {
                         // Fall back to steepest descent when the Hessian is
                         // hopeless (still globally convergent with line search).
-                        break neg_grad.clone();
+                        ws.direction.clear();
+                        ws.direction.extend_from_slice(&ws.rhs);
+                        break;
                     }
                 }
-            };
+            }
             // Newton decrement: lambda^2 = -grad^T d.
-            let decrement = -grad.dot(&direction);
+            let decrement = -ws.grad.dot(&ws.direction);
             if decrement.abs() < self.config.tolerance {
                 converged = true;
                 break;
             }
-            match ls.search(f, &x, fx, &grad, &direction, |p| in_domain(p)) {
+            match ls.search_into(
+                f,
+                &ws.x,
+                fx,
+                &ws.grad,
+                &ws.direction,
+                |p| in_domain(p),
+                &mut ws.trial,
+            ) {
                 Ok(outcome) => {
                     let decrease = fx - outcome.value;
-                    x = outcome.point;
+                    std::mem::swap(&mut ws.x, &mut ws.trial);
                     fx = outcome.value;
                     trace.push(fx);
                     if decrease.abs() < self.config.tolerance {
@@ -159,7 +231,7 @@ impl DampedNewton {
         }
 
         Ok(OptimizeResult {
-            solution: x,
+            solution: ws.x.clone(),
             objective: fx,
             iterations,
             converged,

@@ -14,6 +14,10 @@ pub trait Projection {
     fn project(&self, x: &mut [f64]);
 
     /// Returns the projected copy of `x`.
+    ///
+    /// Allocates on every call; iteration loops should prefer the in-place
+    /// [`Projection::project`] on a reused buffer.
+    #[must_use = "projected() allocates and returns a new vector; use project() to modify in place"]
     fn projected(&self, x: &[f64]) -> Vec<f64> {
         let mut y = x.to_vec();
         self.project(&mut y);
@@ -215,10 +219,20 @@ impl Projection for SimplexCapProjection {
         };
         for _ in 0..200 {
             let mid = 0.5 * (lo + hi);
+            // Once the midpoint lands on an endpoint, the interval can no
+            // longer move: every later iteration recomputes the same `mid`
+            // and re-applies the same update (0.5 * (m + m) == m exactly in
+            // binary floating point), so the remaining iterations of the
+            // nominal 200 are no-ops and the loop exits with exactly the
+            // bits it would have produced — in practice after ~60 rounds.
+            let stalled = mid.to_bits() == lo.to_bits() || mid.to_bits() == hi.to_bits();
             if eval(mid, x) > self.cap {
                 lo = mid;
             } else {
                 hi = mid;
+            }
+            if stalled {
+                break;
             }
         }
         let mu = hi;

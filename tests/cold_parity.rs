@@ -1,0 +1,194 @@
+//! Cold-solve parity pins for the fast-path optimizations.
+//!
+//! The workspace/allocation/pruning work in `quhe-opt` and `quhe-core` is
+//! required to be **bit-identical** to the pre-optimization solver: every
+//! transformation either reuses a value that was already computed (same
+//! inputs, same accumulation order) or abandons a multi-start candidate that
+//! provably cannot win. This suite pins that contract two ways:
+//!
+//! 1. Against **frozen goldens**: objective bits and a fingerprint of every
+//!    decision variable, captured from the pre-optimization build across the
+//!    full scenario catalogue × 2 seeds (experiment-grade budgets, serial).
+//!    Any arithmetic drift in the cold path fails here on the exact world
+//!    and seed.
+//! 2. **Pruning on vs off**: dominated-start early termination must never
+//!    change the multi-start winner — the two runs must agree bit-for-bit.
+//!
+//! Regenerate the golden table after an *intentional* numeric change with
+//! `cargo test --test cold_parity -- --ignored --nocapture regenerate` and
+//! paste the printed rows over `GOLDENS`.
+
+use quhe::prelude::*;
+
+/// The experiment-grade budgets of `quhe-bench` (`experiment_config()` with
+/// its env defaults), serial so the pins are independent of machine width.
+fn config() -> QuheConfig {
+    QuheConfig {
+        max_outer_iterations: 5,
+        max_stage3_iterations: 20,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    }
+}
+
+const SEEDS: [u64; 2] = [42, 7];
+
+/// FNV-1a over the bit patterns of every decision variable, in declaration
+/// order — a stable 64-bit fingerprint of the full assignment.
+fn fingerprint(vars: &DecisionVariables) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for block in [
+        &vars.phi,
+        &vars.w,
+        &vars.power,
+        &vars.bandwidth,
+        &vars.client_frequency,
+        &vars.server_frequency,
+    ] {
+        for value in block.iter() {
+            eat(value.to_bits());
+        }
+    }
+    for &lambda in &vars.lambda {
+        eat(lambda);
+    }
+    eat(vars.delay_bound.to_bits());
+    h
+}
+
+/// `(world, seed, objective bits, variable fingerprint)` captured from the
+/// pre-optimization solver. The readable objective is in the comment.
+const GOLDENS: [(&str, u64, u64, u64); 10] = [
+    // paper_default/42: objective -0.15213349769591583
+    ("paper_default", 42, 0xbfc3791c469d7246, 0xa9ccd210c7538af2),
+    // paper_default/7: objective -0.04823692542033192
+    ("paper_default", 7, 0xbfa8b282a247a328, 0xa0b2b22a2012e825),
+    // dense_cell/42: objective 7.160405980110134
+    ("dense_cell", 42, 0x401ca441771a9f98, 0xe31992df5d4f5a0b),
+    // dense_cell/7: objective 7.3421505677389325
+    ("dense_cell", 7, 0x401d5e5cb7eafc77, 0xfde6feee8747b81e),
+    // heterogeneous_devices/42: objective -0.1499065437442152
+    (
+        "heterogeneous_devices",
+        42,
+        0xbfc330233b6b3cf4,
+        0x70f07cafcc01b27f,
+    ),
+    // heterogeneous_devices/7: objective 2.047037684415321
+    (
+        "heterogeneous_devices",
+        7,
+        0x400060554b21f26d,
+        0x771f408ba01eaa81,
+    ),
+    // far_edge/42: objective -33.43459624466706
+    ("far_edge", 42, 0xc040b7a0d988e79c, 0xa9f34d265d121233),
+    // far_edge/7: objective -12.427062277456209
+    ("far_edge", 7, 0xc028daa7e8260f34, 0x8219bf64ca30e39c),
+    // bursty_workload/42: objective 1.2066515572241074
+    (
+        "bursty_workload",
+        42,
+        0x3ff34e71dcff1ec7,
+        0x75f7ab494e76bba9,
+    ),
+    // bursty_workload/7: objective 0.09374999676978768
+    ("bursty_workload", 7, 0x3fb7fffff2205810, 0x0fd9da199dd4634f),
+];
+
+fn cold_report(name: &str, seed: u64, spec: &SolveSpec) -> SolveReport {
+    let scenario = ScenarioCatalog::builtin().generate(name, seed).unwrap();
+    SolverRegistry::builtin_with(config())
+        .solve("quhe", &scenario, spec)
+        .unwrap()
+}
+
+#[test]
+fn cold_solves_match_pre_optimization_goldens() {
+    for (name, seed, objective_bits, vars_fingerprint) in GOLDENS {
+        let report = cold_report(name, seed, &SolveSpec::cold());
+        assert_eq!(
+            report.objective.to_bits(),
+            objective_bits,
+            "{name}/{seed}: objective drifted from the pre-optimization build \
+             (got {:?} = {:#018x})",
+            report.objective,
+            report.objective.to_bits(),
+        );
+        assert_eq!(
+            fingerprint(&report.variables),
+            vars_fingerprint,
+            "{name}/{seed}: variables drifted from the pre-optimization build",
+        );
+    }
+}
+
+#[test]
+fn pruning_never_changes_the_multi_start_winner() {
+    // Dominated-start pruning abandons only candidates that provably cannot
+    // beat the incumbent, so the winner — and everything derived from it —
+    // must be bit-identical with pruning disabled.
+    for (name, seed, _, _) in GOLDENS {
+        let pruned = cold_report(name, seed, &SolveSpec::cold());
+        let unpruned = cold_report(name, seed, &SolveSpec::cold().with_start_pruning(false));
+        assert_eq!(
+            pruned.objective.to_bits(),
+            unpruned.objective.to_bits(),
+            "{name}/{seed}: pruning changed the objective"
+        );
+        assert_eq!(
+            pruned.variables, unpruned.variables,
+            "{name}/{seed}: pruning changed the winning assignment"
+        );
+        assert_eq!(
+            pruned.metrics, unpruned.metrics,
+            "{name}/{seed}: pruning changed the metrics"
+        );
+    }
+}
+
+#[test]
+fn pruning_is_thread_count_invariant() {
+    // The incumbent used for pruning is fixed before the canonical starts
+    // run, so serial and parallel exploration prune identically.
+    let scenario = ScenarioCatalog::builtin()
+        .generate("paper_default", 42)
+        .unwrap();
+    let registry = SolverRegistry::builtin_with(config());
+    let serial = registry
+        .solve("quhe", &scenario, &SolveSpec::cold().with_threads(1))
+        .unwrap();
+    let parallel = registry
+        .solve("quhe", &scenario, &SolveSpec::cold().with_threads(0))
+        .unwrap();
+    assert_eq!(serial.objective.to_bits(), parallel.objective.to_bits());
+    assert_eq!(serial.variables, parallel.variables);
+}
+
+/// Prints the golden table for pasting into `GOLDENS` after an intentional
+/// numeric change. Run with
+/// `cargo test --test cold_parity -- --ignored --nocapture regenerate`.
+#[test]
+#[ignore = "golden regeneration helper, not a check"]
+fn regenerate_goldens() {
+    let catalog = ScenarioCatalog::builtin();
+    for name in catalog.names() {
+        for seed in SEEDS {
+            let report = cold_report(name, seed, &SolveSpec::cold());
+            println!(
+                "    // {name}/{seed}: objective {:?}\n    (\"{name}\", {seed}, {:#018x}, {:#018x}),",
+                report.objective,
+                report.objective.to_bits(),
+                fingerprint(&report.variables),
+            );
+        }
+    }
+}
