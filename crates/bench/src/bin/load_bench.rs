@@ -574,6 +574,10 @@ fn main() {
                 JsonValue::from_usize(totals.cached_reports),
             ),
     )
+    // The cache's own telemetry, one consistent snapshot under the cache
+    // lock: hits + misses equals lookups, insertions - evictions equals
+    // entries, even while the worker pool is mid-flight.
+    .with("cache", totals.cache.to_json_value())
     .with(
         "net",
         JsonValue::object()

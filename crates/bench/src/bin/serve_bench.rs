@@ -23,6 +23,16 @@
 //! bit-identical to a solved response for the same request, or if warm
 //! serving did not save latency-path iterations.
 //!
+//! After the replay the bench **restarts** the service from a cache
+//! snapshot: the warmed cache is serialized through its JSON disk format
+//! (`quhe-cache-snapshot/v1`), parsed back, and handed to a fresh
+//! [`ServiceConfig`] via `with_cache_snapshot`. The restarted service must
+//! answer the entire working set — every unique request the original
+//! service solved — as exact hits with **zero cold solves**, bit-identical
+//! to the pre-restart responses; the artifact's `restart` block records the
+//! snapshot size and the replay. The cache's own telemetry (lookups, hits,
+//! evictions, anchor promotions) lands in the artifact's `cache` block.
+//!
 //! ```bash
 //! cargo run --release -p quhe-bench --bin serve_bench            # full stream
 //! cargo run --release -p quhe-bench --bin serve_bench -- --quick # CI budgets
@@ -231,6 +241,66 @@ fn main() {
         }
     }
 
+    // Restart demonstration: snapshot the warmed cache, push it through its
+    // JSON disk format (serialize + re-parse, exactly what a deployment
+    // writing the snapshot to disk would do), and boot a fresh service from
+    // the parsed text. The restarted service must answer the full working
+    // set — every unique request the original service solved — as exact
+    // hits with zero solver work, bit-identical to the pre-restart
+    // responses.
+    let snapshot_text = service.cache().snapshot().to_compact_string();
+    let snapshot_entries = service.cache().len();
+    let restarted = ServiceConfig::new(config)
+        .with_cache_snapshot(JsonValue::parse(&snapshot_text).expect("snapshot text re-parses"))
+        .build();
+    let mut seen_requests = std::collections::HashSet::new();
+    let working_set: Vec<&SolveRequest> = base
+        .iter()
+        .chain(&requests)
+        .filter(|request| seen_requests.insert(request.to_json()))
+        .collect();
+    eprintln!(
+        "serve_bench: restart replay of {} unique requests from a {}-entry snapshot ({} bytes)",
+        working_set.len(),
+        snapshot_entries,
+        snapshot_text.len()
+    );
+    let restart_wall = Instant::now();
+    for request in &working_set {
+        let response = restarted
+            .handle(request)
+            .unwrap_or_else(|e| panic!("restart replay failed: {e}"));
+        assert_eq!(
+            response.cache,
+            CacheOutcome::Hit,
+            "restarted service did not answer {} from the snapshot",
+            request.to_json()
+        );
+        let producers = solved_by_request
+            .get(&request.to_json())
+            .map_or(&[][..], Vec::as_slice);
+        assert!(
+            producers.iter().any(|p| {
+                p.report == response.report
+                    && p.report.runtime_s.to_bits() == response.report.runtime_s.to_bits()
+            }),
+            "restart hit for {} is not bit-identical to a pre-restart response",
+            request.to_json()
+        );
+    }
+    let restart_replay_s = restart_wall.elapsed().as_secs_f64();
+    let restart_stats = restarted.stats();
+    assert_eq!(
+        restart_stats.cold_solves, 0,
+        "the snapshot-restored service cold-solved part of its working set"
+    );
+    assert_eq!(
+        restart_stats.warm_hits + restart_stats.warm_fallbacks,
+        0,
+        "the snapshot-restored service warm-solved part of its working set"
+    );
+    assert_eq!(restart_stats.exact_hits, working_set.len());
+
     let stats = service.stats();
     let count = |outcome: CacheOutcome| responses.iter().filter(|r| r.cache == outcome).count();
     let (hits, warm, fallback, cold, coalesced) = (
@@ -374,6 +444,30 @@ fn main() {
         "cached_reports",
         JsonValue::from_usize(stats.cached_reports),
     )
+    // The cache's own telemetry, one consistent snapshot: hits + misses
+    // equals lookups exactly, insertions - evictions equals entries.
+    .with("cache", stats.cache.to_json_value())
+    .with(
+        "restart",
+        JsonValue::object()
+            .with("snapshot_entries", JsonValue::from_usize(snapshot_entries))
+            .with("snapshot_bytes", JsonValue::from_usize(snapshot_text.len()))
+            .with(
+                "replayed_requests",
+                JsonValue::from_usize(working_set.len()),
+            )
+            .with("hits", JsonValue::from_usize(restart_stats.exact_hits))
+            .with(
+                "cold_solves",
+                JsonValue::from_usize(restart_stats.cold_solves),
+            )
+            .with(
+                "warm_solves",
+                JsonValue::from_usize(restart_stats.warm_hits + restart_stats.warm_fallbacks),
+            )
+            .with("replay_wall_s", JsonValue::from_f64(restart_replay_s))
+            .with("cache", restart_stats.cache.to_json_value()),
+    )
     .with("requests_log", JsonValue::Array(request_values));
     write(&out_path, &document);
 
@@ -394,10 +488,12 @@ fn main() {
         "serve_bench: {requests_len} requests in {replay_s:.3}s ({:.1} req/s) — \
          {hits} hit / {warm} warm / {fallback} fallback / {cold} cold; \
          p50 {:.4}s p95 {:.4}s; warm path {warm_iters} (+{guard_iters} guard) vs cold \
-         {cold_iters} outer iterations ({:.0}% saved on the latency path)",
+         {cold_iters} outer iterations ({:.0}% saved on the latency path); \
+         restart answered {} requests as hits with 0 cold solves in {restart_replay_s:.3}s",
         requests_len as f64 / replay_s,
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.95),
         100.0 * (1.0 - warm_iters as f64 / cold_iters.max(1) as f64),
+        working_set.len(),
     );
 }

@@ -226,6 +226,52 @@ impl SystemScenario {
     pub fn shape_fingerprint(&self) -> Fingerprint {
         canonicalize(self, true)
     }
+
+    /// The **drift distance** between two scenarios of the same shape — the
+    /// similarity metric the serve-layer cache ranks warm-start anchors by.
+    ///
+    /// The definition is pinned (`QUHE-DRIFT-DIST-v1`): the Euclidean norm
+    /// of the log-ratios of *exactly* the drift fields that
+    /// [`SystemScenario::shape_fingerprint`] excludes, accumulated in
+    /// declaration order —
+    ///
+    /// ```text
+    /// d(a, b)^2 =   Σ_clients [ ln²(gₐ/g_b) + ln²(dₐ/d_b) + ln²(tokₐ/tok_b) ]
+    ///             + Σ_links     ln²(βₐ/β_b)
+    /// ```
+    ///
+    /// where `g` is the channel gain, `d` the upload payload in bits, `tok`
+    /// the token count and `β` the link rate coefficient. Log-ratios make
+    /// the metric scale-free (a 1 % gain fade counts the same as a 1 % beta
+    /// fade), symmetric up to floating-point rounding of the quotient and
+    /// logarithm, and exact-zero for equal scenarios; every field is
+    /// validated positive at construction, so the logarithms are finite.
+    /// Clients are visited in index order, then links in id order, each
+    /// field in declaration order, so the accumulated sum is
+    /// bit-deterministic across runs.
+    ///
+    /// Returns `None` when the scenarios are structurally incomparable
+    /// (different client or link counts) — for same-shape scenarios, which
+    /// is the only way the cache calls it, the distance always exists.
+    pub fn drift_distance(&self, other: &SystemScenario) -> Option<f64> {
+        if self.num_clients() != other.num_clients() || self.num_links() != other.num_links() {
+            return None;
+        }
+        let log_ratio_sq = |a: f64, b: f64| {
+            let r = (a / b).ln();
+            r * r
+        };
+        let mut sum = 0.0;
+        for (a, b) in self.mec().clients().iter().zip(other.mec().clients()) {
+            sum += log_ratio_sq(a.channel_gain, b.channel_gain);
+            sum += log_ratio_sq(a.upload_bits, b.upload_bits);
+            sum += log_ratio_sq(a.tokens, b.tokens);
+        }
+        for (a, b) in self.qkd().links().iter().zip(other.qkd().links()) {
+            sum += log_ratio_sq(a.beta, b.beta);
+        }
+        Some(sum.sqrt())
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +386,88 @@ mod tests {
             None
         );
         assert_eq!(Fingerprint::from_hex(&hex.to_uppercase()), Some(fp));
+    }
+
+    #[test]
+    fn drift_distance_is_zero_symmetric_and_drift_sensitive() {
+        let base = SystemScenario::paper_default(7);
+        assert_eq!(base.drift_distance(&base), Some(0.0));
+
+        // A known single-field drift has a closed-form distance: |ln 1.02|.
+        let mut clients = base.mec().clients().to_vec();
+        clients[0].channel_gain *= 1.02;
+        let drifted = SystemScenario::new(
+            base.qkd().clone(),
+            MecScenario::new(
+                clients,
+                base.mec().total_bandwidth_hz(),
+                base.mec().total_server_frequency_hz(),
+                base.mec().server_capacitance(),
+                base.mec().noise_psd(),
+            )
+            .unwrap(),
+            base.lambda_choices().to_vec(),
+        )
+        .unwrap();
+        let d = base.drift_distance(&drifted).unwrap();
+        assert!((d - 1.02f64.ln()).abs() < 1e-12, "{d}");
+        // Symmetric up to floating-point rounding of quotient and log.
+        let d_back = drifted.drift_distance(&base).unwrap();
+        assert!((d - d_back).abs() < 1e-12, "{d} vs {d_back}");
+
+        // A larger drift of the same field is strictly farther.
+        let mut far_clients = base.mec().clients().to_vec();
+        far_clients[0].channel_gain *= 1.5;
+        let far = base
+            .with_mec(
+                MecScenario::new(
+                    far_clients,
+                    base.mec().total_bandwidth_hz(),
+                    base.mec().total_server_frequency_hz(),
+                    base.mec().server_capacitance(),
+                    base.mec().noise_psd(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert!(base.drift_distance(&far).unwrap() > d);
+
+        // Beta drift counts too (the QKD-side drift field).
+        let mut betas = base.qkd().betas();
+        for beta in &mut betas {
+            *beta *= 1.01;
+        }
+        let beta_drift = SystemScenario::new(
+            base.qkd().with_betas(&betas).unwrap(),
+            base.mec().clone(),
+            base.lambda_choices().to_vec(),
+        )
+        .unwrap();
+        let expected = (18.0f64 * 1.01f64.ln().powi(2)).sqrt();
+        let d_beta = base.drift_distance(&beta_drift).unwrap();
+        assert!((d_beta - expected).abs() < 1e-12, "{d_beta} vs {expected}");
+    }
+
+    #[test]
+    fn drift_distance_requires_matching_dimensions() {
+        let six = SystemScenario::paper_default(3);
+        let four = SystemScenario::new(
+            quhe_qkd::topology::synthetic_scenario(4, 3),
+            MecScenario::paper_with_num_clients(4, 3),
+            six.lambda_choices().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(six.drift_distance(&four), None);
+        assert_eq!(four.drift_distance(&six), None);
+        // Same client count but different link structure: also incomparable.
+        let synthetic_six = SystemScenario::new(
+            quhe_qkd::topology::synthetic_scenario(6, 3),
+            MecScenario::paper_with_num_clients(6, 3),
+            six.lambda_choices().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(synthetic_six.num_links(), six.num_links());
+        assert_eq!(six.drift_distance(&synthetic_six), None);
     }
 
     #[test]

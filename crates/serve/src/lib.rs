@@ -9,17 +9,25 @@
 //! the report vocabulary of every `BENCH_*.json` artifact.
 //!
 //! The service's core is a **content-addressed cache** keyed by the
-//! canonical scenario fingerprints of [`quhe_core::fingerprint`]:
+//! canonical scenario fingerprints of [`quhe_core::fingerprint`], with LRU
+//! eviction (hits refresh recency) and JSON snapshot/restore so a restarted
+//! service warms from disk instead of re-solving its working set:
 //!
 //! * an **exact** fingerprint hit returns the cached report bit-identically
 //!   with zero solver work (the report keeps the original solve's
 //!   `runtime_s`; the lookup cost appears only in the response's
 //!   `service_wall_s`);
 //! * a **shape** hit — the same world modulo drifted channel/load fields —
-//!   warm-starts the solve from the cached anchor's optimum, guarded by the
-//!   cold single-start floor exactly like the online engine's per-step
-//!   fallback guarantee, with a cold re-solve when the warm solve regresses;
+//!   warm-starts the solve from the optimum of the *nearest* cached anchor
+//!   (ranked by the pinned drift distance over exactly the drifted fields;
+//!   see [`cache`]), guarded by the cold single-start floor exactly like
+//!   the online engine's per-step fallback guarantee, with a cold re-solve
+//!   when the warm solve regresses;
 //! * everything else solves cold and populates the cache.
+//!
+//! The cache keeps consistent telemetry ([`CacheStats`]) surfaced through
+//! [`service::SolveService::stats`] and the bench artifacts' `cache`
+//! blocks.
 //!
 //! In front of the cache sits a [`coalesce`] singleflight table: identical
 //! requests arriving **concurrently** elect one leader that solves while
@@ -70,7 +78,7 @@ pub mod request;
 pub mod service;
 pub mod wire;
 
-pub use cache::{CacheEntry, ScenarioCache};
+pub use cache::{CacheEntry, CacheStats, ScenarioCache, MAX_ANCHORS_PER_BUCKET, SNAPSHOT_SCHEMA};
 pub use net::{NetStats, TcpServer};
 pub use request::{InlineScenario, ScenarioSpec, SolveRequest};
 pub use service::{
@@ -81,7 +89,7 @@ pub use wire::{Protocol, WireReply, MAX_FRAME_BYTES, PROTOCOL_V2};
 
 /// Commonly used items, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::cache::ScenarioCache;
+    pub use crate::cache::{CacheStats, ScenarioCache};
     pub use crate::net::{NetStats, TcpServer};
     pub use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
     pub use crate::service::{

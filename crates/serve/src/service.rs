@@ -12,6 +12,8 @@
 //!    to [`SolveResponse::service_wall_s`].
 //! 2. **Warm near miss** — no exact hit, but a cached *anchor* (a cold
 //!    multi-start solve) shares the scenario's shape fingerprint: the
+//!    nearest such anchor by the pinned drift distance (see
+//!    [`crate::cache`]) donates its optimum, and the
 //!    request is solved [`SolveSpec::warm_from`] the anchor's optimum at the
 //!    online engine's scale-aware tracking tolerance, then checked against
 //!    the cold single-start floor of this exact scenario (the same fallback
@@ -44,7 +46,7 @@ use quhe_core::solver::{SolveReport, SolveSpec, Solver, SolverRegistry, StartMod
 use quhe_mec::scenario::MecScenario;
 use quhe_qkd::topology::synthetic_scenario;
 
-use crate::cache::{CacheEntry, ScenarioCache};
+use crate::cache::{CacheEntry, CacheStats, ScenarioCache};
 use crate::coalesce::{FlightKey, FlightResult, Join, Singleflight};
 use crate::request::{InlineScenario, ScenarioSpec, SolveRequest};
 use crate::wire;
@@ -280,8 +282,13 @@ pub struct ServiceStats {
     /// Requests coalesced onto an identical in-flight request (they spent no
     /// solver work and received the leader's report bit-identically).
     pub coalesced: usize,
-    /// Reports currently cached.
+    /// Reports currently cached. Read from the same cache-lock acquisition
+    /// as [`ServiceStats::cache`], so it always equals `cache.entries`.
     pub cached_reports: usize,
+    /// The cache's own telemetry (lookups, hits, evictions, anchor
+    /// promotions…), taken as one consistent snapshot under the cache lock —
+    /// the [`CacheStats`] invariants hold exactly, never just eventually.
+    pub cache: CacheStats,
 }
 
 impl ServiceStats {
@@ -317,6 +324,7 @@ pub struct ServiceConfig {
     worker_threads: usize,
     queue_bound: usize,
     coalescing: bool,
+    cache_snapshot: Option<JsonValue>,
 }
 
 impl Default for ServiceConfig {
@@ -336,6 +344,7 @@ impl ServiceConfig {
             worker_threads: 0,
             queue_bound: DEFAULT_QUEUE_BOUND,
             coalescing: true,
+            cache_snapshot: None,
         }
     }
 
@@ -369,6 +378,20 @@ impl ServiceConfig {
         self
     }
 
+    /// Warms the cache at startup from a [`ScenarioCache::snapshot`] tree
+    /// (e.g. one persisted to disk before a restart), so the service answers
+    /// its previous working set as exact hits instead of cold solves. The
+    /// snapshot is consumed when the service is built; entries beyond
+    /// [`ServiceConfig::with_cache_capacity`] keep the most recently used
+    /// tail. Use [`ServiceConfig::try_build`] /
+    /// [`ServiceConfig::try_build_with`] to surface a rejected snapshot as
+    /// an error instead of a panic.
+    #[must_use]
+    pub fn with_cache_snapshot(mut self, snapshot: JsonValue) -> Self {
+        self.cache_snapshot = Some(snapshot);
+        self
+    }
+
     /// The solver configuration.
     pub fn solver(&self) -> &QuheConfig {
         &self.solver
@@ -394,22 +417,66 @@ impl ServiceConfig {
         self.coalescing
     }
 
+    /// The startup cache snapshot, if one is pending
+    /// ([`ServiceConfig::with_cache_snapshot`]); `None` after the service is
+    /// built.
+    pub fn cache_snapshot(&self) -> Option<&JsonValue> {
+        self.cache_snapshot.as_ref()
+    }
+
     /// Builds a service over the built-in solvers and catalogue.
+    ///
+    /// # Panics
+    /// If a startup cache snapshot ([`ServiceConfig::with_cache_snapshot`])
+    /// is malformed or fails its fingerprint verification — use
+    /// [`ServiceConfig::try_build`] to handle that fallibly.
     pub fn build(self) -> SolveService {
-        let registry = SolverRegistry::builtin_with(self.solver);
-        self.build_with(registry, ScenarioCatalog::builtin())
+        self.try_build()
+            .unwrap_or_else(|e| panic!("startup cache snapshot rejected: {e}"))
     }
 
     /// Builds a service over an explicit registry and catalogue.
+    ///
+    /// # Panics
+    /// As [`ServiceConfig::build`]; use [`ServiceConfig::try_build_with`]
+    /// to handle a rejected snapshot fallibly.
     pub fn build_with(self, registry: SolverRegistry, catalog: ScenarioCatalog) -> SolveService {
-        SolveService {
+        self.try_build_with(registry, catalog)
+            .unwrap_or_else(|e| panic!("startup cache snapshot rejected: {e}"))
+    }
+
+    /// Fallible [`ServiceConfig::build`].
+    ///
+    /// # Errors
+    /// [`QuheError::InvalidConfig`] when the startup cache snapshot is
+    /// malformed or fails its fingerprint verification.
+    pub fn try_build(self) -> QuheResult<SolveService> {
+        let registry = SolverRegistry::builtin_with(self.solver);
+        self.try_build_with(registry, ScenarioCatalog::builtin())
+    }
+
+    /// Fallible [`ServiceConfig::build_with`].
+    ///
+    /// # Errors
+    /// [`QuheError::InvalidConfig`] when the startup cache snapshot is
+    /// malformed or fails its fingerprint verification.
+    pub fn try_build_with(
+        mut self,
+        registry: SolverRegistry,
+        catalog: ScenarioCatalog,
+    ) -> QuheResult<SolveService> {
+        let cache = ScenarioCache::new(self.cache_capacity);
+        if let Some(snapshot) = self.cache_snapshot.take() {
+            cache.restore(&snapshot)?;
+        }
+        Ok(SolveService {
             registry,
             catalog,
-            cache: ScenarioCache::new(self.cache_capacity),
+            cache,
             counters: Mutex::new(Counters::default()),
             flights: Singleflight::new(),
             config: self,
-        }
+        })
     }
 }
 
@@ -476,16 +543,24 @@ impl SolveService {
         &self.config
     }
 
-    /// A consistent snapshot of the serving counters and cache occupancy.
+    /// A snapshot of the serving counters and the cache's telemetry. The
+    /// serving counters come from one lock acquisition and the cache block
+    /// from one cache-lock acquisition, so each block is internally
+    /// consistent — in particular `cached_reports` always equals
+    /// `cache.entries` and the [`CacheStats`] invariants hold exactly
+    /// (previously `cached_reports` was read under a separate lock and
+    /// could disagree with the counters mid-burst).
     pub fn stats(&self) -> ServiceStats {
         let counters = *self.counters.lock();
+        let cache = self.cache.stats();
         ServiceStats {
             exact_hits: counters.exact_hits,
             warm_hits: counters.warm_hits,
             warm_fallbacks: counters.warm_fallbacks,
             cold_solves: counters.cold_solves,
             coalesced: counters.coalesced,
-            cached_reports: self.cache.len(),
+            cached_reports: cache.entries,
+            cache,
         }
     }
 
@@ -676,9 +751,9 @@ impl SolveService {
         //    solver — single-start and explicit warm requests are served as
         //    written.
         if matches!(spec.start(), StartMode::Cold) && solver.supports_warm_start() {
-            if let Some(anchor) =
-                self.cache
-                    .lookup_anchor(shape_fingerprint, solver_name, scenario.num_clients())
+            if let Some(anchor) = self
+                .cache
+                .lookup_anchor(shape_fingerprint, solver_name, scenario)
             {
                 let (outcome, report, is_anchor, path_iters, guard_iters) =
                     self.solve_warm(solver, scenario, spec, &anchor)?;
@@ -1139,6 +1214,107 @@ mod tests {
             .handle(&SolveRequest::catalog("paper_default", 77))
             .unwrap();
         assert_eq!(after.cache, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn a_snapshot_restored_service_answers_its_working_set_as_hits() {
+        let service = quick_service();
+        let requests: Vec<SolveRequest> = (1..=3)
+            .map(|seed| SolveRequest::catalog("paper_default", seed))
+            .collect();
+        let originals: Vec<SolveResponse> = requests
+            .iter()
+            .map(|r| service.handle(r).unwrap())
+            .collect();
+        assert!(originals.iter().all(|r| r.cache == CacheOutcome::Cold));
+
+        // "Restart": a fresh service warmed from the snapshot answers the
+        // same working set bit-identically with zero solver work.
+        let snapshot = service.cache().snapshot();
+        let restarted = ServiceConfig::new(quick_config())
+            .with_cache_snapshot(snapshot)
+            .build();
+        assert_eq!(restarted.cache().len(), 3);
+        assert!(restarted.config().cache_snapshot().is_none());
+        for (request, original) in requests.iter().zip(&originals) {
+            let replay = restarted.handle(request).unwrap();
+            assert_eq!(replay.cache, CacheOutcome::Hit);
+            assert_eq!(replay.report, original.report);
+            assert_eq!(
+                replay.report.runtime_s.to_bits(),
+                original.report.runtime_s.to_bits()
+            );
+        }
+        let stats = restarted.stats();
+        assert_eq!(stats.cold_solves, 0);
+        assert_eq!(stats.exact_hits, 3);
+
+        // A rejected snapshot surfaces as an error through try_build.
+        let err = ServiceConfig::new(quick_config())
+            .with_cache_snapshot(JsonValue::object())
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn stats_snapshots_are_never_torn() {
+        // Regression: `cached_reports` used to be read under a different
+        // lock than the cache counters, so a snapshot could show an entry
+        // count that disagreed with the cache's own arithmetic mid-burst.
+        // Hammer the service from several threads while polling stats: the
+        // CacheStats invariants must hold on *every* snapshot.
+        let service = std::sync::Arc::new(
+            ServiceConfig::new(quick_config())
+                .with_cache_capacity(4)
+                .build(),
+        );
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let workers: Vec<_> = (0..3u64)
+            .map(|w| {
+                let service = std::sync::Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for seed in 0..8u64 {
+                        service
+                            .handle(&SolveRequest::catalog("paper_default", 100 * w + seed))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        let poller = {
+            let service = std::sync::Arc::clone(&service);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut polls = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let stats = service.stats();
+                    let cache = stats.cache;
+                    assert_eq!(stats.cached_reports, cache.entries, "{stats:?}");
+                    assert_eq!(
+                        cache.exact_hits + cache.exact_misses,
+                        cache.exact_lookups(),
+                        "{cache:?}"
+                    );
+                    assert_eq!(
+                        cache.insertions - cache.evictions,
+                        cache.entries as u64,
+                        "{cache:?}"
+                    );
+                    assert!(cache.entries <= cache.capacity, "{cache:?}");
+                    polls += 1;
+                }
+                polls
+            })
+        };
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(poller.join().unwrap() > 0);
+        let final_stats = service.stats();
+        assert_eq!(final_stats.cached_reports, final_stats.cache.entries);
+        assert!(final_stats.cache.entries <= 4);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Property-style tests of the serve cache's LRU policy and snapshot
+//! round-trip: after any interleaving of inserts and hits the cache obeys
+//! its capacity, both indexes agree on membership, the least-recently-used
+//! entry is the one evicted (checked against an explicit recency model),
+//! and snapshot → restore → `lookup_exact` is bit-identical across the
+//! whole scenario catalogue.
+
+use std::sync::LazyLock;
+
+use proptest::prelude::*;
+use quhe_core::params::QuheConfig;
+use quhe_core::registry::ScenarioCatalog;
+use quhe_core::scenario::SystemScenario;
+use quhe_core::solver::{QuheSolver, SolveSpec, Solver};
+use quhe_serve::cache::{CacheEntry, ScenarioCache};
+
+fn quick_config() -> QuheConfig {
+    QuheConfig {
+        max_outer_iterations: 1,
+        max_stage3_iterations: 4,
+        solver_threads: 1,
+        ..QuheConfig::default()
+    }
+}
+
+fn entry_for(scenario: SystemScenario) -> CacheEntry {
+    let report = QuheSolver::new(quick_config())
+        .solve(&scenario, &SolveSpec::single_start())
+        .unwrap();
+    CacheEntry {
+        fingerprint: scenario.fingerprint(),
+        shape: scenario.shape_fingerprint(),
+        scenario,
+        solver: "quhe".to_string(),
+        spec_key: SolveSpec::cold().to_json_value().to_compact_string(),
+        report,
+        anchor: true,
+    }
+}
+
+/// A pool of distinct solved entries (distinct seeds → distinct full *and*
+/// shape fingerprints), built once: the properties below shuffle these
+/// through the cache instead of re-solving per case.
+static POOL: LazyLock<Vec<CacheEntry>> = LazyLock::new(|| {
+    (1..=6)
+        .map(|seed| entry_for(SystemScenario::paper_default(seed)))
+        .collect()
+});
+
+const CAPACITY: usize = 3;
+
+/// The reference model: pool indices in recency order, most recent first.
+#[derive(Debug, Default)]
+struct RecencyModel {
+    order: Vec<usize>,
+}
+
+impl RecencyModel {
+    fn touch(&mut self, index: usize) {
+        self.order.retain(|&i| i != index);
+        self.order.insert(0, index);
+    }
+
+    /// Mirrors `ScenarioCache::insert`: duplicates refresh recency, new
+    /// entries evict the least recently used at capacity.
+    fn insert(&mut self, index: usize) {
+        if self.order.contains(&index) {
+            self.touch(index);
+            return;
+        }
+        while self.order.len() >= CAPACITY {
+            self.order.pop();
+        }
+        self.order.insert(0, index);
+    }
+
+    /// Mirrors `ScenarioCache::lookup_exact`: a hit refreshes recency.
+    fn lookup(&mut self, index: usize) {
+        if self.order.contains(&index) {
+            self.touch(index);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lru_membership_matches_the_recency_model(
+        kinds in proptest::collection::vec(0usize..2, 32),
+        picks in proptest::collection::vec(0usize..6, 32),
+    ) {
+        let cache = ScenarioCache::new(CAPACITY);
+        let mut model = RecencyModel::default();
+        for (&kind, &pick) in kinds.iter().zip(&picks) {
+            let e = &POOL[pick];
+            match kind {
+                0 => {
+                    cache.insert(e.clone());
+                    model.insert(pick);
+                }
+                _ => {
+                    let hit = cache
+                        .lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key)
+                        .is_some();
+                    prop_assert_eq!(hit, model.order.contains(&pick));
+                    model.lookup(pick);
+                }
+            }
+            // Capacity and telemetry invariants hold after every single op.
+            let stats = cache.stats();
+            prop_assert!(cache.len() <= CAPACITY);
+            prop_assert_eq!(cache.len(), model.order.len());
+            prop_assert_eq!(stats.entries, cache.len());
+            prop_assert_eq!(stats.exact_hits + stats.exact_misses, stats.exact_lookups());
+            prop_assert_eq!(stats.insertions - stats.evictions, stats.entries as u64);
+        }
+        // Final membership: exactly the model's survivors, visible through
+        // *both* indexes (each pool entry has a unique shape and is an
+        // anchor, so the exact and shape indexes must agree everywhere).
+        for (index, e) in POOL.iter().enumerate() {
+            let expected = model.order.contains(&index);
+            let exact = cache
+                .lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key)
+                .is_some();
+            let anchor = cache.lookup_anchor(e.shape, &e.solver, &e.scenario).is_some();
+            prop_assert_eq!(exact, expected, "exact index disagrees for pool[{}]", index);
+            prop_assert_eq!(anchor, expected, "shape index disagrees for pool[{}]", index);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_membership_and_reports(
+        kinds in proptest::collection::vec(0usize..2, 20),
+        picks in proptest::collection::vec(0usize..6, 20),
+    ) {
+        let cache = ScenarioCache::new(CAPACITY);
+        for (&kind, &pick) in kinds.iter().zip(&picks) {
+            let e = &POOL[pick];
+            if kind == 0 {
+                cache.insert(e.clone());
+            } else {
+                cache.lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key);
+            }
+        }
+        let restored = ScenarioCache::new(CAPACITY);
+        restored.restore(&cache.snapshot()).unwrap();
+        prop_assert_eq!(restored.len(), cache.len());
+        for e in POOL.iter() {
+            let original = cache.lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key);
+            let replayed = restored.lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key);
+            match (original, replayed) {
+                (Some(a), Some(b)) => {
+                    // Bit-identity: the JSON writer round-trips f64s
+                    // shortest-exactly, so equal strings mean equal bits.
+                    prop_assert_eq!(a.to_json(), b.to_json());
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "membership diverged: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_across_the_catalogue() {
+    let catalog = ScenarioCatalog::builtin();
+    let cache = ScenarioCache::new(64);
+    let mut entries = Vec::new();
+    for name in catalog.names() {
+        let scenario = catalog.generate(name, 1).unwrap();
+        let e = entry_for(scenario);
+        cache.insert(e.clone());
+        entries.push(e);
+    }
+    let snapshot = cache.snapshot();
+    let restored = ScenarioCache::new(64);
+    assert_eq!(restored.restore(&snapshot).unwrap(), entries.len());
+    for e in &entries {
+        let original = cache
+            .lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key)
+            .unwrap();
+        let replayed = restored
+            .lookup_exact(e.fingerprint, &e.scenario, &e.solver, &e.spec_key)
+            .unwrap();
+        assert_eq!(replayed, original);
+        assert_eq!(replayed.to_json(), original.to_json());
+        assert_eq!(
+            replayed.objective.to_bits(),
+            original.objective.to_bits(),
+            "objective must survive the round trip bit-exactly"
+        );
+        assert_eq!(
+            replayed.runtime_s.to_bits(),
+            original.runtime_s.to_bits(),
+            "runtime must survive the round trip bit-exactly"
+        );
+    }
+}

@@ -133,6 +133,96 @@ fn warm_near_misses_never_fall_below_the_single_start_floor() {
 }
 
 #[test]
+fn nearest_anchor_selection_does_not_regress_warm_iterations_vs_recency() {
+    // Two cold anchors share the target's shape: a *near* one (1 drift step
+    // away) inserted first and a *far* one (5 steps away) inserted last.
+    // The old recency policy would nominate the far anchor; the distance
+    // policy must nominate the near one, and warm-solving from it must not
+    // cost more outer iterations than the recency choice would have.
+    use quhe::core::online::prepare_warm_tracking;
+    use quhe::serve::cache::CacheEntry;
+
+    let service = ServiceConfig::new(test_config()).build();
+    let solver = QuheSolver::new(test_config());
+    let resolve = |step: usize| {
+        service
+            .resolve_scenario(&SolveRequest::drifted("paper_default", 42, step).scenario)
+            .unwrap()
+    };
+    let target = resolve(2);
+    let near = resolve(1);
+    let far = resolve(5);
+    assert_eq!(target.shape_fingerprint(), near.shape_fingerprint());
+    assert_eq!(target.shape_fingerprint(), far.shape_fingerprint());
+    let d_near = target.drift_distance(&near).unwrap();
+    let d_far = target.drift_distance(&far).unwrap();
+    assert!(
+        d_near < d_far,
+        "drift stream must order distances: {d_near} vs {d_far}"
+    );
+
+    let spec_key = SolveSpec::cold().to_json_value().to_compact_string();
+    let mut reports = Vec::new();
+    for scenario in [&near, &far] {
+        let report = solver.solve(scenario, &SolveSpec::cold()).unwrap();
+        service.cache().insert(CacheEntry {
+            fingerprint: scenario.fingerprint(),
+            shape: scenario.shape_fingerprint(),
+            scenario: scenario.clone(),
+            solver: "quhe".to_string(),
+            spec_key: spec_key.clone(),
+            report: report.clone(),
+            anchor: true,
+        });
+        reports.push(report);
+    }
+
+    // The cache nominates the nearest anchor, not the most recent.
+    let nominated = service
+        .cache()
+        .lookup_anchor(target.shape_fingerprint(), "quhe", &target)
+        .unwrap();
+    assert_eq!(nominated.fingerprint, near.fingerprint());
+
+    // Quality: warm iterations from the nearest anchor never exceed the
+    // recency policy's choice (the far anchor, inserted last). Both warm
+    // solves replicate the service's warm path exactly.
+    let warm_iters = |anchor_report: &SolveReport| {
+        let config = SolveSpec::cold().effective_config(solver.config());
+        let (problem, warm_start) = prepare_warm_tracking(
+            &config,
+            &target,
+            anchor_report.objective,
+            &anchor_report.variables,
+        )
+        .unwrap();
+        solver
+            .with_config(*problem.config())
+            .solve_prepared(&problem, &SolveSpec::warm_from(warm_start))
+            .unwrap()
+            .outer_iterations
+    };
+    let from_near = warm_iters(&reports[0]);
+    let from_far = warm_iters(&reports[1]);
+    assert!(
+        from_near <= from_far,
+        "nearest anchor cost {from_near} outer iterations, recency choice {from_far}"
+    );
+
+    // End to end: the drifted request is warm-served off the nearest anchor.
+    let response = service
+        .handle(&SolveRequest::drifted("paper_default", 42, 2))
+        .unwrap();
+    assert!(matches!(
+        response.cache,
+        CacheOutcome::Warm | CacheOutcome::WarmFallback
+    ));
+    if response.cache == CacheOutcome::Warm {
+        assert_eq!(response.path_outer_iterations, from_near);
+    }
+}
+
+#[test]
 fn served_solutions_are_feasible_in_their_scenarios() {
     let service = ServiceConfig::new(test_config()).build();
     for (request, expect_kind) in [
