@@ -1,0 +1,362 @@
+//! `analyze.toml` parsing and the built-in default configuration.
+//!
+//! The parser covers exactly the subset of TOML the analyzer's configuration
+//! uses — `[section]` headers, `[[array.of.tables]]` headers, `key = "string"`
+//! / `key = 'literal string'` assignments, string arrays (single- or
+//! multi-line), and `#` comments. It is hand-rolled in the same spirit as
+//! `quhe-core::json`: the workspace takes no dependencies for tooling.
+
+use std::path::Path;
+
+/// One `[[allow.panic]]` entry: a justified exemption from the
+/// panic-discipline lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicAllow {
+    /// Workspace-relative file the exemption applies to.
+    pub file: String,
+    /// Substring that must appear on the flagged source line.
+    pub pattern: String,
+    /// Required human justification; an empty reason is itself a diagnostic.
+    pub reason: String,
+}
+
+/// The analyzer's effective configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Extra hot-path functions named `"<file-suffix>::<fn-name>"`, on top of
+    /// `// quhe-analyze: hot-path` annotations in the sources.
+    pub hot_functions: Vec<String>,
+    /// Path prefixes the lock-discipline lint scans.
+    pub lock_paths: Vec<String>,
+    /// Path prefixes the panic-discipline lint scans.
+    pub panic_paths: Vec<String>,
+    /// Justified panic-discipline exemptions.
+    pub panic_allow: Vec<PanicAllow>,
+    /// Pinned contract strings each requiring exactly one `const` definition.
+    pub pinned: Vec<String>,
+}
+
+impl Default for AnalyzeConfig {
+    /// The built-in configuration. The pinned list references the
+    /// workspace's real constants so the default can never drift from the
+    /// definitions it enforces.
+    fn default() -> Self {
+        AnalyzeConfig {
+            hot_functions: Vec::new(),
+            lock_paths: vec![
+                "crates/serve/src".to_string(),
+                "crates/core/src".to_string(),
+            ],
+            panic_paths: vec!["crates/serve/src".to_string()],
+            panic_allow: Vec::new(),
+            pinned: vec![
+                quhe_core::fingerprint::SCENARIO_FMT.to_string(),
+                quhe_core::fingerprint::DRIFT_DIST_FMT.to_string(),
+                quhe_serve::wire::PROTOCOL_V2.to_string(),
+                quhe_serve::cache::SNAPSHOT_SCHEMA.to_string(),
+            ],
+        }
+    }
+}
+
+impl AnalyzeConfig {
+    /// Parses `analyze.toml` text and merges it over the defaults: `paths`
+    /// keys replace the default scopes, list keys extend them.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = AnalyzeConfig::default();
+        let mut section = String::new();
+        let mut pending_allow: Option<PanicAllow> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                flush_allow(&mut config, &mut pending_allow, lineno)?;
+                let header = header.trim();
+                if header != "allow.panic" {
+                    return Err(format!("line {lineno}: unknown table `[[{header}]]`"));
+                }
+                pending_allow = Some(PanicAllow {
+                    file: String::new(),
+                    pattern: String::new(),
+                    reason: String::new(),
+                });
+                section = header.to_string();
+            } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                flush_allow(&mut config, &mut pending_allow, lineno)?;
+                section = header.trim().to_string();
+                if !matches!(
+                    section.as_str(),
+                    "hot_path" | "locks" | "panics" | "contract"
+                ) {
+                    return Err(format!("line {lineno}: unknown section `[{section}]`"));
+                }
+            } else if let Some((key, value)) = line.split_once('=') {
+                let key = key.trim();
+                let mut value = value.trim().to_string();
+                // A multi-line array: keep consuming until the closing `]`.
+                while value.starts_with('[') && !balanced_array(&value) {
+                    let Some((_, next)) = lines.next() else {
+                        return Err(format!("line {lineno}: unterminated array for `{key}`"));
+                    };
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+                apply(
+                    &mut config,
+                    &mut pending_allow,
+                    &section,
+                    key,
+                    &value,
+                    lineno,
+                )?;
+            } else {
+                return Err(format!("line {lineno}: cannot parse `{line}`"));
+            }
+        }
+        flush_allow(&mut config, &mut pending_allow, text.lines().count() + 1)?;
+        Ok(config)
+    }
+
+    /// Loads `analyze.toml` from `root` if present; otherwise the defaults.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(root.join("analyze.toml")) {
+            Ok(text) => Self::parse(&text).map_err(|e| format!("analyze.toml: {e}")),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(AnalyzeConfig::default()),
+            Err(e) => Err(format!("analyze.toml: {e}")),
+        }
+    }
+}
+
+fn apply(
+    config: &mut AnalyzeConfig,
+    pending_allow: &mut Option<PanicAllow>,
+    section: &str,
+    key: &str,
+    value: &str,
+    lineno: usize,
+) -> Result<(), String> {
+    match (section, key) {
+        ("allow.panic", "file" | "pattern" | "reason") => {
+            let entry = pending_allow
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: `{key}` outside `[[allow.panic]]`"))?;
+            let s = parse_string(value)
+                .ok_or_else(|| format!("line {lineno}: `{key}` must be a string"))?;
+            match key {
+                "file" => entry.file = s,
+                "pattern" => entry.pattern = s,
+                _ => entry.reason = s,
+            }
+        }
+        ("hot_path", "functions") => config.hot_functions.extend(parse_array(value, lineno)?),
+        ("locks", "paths") => config.lock_paths = parse_array(value, lineno)?,
+        ("panics", "paths") => config.panic_paths = parse_array(value, lineno)?,
+        ("contract", "pinned") => {
+            for s in parse_array(value, lineno)? {
+                if !config.pinned.contains(&s) {
+                    config.pinned.push(s);
+                }
+            }
+        }
+        _ => {
+            return Err(format!(
+                "line {lineno}: unknown key `{key}` in section `[{section}]`"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn flush_allow(
+    config: &mut AnalyzeConfig,
+    pending: &mut Option<PanicAllow>,
+    lineno: usize,
+) -> Result<(), String> {
+    if let Some(entry) = pending.take() {
+        if entry.file.is_empty() || entry.pattern.is_empty() {
+            return Err(format!(
+                "line {lineno}: `[[allow.panic]]` entry needs both `file` and `pattern`"
+            ));
+        }
+        config.panic_allow.push(entry);
+    }
+    Ok(())
+}
+
+/// Strips a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str: Option<char> = None;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match in_str {
+            Some(quote) => {
+                if escaped {
+                    escaped = false;
+                } else if quote == '"' && c == '\\' {
+                    escaped = true;
+                } else if c == quote {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                '#' => return &line[..i],
+                _ => {}
+            },
+        }
+    }
+    line
+}
+
+/// Whether an array value has its closing `]` (quote-aware).
+fn balanced_array(value: &str) -> bool {
+    let mut in_str: Option<char> = None;
+    let mut escaped = false;
+    for c in value.chars() {
+        match in_str {
+            Some(quote) => {
+                if escaped {
+                    escaped = false;
+                } else if quote == '"' && c == '\\' {
+                    escaped = true;
+                } else if c == quote {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_str = Some(c),
+                ']' => return true,
+                _ => {}
+            },
+        }
+    }
+    false
+}
+
+/// Parses a `"..."` (with `\"`/`\\` escapes) or `'...'` (literal) string.
+fn parse_string(value: &str) -> Option<String> {
+    let value = value.trim();
+    if let Some(body) = value.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return Some(body.to_string());
+    }
+    let body = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Parses `[ "a", 'b', ... ]` into its string elements.
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    let body = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected a string array"))?;
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let quote = rest
+            .chars()
+            .next()
+            .filter(|c| *c == '"' || *c == '\'')
+            .ok_or_else(|| format!("line {lineno}: expected a quoted string in array"))?;
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices().skip(1) {
+            if escaped {
+                escaped = false;
+            } else if quote == '"' && c == '\\' {
+                escaped = true;
+            } else if c == quote {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {lineno}: unterminated string in array"))?;
+        let element = parse_string(&rest[..=end])
+            .ok_or_else(|| format!("line {lineno}: bad string in array"))?;
+        out.push(element);
+        rest = rest[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_track_the_real_constants() {
+        let config = AnalyzeConfig::default();
+        assert!(config.pinned.contains(&"QUHE-SCN-v1".to_string()));
+        assert!(config.pinned.contains(&"quhe-serve/v2".to_string()));
+        assert!(config
+            .pinned
+            .contains(&"quhe-cache-snapshot/v1".to_string()));
+        assert!(config.pinned.contains(&"QUHE-DRIFT-DIST-v1".to_string()));
+    }
+
+    #[test]
+    fn parses_sections_arrays_and_allow_tables() {
+        let config = AnalyzeConfig::parse(
+            r#"
+# comment
+[hot_path]
+functions = [
+    "crates/opt/src/line_search.rs::search_into",  # trailing comment
+    "crates/core/src/stage3.rs::rate",
+]
+
+[locks]
+paths = ["crates/serve/src"]
+
+[[allow.panic]]
+file = "crates/serve/src/cache.rs"
+pattern = 'expect("linked node")'
+reason = "intrusive-LRU invariant"
+
+[[allow.panic]]
+file = "crates/serve/src/service.rs"
+pattern = "panic!"
+reason = ""
+"#,
+        )
+        .unwrap();
+        assert_eq!(config.hot_functions.len(), 2);
+        assert_eq!(config.lock_paths, vec!["crates/serve/src".to_string()]);
+        assert_eq!(config.panic_allow.len(), 2);
+        assert_eq!(config.panic_allow[0].pattern, "expect(\"linked node\")");
+        assert_eq!(config.panic_allow[1].reason, "");
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_incomplete_allows() {
+        assert!(AnalyzeConfig::parse("[nope]\n").is_err());
+        assert!(AnalyzeConfig::parse("[[allow.panic]]\nfile = \"x.rs\"\n").is_err());
+        assert!(AnalyzeConfig::parse("[hot_path]\nfunctions = \"not-an-array\"\n").is_err());
+    }
+
+    #[test]
+    fn contract_pinned_extends_rather_than_replaces() {
+        let config = AnalyzeConfig::parse("[contract]\npinned = [\"extra-fmt/v9\"]\n").unwrap();
+        assert!(config.pinned.contains(&"extra-fmt/v9".to_string()));
+        assert!(config.pinned.contains(&"QUHE-SCN-v1".to_string()));
+    }
+}

@@ -1,0 +1,96 @@
+//! The diagnostic model: what a lint reports and how it prints.
+
+use std::fmt;
+
+/// Which lint pass produced a diagnostic. The kebab-case name is part of the
+/// output contract — fixture tests pin it verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Allocation-shaped call inside a hot-path function.
+    HotPathAlloc,
+    /// Lock-order cycle or a guard held across a blocking call.
+    LockDiscipline,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!` on a production serve path.
+    PanicDiscipline,
+    /// Pinned version string spelled as a literal, defined twice, or a
+    /// deprecated shim called from non-test code.
+    PinnedContract,
+    /// A stale or malformed `analyze.toml` entry.
+    Config,
+}
+
+impl Lint {
+    /// The stable kebab-case name used in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::HotPathAlloc => "hot-path-alloc",
+            Lint::LockDiscipline => "lock-discipline",
+            Lint::PanicDiscipline => "panic-discipline",
+            Lint::PinnedContract => "pinned-contract",
+            Lint::Config => "config",
+        }
+    }
+}
+
+/// One finding, anchored to a file and 1-indexed line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line the finding anchors to (0 for file-level findings).
+    pub line: u32,
+    /// The pass that produced it.
+    pub lint: Lint,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(file: impl Into<String>, line: u32, lint: Lint, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            lint,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.lint.name(),
+            self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable output order: by file, then line, then
+/// lint, then message.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_lint_message() {
+        let d = Diagnostic::new(
+            "crates/serve/src/net.rs",
+            314,
+            Lint::LockDiscipline,
+            "guard held across `.join(`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "crates/serve/src/net.rs:314: lock-discipline: guard held across `.join(`"
+        );
+    }
+}

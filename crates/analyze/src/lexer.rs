@@ -1,0 +1,390 @@
+//! A lightweight Rust lexer: the token stream the lint passes walk.
+//!
+//! This is deliberately **not** a full Rust parser — the lints need exactly
+//! what a token stream with line numbers gives them: identifiers, punctuation,
+//! string-literal *values* (for the pinned-contract pass), and line comments
+//! (for the `// quhe-analyze: ...` annotations). Everything that could
+//! confuse a naive text scan is handled here once: nested block comments,
+//! raw/byte strings, character literals vs. lifetimes, escapes.
+
+/// What a token is. Keywords are plain [`TokenKind::Ident`]s — the scanner
+/// matches them by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers lose their `r#` prefix).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (without the quote).
+    Lifetime(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// A string literal with its decoded relevance: `value` is the raw
+    /// source text between the quotes (escapes are *not* resolved — the
+    /// pinned strings contain no escapes, so source text equality is value
+    /// equality for them).
+    Str {
+        /// The text between the delimiters, as written.
+        value: String,
+        /// `b"..."` / `br"..."` byte strings.
+        byte: bool,
+    },
+    /// A character or byte literal (value irrelevant to every pass).
+    Char,
+    /// A numeric literal (value irrelevant to every pass).
+    Num,
+    /// A `//` line comment, with everything after the two slashes.
+    LineComment(String),
+}
+
+/// One token with the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-indexed line of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokenKind,
+}
+
+/// Tokenizes `source`. Unterminated constructs (a string running to end of
+/// file) terminate the affected token at end of input instead of erroring —
+/// the workspace's own sources compile, so this only matters for hostile
+/// fixtures, where a best-effort stream is still the most useful output.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, kind: TokenKind) {
+        self.tokens.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, false),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, true);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, true);
+                }
+                'r' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.raw_string(line, false);
+                }
+                'r' if self.peek(1) == Some('#') => {
+                    // `r#"..."#` is a raw string, `r#ident` a raw identifier.
+                    let mut ahead = 1;
+                    while self.peek(ahead) == Some('#') {
+                        ahead += 1;
+                    }
+                    if self.peek(ahead) == Some('"') {
+                        self.bump();
+                        self.raw_string(line, false);
+                    } else {
+                        self.bump();
+                        self.bump();
+                        self.ident(line);
+                    }
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(line, TokenKind::Punct(c));
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, TokenKind::LineComment(text));
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// A `"..."` string with escape handling; the opening quote is pending.
+    fn string(&mut self, line: u32, byte: bool) {
+        self.bump(); // the opening quote
+        let mut value = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    value.push('\\');
+                    if let Some(escaped) = self.bump() {
+                        value.push(escaped);
+                    }
+                }
+                c => value.push(c),
+            }
+        }
+        self.push(line, TokenKind::Str { value, byte });
+    }
+
+    /// A raw string; the pending input starts at the `#`s or the quote.
+    fn raw_string(&mut self, line: u32, byte: bool) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // the opening quote
+        let mut value = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hashes.
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        value.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            value.push(c);
+        }
+        self.push(line, TokenKind::Str { value, byte });
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'x'` / `'\n'` (char literal): a
+    /// quote starting an identifier char that is not closed immediately
+    /// after is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        let first = self.peek(0);
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && self.peek(1) != Some('\'');
+        if is_lifetime {
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(line, TokenKind::Lifetime(name));
+            return;
+        }
+        // A char literal: consume (with escapes) through the closing quote.
+        while let Some(c) = self.bump() {
+            match c {
+                '\'' => break,
+                '\\' => {
+                    self.bump();
+                }
+                _ => {}
+            }
+        }
+        self.push(line, TokenKind::Char);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Integer/float bodies, suffixes and underscores all collapse into
+        // one Num token; `1..n` ranges keep their dots as punctuation.
+        while let Some(c) = self.peek(0) {
+            let float_dot = c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit());
+            if c.is_ascii_alphanumeric() || c == '_' || float_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokenKind::Num);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokenKind::Ident(name));
+    }
+}
+
+impl Token {
+    /// The identifier name, when this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let tokens = lex("fn main() {\n  x.lock();\n}");
+        assert_eq!(tokens[0].kind, TokenKind::Ident("fn".to_string()));
+        assert_eq!(tokens[0].line, 1);
+        let lock = tokens.iter().find(|t| t.ident() == Some("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+    }
+
+    #[test]
+    fn strings_carry_their_value_and_escape_quotes() {
+        assert_eq!(
+            kinds(r#"let s = "quhe-serve/v2";"#)[3],
+            TokenKind::Str {
+                value: "quhe-serve/v2".to_string(),
+                byte: false
+            }
+        );
+        assert_eq!(
+            kinds(r#""a \" b""#)[0],
+            TokenKind::Str {
+                value: "a \\\" b".to_string(),
+                byte: false
+            }
+        );
+        assert_eq!(
+            kinds(r##"r#"raw "inner" text"#"##)[0],
+            TokenKind::Str {
+                value: "raw \"inner\" text".to_string(),
+                byte: false
+            }
+        );
+        assert_eq!(
+            kinds(r#"b"QUHE-SCN-v1""#)[0],
+            TokenKind::Str {
+                value: "QUHE-SCN-v1".to_string(),
+                byte: true
+            }
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let tokens = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(tokens.contains(&TokenKind::Lifetime("a".to_string())));
+        assert_eq!(tokens.iter().filter(|k| **k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text_and_block_comments_nest() {
+        let tokens = kinds("// quhe-analyze: hot-path\nfn f() {} /* a /* b */ c */ fn g() {}");
+        assert_eq!(
+            tokens[0],
+            TokenKind::LineComment(" quhe-analyze: hot-path".to_string())
+        );
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|k| matches!(k, TokenKind::Ident(n) if n == "fn"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_and_numbers() {
+        let tokens = kinds("let r#type = 1_000.5e3; let range = 1..n;");
+        assert!(tokens.contains(&TokenKind::Ident("type".to_string())));
+        assert_eq!(
+            tokens.iter().filter(|k| **k == TokenKind::Num).count(),
+            2,
+            "{tokens:?}"
+        );
+    }
+
+    #[test]
+    fn strings_containing_comment_markers_stay_strings() {
+        let tokens = kinds(r#"let u = "https://example.com/*x*/"; y"#);
+        assert!(tokens.contains(&TokenKind::Ident("y".to_string())));
+        assert!(matches!(
+            &tokens[3],
+            TokenKind::Str { value, .. } if value.contains("//")
+        ));
+    }
+}

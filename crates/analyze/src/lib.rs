@@ -1,0 +1,113 @@
+//! `quhe-analyze`: in-repo static analysis for the QuHE workspace.
+//!
+//! The stack rests on three conventions that rustc and clippy cannot check:
+//! the no-allocation hot-path contract in the solver fast path, the lock
+//! discipline of the serving layer, and the pinned protocol/format version
+//! strings that gate wire and artifact compatibility. This crate enforces
+//! them the way clippy gates style — a token-level scan of the workspace's
+//! own sources (hand-rolled in the same offline spirit as
+//! `quhe-core::json`), four lint passes, `file:line` diagnostics and a
+//! non-zero exit code on any finding.
+//!
+//! Run it from the repository root:
+//!
+//! ```text
+//! cargo run -p quhe-analyze -- --workspace
+//! ```
+//!
+//! Configuration lives in `analyze.toml` at the workspace root (see
+//! [`config::AnalyzeConfig`]); annotations live in the sources themselves
+//! (`// quhe-analyze: hot-path`, `// quhe-analyze: allow(alloc)`).
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod scan;
+
+use std::io;
+use std::path::Path;
+
+use config::AnalyzeConfig;
+use diag::Diagnostic;
+use scan::SourceFile;
+
+/// Runs all four passes over the given files and returns the sorted
+/// diagnostics.
+pub fn analyze(files: &[SourceFile], config: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    passes::alloc::run(files, config, &mut diags);
+    passes::locks::run(files, config, &mut diags);
+    passes::panics::run(files, config, &mut diags);
+    passes::contract::run(files, config, &mut diags);
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Collects the workspace's analyzable sources under `root`: every `.rs`
+/// file in `crates/*/src/**` plus the top-level `examples/*.rs`. Integration
+/// tests, benches, `target/` and `vendor/` are deliberately out of scope —
+/// the lints govern production code, and tests are exempt by design.
+/// Paths are workspace-relative with `/` separators, sorted for
+/// deterministic output.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut rel_paths: Vec<String> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                let crate_name = entry.file_name().to_string_lossy().into_owned();
+                collect_rs_files(&src, &format!("crates/{crate_name}/src"), &mut rel_paths)?;
+            }
+        }
+    }
+    let examples = root.join("examples");
+    if examples.is_dir() {
+        for entry in std::fs::read_dir(&examples)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                if let Some(name) = path.file_name() {
+                    rel_paths.push(format!("examples/{}", name.to_string_lossy()));
+                }
+            }
+        }
+    }
+    rel_paths.sort();
+    rel_paths
+        .iter()
+        .map(|rel| SourceFile::load(root, rel))
+        .collect()
+}
+
+fn collect_rs_files(dir: &Path, rel: &str, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            collect_rs_files(&path, &format!("{rel}/{name}"), out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(format!("{rel}/{name}"));
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` until a directory
+/// containing a `Cargo.toml` with a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

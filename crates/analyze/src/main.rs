@@ -1,0 +1,94 @@
+//! The `quhe-analyze` command-line entry point.
+//!
+//! ```text
+//! cargo run -p quhe-analyze -- --workspace [--root <dir>] [--config <file>]
+//! ```
+//!
+//! Exit codes follow the `-D warnings` convention: `0` when the workspace is
+//! clean, `1` when any diagnostic was produced, `2` on usage or
+//! configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use quhe_analyze::config::AnalyzeConfig;
+use quhe_analyze::{analyze, collect_workspace_files, find_workspace_root};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("quhe-analyze: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--config" => {
+                config_path = Some(PathBuf::from(args.next().ok_or("--config needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("nothing to do: pass --workspace\n{USAGE}"));
+    }
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory (try --root)")?
+        }
+    };
+    let config = match config_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            AnalyzeConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => AnalyzeConfig::load(&root)?,
+    };
+    let files = collect_workspace_files(&root).map_err(|e| e.to_string())?;
+    let diags = analyze(&files, &config);
+    for diagnostic in &diags {
+        println!("{diagnostic}");
+    }
+    if diags.is_empty() {
+        println!(
+            "quhe-analyze: clean — {} files, 4 passes, 0 diagnostics",
+            files.len()
+        );
+    } else {
+        println!(
+            "quhe-analyze: {} diagnostic(s) across {} files",
+            diags.len(),
+            files.len()
+        );
+    }
+    Ok(diags.len())
+}
+
+const USAGE: &str = "usage: quhe-analyze --workspace [--root <dir>] [--config <file>]
+
+  --workspace   analyze every crate source in the workspace
+  --root DIR    workspace root (default: nearest ancestor with [workspace])
+  --config FILE analyze.toml to use (default: <root>/analyze.toml if present)";

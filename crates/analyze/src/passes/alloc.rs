@@ -1,0 +1,228 @@
+//! Pass 1: hot-path allocation lint.
+//!
+//! Functions marked `// quhe-analyze: hot-path` (or listed under
+//! `[hot_path] functions` in `analyze.toml`) must not contain
+//! allocation-shaped calls. This is the static half of the PR-7 fast-path
+//! contract: the warm/cold solve inner loops reuse caller-owned workspaces,
+//! and an allocation creeping into one shows up as a latency regression long
+//! before anyone re-reads the code. A line can opt out with an explicit
+//! `// quhe-analyze: allow(alloc)` comment on the line or the line above.
+
+use std::collections::BTreeSet;
+
+use crate::config::AnalyzeConfig;
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// The annotation exempting one line from this pass.
+pub const ALLOW_MARK: &str = "quhe-analyze: allow(alloc)";
+
+/// Runs the pass over all files.
+pub fn run(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+    let mut unused: BTreeSet<&str> = config.hot_functions.iter().map(String::as_str).collect();
+    for file in files {
+        let allowed = allowed_lines(file);
+        for item in &file.fns {
+            let qualified = format!("{}::{}", file.path, item.name);
+            let listed = config.hot_functions.contains(&qualified);
+            if listed {
+                unused.remove(qualified.as_str());
+            }
+            if item.is_test || !(item.hot_path || listed) {
+                continue;
+            }
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            check_body(file, &item.name, open, close, &allowed, diags);
+        }
+    }
+    for entry in unused {
+        diags.push(Diagnostic::new(
+            "analyze.toml",
+            0,
+            Lint::Config,
+            format!("[hot_path] entry `{entry}` matches no function in the workspace"),
+        ));
+    }
+}
+
+/// Lines covered by an `allow(alloc)` comment: the comment's own line (for
+/// trailing comments) and the line after it (for a comment above the call).
+fn allowed_lines(file: &SourceFile) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    for token in &file.tokens {
+        if let TokenKind::LineComment(text) = &token.kind {
+            if text.contains(ALLOW_MARK) {
+                lines.insert(token.line);
+                lines.insert(token.line + 1);
+            }
+        }
+    }
+    lines
+}
+
+fn check_body(
+    file: &SourceFile,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+    allowed: &BTreeSet<u32>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
+    let hi = close.min(tokens.len().saturating_sub(1));
+    for (i, token) in tokens.iter().enumerate().take(hi + 1).skip(open) {
+        let what = match &token.kind {
+            // `vec![...]` / `format!(...)` macro invocations.
+            TokenKind::Ident(name) if (name == "vec" || name == "format") && punct(i + 1, '!') => {
+                Some(format!("{name}!"))
+            }
+            // `Vec::new(`, `Box::new(`, `String::from(` constructor paths.
+            TokenKind::Ident(name)
+                if matches!(name.as_str(), "Vec" | "Box" | "String")
+                    && punct(i + 1, ':')
+                    && punct(i + 2, ':')
+                    && punct(i + 4, '(') =>
+            {
+                let method = ident(i + 3);
+                match (name.as_str(), method) {
+                    ("Vec" | "Box", Some("new")) => Some(format!("{name}::new")),
+                    ("String", Some("from")) => Some("String::from".to_string()),
+                    _ => None,
+                }
+            }
+            // `.clone()`, `.to_vec()`, `.collect()` / `.collect::<T>()`.
+            TokenKind::Punct('.')
+                if matches!(ident(i + 1), Some("clone" | "to_vec" | "collect"))
+                    && (punct(i + 2, '(') || (punct(i + 2, ':') && punct(i + 3, ':'))) =>
+            {
+                ident(i + 1).map(|m| format!(".{m}()"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            let line = tokens[i].line;
+            if allowed.contains(&line) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                &file.path,
+                line,
+                Lint::HotPathAlloc,
+                format!(
+                    "allocation-shaped call `{what}` in hot-path function `{fn_name}` \
+                     (annotate the line with `// {ALLOW_MARK}` if intended)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(source: &str, hot_functions: Vec<String>) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("hot.rs", source);
+        let config = AnalyzeConfig {
+            hot_functions,
+            ..AnalyzeConfig::default()
+        };
+        let mut diags = Vec::new();
+        run(std::slice::from_ref(&file), &config, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn flags_each_allocation_shape_in_annotated_fns() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot(xs: &[f64]) -> f64 {\n\
+                 let v = Vec::new();\n\
+                 let w = vec![1.0];\n\
+                 let c = xs.to_vec();\n\
+                 let d = w.clone();\n\
+                 let e: Vec<f64> = xs.iter().copied().collect();\n\
+                 let s = format!(\"{}\", d[0]);\n\
+                 let b = Box::new(1.0);\n\
+                 let t = String::from(\"x\");\n\
+                 0.0\n\
+             }",
+            Vec::new(),
+        );
+        let kinds: Vec<_> = diags
+            .iter()
+            .map(|d| d.message.split('`').nth(1).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "Vec::new",
+                "vec!",
+                ".to_vec()",
+                ".clone()",
+                ".collect()",
+                "format!",
+                "Box::new",
+                "String::from"
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_comment_exempts_same_line_and_next_line() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot() {\n\
+                 let a = vec![1]; // quhe-analyze: allow(alloc)\n\
+                 // quhe-analyze: allow(alloc)\n\
+                 let b = a.clone();\n\
+                 let c = b.clone();\n\
+             }",
+            Vec::new(),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 6);
+    }
+
+    #[test]
+    fn config_listing_and_stale_entries() {
+        let diags = run_on(
+            "fn listed() { let v = vec![1]; }\nfn clean() {}",
+            vec!["hot.rs::listed".to_string(), "hot.rs::missing".to_string()],
+        );
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.lint == Lint::HotPathAlloc));
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == Lint::Config && d.message.contains("hot.rs::missing")));
+    }
+
+    #[test]
+    fn unannotated_and_test_fns_are_exempt() {
+        let diags = run_on(
+            "fn cold() { let v = vec![1]; }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 // quhe-analyze: hot-path\n\
+                 fn helper() { let v = vec![1]; }\n\
+             }",
+            Vec::new(),
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn turbofish_collect_is_flagged() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot(xs: &[f64]) -> Vec<f64> { xs.iter().copied().collect::<Vec<f64>>() }",
+            Vec::new(),
+        );
+        assert_eq!(diags.len(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Pass 4: pinned-contract lint.
+//!
+//! Two rules keep the workspace's compatibility surface honest:
+//!
+//! 1. **Pinned version strings have exactly one home.** Each string in the
+//!    configured `pinned` list (`QUHE-SCN-v1`, `quhe-serve/v2`, …) must be
+//!    defined by exactly one non-test `const`/`static` across the scanned
+//!    sources, and must never be spelled as a literal anywhere else —
+//!    including embedded inside a larger literal. Tests that deliberately
+//!    pin wire bytes are exempt.
+//! 2. **Deprecated shims are not load-bearing.** A function carrying
+//!    `#[deprecated]` must not be called from non-test workspace code.
+//!    Detection covers path-qualified calls (`Type::shim(...)`) and free
+//!    calls (`shim(...)`); plain method-call syntax (`value.shim(...)`) is
+//!    out of reach for a token-level scan and left to rustc's own
+//!    deprecation warnings, which CI promotes to errors.
+
+use std::collections::BTreeSet;
+
+use crate::config::AnalyzeConfig;
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// Runs the pass over all files.
+pub fn run(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+    check_pinned_strings(files, config, diags);
+    check_deprecated_calls(files, diags);
+}
+
+fn check_pinned_strings(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+    for pinned in &config.pinned {
+        let mut definitions: Vec<(String, u32)> = Vec::new();
+        let mut uses: Vec<(String, u32, bool)> = Vec::new(); // (file, line, embedded)
+        for file in files {
+            for (idx, token) in file.tokens.iter().enumerate() {
+                let TokenKind::Str { value, .. } = &token.kind else {
+                    continue;
+                };
+                if value == pinned {
+                    if file.is_test_token(idx) {
+                        continue;
+                    }
+                    if is_const_definition(file, idx) {
+                        definitions.push((file.path.clone(), token.line));
+                    } else {
+                        uses.push((file.path.clone(), token.line, false));
+                    }
+                } else if value.contains(pinned.as_str()) && !file.is_test_token(idx) {
+                    uses.push((file.path.clone(), token.line, true));
+                }
+            }
+        }
+        for (file, line, embedded) in uses {
+            let how = if embedded {
+                "embedded in a literal"
+            } else {
+                "spelled as a literal"
+            };
+            diags.push(Diagnostic::new(
+                file,
+                line,
+                Lint::PinnedContract,
+                format!("pinned string `{pinned}` {how}; reference its const instead"),
+            ));
+        }
+        match definitions.len() {
+            0 => diags.push(Diagnostic::new(
+                "workspace",
+                0,
+                Lint::PinnedContract,
+                format!("pinned string `{pinned}` has no const definition in the workspace"),
+            )),
+            1 => {}
+            _ => {
+                let (first_file, first_line) = definitions[0].clone();
+                for (file, line) in &definitions[1..] {
+                    diags.push(Diagnostic::new(
+                        file,
+                        *line,
+                        Lint::PinnedContract,
+                        format!(
+                            "duplicate const definition of pinned string `{pinned}` \
+                             (canonical definition is {first_file}:{first_line})"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether the string token at `idx` is the initializer of a `const` or
+/// `static` item: scan backward to the start of the current statement/item
+/// and look for the keyword.
+fn is_const_definition(file: &SourceFile, idx: usize) -> bool {
+    let tokens = &file.tokens;
+    let mut j = idx;
+    while j > 0 {
+        match &tokens[j - 1].kind {
+            TokenKind::Punct(';' | '{' | '}') => return false,
+            TokenKind::Ident(name) if name == "const" || name == "static" => return true,
+            _ => j -= 1,
+        }
+    }
+    false
+}
+
+fn check_deprecated_calls(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // (owner, name) of every #[deprecated] fn in the workspace.
+    let mut shims: BTreeSet<(Option<String>, String)> = BTreeSet::new();
+    for file in files {
+        for item in &file.fns {
+            if item.is_deprecated && !item.is_test {
+                shims.insert((item.owner.clone(), item.name.clone()));
+            }
+        }
+    }
+    if shims.is_empty() {
+        return;
+    }
+    for file in files {
+        for item in &file.fns {
+            if item.is_test || item.allows_deprecated || item.is_deprecated {
+                continue;
+            }
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            check_calls(file, open, close, &shims, diags);
+        }
+    }
+}
+
+fn check_calls(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    shims: &BTreeSet<(Option<String>, String)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
+    let hi = close.min(tokens.len().saturating_sub(1));
+    for (i, token) in tokens.iter().enumerate().take(hi + 1).skip(open) {
+        let Some(name) = token.ident() else { continue };
+        if !punct(i + 1, '(') {
+            continue;
+        }
+        // Path-qualified call `Owner::name(...)`.
+        if i >= 3 && punct(i - 1, ':') && punct(i - 2, ':') {
+            if let Some(owner) = ident(i - 3) {
+                if shims.contains(&(Some(owner.to_string()), name.to_string())) {
+                    diags.push(Diagnostic::new(
+                        &file.path,
+                        tokens[i].line,
+                        Lint::PinnedContract,
+                        format!("call to deprecated shim `{owner}::{name}` from non-test code"),
+                    ));
+                }
+            }
+            continue;
+        }
+        // Free-function call `name(...)` — not a method, not a definition.
+        let prev_blocks =
+            i > 0 && (punct(i - 1, '.') || punct(i - 1, ':') || ident(i - 1) == Some("fn"));
+        if !prev_blocks && shims.contains(&(None, name.to_string())) {
+            diags.push(Diagnostic::new(
+                &file.path,
+                tokens[i].line,
+                Lint::PinnedContract,
+                format!("call to deprecated shim `{name}` from non-test code"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(sources: &[(&str, &str)], pinned: Vec<String>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(*path, src))
+            .collect();
+        let config = AnalyzeConfig {
+            pinned,
+            ..AnalyzeConfig::default()
+        };
+        let mut diags = Vec::new();
+        run(&files, &config, &mut diags);
+        diags
+    }
+
+    fn pinned_only(sources: &[(&str, &str)], pin: &str) -> Vec<Diagnostic> {
+        run_on(sources, vec![pin.to_string()])
+            .into_iter()
+            .filter(|d| d.message.contains(pin))
+            .collect()
+    }
+
+    #[test]
+    fn one_const_definition_and_const_references_are_clean() {
+        let diags = pinned_only(
+            &[
+                ("a.rs", "pub const FMT: &str = \"fmt/v1\";"),
+                ("b.rs", "fn f() -> &'static str { crate::FMT }"),
+            ],
+            "fmt/v1",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn literal_uses_and_embedded_literals_are_flagged() {
+        let diags = pinned_only(
+            &[
+                ("a.rs", "pub const FMT: &str = \"fmt/v1\";"),
+                (
+                    "b.rs",
+                    "fn f() { let x = \"fmt/v1\"; let y = \"schema: fmt/v1 here\"; }",
+                ),
+            ],
+            "fmt/v1",
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("spelled as a literal"));
+        assert!(diags[1].message.contains("embedded in a literal"));
+    }
+
+    #[test]
+    fn missing_and_duplicate_definitions_are_flagged() {
+        let missing = pinned_only(&[("a.rs", "fn f() {}")], "fmt/v1");
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("no const definition"));
+        assert_eq!(missing[0].file, "workspace");
+
+        let dup = pinned_only(
+            &[
+                ("a.rs", "pub const FMT: &str = \"fmt/v1\";"),
+                ("b.rs", "pub const ALSO: &str = \"fmt/v1\";"),
+            ],
+            "fmt/v1",
+        );
+        assert_eq!(dup.len(), 1);
+        assert!(dup[0].message.contains("duplicate const definition"));
+        assert_eq!(dup[0].file, "b.rs");
+    }
+
+    #[test]
+    fn test_code_may_pin_literals() {
+        let diags = pinned_only(
+            &[(
+                "a.rs",
+                "pub const FMT: &str = \"fmt/v1\";\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                     #[test]\n\
+                     fn stability() { assert_eq!(crate::FMT, \"fmt/v1\"); }\n\
+                 }",
+            )],
+            "fmt/v1",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn deprecated_shim_calls_are_flagged_where_detectable() {
+        let diags = run_on(
+            &[
+                (
+                    "a.rs",
+                    "#[deprecated(note = \"use solve_batch\")]\n\
+                     pub fn olaa(x: u32) -> u32 { x }\n\
+                     struct Algo;\n\
+                     impl Algo {\n\
+                         #[deprecated]\n\
+                         pub fn solve(&self) -> u32 { 1 }\n\
+                     }",
+                ),
+                (
+                    "b.rs",
+                    "fn qualified(a: &a::Algo) -> u32 { a::Algo::solve(a) }\n\
+                     fn free() -> u32 { olaa(2) }\n\
+                     #[allow(deprecated)]\n\
+                     fn allowed() -> u32 { olaa(3) }\n\
+                     fn unrelated(s: &MySolver) -> u32 { s.solve() }",
+                ),
+            ],
+            Vec::new(),
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("`Algo::solve`"));
+        assert!(diags[1].message.contains("`olaa`"));
+    }
+}

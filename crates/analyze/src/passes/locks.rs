@@ -1,0 +1,607 @@
+//! Pass 2: lock-discipline lint.
+//!
+//! Builds an intraprocedural model of guard lifetimes from the `Mutex` /
+//! `Condvar` acquisition sites in the configured paths, then enforces two
+//! rules:
+//!
+//! 1. **No acquisition-order cycles.** Every `lock B while holding A` site
+//!    contributes an `A → B` edge to a global graph; any edge on a cycle
+//!    (including `A → A` re-acquisition) is a diagnostic. Lock identity is
+//!    `file::receiver-path`, so ordering is tracked between the locks of one
+//!    file — which is where the real pairs live (admission queue +
+//!    connection-handle registry in `net.rs`, flight table + cache in the
+//!    service) — and the graph itself is merged across the whole codebase.
+//! 2. **No guard held across a blocking call.** While any guard is live,
+//!    a `.join(...)`, `.recv(...)`/`.recv_timeout(...)` or `.solve*(...)`
+//!    call is a diagnostic: these block for unbounded time and turn a
+//!    short critical section into a server-wide stall. `Condvar::wait` is
+//!    exempt — it releases the guard while parked.
+//!
+//! Acquisitions are `.lock()` method calls and calls to the repo's
+//! poison-recovering `lock(...)` helpers. Guard lifetime follows the repo's
+//! idiom: a `let` binding whose right-hand side is the acquisition (plus
+//! `unwrap`/`expect`/`unwrap_or_else` adapters) lives to the end of the
+//! enclosing block or an explicit `drop(guard)`; an acquisition in a
+//! `for`/`if`/`while`/`match` header lives to the end of that statement's
+//! body; any other acquisition is a temporary that dies at the statement's
+//! `;`.
+
+use std::collections::BTreeMap;
+
+use crate::config::AnalyzeConfig;
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// Runs the pass over all files.
+pub fn run(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+    // Edge (held → acquired) → first witness site.
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for file in files {
+        if !config.lock_paths.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        for item in &file.fns {
+            if item.is_test {
+                continue;
+            }
+            if let Some((open, close)) = item.body {
+                walk_body(file, open, close, &mut edges, diags);
+            }
+        }
+    }
+    report_cycles(&edges, diags);
+}
+
+/// A live guard inside one function body.
+struct Guard {
+    /// Lock identity: `file::receiver-path`.
+    key: String,
+    /// The `let` binding name, when bound (enables `drop(name)` release).
+    name: Option<String>,
+    /// Token index past which the guard is dead.
+    release: usize,
+}
+
+fn walk_body(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
+    let mut held: Vec<Guard> = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        held.retain(|g| g.release > i);
+        // `drop(name)` releases the named guard early.
+        if ident(i) == Some("drop") && punct(i + 1, '(') && punct(i + 3, ')') && !punct(i - 1, '.')
+        {
+            if let Some(name) = ident(i + 2) {
+                held.retain(|g| g.name.as_deref() != Some(name));
+            }
+        }
+        // A blocking call while any guard is live.
+        if punct(i, '.') && punct(i + 2, '(') {
+            if let Some(method) = ident(i + 1) {
+                let blocking = method == "join"
+                    || method == "recv"
+                    || method == "recv_timeout"
+                    || method.starts_with("solve");
+                if blocking {
+                    for guard in &held {
+                        diags.push(Diagnostic::new(
+                            &file.path,
+                            tokens[i].line,
+                            Lint::LockDiscipline,
+                            format!(
+                                "lock `{}` held across blocking call `.{method}(...)`",
+                                guard.key
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // A new acquisition.
+        if let Some(acq) = acquisition_at(file, i) {
+            for guard in &held {
+                if guard.key == acq.key {
+                    diags.push(Diagnostic::new(
+                        &file.path,
+                        tokens[i].line,
+                        Lint::LockDiscipline,
+                        format!("re-acquisition of `{}` while its guard is live", acq.key),
+                    ));
+                } else {
+                    edges
+                        .entry((guard.key.clone(), acq.key.clone()))
+                        .or_insert_with(|| (file.path.clone(), tokens[i].line));
+                }
+            }
+            let (name, release) = guard_extent(file, i, acq.start, acq.end, close);
+            held.push(Guard {
+                key: acq.key,
+                name,
+                release,
+            });
+            i = acq.end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// An acquisition site: the token range of the lock expression and the lock's
+/// identity key.
+struct Acquisition {
+    key: String,
+    /// First token of the acquisition expression (receiver or helper name).
+    start: usize,
+    /// Last token of the acquisition call (its closing `)`).
+    end: usize,
+}
+
+fn acquisition_at(file: &SourceFile, i: usize) -> Option<Acquisition> {
+    let tokens = &file.tokens;
+    let ident = |j: usize| tokens.get(j).and_then(|t| t.ident());
+    let punct = |j: usize, c: char| tokens.get(j).is_some_and(|t| t.is_punct(c));
+    // `receiver.lock()`
+    if punct(i, '.') && ident(i + 1) == Some("lock") && punct(i + 2, '(') && punct(i + 3, ')') {
+        let (path, start) = receiver_before(file, i);
+        return Some(Acquisition {
+            key: format!("{}::{}", file.path, path),
+            start,
+            end: i + 3,
+        });
+    }
+    // A poison-recovering helper: `lock(&self.field)` — a call to a free
+    // function named `lock` (not a method, not its own definition).
+    if ident(i) == Some("lock")
+        && punct(i + 1, '(')
+        && i > 0
+        && !punct(i - 1, '.')
+        && !punct(i - 1, ':')
+        && ident(i - 1) != Some("fn")
+    {
+        let mut depth = 0usize;
+        let mut path_parts: Vec<&str> = Vec::new();
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Punct('(') => depth += 1,
+                TokenKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(name) if name != "mut" && name != "self" => {
+                    path_parts.push(name);
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let path = if path_parts.is_empty() {
+            "<expr>".to_string()
+        } else {
+            path_parts.join(".")
+        };
+        return Some(Acquisition {
+            key: format!("{}::{}", file.path, path),
+            start: i,
+            end: j,
+        });
+    }
+    None
+}
+
+/// The receiver path of a `.lock()` call: walks backward over the
+/// `ident(.ident)*` chain ending at the `.` at index `i`, dropping a leading
+/// `self`.
+fn receiver_before(file: &SourceFile, i: usize) -> (String, usize) {
+    let tokens = &file.tokens;
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = i;
+    while j >= 1 {
+        match &tokens[j - 1].kind {
+            TokenKind::Ident(name) => {
+                // Chain elements must be separated by `.`; stop otherwise.
+                parts.push(name);
+                j -= 1;
+                if j >= 1 && tokens[j - 1].is_punct('.') {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    if parts.first() == Some(&"self") {
+        parts.remove(0);
+    }
+    let path = if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    };
+    (path, j)
+}
+
+/// Decides how long the guard acquired at `acq_start..=acq_end` lives, and
+/// under what name. Returns `(let-binding name, release token index)`.
+fn guard_extent(
+    file: &SourceFile,
+    _site: usize,
+    acq_start: usize,
+    acq_end: usize,
+    body_close: usize,
+) -> (Option<String>, usize) {
+    let tokens = &file.tokens;
+    let ident = |j: usize| tokens.get(j).and_then(|t| t.ident());
+    // Find the statement head: the token after the previous `;`, `{` or `}`.
+    let mut stmt = acq_start;
+    while stmt > 0 && !matches!(&tokens[stmt - 1].kind, TokenKind::Punct(';' | '{' | '}')) {
+        stmt -= 1;
+    }
+    match ident(stmt) {
+        Some("let") => {
+            // Guard-binding form: `let [mut] name = <acquisition><adapters>;`
+            // where the RHS starts at the acquisition and any trailing calls
+            // are guard-preserving adapters.
+            let mut k = stmt + 1;
+            if ident(k) == Some("mut") {
+                k += 1;
+            }
+            let name = ident(k).map(str::to_string);
+            let eq = (k + 1..acq_start).find(|&j| tokens[j].is_punct('='));
+            let rhs_is_acquisition = eq == Some(acq_start.saturating_sub(1))
+                && adapters_only(file, acq_end + 1, body_close);
+            if rhs_is_acquisition {
+                (name, enclosing_block_close(file, acq_start, body_close))
+            } else {
+                (None, statement_end(file, acq_end, body_close))
+            }
+        }
+        Some("for" | "if" | "while" | "match") => {
+            // Header temporary: lives until the end of the statement's body.
+            (None, header_body_close(file, acq_end, body_close))
+        }
+        _ => (None, statement_end(file, acq_end, body_close)),
+    }
+}
+
+/// Whether everything from `from` to the statement's `;` is a chain of
+/// guard-preserving adapters (`.unwrap()`, `.expect(..)`, `.unwrap_or_else(..)`).
+fn adapters_only(file: &SourceFile, from: usize, body_close: usize) -> bool {
+    let tokens = &file.tokens;
+    let mut j = from;
+    while j < body_close {
+        match &tokens[j].kind {
+            TokenKind::Punct(';') => return true,
+            TokenKind::Punct('.') => {
+                let Some(name) = tokens.get(j + 1).and_then(|t| t.ident()) else {
+                    return false;
+                };
+                if !matches!(name, "unwrap" | "expect" | "unwrap_or_else") {
+                    return false;
+                }
+                // Skip the adapter's argument list.
+                let Some(open) = (j + 2..body_close).find(|&k| tokens[k].is_punct('(')) else {
+                    return false;
+                };
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < body_close {
+                    match &tokens[k].kind {
+                        TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The index of the `}` closing the block that encloses `from`.
+fn enclosing_block_close(file: &SourceFile, from: usize, body_close: usize) -> usize {
+    let tokens = &file.tokens;
+    let mut depth = 0isize;
+    let mut j = from;
+    while j <= body_close {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// The next `;` at group depth 0 after `from` — the end of the statement a
+/// temporary guard dies at.
+fn statement_end(file: &SourceFile, from: usize, body_close: usize) -> usize {
+    let tokens = &file.tokens;
+    let mut depth = 0isize;
+    let mut j = from + 1;
+    while j <= body_close {
+        match &tokens[j].kind {
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            // A closing group the acquisition was nested inside drops us back
+            // to statement level, never below it.
+            TokenKind::Punct(')' | ']') => depth = (depth - 1).max(0),
+            TokenKind::Punct('}') => {
+                if depth == 0 {
+                    return j; // tail expression: the enclosing block ends it
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// For a `for`/`if`/`while`/`match` header acquisition: the `}` closing the
+/// statement's body block.
+fn header_body_close(file: &SourceFile, from: usize, body_close: usize) -> usize {
+    let tokens = &file.tokens;
+    let mut depth = 0isize;
+    let mut j = from + 1;
+    // Find the body `{` at group depth 0…
+    while j <= body_close {
+        match &tokens[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth = (depth - 1).max(0),
+            TokenKind::Punct('{') if depth == 0 => break,
+            TokenKind::Punct(';') if depth == 0 => return j, // headless (e.g. `while …;`)
+            _ => {}
+        }
+        j += 1;
+    }
+    // …then its matching `}`.
+    let mut braces = 0isize;
+    while j <= body_close {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => braces += 1,
+            TokenKind::Punct('}') => {
+                braces -= 1;
+                if braces == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// Reports every edge that lies on an acquisition-order cycle.
+fn report_cycles(edges: &BTreeMap<(String, String), (String, u32)>, diags: &mut Vec<Diagnostic>) {
+    for ((held, acquired), (file, line)) in edges {
+        if reaches(edges, acquired, held) {
+            diags.push(Diagnostic::new(
+                file,
+                *line,
+                Lint::LockDiscipline,
+                format!(
+                    "acquiring `{acquired}` while holding `{held}` completes a lock-order cycle"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether `from` reaches `to` in the acquisition graph.
+fn reaches(edges: &BTreeMap<(String, String), (String, u32)>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from.to_string()];
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node.clone()) {
+            continue;
+        }
+        for (held, acquired) in edges.keys() {
+            if *held == node {
+                stack.push(acquired.clone());
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(*path, src))
+            .collect();
+        let config = AnalyzeConfig {
+            lock_paths: vec!["crates/".to_string()],
+            ..AnalyzeConfig::default()
+        };
+        let mut diags = Vec::new();
+        run(&files, &config, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn guard_held_across_join_is_flagged() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn shutdown(&self) {\n\
+                 for handle in std::mem::take(&mut *lock(&self.handles)) {\n\
+                     let _ = handle.join();\n\
+                 }\n\
+             }",
+        )]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0]
+            .message
+            .contains("held across blocking call `.join(...)`"));
+    }
+
+    #[test]
+    fn taking_the_handles_before_iterating_is_clean() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn shutdown(&self) {\n\
+                 let handles = std::mem::take(&mut *lock(&self.handles));\n\
+                 for handle in handles {\n\
+                     let _ = handle.join();\n\
+                 }\n\
+             }",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_and_drop_releases() {
+        let flagged = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) {\n\
+                 let mut q = self.queue.lock();\n\
+                 q.push(1);\n\
+                 self.engine.solve(2);\n\
+             }",
+        )]);
+        assert_eq!(flagged.len(), 1);
+        assert!(flagged[0].message.contains(".solve(...)"));
+
+        let released = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) {\n\
+                 let mut q = self.queue.lock();\n\
+                 q.push(1);\n\
+                 drop(q);\n\
+                 self.engine.solve(2);\n\
+             }",
+        )]);
+        assert!(released.is_empty(), "{released:?}");
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) {\n\
+                 self.queue.lock().push(1);\n\
+                 self.engine.solve(2);\n\
+             }",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn deref_copy_binding_is_a_temporary_not_a_guard() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) -> u64 {\n\
+                 let n = *lock(&self.counter);\n\
+                 self.engine.solve(n);\n\
+                 n\n\
+             }",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn lock_order_cycles_across_functions_are_flagged() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn ab(&self) {\n\
+                 let a = self.a.lock();\n\
+                 let b = self.b.lock();\n\
+             }\n\
+             fn ba(&self) {\n\
+                 let b = self.b.lock();\n\
+                 let a = self.a.lock();\n\
+             }",
+        )]);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("lock-order cycle")));
+    }
+
+    #[test]
+    fn consistent_nesting_order_is_clean_and_reacquisition_is_not() {
+        let nested = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn ab(&self) {\n\
+                 let a = self.a.lock();\n\
+                 let b = self.b.lock();\n\
+             }\n\
+             fn ab_again(&self) {\n\
+                 let a = self.a.lock();\n\
+                 let b = self.b.lock();\n\
+             }",
+        )]);
+        assert!(nested.is_empty(), "{nested:?}");
+
+        let reacquired = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) {\n\
+                 let a = self.a.lock();\n\
+                 let b = self.a.lock();\n\
+             }",
+        )]);
+        assert_eq!(reacquired.len(), 1);
+        assert!(reacquired[0].message.contains("re-acquisition"));
+    }
+
+    #[test]
+    fn condvar_wait_is_not_a_blocking_violation() {
+        let diags = run_on(&[(
+            "crates/serve/src/x.rs",
+            "fn f(&self) {\n\
+                 let mut q = lock(&self.queue);\n\
+                 while q.is_empty() {\n\
+                     q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());\n\
+                 }\n\
+             }",
+        )]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn files_outside_the_configured_paths_are_skipped() {
+        let diags = run_on(&[(
+            "benches/other.rs",
+            "fn f(&self) {\n\
+                 let g = self.a.lock();\n\
+                 self.engine.solve(1);\n\
+             }",
+        )]);
+        assert!(diags.is_empty());
+    }
+}

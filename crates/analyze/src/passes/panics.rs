@@ -1,0 +1,215 @@
+//! Pass 3: panic-discipline lint.
+//!
+//! Production code in the configured paths (the serving layer by default)
+//! must not call `unwrap()`/`expect()` or invoke `panic!`/`unreachable!`:
+//! a panic in a worker or connection thread silently removes capacity, and
+//! every recoverable failure already has a structured `QuheError` kind with
+//! a wire tag. Sites that are genuinely unreachable-or-corrupt (documented
+//! startup panics, intrusive-LRU internal invariants) are exempted through
+//! `[[allow.panic]]` entries in `analyze.toml` — each entry names the file,
+//! a substring of the offending line, and a non-empty justification.
+
+use crate::config::AnalyzeConfig;
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// Runs the pass over all files.
+pub fn run(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+    let mut used = vec![false; config.panic_allow.len()];
+    for (idx, entry) in config.panic_allow.iter().enumerate() {
+        if entry.reason.trim().is_empty() {
+            diags.push(Diagnostic::new(
+                "analyze.toml",
+                0,
+                Lint::Config,
+                format!(
+                    "[[allow.panic]] entry for `{}` (pattern `{}`) has an empty reason; \
+                     every exemption needs a justification",
+                    entry.file, entry.pattern
+                ),
+            ));
+            used[idx] = true; // don't also report it as stale
+        }
+    }
+    for file in files {
+        if !config.panic_paths.iter().any(|p| file.path.starts_with(p)) {
+            continue;
+        }
+        for item in &file.fns {
+            if item.is_test {
+                continue;
+            }
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            check_body(file, open, close, config, &mut used, diags);
+        }
+    }
+    for (idx, entry) in config.panic_allow.iter().enumerate() {
+        if !used[idx] {
+            diags.push(Diagnostic::new(
+                "analyze.toml",
+                0,
+                Lint::Config,
+                format!(
+                    "stale [[allow.panic]] entry: `{}` (pattern `{}`) matches no site",
+                    entry.file, entry.pattern
+                ),
+            ));
+        }
+    }
+}
+
+fn check_body(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    config: &AnalyzeConfig,
+    used: &mut [bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let tokens = &file.tokens;
+    let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
+    let hi = close.min(tokens.len().saturating_sub(1));
+    for (i, token) in tokens.iter().enumerate().take(hi + 1).skip(open) {
+        let what = match &token.kind {
+            TokenKind::Punct('.')
+                if matches!(ident(i + 1), Some("unwrap" | "expect")) && punct(i + 2, '(') =>
+            {
+                ident(i + 1).map(|m| format!(".{m}()"))
+            }
+            TokenKind::Ident(name)
+                if (name == "panic" || name == "unreachable") && punct(i + 1, '!') =>
+            {
+                Some(format!("{name}!"))
+            }
+            _ => None,
+        };
+        let Some(what) = what else { continue };
+        let line = tokens[i].line;
+        let text = file.line_text(line);
+        let mut allowed = false;
+        for (idx, entry) in config.panic_allow.iter().enumerate() {
+            if entry.file == file.path && text.contains(&entry.pattern) {
+                used[idx] = true;
+                if !entry.reason.trim().is_empty() {
+                    allowed = true;
+                }
+            }
+        }
+        if !allowed {
+            diags.push(Diagnostic::new(
+                &file.path,
+                line,
+                Lint::PanicDiscipline,
+                format!(
+                    "`{what}` on a production serve path; return a structured `QuheError` \
+                     or add a justified [[allow.panic]] entry in analyze.toml"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PanicAllow;
+
+    fn run_on(source: &str, allow: Vec<PanicAllow>) -> Vec<Diagnostic> {
+        let file = SourceFile::parse("crates/serve/src/x.rs", source);
+        let config = AnalyzeConfig {
+            panic_paths: vec!["crates/serve/src".to_string()],
+            panic_allow: allow,
+            ..AnalyzeConfig::default()
+        };
+        let mut diags = Vec::new();
+        run(std::slice::from_ref(&file), &config, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_unreachable() {
+        let diags = run_on(
+            "fn f(x: Option<u32>) -> u32 {\n\
+                 let a = x.unwrap();\n\
+                 let b = x.expect(\"present\");\n\
+                 if a > b { panic!(\"impossible\"); }\n\
+                 unreachable!()\n\
+             }",
+            Vec::new(),
+        );
+        let whats: Vec<_> = diags
+            .iter()
+            .map(|d| d.message.split('`').nth(1).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![".unwrap()", ".expect()", "panic!", "unreachable!"]
+        );
+    }
+
+    #[test]
+    fn adapters_and_similar_names_are_not_flagged() {
+        let diags = run_on(
+            "fn f(x: Result<u32, u32>) -> u32 {\n\
+                 x.unwrap_or_else(|e| e)\n\
+             }\n\
+             fn g(x: Result<u32, u32>) -> u32 { x.unwrap_or(0) }",
+            Vec::new(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn justified_allowlist_entries_exempt_their_site() {
+        let allow = vec![PanicAllow {
+            file: "crates/serve/src/x.rs".to_string(),
+            pattern: "expect(\"linked node\")".to_string(),
+            reason: "intrusive-list invariant".to_string(),
+        }];
+        let diags = run_on(
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"linked node\") }",
+            allow,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_reason_and_stale_entries_are_config_diagnostics() {
+        let allow = vec![
+            PanicAllow {
+                file: "crates/serve/src/x.rs".to_string(),
+                pattern: "unwrap()".to_string(),
+                reason: String::new(),
+            },
+            PanicAllow {
+                file: "crates/serve/src/x.rs".to_string(),
+                pattern: "never matches".to_string(),
+                reason: "justified".to_string(),
+            },
+        ];
+        let diags = run_on("fn f(x: Option<u32>) -> u32 { x.unwrap() }", allow);
+        // Empty reason → config diagnostic AND the site still flagged;
+        // unmatched pattern → stale-entry diagnostic.
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("empty reason")));
+        assert!(diags.iter().any(|d| d.message.contains("stale")));
+        assert!(diags.iter().any(|d| d.lint == Lint::PanicDiscipline));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let diags = run_on(
+            "#[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { Some(1).unwrap(); panic!(\"in tests this is fine\"); }\n\
+             }",
+            Vec::new(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

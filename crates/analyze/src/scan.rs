@@ -1,0 +1,557 @@
+//! Brace-aware item scanner: finds functions, impl owners, test regions and
+//! annotations in a token stream without building a full AST.
+//!
+//! The scanner tracks exactly what the lint passes need: every `fn` item with
+//! its body token range, the `impl` block owner type it belongs to, whether
+//! it is test code (`#[test]` attribute or inside a `#[cfg(test)]` module),
+//! and the `// quhe-analyze: ...` annotations attached to it. Function bodies
+//! are skipped wholesale once recorded, so nested braces inside a body never
+//! confuse item-level tracking.
+
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A `fn` item found in a source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` block's self type, for methods (`None` for free functions).
+    pub owner: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Token indices of the body's `{` and `}` (`None` for bodyless
+    /// declarations such as trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Test code: `#[test]`/`#[cfg(test)]` on the item or an enclosing module.
+    pub is_test: bool,
+    /// Marked `// quhe-analyze: hot-path` directly above the item.
+    pub hot_path: bool,
+    /// Carries a `#[deprecated]` attribute.
+    pub is_deprecated: bool,
+    /// Carries `#[allow(deprecated)]` (directly or from an enclosing module).
+    pub allows_deprecated: bool,
+}
+
+/// A scanned source file: tokens plus the item structure over them.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The raw source lines (for allowlist pattern matching).
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Token ranges of `#[cfg(test)]` module bodies.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes and scans `source` under the given workspace-relative path.
+    pub fn parse(path: impl Into<String>, source: &str) -> Self {
+        let tokens = lex(source);
+        let mut scanner = Scanner {
+            tokens: &tokens,
+            i: 0,
+            fns: Vec::new(),
+            test_regions: Vec::new(),
+        };
+        scanner.run();
+        let Scanner {
+            fns, test_regions, ..
+        } = scanner;
+        SourceFile {
+            path: path.into(),
+            lines: source.lines().map(str::to_string).collect(),
+            tokens,
+            fns,
+            test_regions,
+        }
+    }
+
+    /// Reads and scans the file at `root.join(rel)`.
+    pub fn load(root: &Path, rel: &str) -> io::Result<Self> {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::parse(rel, &source))
+    }
+
+    /// Whether the token at `idx` lies inside test code: a `#[cfg(test)]`
+    /// module body or the body of a `#[test]` function.
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        if self
+            .test_regions
+            .iter()
+            .any(|&(open, close)| idx > open && idx < close)
+        {
+            return true;
+        }
+        self.fns.iter().any(|f| {
+            f.is_test
+                && f.body
+                    .is_some_and(|(open, close)| idx >= open && idx <= close)
+        })
+    }
+
+    /// The text of the 1-indexed source line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// Attributes pending on the next item.
+#[derive(Debug, Default, Clone, Copy)]
+struct Attrs {
+    test: bool,
+    cfg_test: bool,
+    deprecated: bool,
+    allow_deprecated: bool,
+}
+
+/// What an open `{` introduced.
+struct Ctx {
+    open: usize,
+    owner: Option<String>,
+    test: bool,
+    allow_dep: bool,
+    is_test_mod: bool,
+}
+
+struct Scanner<'a> {
+    tokens: &'a [Token],
+    i: usize,
+    fns: Vec<FnItem>,
+    test_regions: Vec<(usize, usize)>,
+}
+
+/// The annotation marking a function as hot-path.
+pub const HOT_PATH_MARK: &str = "quhe-analyze: hot-path";
+
+impl Scanner<'_> {
+    fn run(&mut self) {
+        let mut pending = Attrs::default();
+        let mut pending_hot = false;
+        let mut stack: Vec<Ctx> = Vec::new();
+        while self.i < self.tokens.len() {
+            let tok = &self.tokens[self.i];
+            match &tok.kind {
+                TokenKind::LineComment(text) => {
+                    if text.contains(HOT_PATH_MARK) {
+                        pending_hot = true;
+                    }
+                    self.i += 1;
+                }
+                TokenKind::Punct('#') => {
+                    self.attribute(&mut pending);
+                }
+                TokenKind::Ident(name) => match name.as_str() {
+                    "impl" => {
+                        self.impl_block(&mut stack, pending);
+                        pending = Attrs::default();
+                        pending_hot = false;
+                    }
+                    "mod" => {
+                        self.module(&mut stack, pending);
+                        pending = Attrs::default();
+                        pending_hot = false;
+                    }
+                    "fn" => {
+                        self.function(&stack, pending, pending_hot);
+                        pending = Attrs::default();
+                        pending_hot = false;
+                    }
+                    "struct" | "enum" | "trait" | "type" | "static" | "use" => {
+                        pending = Attrs::default();
+                        pending_hot = false;
+                        self.i += 1;
+                    }
+                    _ => self.i += 1,
+                },
+                TokenKind::Punct('{') => {
+                    let (owner, test, allow_dep) = match stack.last() {
+                        Some(top) => (top.owner.clone(), top.test, top.allow_dep),
+                        None => (None, false, false),
+                    };
+                    stack.push(Ctx {
+                        open: self.i,
+                        owner,
+                        test,
+                        allow_dep,
+                        is_test_mod: false,
+                    });
+                    self.i += 1;
+                }
+                TokenKind::Punct('}') => {
+                    if let Some(ctx) = stack.pop() {
+                        if ctx.is_test_mod {
+                            self.test_regions.push((ctx.open, self.i));
+                        }
+                    }
+                    self.i += 1;
+                }
+                TokenKind::Punct(';') => {
+                    pending = Attrs::default();
+                    pending_hot = false;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Parses `#[...]` starting at the current `#`, folding recognized
+    /// attributes into `pending`. Inner attributes (`#![...]`) are skipped.
+    fn attribute(&mut self, pending: &mut Attrs) {
+        let inner = self.tokens.get(self.i + 1).is_some_and(|t| t.is_punct('!'));
+        let open = self.i + if inner { 2 } else { 1 };
+        if !self.tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+            self.i += 1;
+            return;
+        }
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut j = open;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Ident(name) => idents.push(name),
+                _ => {}
+            }
+            j += 1;
+        }
+        if !inner {
+            match idents.first().copied() {
+                Some("test") => pending.test = true,
+                Some("cfg") if idents.contains(&"test") && !idents.contains(&"not") => {
+                    pending.cfg_test = true;
+                }
+                Some("deprecated") => pending.deprecated = true,
+                Some("allow") if idents.contains(&"deprecated") => {
+                    pending.allow_deprecated = true;
+                }
+                _ => {}
+            }
+        }
+        self.i = j + 1;
+    }
+
+    /// Parses an `impl` header starting at the `impl` keyword and pushes the
+    /// body context with the self type as owner.
+    fn impl_block(&mut self, stack: &mut Vec<Ctx>, pending: Attrs) {
+        let mut j = self.i + 1;
+        // Skip the generic parameter list, if any.
+        if self.tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = self.skip_angles(j);
+        }
+        // Collect the type path; `for` resets it (what came before was the
+        // trait), `where`/`{`/`;` end the header.
+        let mut path: Vec<&str> = Vec::new();
+        let mut body = None;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Ident(name) if name == "for" => {
+                    path.clear();
+                    j += 1;
+                }
+                TokenKind::Ident(name) if name == "where" => {
+                    j = self.find_body_open(j);
+                    if self.tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                        body = Some(j);
+                    }
+                    break;
+                }
+                TokenKind::Ident(name) => {
+                    path.push(name);
+                    j += 1;
+                }
+                TokenKind::Punct('<') => j = self.skip_angles(j),
+                TokenKind::Punct('{') => {
+                    body = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let owner = path.last().map(|s| s.to_string());
+        match body {
+            Some(open) => {
+                let inherited = stack.last();
+                stack.push(Ctx {
+                    open,
+                    owner,
+                    test: pending.cfg_test || inherited.is_some_and(|c| c.test),
+                    allow_dep: pending.allow_deprecated || inherited.is_some_and(|c| c.allow_dep),
+                    is_test_mod: false,
+                });
+                self.i = open + 1;
+            }
+            None => self.i = j + 1,
+        }
+    }
+
+    /// Parses a `mod` item starting at the `mod` keyword.
+    fn module(&mut self, stack: &mut Vec<Ctx>, pending: Attrs) {
+        let mut j = self.i + 1;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('{') => {
+                    let inherited = stack.last();
+                    let test = pending.cfg_test || inherited.is_some_and(|c| c.test);
+                    stack.push(Ctx {
+                        open: j,
+                        owner: None,
+                        test,
+                        allow_dep: pending.allow_deprecated
+                            || inherited.is_some_and(|c| c.allow_dep),
+                        is_test_mod: pending.cfg_test,
+                    });
+                    self.i = j + 1;
+                    return;
+                }
+                TokenKind::Punct(';') => {
+                    self.i = j + 1;
+                    return;
+                }
+                _ => j += 1,
+            }
+        }
+        self.i = j;
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword.
+    fn function(&mut self, stack: &[Ctx], pending: Attrs, hot: bool) {
+        let Some(name) = self.tokens.get(self.i + 1).and_then(|t| t.ident()) else {
+            // `fn(i32) -> i32` pointer type, not an item.
+            self.i += 1;
+            return;
+        };
+        let name = name.to_string();
+        let line = self.tokens[self.i].line;
+        let open = self.find_body_open(self.i + 2);
+        let body = if self.tokens.get(open).is_some_and(|t| t.is_punct('{')) {
+            Some((open, self.match_brace(open)))
+        } else {
+            None
+        };
+        let top = stack.last();
+        self.fns.push(FnItem {
+            name,
+            owner: top.and_then(|c| c.owner.clone()),
+            line,
+            body,
+            is_test: pending.test || pending.cfg_test || top.is_some_and(|c| c.test),
+            hot_path: hot,
+            is_deprecated: pending.deprecated,
+            allows_deprecated: pending.allow_deprecated || top.is_some_and(|c| c.allow_dep),
+        });
+        self.i = match body {
+            Some((_, close)) => close + 1,
+            None => open + 1, // `open` is the terminating `;` (or end)
+        };
+    }
+
+    /// From `start`, finds the index of the first `{` or `;` outside any
+    /// parenthesized/bracketed group — the item's body open or terminator.
+    fn find_body_open(&self, start: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = start;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('(' | '[') => depth += 1,
+                TokenKind::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('{' | ';') if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// The index of the `}` matching the `{` at `open` (end of stream if
+    /// unbalanced).
+    fn match_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j.min(self.tokens.len().saturating_sub(1))
+    }
+
+    /// Skips a balanced `<...>` group starting at the `<` at `start`,
+    /// returning the index just past the matching `>`.
+    fn skip_angles(&self, start: usize) -> usize {
+        let mut depth = 0isize;
+        let mut j = start;
+        while j < self.tokens.len() {
+            match &self.tokens[j].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(source: &str) -> SourceFile {
+        SourceFile::parse("test.rs", source)
+    }
+
+    #[test]
+    fn free_and_method_fns_with_owners() {
+        let f = scan(
+            "fn free() { 1 }\n\
+             struct Foo;\n\
+             impl Foo { pub fn method(&self) -> u32 { 2 } }\n\
+             impl std::fmt::Display for Foo {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }",
+        );
+        let names: Vec<_> = f
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("Foo")),
+                ("fmt", Some("Foo"))
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let f = scan("impl<'a, T: Clone> Wrapper<'a, T> { fn get(&self) -> &T { &self.0 } }");
+        assert_eq!(f.fns[0].owner.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn test_attributes_and_cfg_test_modules() {
+        let f = scan(
+            "fn prod() {}\n\
+             #[test]\n\
+             fn direct_test() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+                 #[test]\n\
+                 fn inner() { let s = \"lit\"; }\n\
+             }",
+        );
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("direct_test").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("inner").is_test);
+        let lit_idx = f
+            .tokens
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Str { value, .. } if value == "lit"))
+            .unwrap();
+        assert!(f.is_test_token(lit_idx));
+    }
+
+    #[test]
+    fn hot_path_annotation_attaches_to_the_next_fn_only() {
+        let f = scan(
+            "// quhe-analyze: hot-path\n\
+             #[inline]\n\
+             pub fn marked(x: f64) -> f64 { x }\n\
+             pub fn unmarked(x: f64) -> f64 { x }",
+        );
+        assert!(f.fns[0].hot_path);
+        assert!(!f.fns[1].hot_path);
+    }
+
+    #[test]
+    fn deprecated_attributes_are_recorded() {
+        let f = scan(
+            "#[deprecated(since = \"0.5.0\", note = \"use solve_batch\")]\n\
+             pub fn olaa() {}\n\
+             #[allow(deprecated)]\n\
+             fn caller() { olaa(); }",
+        );
+        assert!(f.fns[0].is_deprecated);
+        assert!(!f.fns[0].allows_deprecated);
+        assert!(f.fns[1].allows_deprecated);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_do_not_derail_scanning() {
+        let f = scan(
+            "trait Solver {\n\
+                 fn solve(&self) -> f64;\n\
+                 fn name(&self) -> &str { \"base\" }\n\
+             }\n\
+             fn after() {}",
+        );
+        assert_eq!(f.fns.len(), 3);
+        assert!(f.fns[0].body.is_none());
+        assert!(f.fns[1].body.is_some());
+        assert_eq!(f.fns[2].name, "after");
+    }
+
+    #[test]
+    fn fn_bodies_are_skipped_wholesale() {
+        let f = scan(
+            "fn outer() {\n\
+                 let closure = |x: u32| { x + 1 };\n\
+                 if true { () } else { () }\n\
+             }\n\
+             fn next() {}",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[1].name, "next");
+    }
+
+    #[test]
+    fn where_clauses_and_returns_do_not_hide_the_body() {
+        let f = scan(
+            "fn generic<T>(x: T) -> Vec<T>\n\
+             where\n\
+                 T: Clone,\n\
+             {\n\
+                 vec![x]\n\
+             }",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert!(f.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end pinning of the analyzer's diagnostics.
+//!
+//! The fixture files under `tests/fixtures/` seed one violation class per
+//! pass; the first test runs all four passes over them and pins the exact
+//! `file:line: lint: message` output, so any drift in detection or wording
+//! fails loudly. The second test asserts the workspace itself analyzes
+//! clean under the checked-in `analyze.toml` — the same invariant CI
+//! enforces with `cargo run -p quhe-analyze -- --workspace`.
+
+use std::path::{Path, PathBuf};
+
+use quhe_analyze::config::{AnalyzeConfig, PanicAllow};
+use quhe_analyze::scan::SourceFile;
+use quhe_analyze::{analyze, collect_workspace_files};
+
+/// The directory fixture-relative paths resolve against.
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+/// A configuration scoped to the fixture files: the lock and panic passes
+/// look only at their own fixture, the pinned list is the fixture's own
+/// format string, and one allowlist entry exercises the exemption path.
+fn fixture_config() -> AnalyzeConfig {
+    AnalyzeConfig {
+        hot_functions: Vec::new(),
+        lock_paths: vec!["fixtures/lock_discipline.rs".to_string()],
+        panic_paths: vec!["fixtures/panic_discipline.rs".to_string()],
+        panic_allow: vec![PanicAllow {
+            file: "fixtures/panic_discipline.rs".to_string(),
+            pattern: "expect(\"seeded allowlisted invariant\")".to_string(),
+            reason: "fixture: exercises the allowlist path".to_string(),
+        }],
+        pinned: vec!["quhe-fixture/v1".to_string()],
+    }
+}
+
+fn load_fixtures() -> Vec<SourceFile> {
+    let root = fixture_root();
+    [
+        "fixtures/hot_path_alloc.rs",
+        "fixtures/lock_discipline.rs",
+        "fixtures/panic_discipline.rs",
+        "fixtures/pinned_contract.rs",
+    ]
+    .iter()
+    .map(|rel| SourceFile::load(&root, rel).expect("fixture file must load"))
+    .collect()
+}
+
+#[test]
+fn seeded_fixtures_produce_the_pinned_diagnostics() {
+    let diags = analyze(&load_fixtures(), &fixture_config());
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    let expected = vec![
+        "fixtures/hot_path_alloc.rs:8: hot-path-alloc: allocation-shaped call `Vec::new` \
+         in hot-path function `seeded_hot` (annotate the line with \
+         `// quhe-analyze: allow(alloc)` if intended)",
+        "fixtures/hot_path_alloc.rs:9: hot-path-alloc: allocation-shaped call `vec!` \
+         in hot-path function `seeded_hot` (annotate the line with \
+         `// quhe-analyze: allow(alloc)` if intended)",
+        "fixtures/hot_path_alloc.rs:10: hot-path-alloc: allocation-shaped call `.to_vec()` \
+         in hot-path function `seeded_hot` (annotate the line with \
+         `// quhe-analyze: allow(alloc)` if intended)",
+        "fixtures/hot_path_alloc.rs:11: hot-path-alloc: allocation-shaped call `format!` \
+         in hot-path function `seeded_hot` (annotate the line with \
+         `// quhe-analyze: allow(alloc)` if intended)",
+        "fixtures/lock_discipline.rs:10: lock-discipline: lock \
+         `fixtures/lock_discipline.rs::handles` held across blocking call `.join(...)`",
+        "fixtures/lock_discipline.rs:16: lock-discipline: acquiring \
+         `fixtures/lock_discipline.rs::cache` while holding \
+         `fixtures/lock_discipline.rs::queue` completes a lock-order cycle",
+        "fixtures/lock_discipline.rs:22: lock-discipline: acquiring \
+         `fixtures/lock_discipline.rs::queue` while holding \
+         `fixtures/lock_discipline.rs::cache` completes a lock-order cycle",
+        "fixtures/lock_discipline.rs:28: lock-discipline: re-acquisition of \
+         `fixtures/lock_discipline.rs::queue` while its guard is live",
+        "fixtures/panic_discipline.rs:7: panic-discipline: `.unwrap()` on a production \
+         serve path; return a structured `QuheError` or add a justified [[allow.panic]] \
+         entry in analyze.toml",
+        "fixtures/panic_discipline.rs:8: panic-discipline: `.expect()` on a production \
+         serve path; return a structured `QuheError` or add a justified [[allow.panic]] \
+         entry in analyze.toml",
+        "fixtures/panic_discipline.rs:10: panic-discipline: `panic!` on a production \
+         serve path; return a structured `QuheError` or add a justified [[allow.panic]] \
+         entry in analyze.toml",
+        "fixtures/pinned_contract.rs:8: pinned-contract: duplicate const definition of \
+         pinned string `quhe-fixture/v1` (canonical definition is \
+         fixtures/pinned_contract.rs:6)",
+        "fixtures/pinned_contract.rs:11: pinned-contract: pinned string `quhe-fixture/v1` \
+         spelled as a literal; reference its const instead",
+        "fixtures/pinned_contract.rs:15: pinned-contract: pinned string `quhe-fixture/v1` \
+         embedded in a literal; reference its const instead",
+        "fixtures/pinned_contract.rs:25: pinned-contract: call to deprecated shim \
+         `legacy_format` from non-test code",
+    ];
+    assert_eq!(
+        rendered,
+        expected,
+        "diagnostics drifted:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn each_fixture_trips_only_its_own_pass() {
+    let diags = analyze(&load_fixtures(), &fixture_config());
+    for diag in &diags {
+        let expected_lint = match diag.file.as_str() {
+            "fixtures/hot_path_alloc.rs" => "hot-path-alloc",
+            "fixtures/lock_discipline.rs" => "lock-discipline",
+            "fixtures/panic_discipline.rs" => "panic-discipline",
+            "fixtures/pinned_contract.rs" => "pinned-contract",
+            other => panic!("diagnostic in unexpected file `{other}`: {diag}"),
+        };
+        assert_eq!(diag.lint.name(), expected_lint, "{diag}");
+    }
+}
+
+#[test]
+fn the_exercised_allowlist_entry_is_not_reported_stale() {
+    let diags = analyze(&load_fixtures(), &fixture_config());
+    assert!(
+        diags.iter().all(|d| d.file != "analyze.toml"),
+        "fixture config should produce no config diagnostics: {diags:?}"
+    );
+}
+
+#[test]
+fn the_workspace_analyzes_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = AnalyzeConfig::load(&root).expect("analyze.toml must parse");
+    let files = collect_workspace_files(&root).expect("workspace sources must load");
+    assert!(
+        files.len() > 50,
+        "workspace collection looks truncated: {} files",
+        files.len()
+    );
+    let diags = analyze(&files, &config);
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "the workspace must analyze clean (CI runs the same check):\n{}",
+        rendered.join("\n")
+    );
+}

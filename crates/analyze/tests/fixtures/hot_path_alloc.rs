@@ -1,0 +1,20 @@
+//! Seeded violations for the hot-path allocation lint: four
+//! allocation-shaped calls inside an annotated function, one call exempted
+//! by `allow(alloc)`, and an unannotated function that allocates freely.
+//! This file is analyzer test data; it is never compiled.
+
+// quhe-analyze: hot-path
+pub fn seeded_hot(xs: &[f64]) -> f64 {
+    let mut out = Vec::new();
+    let doubled = vec![0.0; 4];
+    let copied = xs.to_vec();
+    let label = format!("{}", copied.len());
+    // quhe-analyze: allow(alloc)
+    let exempt = copied.clone();
+    out.push(exempt[0] + doubled[0] + label.len() as f64);
+    out[0]
+}
+
+pub fn cold_path(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

@@ -1,0 +1,31 @@
+//! Seeded violations for the lock-discipline lint: a guard held across a
+//! blocking `.join(...)` call, two functions acquiring the same pair of
+//! locks in opposite orders, and a re-acquisition of a lock whose guard is
+//! still live. This file is analyzer test data; it is never compiled.
+
+impl Server {
+    pub fn join_under_lock(&self) {
+        let workers = self.handles.lock();
+        for handle in workers.iter() {
+            handle.join();
+        }
+    }
+
+    pub fn queue_then_cache(&self) -> usize {
+        let queue = self.queue.lock();
+        let cache = self.cache.lock();
+        queue.len() + cache.len()
+    }
+
+    pub fn cache_then_queue(&self) -> usize {
+        let cache = self.cache.lock();
+        let queue = self.queue.lock();
+        cache.len() + queue.len()
+    }
+
+    pub fn double_acquire(&self) -> usize {
+        let first = self.queue.lock();
+        let second = self.queue.lock();
+        first.len() + second.len()
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded violations for the panic-discipline lint: `unwrap`, `expect` and
+//! `panic!` on a production path, one allowlisted `expect`, and a test
+//! module that may panic freely. This file is analyzer test data; it is
+//! never compiled.
+
+pub fn respond(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    let checked = input.expect("value is present");
+    if value != checked {
+        panic!("mismatch between identical reads");
+    }
+    value
+}
+
+pub fn allowed_site(input: Option<u32>) -> u32 {
+    input.expect("seeded allowlisted invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        None::<u32>.unwrap();
+    }
+}

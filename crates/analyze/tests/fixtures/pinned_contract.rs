@@ -1,0 +1,26 @@
+//! Seeded violations for the pinned-contract lint: a duplicate `const`
+//! definition of a pinned string, a bare literal spelling, a literal that
+//! embeds the pinned string, and a call to a `#[deprecated]` shim from
+//! non-test code. This file is analyzer test data; it is never compiled.
+
+pub const FIXTURE_FMT: &str = "quhe-fixture/v1";
+
+pub const DUPLICATE_FMT: &str = "quhe-fixture/v1";
+
+pub fn spell_it_out() -> &'static str {
+    "quhe-fixture/v1"
+}
+
+pub fn embed_it() -> String {
+    let banner = "format quhe-fixture/v1 ready";
+    banner.to_string()
+}
+
+#[deprecated(note = "use spell_it_out")]
+pub fn legacy_format() -> &'static str {
+    FIXTURE_FMT
+}
+
+pub fn still_calls_legacy() -> &'static str {
+    legacy_format()
+}

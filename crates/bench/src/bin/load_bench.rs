@@ -40,7 +40,7 @@ use quhe_bench::report::{grid_envelope, percentile, write};
 use quhe_bench::{env_f64, env_u64, env_usize, output_path};
 use quhe_core::json::JsonValue;
 use quhe_core::params::QuheConfig;
-use quhe_serve::wire::{self, read_frame};
+use quhe_serve::wire::{self, read_frame, PROTOCOL_V2};
 use quhe_serve::{ServiceConfig, ServiceStats, SolveRequest, TcpServer, WireReply};
 use rand::{Rng, SeedableRng};
 
@@ -544,6 +544,7 @@ fn main() {
         &catalog_names.iter().map(String::as_str).collect::<Vec<_>>(),
         &seeds,
     )
+    .with("wire_proto", JsonValue::String(PROTOCOL_V2.to_string()))
     .with("clients", JsonValue::from_usize(clients))
     .with("workers", JsonValue::from_usize(workers))
     .with("queue_bound", JsonValue::from_usize(queue_bound))

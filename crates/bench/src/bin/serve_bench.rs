@@ -51,7 +51,9 @@ use std::time::Instant;
 
 use quhe_bench::report::{grid_envelope, percentile, write};
 use quhe_bench::{env_u64, env_usize, output_path};
+use quhe_core::fingerprint::{DRIFT_DIST_FMT, SCENARIO_FMT};
 use quhe_core::prelude::*;
+use quhe_serve::cache::SNAPSHOT_SCHEMA;
 use quhe_serve::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -366,6 +368,18 @@ fn main() {
         "quhe",
         &catalog_names.iter().map(String::as_str).collect::<Vec<_>>(),
         &seeds,
+    )
+    .with(
+        "fingerprint_fmt",
+        JsonValue::String(SCENARIO_FMT.to_string()),
+    )
+    .with(
+        "drift_dist_fmt",
+        JsonValue::String(DRIFT_DIST_FMT.to_string()),
+    )
+    .with(
+        "snapshot_schema",
+        JsonValue::String(SNAPSHOT_SCHEMA.to_string()),
     )
     .with("threads", JsonValue::from_usize(threads))
     .with("requests", JsonValue::from_usize(requests_len))

@@ -58,6 +58,17 @@
 
 use crate::scenario::SystemScenario;
 
+/// The pinned tag of the canonical scenario byte encoding. Any change to the
+/// stream layout, the hashed field set or the hash function must bump this
+/// tag; the pinned-digest test below makes a silent change loud.
+pub const SCENARIO_FMT: &str = "QUHE-SCN-v1";
+
+/// The pinned tag of the [`SystemScenario::drift_distance`] definition. The
+/// metric is part of the cache's warm-start contract — anchors ranked under
+/// one definition must not be compared against distances computed under
+/// another — so a change to the formula must bump this tag.
+pub const DRIFT_DIST_FMT: &str = "QUHE-DRIFT-DIST-v1";
+
 /// FNV-1a 128-bit offset basis.
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 /// FNV-1a 128-bit prime.
@@ -109,7 +120,7 @@ impl Canonicalizer {
             state: FNV128_OFFSET,
             shape_only,
         };
-        canon.bytes(b"QUHE-SCN-v1");
+        canon.bytes(SCENARIO_FMT.as_bytes());
         canon.bytes(&[u8::from(shape_only)]);
         canon
     }
@@ -230,7 +241,8 @@ impl SystemScenario {
     /// The **drift distance** between two scenarios of the same shape — the
     /// similarity metric the serve-layer cache ranks warm-start anchors by.
     ///
-    /// The definition is pinned (`QUHE-DRIFT-DIST-v1`): the Euclidean norm
+    /// The definition is pinned ([`DRIFT_DIST_FMT`], `QUHE-DRIFT-DIST-v1`):
+    /// the Euclidean norm
     /// of the log-ratios of *exactly* the drift fields that
     /// [`SystemScenario::shape_fingerprint`] excludes, accumulated in
     /// declaration order —

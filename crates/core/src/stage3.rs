@@ -157,6 +157,7 @@ impl Stage3Constants {
     }
 
     /// Uplink rate of client `n` at the packed decision vector `x`.
+    // quhe-analyze: hot-path
     fn rate(&self, x: &[f64], n: usize) -> f64 {
         let num = self.num_clients();
         let p = x[n];
@@ -183,6 +184,7 @@ impl Stage3Constants {
 
     /// The lambda-independent, ratio-free part of the Stage-3 cost:
     /// computation energies plus the weighted delay bound.
+    // quhe-analyze: hot-path
     fn smooth_cost(&self, x: &[f64]) -> f64 {
         let num = self.num_clients();
         let mut total = 0.0;
@@ -216,11 +218,13 @@ impl Stage3Constants {
     // Stage-3 profile.
 
     /// The physical value of packed coordinate `i` at the normalized `y`.
+    // quhe-analyze: hot-path
     fn phys(&self, y: &[f64], i: usize) -> f64 {
         y[i] * self.scales[i]
     }
 
     /// Uplink rate of client `n` at the normalized point `y`.
+    // quhe-analyze: hot-path
     fn rate_scaled(&self, y: &[f64], n: usize) -> f64 {
         let num = self.num_clients();
         let p = self.phys(y, n);
@@ -229,6 +233,7 @@ impl Stage3Constants {
     }
 
     /// End-to-end delay of client `n` at the normalized point `y`.
+    // quhe-analyze: hot-path
     fn delay_scaled(&self, y: &[f64], n: usize) -> f64 {
         let num = self.num_clients();
         let f_c = self.phys(y, 2 * num + n);
@@ -239,6 +244,7 @@ impl Stage3Constants {
     }
 
     /// Largest per-client delay at the normalized point `y`.
+    // quhe-analyze: hot-path
     fn max_delay_scaled(&self, y: &[f64]) -> f64 {
         (0..self.num_clients())
             .map(|n| self.delay_scaled(y, n))
@@ -246,6 +252,7 @@ impl Stage3Constants {
     }
 
     /// The ratio-free part of the Stage-3 cost at the normalized point `y`.
+    // quhe-analyze: hot-path
     fn smooth_cost_scaled(&self, y: &[f64]) -> f64 {
         let num = self.num_clients();
         let mut total = 0.0;
@@ -259,6 +266,7 @@ impl Stage3Constants {
     }
 
     /// The full Stage-3 cost at the normalized point `y`.
+    // quhe-analyze: hot-path
     fn total_cost_scaled(&self, y: &[f64]) -> f64 {
         let num = self.num_clients();
         let mut total = self.smooth_cost_scaled(y);
@@ -277,6 +285,7 @@ impl Stage3Constants {
     /// supplied by the caller instead of recomputed — same expression, so the
     /// result is bit-identical whenever `rate` carries the bits of
     /// `rate_scaled(y, n)`.
+    // quhe-analyze: hot-path
     fn delay_with_rate(&self, y: &[f64], n: usize, rate: f64) -> f64 {
         let num = self.num_clients();
         let f_c = self.phys(y, 2 * num + n);
@@ -293,6 +302,7 @@ impl Stage3Constants {
     /// each client's rate is computed once into `rates` and reused by the
     /// delay and the surrogate term instead of being recomputed — same
     /// inputs, same expression, same bits, half the `log2` calls.
+    // quhe-analyze: hot-path
     fn surrogate_scaled(&self, y: &[f64], z: &[f64], rates: &mut Vec<f64>) -> f64 {
         let num = self.num_clients();
         rates.clear();
@@ -329,6 +339,7 @@ impl Stage3Constants {
     /// order of [`Stage3Constants::surrogate_scaled`], so the result is
     /// bit-identical to a full evaluation at `w` at a fraction of the
     /// transcendental cost.
+    // quhe-analyze: hot-path
     fn surrogate_perturbed(&self, w: &[f64], z: &[f64], i: usize, cache: &Stage3EvalCache) -> f64 {
         let num = self.num_clients();
         let client = i % num;
@@ -380,6 +391,7 @@ impl Stage3Constants {
     /// One full evaluation refreshes the base caches; after that, the `8n`
     /// perturbed evaluations of the black-box gradient collapse from `n`
     /// rate computations each to at most one.
+    // quhe-analyze: hot-path
     fn surrogate_gradient(
         &self,
         y: &[f64],

@@ -280,6 +280,7 @@ impl CholeskyFactor {
     /// # Errors
     /// [`OptError::DimensionMismatch`] if `b.len()` differs from the
     /// factored dimension.
+    // quhe-analyze: hot-path
     pub fn solve_into(&mut self, b: &[f64], x: &mut Vec<f64>) -> OptResult<()> {
         let n = self.n;
         if b.len() != n {

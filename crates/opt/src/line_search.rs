@@ -147,6 +147,7 @@ impl ArmijoLineSearch {
     ///
     /// # Errors
     /// Same contract as [`ArmijoLineSearch::search`].
+    // quhe-analyze: hot-path
     #[allow(clippy::too_many_arguments)]
     pub fn search_into<F, P>(
         &self,
@@ -222,6 +223,7 @@ impl ArmijoLineSearch {
     ///
     /// # Errors
     /// Same contract as [`ArmijoLineSearch::search`].
+    // quhe-analyze: hot-path
     #[allow(clippy::too_many_arguments)]
     pub fn search_into_hinted<F, P>(
         &self,

@@ -133,13 +133,15 @@ impl Singleflight {
             }
         };
         let mut outcome = lock(&flight.outcome);
-        while outcome.is_none() {
+        loop {
+            if let Some(published) = outcome.as_ref() {
+                return Join::Coalesced(published.clone());
+            }
             outcome = flight
                 .published
                 .wait(outcome)
                 .unwrap_or_else(|e| e.into_inner());
         }
-        Join::Coalesced(outcome.clone().expect("loop exits only once published"))
     }
 
     /// Publishes `outcome` for `key` and removes the key from the table (so

@@ -244,24 +244,29 @@ impl TcpServer {
             counters: Mutex::new(NetCounters::default()),
         });
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("quhe-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawning a worker thread")
-            })
-            .collect();
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("quhe-serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+            {
+                Ok(handle) => worker_handles.push(handle),
+                Err(e) => return Err(abort_startup(&shared, worker_handles, e)),
+            }
+        }
 
         let connection_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
-            let shared = Arc::clone(&shared);
+            let accept_shared = Arc::clone(&shared);
             let connections = Arc::clone(&connection_handles);
-            std::thread::Builder::new()
+            match std::thread::Builder::new()
                 .name("quhe-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &connections))
-                .expect("spawning the accept thread")
+                .spawn(move || accept_loop(&listener, &accept_shared, &connections))
+            {
+                Ok(handle) => handle,
+                Err(e) => return Err(abort_startup(&shared, worker_handles, e)),
+            }
         };
 
         Ok(Self {
@@ -310,8 +315,11 @@ impl TcpServer {
         }
         // Readers observe the flag within one poll interval; once they are
         // gone nothing new can enter the queue, so closing it lets the
-        // workers drain what was admitted and exit.
-        for handle in std::mem::take(&mut *lock(&self.connection_handles)) {
+        // workers drain what was admitted and exit. Take the handles out
+        // under the lock, then join without it — a reader that outlives the
+        // poll interval must not block the accept loop's registry.
+        let connection_handles = std::mem::take(&mut *lock(&self.connection_handles));
+        for handle in connection_handles {
             let _ = handle.join();
         }
         self.shared.queue.close();
@@ -327,6 +335,22 @@ impl Drop for TcpServer {
     }
 }
 
+/// Unwinds a partially started server when a startup thread spawn fails:
+/// closing the queue releases any workers already parked on it, so they can
+/// be joined before the bind error is handed back to the caller.
+fn abort_startup(
+    shared: &Arc<Shared>,
+    worker_handles: Vec<JoinHandle<()>>,
+    error: std::io::Error,
+) -> std::io::Error {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    error
+}
+
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -340,11 +364,15 @@ fn accept_loop(
                 let shared = Arc::clone(shared);
                 let id = next_id;
                 next_id += 1;
-                let handle = std::thread::Builder::new()
+                // A failed spawn (thread exhaustion) drops the stream: the
+                // client observes a closed connection and can retry, while
+                // the server keeps serving the connections it already has.
+                if let Ok(handle) = std::thread::Builder::new()
                     .name(format!("quhe-serve-conn-{id}"))
                     .spawn(move || connection_loop(stream, &shared))
-                    .expect("spawning a connection thread");
-                lock(connections).push(handle);
+                {
+                    lock(connections).push(handle);
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock

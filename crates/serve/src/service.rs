@@ -583,12 +583,13 @@ impl SolveService {
                     ..OnlineTraceConfig::drift_only(*step)
                 };
                 let trace = SystemTrace::generate(&self.catalog, name, *seed, &config)?;
-                Ok(trace
+                let step = trace
                     .steps()
                     .last()
-                    .expect("a generated trace has at least the initial step")
-                    .scenario
-                    .clone())
+                    .ok_or_else(|| QuheError::InvalidConfig {
+                        reason: format!("drifted scenario `{name}`: generated trace has no steps"),
+                    })?;
+                Ok(step.scenario.clone())
             }
             ScenarioSpec::Inline(inline) => resolve_inline(inline),
         }
