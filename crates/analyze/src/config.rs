@@ -8,10 +8,10 @@
 
 use std::path::Path;
 
-/// One `[[allow.panic]]` entry: a justified exemption from the
-/// panic-discipline lint.
+/// One `[[allow.panic]]` / `[[allow.determinism]]` entry: a justified
+/// exemption from the corresponding lint.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PanicAllow {
+pub struct AllowEntry {
     /// Workspace-relative file the exemption applies to.
     pub file: String,
     /// Substring that must appear on the flagged source line.
@@ -19,6 +19,9 @@ pub struct PanicAllow {
     /// Required human justification; an empty reason is itself a diagnostic.
     pub reason: String,
 }
+
+/// The historical name of [`AllowEntry`], kept for the panic-allow list.
+pub type PanicAllow = AllowEntry;
 
 /// The analyzer's effective configuration.
 #[derive(Debug, Clone)]
@@ -30,8 +33,17 @@ pub struct AnalyzeConfig {
     pub lock_paths: Vec<String>,
     /// Path prefixes the panic-discipline lint scans.
     pub panic_paths: Vec<String>,
+    /// Serve entry points named `"<file>::<fn-name>"`: the roots the
+    /// transitive panic-discipline walk starts from.
+    pub panic_roots: Vec<String>,
     /// Justified panic-discipline exemptions.
-    pub panic_allow: Vec<PanicAllow>,
+    pub panic_allow: Vec<AllowEntry>,
+    /// Determinism roots named `"<file>::<fn-name>"`: everything reachable
+    /// from them must be free of nondeterminism sources.
+    pub determinism_roots: Vec<String>,
+    /// Justified determinism exemptions (paired with per-line
+    /// `// quhe-analyze: allow(determinism)` comments).
+    pub determinism_allow: Vec<AllowEntry>,
     /// Pinned contract strings each requiring exactly one `const` definition.
     pub pinned: Vec<String>,
 }
@@ -48,7 +60,10 @@ impl Default for AnalyzeConfig {
                 "crates/core/src".to_string(),
             ],
             panic_paths: vec!["crates/serve/src".to_string()],
+            panic_roots: Vec::new(),
             panic_allow: Vec::new(),
+            determinism_roots: Vec::new(),
+            determinism_allow: Vec::new(),
             pinned: vec![
                 quhe_core::fingerprint::SCENARIO_FMT.to_string(),
                 quhe_core::fingerprint::DRIFT_DIST_FMT.to_string(),
@@ -65,7 +80,7 @@ impl AnalyzeConfig {
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut config = AnalyzeConfig::default();
         let mut section = String::new();
-        let mut pending_allow: Option<PanicAllow> = None;
+        let mut pending_allow: Option<(String, AllowEntry)> = None;
         let mut lines = text.lines().enumerate().peekable();
         while let Some((idx, raw)) = lines.next() {
             let line = strip_comment(raw).trim().to_string();
@@ -76,21 +91,24 @@ impl AnalyzeConfig {
             if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
                 flush_allow(&mut config, &mut pending_allow, lineno)?;
                 let header = header.trim();
-                if header != "allow.panic" {
+                if header != "allow.panic" && header != "allow.determinism" {
                     return Err(format!("line {lineno}: unknown table `[[{header}]]`"));
                 }
-                pending_allow = Some(PanicAllow {
-                    file: String::new(),
-                    pattern: String::new(),
-                    reason: String::new(),
-                });
+                pending_allow = Some((
+                    header.to_string(),
+                    AllowEntry {
+                        file: String::new(),
+                        pattern: String::new(),
+                        reason: String::new(),
+                    },
+                ));
                 section = header.to_string();
             } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 flush_allow(&mut config, &mut pending_allow, lineno)?;
                 section = header.trim().to_string();
                 if !matches!(
                     section.as_str(),
-                    "hot_path" | "locks" | "panics" | "contract"
+                    "hot_path" | "locks" | "panics" | "determinism" | "contract"
                 ) {
                     return Err(format!("line {lineno}: unknown section `[{section}]`"));
                 }
@@ -133,17 +151,17 @@ impl AnalyzeConfig {
 
 fn apply(
     config: &mut AnalyzeConfig,
-    pending_allow: &mut Option<PanicAllow>,
+    pending_allow: &mut Option<(String, AllowEntry)>,
     section: &str,
     key: &str,
     value: &str,
     lineno: usize,
 ) -> Result<(), String> {
     match (section, key) {
-        ("allow.panic", "file" | "pattern" | "reason") => {
-            let entry = pending_allow
+        ("allow.panic" | "allow.determinism", "file" | "pattern" | "reason") => {
+            let (_, entry) = pending_allow
                 .as_mut()
-                .ok_or_else(|| format!("line {lineno}: `{key}` outside `[[allow.panic]]`"))?;
+                .ok_or_else(|| format!("line {lineno}: `{key}` outside `[[{section}]]`"))?;
             let s = parse_string(value)
                 .ok_or_else(|| format!("line {lineno}: `{key}` must be a string"))?;
             match key {
@@ -155,6 +173,8 @@ fn apply(
         ("hot_path", "functions") => config.hot_functions.extend(parse_array(value, lineno)?),
         ("locks", "paths") => config.lock_paths = parse_array(value, lineno)?,
         ("panics", "paths") => config.panic_paths = parse_array(value, lineno)?,
+        ("panics", "roots") => config.panic_roots.extend(parse_array(value, lineno)?),
+        ("determinism", "roots") => config.determinism_roots.extend(parse_array(value, lineno)?),
         ("contract", "pinned") => {
             for s in parse_array(value, lineno)? {
                 if !config.pinned.contains(&s) {
@@ -173,16 +193,19 @@ fn apply(
 
 fn flush_allow(
     config: &mut AnalyzeConfig,
-    pending: &mut Option<PanicAllow>,
+    pending: &mut Option<(String, AllowEntry)>,
     lineno: usize,
 ) -> Result<(), String> {
-    if let Some(entry) = pending.take() {
+    if let Some((kind, entry)) = pending.take() {
         if entry.file.is_empty() || entry.pattern.is_empty() {
             return Err(format!(
-                "line {lineno}: `[[allow.panic]]` entry needs both `file` and `pattern`"
+                "line {lineno}: `[[{kind}]]` entry needs both `file` and `pattern`"
             ));
         }
-        config.panic_allow.push(entry);
+        match kind.as_str() {
+            "allow.panic" => config.panic_allow.push(entry),
+            _ => config.determinism_allow.push(entry),
+        }
     }
     Ok(())
 }
@@ -351,6 +374,36 @@ reason = ""
         assert!(AnalyzeConfig::parse("[nope]\n").is_err());
         assert!(AnalyzeConfig::parse("[[allow.panic]]\nfile = \"x.rs\"\n").is_err());
         assert!(AnalyzeConfig::parse("[hot_path]\nfunctions = \"not-an-array\"\n").is_err());
+    }
+
+    #[test]
+    fn parses_roots_and_determinism_allow_tables() {
+        let config = AnalyzeConfig::parse(
+            r#"
+[panics]
+roots = ["crates/serve/src/service.rs::handle"]
+
+[determinism]
+roots = [
+    "crates/core/src/fingerprint.rs::fingerprint",
+    "crates/serve/src/cache.rs::lookup_exact",
+]
+
+[[allow.determinism]]
+file = "crates/core/src/solver.rs"
+pattern = "Instant::now"
+reason = "wall-clock telemetry only; never feeds the solution"
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            config.panic_roots,
+            vec!["crates/serve/src/service.rs::handle".to_string()]
+        );
+        assert_eq!(config.determinism_roots.len(), 2);
+        assert_eq!(config.determinism_allow.len(), 1);
+        assert_eq!(config.determinism_allow[0].pattern, "Instant::now");
+        assert!(AnalyzeConfig::parse("[[allow.nope]]\n").is_err());
     }
 
     #[test]

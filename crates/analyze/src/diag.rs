@@ -15,6 +15,8 @@ pub enum Lint {
     /// Pinned version string spelled as a literal, defined twice, or a
     /// deprecated shim called from non-test code.
     PinnedContract,
+    /// A nondeterminism source reachable from a determinism root.
+    Determinism,
     /// A stale or malformed `analyze.toml` entry.
     Config,
 }
@@ -27,6 +29,7 @@ impl Lint {
             Lint::LockDiscipline => "lock-discipline",
             Lint::PanicDiscipline => "panic-discipline",
             Lint::PinnedContract => "pinned-contract",
+            Lint::Determinism => "determinism",
             Lint::Config => "config",
         }
     }
@@ -43,16 +46,35 @@ pub struct Diagnostic {
     pub lint: Lint,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For transitive findings, the root-to-site call chain of function
+    /// display names (empty for direct findings). The chain is also spelled
+    /// inside `message`; this field carries it structured for `--emit json`.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic.
+    /// Builds a direct (chainless) diagnostic.
     pub fn new(file: impl Into<String>, line: u32, lint: Lint, message: impl Into<String>) -> Self {
         Diagnostic {
             file: file.into(),
             line,
             lint,
             message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Builds a transitive diagnostic carrying its call chain.
+    pub fn with_chain(
+        file: impl Into<String>,
+        line: u32,
+        lint: Lint,
+        message: impl Into<String>,
+        chain: Vec<String>,
+    ) -> Self {
+        Diagnostic {
+            chain,
+            ..Diagnostic::new(file, line, lint, message)
         }
     }
 }

@@ -6,8 +6,9 @@
 //! strings that gate wire and artifact compatibility. This crate enforces
 //! them the way clippy gates style — a token-level scan of the workspace's
 //! own sources (hand-rolled in the same offline spirit as
-//! `quhe-core::json`), four lint passes, `file:line` diagnostics and a
-//! non-zero exit code on any finding.
+//! `quhe-core::json`), five lint passes over a whole-workspace call graph,
+//! `file:line` diagnostics (transitive findings print their call chain) and
+//! a non-zero exit code on any finding.
 //!
 //! Run it from the repository root:
 //!
@@ -19,6 +20,7 @@
 //! [`config::AnalyzeConfig`]); annotations live in the sources themselves
 //! (`// quhe-analyze: hot-path`, `// quhe-analyze: allow(alloc)`).
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
@@ -28,20 +30,32 @@ pub mod scan;
 use std::io;
 use std::path::Path;
 
+use callgraph::{CallGraph, GraphStats};
 use config::AnalyzeConfig;
 use diag::Diagnostic;
 use scan::SourceFile;
 
-/// Runs all four passes over the given files and returns the sorted
+/// Runs all five passes over the given files and returns the sorted
 /// diagnostics.
 pub fn analyze(files: &[SourceFile], config: &AnalyzeConfig) -> Vec<Diagnostic> {
+    analyze_with_stats(files, config).0
+}
+
+/// [`analyze`], additionally returning the call-graph resolution counters
+/// behind `--stats`.
+pub fn analyze_with_stats(
+    files: &[SourceFile],
+    config: &AnalyzeConfig,
+) -> (Vec<Diagnostic>, GraphStats) {
+    let graph = CallGraph::build(files);
     let mut diags = Vec::new();
-    passes::alloc::run(files, config, &mut diags);
+    passes::alloc::run(files, config, &graph, &mut diags);
     passes::locks::run(files, config, &mut diags);
-    passes::panics::run(files, config, &mut diags);
+    passes::panics::run(files, config, &graph, &mut diags);
     passes::contract::run(files, config, &mut diags);
+    passes::determinism::run(files, config, &graph, &mut diags);
     diag::sort(&mut diags);
-    diags
+    (diags, graph.stats)
 }
 
 /// Collects the workspace's analyzable sources under `root`: every `.rs`

@@ -2,22 +2,30 @@
 //!
 //! ```text
 //! cargo run -p quhe-analyze -- --workspace [--root <dir>] [--config <file>]
+//!     [--stats] [--emit human|json] [--max-unresolved <fraction>]
 //! ```
 //!
 //! Exit codes follow the `-D warnings` convention: `0` when the workspace is
-//! clean, `1` when any diagnostic was produced, `2` on usage or
+//! clean (and the unresolved-call gate, if any, holds), `1` when any
+//! diagnostic was produced or the gate failed, `2` on usage or
 //! configuration errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use quhe_analyze::callgraph::GraphStats;
 use quhe_analyze::config::AnalyzeConfig;
-use quhe_analyze::{analyze, collect_workspace_files, find_workspace_root};
+use quhe_analyze::diag::Diagnostic;
+use quhe_analyze::{analyze_with_stats, collect_workspace_files, find_workspace_root};
+use quhe_core::json::JsonValue;
+
+/// The versioned schema tag of `--emit json` output.
+const JSON_SCHEMA: &str = "quhe-analyze/v1";
 
 fn main() -> ExitCode {
     match run() {
-        Ok(0) => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::from(1),
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
         Err(message) => {
             eprintln!("quhe-analyze: {message}");
             ExitCode::from(2)
@@ -25,10 +33,19 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<usize, String> {
+#[derive(PartialEq)]
+enum Emit {
+    Human,
+    Json,
+}
+
+fn run() -> Result<bool, String> {
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut stats = false;
+    let mut emit = Emit::Human;
+    let mut max_unresolved: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,9 +58,28 @@ fn run() -> Result<usize, String> {
             "--config" => {
                 config_path = Some(PathBuf::from(args.next().ok_or("--config needs a file")?));
             }
+            "--stats" => stats = true,
+            "--emit" => {
+                emit = match args.next().as_deref() {
+                    Some("human") => Emit::Human,
+                    Some("json") => Emit::Json,
+                    Some(other) => return Err(format!("unknown --emit format `{other}`")),
+                    None => return Err("--emit needs `human` or `json`".to_string()),
+                };
+            }
+            "--max-unresolved" => {
+                let raw = args.next().ok_or("--max-unresolved needs a fraction")?;
+                let value: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-unresolved: `{raw}` is not a number"))?;
+                if !(0.0..=1.0).contains(&value) {
+                    return Err(format!("--max-unresolved: `{raw}` is not in [0, 1]"));
+                }
+                max_unresolved = Some(value);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
-                return Ok(0);
+                return Ok(true);
             }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -68,27 +104,105 @@ fn run() -> Result<usize, String> {
         None => AnalyzeConfig::load(&root)?,
     };
     let files = collect_workspace_files(&root).map_err(|e| e.to_string())?;
-    let diags = analyze(&files, &config);
-    for diagnostic in &diags {
-        println!("{diagnostic}");
+    let (diags, graph_stats) = analyze_with_stats(&files, &config);
+
+    let fraction = graph_stats.unresolved_fraction();
+    let gate_failed = max_unresolved.is_some_and(|limit| fraction > limit);
+
+    match emit {
+        Emit::Json => {
+            let doc = json_report(&diags, &graph_stats, files.len());
+            println!("{}", doc.to_pretty_string());
+        }
+        Emit::Human => {
+            for diagnostic in &diags {
+                println!("{diagnostic}");
+            }
+            if diags.is_empty() {
+                println!(
+                    "quhe-analyze: clean — {} files, 5 passes, 0 diagnostics",
+                    files.len()
+                );
+            } else {
+                println!(
+                    "quhe-analyze: {} diagnostic(s) across {} files",
+                    diags.len(),
+                    files.len()
+                );
+            }
+            if stats {
+                println!(
+                    "quhe-analyze: call graph: {} functions, {} edges; {} call sites — \
+                     {} resolved, {} unresolved (over-approximated), {} external; \
+                     unresolved fraction {fraction:.4}",
+                    graph_stats.functions,
+                    graph_stats.edges,
+                    graph_stats.call_sites,
+                    graph_stats.resolved,
+                    graph_stats.unresolved,
+                    graph_stats.external,
+                );
+            }
+        }
     }
-    if diags.is_empty() {
-        println!(
-            "quhe-analyze: clean — {} files, 4 passes, 0 diagnostics",
-            files.len()
-        );
-    } else {
-        println!(
-            "quhe-analyze: {} diagnostic(s) across {} files",
-            diags.len(),
-            files.len()
+    if gate_failed {
+        eprintln!(
+            "quhe-analyze: unresolved-call fraction {fraction:.4} exceeds --max-unresolved {}",
+            max_unresolved.unwrap_or_default()
         );
     }
-    Ok(diags.len())
+    Ok(diags.is_empty() && !gate_failed)
+}
+
+/// The `quhe-analyze/v1` JSON document: diagnostics (with structured call
+/// chains), call-graph stats and the overall verdict.
+fn json_report(diags: &[Diagnostic], stats: &GraphStats, files: usize) -> JsonValue {
+    let diagnostics: Vec<JsonValue> = diags
+        .iter()
+        .map(|d| {
+            JsonValue::object()
+                .with("pass", JsonValue::String(d.lint.name().to_string()))
+                .with("file", JsonValue::String(d.file.clone()))
+                .with("line", JsonValue::from_u64(u64::from(d.line)))
+                .with("message", JsonValue::String(d.message.clone()))
+                .with(
+                    "chain",
+                    JsonValue::Array(
+                        d.chain
+                            .iter()
+                            .map(|name| JsonValue::String(name.clone()))
+                            .collect(),
+                    ),
+                )
+        })
+        .collect();
+    JsonValue::object()
+        .with("schema", JsonValue::String(JSON_SCHEMA.to_string()))
+        .with("files", JsonValue::from_usize(files))
+        .with("clean", JsonValue::Bool(diags.is_empty()))
+        .with("diagnostics", JsonValue::Array(diagnostics))
+        .with(
+            "call_graph",
+            JsonValue::object()
+                .with("functions", JsonValue::from_usize(stats.functions))
+                .with("edges", JsonValue::from_usize(stats.edges))
+                .with("call_sites", JsonValue::from_usize(stats.call_sites))
+                .with("resolved", JsonValue::from_usize(stats.resolved))
+                .with("unresolved", JsonValue::from_usize(stats.unresolved))
+                .with("external", JsonValue::from_usize(stats.external))
+                .with(
+                    "unresolved_fraction",
+                    JsonValue::from_f64(stats.unresolved_fraction()),
+                ),
+        )
 }
 
 const USAGE: &str = "usage: quhe-analyze --workspace [--root <dir>] [--config <file>]
+                    [--stats] [--emit human|json] [--max-unresolved <fraction>]
 
-  --workspace   analyze every crate source in the workspace
-  --root DIR    workspace root (default: nearest ancestor with [workspace])
-  --config FILE analyze.toml to use (default: <root>/analyze.toml if present)";
+  --workspace          analyze every crate source in the workspace
+  --root DIR           workspace root (default: nearest ancestor with [workspace])
+  --config FILE        analyze.toml to use (default: <root>/analyze.toml if present)
+  --stats              print call-graph resolution counters after the diagnostics
+  --emit FORMAT        human (default) or json (stable `quhe-analyze/v1` schema)
+  --max-unresolved F   exit 1 if the unresolved-call fraction exceeds F";

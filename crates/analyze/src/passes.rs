@@ -1,11 +1,13 @@
-//! The four lint passes.
+//! The five lint passes.
 //!
-//! Each pass has the same shape: `run(files, config, diags)` appends
+//! Each pass has the same shape: `run(files, config, ..., diags)` appends
 //! [`crate::diag::Diagnostic`]s for every violation it finds. Passes never
 //! mutate files and never depend on each other's output, so their order is
-//! irrelevant; [`crate::analyze`] runs all four and sorts the result.
+//! irrelevant; [`crate::analyze`] runs all five over one shared
+//! [`crate::callgraph::CallGraph`] and sorts the result.
 
 pub mod alloc;
 pub mod contract;
+pub mod determinism;
 pub mod locks;
 pub mod panics;

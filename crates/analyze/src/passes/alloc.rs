@@ -1,4 +1,4 @@
-//! Pass 1: hot-path allocation lint.
+//! Pass 1: hot-path allocation lint — direct and transitive.
 //!
 //! Functions marked `// quhe-analyze: hot-path` (or listed under
 //! `[hot_path] functions` in `analyze.toml`) must not contain
@@ -7,9 +7,16 @@
 //! and an allocation creeping into one shows up as a latency regression long
 //! before anyone re-reads the code. A line can opt out with an explicit
 //! `// quhe-analyze: allow(alloc)` comment on the line or the line above.
+//!
+//! The *transitive* half walks the workspace call graph from every hot-path
+//! root: a helper the root can reach must be just as allocation-free as the
+//! root itself, and a violation prints the full call chain
+//! (`root -> helper -> callee allocates at file:line`) so the offending
+//! path is obvious without re-deriving it by hand.
 
 use std::collections::BTreeSet;
 
+use crate::callgraph::CallGraph;
 use crate::config::AnalyzeConfig;
 use crate::diag::{Diagnostic, Lint};
 use crate::lexer::TokenKind;
@@ -19,25 +26,88 @@ use crate::scan::SourceFile;
 pub const ALLOW_MARK: &str = "quhe-analyze: allow(alloc)";
 
 /// Runs the pass over all files.
-pub fn run(files: &[SourceFile], config: &AnalyzeConfig, diags: &mut Vec<Diagnostic>) {
+pub fn run(
+    files: &[SourceFile],
+    config: &AnalyzeConfig,
+    graph: &CallGraph,
+    diags: &mut Vec<Diagnostic>,
+) {
     let mut unused: BTreeSet<&str> = config.hot_functions.iter().map(String::as_str).collect();
-    for file in files {
-        let allowed = allowed_lines(file);
-        for item in &file.fns {
-            let qualified = format!("{}::{}", file.path, item.name);
-            let listed = config.hot_functions.contains(&qualified);
-            if listed {
-                unused.remove(qualified.as_str());
-            }
-            if item.is_test || !(item.hot_path || listed) {
-                continue;
-            }
-            let Some((open, close)) = item.body else {
-                continue;
-            };
-            check_body(file, &item.name, open, close, &allowed, diags);
+    let mut roots: Vec<usize> = Vec::new();
+    for (node_idx, node) in graph.nodes.iter().enumerate() {
+        let item = &files[node.file_idx].fns[node.fn_idx];
+        let listed = config.hot_functions.contains(&node.qualified());
+        if listed {
+            unused.remove(node.qualified().as_str());
+        }
+        if !item.is_test && (item.hot_path || listed) {
+            roots.push(node_idx);
         }
     }
+
+    // Direct findings: the roots themselves.
+    for &node_idx in &roots {
+        let node = &graph.nodes[node_idx];
+        let file = &files[node.file_idx];
+        let item = &file.fns[node.fn_idx];
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let allowed = allowed_lines(file);
+        for (line, what) in alloc_sites(file, open, close) {
+            if allowed.contains(&line) {
+                continue;
+            }
+            diags.push(Diagnostic::new(
+                &file.path,
+                line,
+                Lint::HotPathAlloc,
+                format!(
+                    "allocation-shaped call `{what}` in hot-path function `{}` \
+                     (annotate the line with `// {ALLOW_MARK}` if intended)",
+                    item.name
+                ),
+            ));
+        }
+    }
+
+    // Transitive findings: everything a root can reach that is not itself a
+    // root (roots are direct-covered above).
+    let root_set: BTreeSet<usize> = roots.iter().copied().collect();
+    let parent = graph.reachable(&roots);
+    for &node_idx in parent.keys() {
+        if root_set.contains(&node_idx) {
+            continue;
+        }
+        let node = &graph.nodes[node_idx];
+        let file = &files[node.file_idx];
+        let item = &file.fns[node.fn_idx];
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let allowed = allowed_lines(file);
+        for (line, what) in alloc_sites(file, open, close) {
+            if allowed.contains(&line) {
+                continue;
+            }
+            let chain = graph.chain(&parent, node_idx);
+            let root = chain[0].clone();
+            let rendered = chain.join(" -> ");
+            diags.push(Diagnostic::with_chain(
+                &file.path,
+                line,
+                Lint::HotPathAlloc,
+                format!(
+                    "hot path `{root}` reaches allocation-shaped call `{what}`: \
+                     {rendered} allocates at {}:{line} \
+                     (annotate the line with `// {ALLOW_MARK}` if intended)",
+                    file.path
+                ),
+                chain,
+            ));
+        }
+    }
+
     for entry in unused {
         diags.push(Diagnostic::new(
             "analyze.toml",
@@ -63,18 +133,14 @@ fn allowed_lines(file: &SourceFile) -> BTreeSet<u32> {
     lines
 }
 
-fn check_body(
-    file: &SourceFile,
-    fn_name: &str,
-    open: usize,
-    close: usize,
-    allowed: &BTreeSet<u32>,
-    diags: &mut Vec<Diagnostic>,
-) {
+/// Allocation-shaped call sites in the body token range, as
+/// `(line, rendered call)` pairs. Allow comments are *not* applied here.
+pub(crate) fn alloc_sites(file: &SourceFile, open: usize, close: usize) -> Vec<(u32, String)> {
     let tokens = &file.tokens;
     let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
     let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
     let hi = close.min(tokens.len().saturating_sub(1));
+    let mut sites = Vec::new();
     for (i, token) in tokens.iter().enumerate().take(hi + 1).skip(open) {
         let what = match &token.kind {
             // `vec![...]` / `format!(...)` macro invocations.
@@ -105,21 +171,10 @@ fn check_body(
             _ => None,
         };
         if let Some(what) = what {
-            let line = tokens[i].line;
-            if allowed.contains(&line) {
-                continue;
-            }
-            diags.push(Diagnostic::new(
-                &file.path,
-                line,
-                Lint::HotPathAlloc,
-                format!(
-                    "allocation-shaped call `{what}` in hot-path function `{fn_name}` \
-                     (annotate the line with `// {ALLOW_MARK}` if intended)"
-                ),
-            ));
+            sites.push((tokens[i].line, what));
         }
     }
+    sites
 }
 
 #[cfg(test)]
@@ -127,13 +182,22 @@ mod tests {
     use super::*;
 
     fn run_on(source: &str, hot_functions: Vec<String>) -> Vec<Diagnostic> {
-        let file = SourceFile::parse("hot.rs", source);
+        run_on_files(&[("hot.rs", source)], hot_functions)
+    }
+
+    fn run_on_files(sources: &[(&str, &str)], hot_functions: Vec<String>) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(*path, src))
+            .collect();
         let config = AnalyzeConfig {
             hot_functions,
             ..AnalyzeConfig::default()
         };
+        let graph = CallGraph::build(&files);
         let mut diags = Vec::new();
-        run(std::slice::from_ref(&file), &config, &mut diags);
+        run(&files, &config, &graph, &mut diags);
+        crate::diag::sort(&mut diags);
         diags
     }
 
@@ -224,5 +288,53 @@ mod tests {
             Vec::new(),
         );
         assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn transitive_findings_print_the_call_chain() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot(xs: &[f64]) -> f64 { middle(xs) }\n\
+             fn middle(xs: &[f64]) -> f64 { leaf(xs) }\n\
+             fn leaf(xs: &[f64]) -> f64 { xs.to_vec()[0] }",
+            Vec::new(),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+        assert_eq!(diags[0].chain, vec!["hot", "middle", "leaf"]);
+        assert!(
+            diags[0]
+                .message
+                .contains("hot -> middle -> leaf allocates at hot.rs:4"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn transitive_walk_respects_allow_comments_in_callees() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot() { helper(); }\n\
+             fn helper() {\n\
+                 // quhe-analyze: allow(alloc)\n\
+                 let v = vec![1];\n\
+                 let _ = v;\n\
+             }",
+            Vec::new(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_allocating_fns_stay_unflagged() {
+        let diags = run_on(
+            "// quhe-analyze: hot-path\n\
+             fn hot() { helper(); }\n\
+             fn helper() {}\n\
+             fn elsewhere() { let v = vec![1]; }",
+            Vec::new(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

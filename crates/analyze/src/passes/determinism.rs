@@ -1,0 +1,488 @@
+//! Pass 5: determinism lint.
+//!
+//! Every parity test in the workspace leans on bit-identity: cache hits
+//! return the producing solve's report byte-for-byte, `QUHE-SCN-v1`
+//! fingerprints must hash the same scenario to the same digest on every
+//! host, and warm starts must re-derive the exact floor-guard comparisons.
+//! Those contracts die quietly the moment a `HashMap` iteration order, a
+//! wall-clock read, or an environment variable leaks into a value that
+//! feeds them.
+//!
+//! This pass walks the call graph from the configured `[determinism] roots`
+//! (fingerprint, cache and solver-kernel entry points) and flags every
+//! reachable *nondeterminism source*:
+//!
+//! | source                 | why it breaks bit-identity                    |
+//! |------------------------|-----------------------------------------------|
+//! | `HashMap`/`HashSet` iteration (`.iter()`, `.keys()`, `.values()`, `for` over a map binding) | random per-process hash seed → random order |
+//! | `Instant::now()` / `SystemTime::now()` | wall-clock values differ per run     |
+//! | `thread::current()`    | thread identity depends on scheduling         |
+//! | `env::var` family      | host environment leaks into output            |
+//!
+//! A site can opt out with `// quhe-analyze: allow(determinism)` on the
+//! line or the line above — but only when `analyze.toml` carries a matching
+//! `[[allow.determinism]]` entry with a non-empty justification. An allow
+//! comment without its config entry, and a config entry matching no site,
+//! are both diagnostics: exemptions cannot drift.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::CallGraph;
+use crate::config::AnalyzeConfig;
+use crate::diag::{Diagnostic, Lint};
+use crate::lexer::TokenKind;
+use crate::scan::SourceFile;
+
+/// The annotation exempting one line from this pass (when justified in
+/// `analyze.toml`).
+pub const ALLOW_MARK: &str = "quhe-analyze: allow(determinism)";
+
+/// Map-iteration method names flagged on receivers bound to a map type.
+const MAP_ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+/// Environment-reading functions under `env::`.
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Runs the pass over all files.
+pub fn run(
+    files: &[SourceFile],
+    config: &AnalyzeConfig,
+    graph: &CallGraph,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut used = vec![false; config.determinism_allow.len()];
+    for (idx, entry) in config.determinism_allow.iter().enumerate() {
+        if entry.reason.trim().is_empty() {
+            diags.push(Diagnostic::new(
+                "analyze.toml",
+                0,
+                Lint::Config,
+                format!(
+                    "[[allow.determinism]] entry for `{}` (pattern `{}`) has an empty reason; \
+                     every exemption needs a justification",
+                    entry.file, entry.pattern
+                ),
+            ));
+            used[idx] = true; // don't also report it as stale
+        }
+    }
+
+    let mut roots: Vec<usize> = Vec::new();
+    for spec in &config.determinism_roots {
+        let matched = graph.find_roots(spec);
+        if matched.is_empty() {
+            diags.push(Diagnostic::new(
+                "analyze.toml",
+                0,
+                Lint::Config,
+                format!("[determinism] roots entry `{spec}` matches no function in the workspace"),
+            ));
+        }
+        roots.extend(matched);
+    }
+    let parent = graph.reachable(&roots);
+    for &node_idx in parent.keys() {
+        let node = &graph.nodes[node_idx];
+        let file = &files[node.file_idx];
+        let item = &file.fns[node.fn_idx];
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let allow_comments = allow_comment_lines(file);
+        for (line, what) in nondeterminism_sites(file, item.decl, open, close) {
+            let chain = graph.chain(&parent, node_idx);
+            let root = chain[0].clone();
+            let rendered = chain.join(" -> ");
+            if allow_comments.contains(&line) {
+                let text = file.line_text(line);
+                let mut justified = false;
+                for (idx, entry) in config.determinism_allow.iter().enumerate() {
+                    if entry.file == file.path
+                        && text.contains(&entry.pattern)
+                        && !entry.reason.trim().is_empty()
+                    {
+                        used[idx] = true;
+                        justified = true;
+                    }
+                }
+                if justified {
+                    continue;
+                }
+                diags.push(Diagnostic::with_chain(
+                    &file.path,
+                    line,
+                    Lint::Determinism,
+                    format!(
+                        "`{what}` carries `// {ALLOW_MARK}` but no justifying \
+                         [[allow.determinism]] entry in analyze.toml matches {}:{line}",
+                        file.path
+                    ),
+                    chain,
+                ));
+                continue;
+            }
+            diags.push(Diagnostic::with_chain(
+                &file.path,
+                line,
+                Lint::Determinism,
+                format!(
+                    "determinism root `{root}` reaches nondeterminism source `{what}`: \
+                     {rendered} at {}:{line}; make it order- and host-independent, or \
+                     annotate with `// {ALLOW_MARK}` plus a justified [[allow.determinism]] \
+                     entry in analyze.toml",
+                    file.path
+                ),
+                chain,
+            ));
+        }
+    }
+
+    for (idx, entry) in config.determinism_allow.iter().enumerate() {
+        if !used[idx] {
+            diags.push(Diagnostic::new(
+                "analyze.toml",
+                0,
+                Lint::Config,
+                format!(
+                    "stale [[allow.determinism]] entry: `{}` (pattern `{}`) matches no site",
+                    entry.file, entry.pattern
+                ),
+            ));
+        }
+    }
+}
+
+/// Lines covered by an `allow(determinism)` comment: the comment's own line
+/// and the line after it.
+fn allow_comment_lines(file: &SourceFile) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    for token in &file.tokens {
+        if let TokenKind::LineComment(text) = &token.kind {
+            if text.contains(ALLOW_MARK) {
+                lines.insert(token.line);
+                lines.insert(token.line + 1);
+            }
+        }
+    }
+    lines
+}
+
+/// Nondeterminism sites in one function, as `(line, rendered source)`
+/// pairs. `decl` is the `fn` keyword token (the signature is scanned for
+/// map-typed parameters), `(open, close)` the body range.
+pub(crate) fn nondeterminism_sites(
+    file: &SourceFile,
+    decl: usize,
+    open: usize,
+    close: usize,
+) -> Vec<(u32, String)> {
+    let tokens = &file.tokens;
+    let ident = |i: usize| tokens.get(i).and_then(|t| t.ident());
+    let punct = |i: usize, c: char| tokens.get(i).is_some_and(|t| t.is_punct(c));
+    let hi = close.min(tokens.len().saturating_sub(1));
+
+    // Map-typed names bound in this function: parameters whose type names
+    // `HashMap`/`HashSet`, and `let` bindings whose type annotation or
+    // initializer does.
+    let mut map_bindings: BTreeSet<String> = BTreeSet::new();
+    // Parameters: `name: ... HashMap/HashSet ...` within the signature.
+    let mut i = decl;
+    while i < open {
+        if let Some(name) = ident(i) {
+            if punct(i + 1, ':') && !punct(i + 2, ':') {
+                let mut j = i + 2;
+                while j < open && !tokens[j].is_punct(',') {
+                    if matches!(ident(j), Some("HashMap" | "HashSet")) {
+                        map_bindings.insert(name.to_string());
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    // Let bindings: `let [mut] name [: T] = init;` where T or init names a
+    // map type.
+    let mut i = open;
+    while i <= hi {
+        if ident(i) == Some("let") {
+            let mut j = i + 1;
+            if ident(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = ident(j) {
+                let mut k = j + 1;
+                let mut is_map = false;
+                let mut depth = 0usize;
+                while k <= hi {
+                    match &tokens[k].kind {
+                        TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                        TokenKind::Punct(')' | ']' | '}') => depth = depth.saturating_sub(1),
+                        TokenKind::Punct(';') if depth == 0 => break,
+                        TokenKind::Ident(t) if t == "HashMap" || t == "HashSet" => {
+                            is_map = true;
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if is_map {
+                    map_bindings.insert(name.to_string());
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let mut sites = Vec::new();
+    for i in open..=hi {
+        let line = tokens[i].line;
+        match &tokens[i].kind {
+            // `Instant::now(` / `SystemTime::now(` / `thread::current(`.
+            TokenKind::Ident(name)
+                if punct(i + 1, ':') && punct(i + 2, ':') && punct(i + 4, '(') =>
+            {
+                match (name.as_str(), ident(i + 3)) {
+                    ("Instant", Some("now")) => sites.push((line, "Instant::now()".to_string())),
+                    ("SystemTime", Some("now")) => {
+                        sites.push((line, "SystemTime::now()".to_string()));
+                    }
+                    ("thread", Some("current")) => {
+                        sites.push((line, "thread::current()".to_string()));
+                    }
+                    ("env", Some(read)) if ENV_READS.contains(&read) => {
+                        sites.push((line, format!("env::{read}()")));
+                    }
+                    _ => {}
+                }
+            }
+            // `map.iter()` / `.keys()` / `.values()` ... on a map binding.
+            TokenKind::Punct('.')
+                if i >= 1
+                    && ident(i.wrapping_sub(1)).is_some_and(|recv| map_bindings.contains(recv))
+                    && ident(i + 1).is_some_and(|m| MAP_ITER_METHODS.contains(&m))
+                    && punct(i + 2, '(') =>
+            {
+                let recv = ident(i - 1).unwrap_or("");
+                let method = ident(i + 1).unwrap_or("");
+                sites.push((line, format!("{recv}.{method}()")));
+            }
+            // `for pat in [&[mut]] map {`.
+            TokenKind::Ident(name) if name == "for" => {
+                let mut j = i + 1;
+                // Find the `in` at angle/paren depth 0 within the header.
+                let mut depth = 0usize;
+                while j <= hi {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('(' | '[') => depth += 1,
+                        TokenKind::Punct(')' | ']') => depth = depth.saturating_sub(1),
+                        TokenKind::Punct('{') if depth == 0 => break,
+                        TokenKind::Ident(kw) if kw == "in" && depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if ident(j) != Some("in") {
+                    continue;
+                }
+                let mut k = j + 1;
+                while tokens.get(k).is_some_and(|t| t.is_punct('&')) || ident(k) == Some("mut") {
+                    k += 1;
+                }
+                if let Some(name) = ident(k) {
+                    if map_bindings.contains(name) && punct(k + 1, '{') {
+                        sites.push((tokens[k].line, format!("for _ in {name}")));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    sites.sort();
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AllowEntry;
+
+    fn run_with(
+        sources: &[(&str, &str)],
+        roots: Vec<String>,
+        allow: Vec<AllowEntry>,
+    ) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(path, src)| SourceFile::parse(*path, src))
+            .collect();
+        let config = AnalyzeConfig {
+            determinism_roots: roots,
+            determinism_allow: allow,
+            ..AnalyzeConfig::default()
+        };
+        let graph = CallGraph::build(&files);
+        let mut diags = Vec::new();
+        run(&files, &config, &graph, &mut diags);
+        crate::diag::sort(&mut diags);
+        diags
+    }
+
+    fn run_on(source: &str) -> Vec<Diagnostic> {
+        run_with(
+            &[("a.rs", source)],
+            vec!["a.rs::root".to_string()],
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn clock_thread_and_env_sources_are_flagged_with_chains() {
+        let diags = run_on(
+            "pub fn root() { helper(); }\n\
+             fn helper() {\n\
+                 let t = Instant::now();\n\
+                 let s = SystemTime::now();\n\
+                 let id = thread::current().id();\n\
+                 let v = std::env::var(\"HOME\");\n\
+             }",
+        );
+        let whats: Vec<_> = diags
+            .iter()
+            .map(|d| d.message.split('`').nth(3).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                "Instant::now()",
+                "SystemTime::now()",
+                "thread::current()",
+                "env::var()"
+            ]
+        );
+        assert!(diags
+            .iter()
+            .all(|d| d.chain == vec!["root".to_string(), "helper".to_string()]));
+    }
+
+    #[test]
+    fn map_iteration_over_in_function_bindings_is_flagged() {
+        let diags = run_on(
+            "pub fn root(seen: &HashSet<u64>) {\n\
+                 let mut index: HashMap<u64, u64> = HashMap::new();\n\
+                 for key in seen { index.remove(key); }\n\
+                 let ks: Vec<_> = index.keys().collect();\n\
+                 let vs: Vec<_> = index.values().collect();\n\
+                 let it = index.iter();\n\
+             }",
+        );
+        let whats: Vec<_> = diags
+            .iter()
+            .map(|d| d.message.split('`').nth(3).unwrap().to_string())
+            .collect();
+        assert_eq!(
+            whats,
+            vec![
+                "for _ in seen",
+                "index.keys()",
+                "index.values()",
+                "index.iter()"
+            ]
+        );
+    }
+
+    #[test]
+    fn vec_iteration_and_map_point_lookups_are_fine() {
+        let diags = run_on(
+            "pub fn root(xs: &[f64]) -> f64 {\n\
+                 let mut map: HashMap<u64, f64> = HashMap::new();\n\
+                 map.insert(1, 2.0);\n\
+                 let hit = map.get(&1).copied().unwrap_or(0.0);\n\
+                 let mut sum = hit;\n\
+                 for x in xs { sum += x; }\n\
+                 sum + xs.iter().sum::<f64>()\n\
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_sources_are_not_flagged() {
+        let diags = run_on(
+            "pub fn root() {}\n\
+             fn elsewhere() { let t = Instant::now(); let _ = t; }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn justified_allow_comment_exempts_and_marks_the_entry_used() {
+        let diags = run_with(
+            &[(
+                "a.rs",
+                "pub fn root() {\n\
+                     // quhe-analyze: allow(determinism)\n\
+                     let t = Instant::now();\n\
+                     let _ = t;\n\
+                 }",
+            )],
+            vec!["a.rs::root".to_string()],
+            vec![AllowEntry {
+                file: "a.rs".to_string(),
+                pattern: "Instant::now".to_string(),
+                reason: "wall-clock telemetry only".to_string(),
+            }],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_comment_without_config_entry_is_flagged() {
+        let diags = run_on(
+            "pub fn root() {\n\
+                 // quhe-analyze: allow(determinism)\n\
+                 let t = Instant::now();\n\
+                 let _ = t;\n\
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0]
+                .message
+                .contains("no justifying [[allow.determinism]] entry"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn stale_allow_entries_and_stale_roots_are_config_diagnostics() {
+        let diags = run_with(
+            &[("a.rs", "pub fn root() {}")],
+            vec!["a.rs::root".to_string(), "a.rs::missing".to_string()],
+            vec![AllowEntry {
+                file: "a.rs".to_string(),
+                pattern: "never matches".to_string(),
+                reason: "justified".to_string(),
+            }],
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("stale [[allow.determinism]] entry")));
+        assert!(diags.iter().any(|d| d
+            .message
+            .contains("[determinism] roots entry `a.rs::missing`")));
+    }
+}

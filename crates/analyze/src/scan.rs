@@ -22,6 +22,9 @@ pub struct FnItem {
     pub owner: Option<String>,
     /// 1-indexed line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword (the signature runs from here to the
+    /// body open).
+    pub decl: usize,
     /// Token indices of the body's `{` and `}` (`None` for bodyless
     /// declarations such as trait method signatures).
     pub body: Option<(usize, usize)>,
@@ -340,6 +343,7 @@ impl Scanner<'_> {
         };
         let name = name.to_string();
         let line = self.tokens[self.i].line;
+        let decl = self.i;
         let open = self.find_body_open(self.i + 2);
         let body = if self.tokens.get(open).is_some_and(|t| t.is_punct('{')) {
             Some((open, self.match_brace(open)))
@@ -351,6 +355,7 @@ impl Scanner<'_> {
             name,
             owner: top.and_then(|c| c.owner.clone()),
             line,
+            decl,
             body,
             is_test: pending.test || pending.cfg_test || top.is_some_and(|c| c.test),
             hot_path: hot,

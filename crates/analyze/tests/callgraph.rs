@@ -1,0 +1,121 @@
+//! Resolution coverage for the whole-workspace call graph, over the fixture
+//! crate under `tests/fixtures/callgraph/`: free functions, inherent and
+//! trait methods, names shadowed across modules, cross-module calls, and
+//! one deliberately untyped receiver whose over-approximation pins the
+//! unresolved-call count reported by `--stats`.
+
+use std::path::{Path, PathBuf};
+
+use quhe_analyze::callgraph::CallGraph;
+use quhe_analyze::scan::SourceFile;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests")
+}
+
+fn load() -> Vec<SourceFile> {
+    [
+        "fixtures/callgraph/engine.rs",
+        "fixtures/callgraph/geometry.rs",
+        "fixtures/callgraph/solver.rs",
+    ]
+    .iter()
+    .map(|rel| SourceFile::load(&fixture_root(), rel).expect("fixture file must load"))
+    .collect()
+}
+
+/// Node index by `(file suffix, display name)`.
+fn node(graph: &CallGraph, file: &str, display: &str) -> usize {
+    graph
+        .nodes
+        .iter()
+        .position(|n| n.file.ends_with(file) && n.display() == display)
+        .unwrap_or_else(|| panic!("no node {display} in {file}"))
+}
+
+/// Whether the graph has an edge `from -> to`.
+fn has_edge(graph: &CallGraph, from: usize, to: usize) -> bool {
+    graph.edges[from].iter().any(|e| e.to == to)
+}
+
+#[test]
+fn free_fn_method_and_cross_module_edges_resolve() {
+    let files = load();
+    let graph = CallGraph::build(&files);
+
+    let drive = node(&graph, "engine.rs", "drive");
+    let normalize = node(&graph, "engine.rs", "normalize");
+    let refine = node(&graph, "solver.rs", "refine");
+    let area = node(&graph, "geometry.rs", "area");
+    let run = node(&graph, "solver.rs", "Refiner::run");
+    let step = node(&graph, "solver.rs", "Refiner::step");
+    let smooth = node(&graph, "solver.rs", "Refiner::smooth");
+    let solver_helper = node(&graph, "solver.rs", "helper");
+    let geometry_helper = node(&graph, "geometry.rs", "helper");
+
+    // Bare call to a same-file free fn.
+    assert!(has_edge(&graph, drive, normalize));
+    // `module::free_fn()` resolves across files by module path.
+    assert!(has_edge(&graph, drive, refine));
+    assert!(has_edge(&graph, drive, area));
+    // `self.method()` resolves through the impl owner.
+    assert!(has_edge(&graph, run, step));
+    // `Type::method(self, ..)` resolves through the qualified owner.
+    assert!(has_edge(&graph, smooth, step));
+    // The shadowed free fn `helper` resolves to the caller's own file on
+    // both sides — never across.
+    assert!(has_edge(&graph, run, solver_helper));
+    assert!(!has_edge(&graph, run, geometry_helper));
+    assert!(has_edge(&graph, area, geometry_helper));
+    assert!(!has_edge(&graph, area, solver_helper));
+}
+
+#[test]
+fn untyped_receivers_over_approximate_and_the_stats_pin_it() {
+    let files = load();
+    let graph = CallGraph::build(&files);
+
+    // `refiner.smooth(x)` cannot see the receiver's type, so it
+    // over-approximates to both `smooth` implementors.
+    let refine = node(&graph, "solver.rs", "refine");
+    let refiner_smooth = node(&graph, "solver.rs", "Refiner::smooth");
+    let patch_smooth = node(&graph, "geometry.rs", "Patch::smooth");
+    assert!(has_edge(&graph, refine, refiner_smooth));
+    assert!(has_edge(&graph, refine, patch_smooth));
+
+    // Pinned resolution counters for the fixture crate — the same numbers
+    // `--stats` reports. 7 precise sites, 1 over-approximated
+    // (`refiner.smooth`, two candidate edges), and no call into code
+    // outside the fixture.
+    assert_eq!(graph.stats.resolved, 7, "{:?}", graph.stats);
+    assert_eq!(graph.stats.unresolved, 1, "{:?}", graph.stats);
+    assert_eq!(graph.stats.external, 0, "{:?}", graph.stats);
+    assert_eq!(graph.stats.edges, 9, "{:?}", graph.stats);
+    assert!(
+        (graph.stats.unresolved_fraction() - 1.0 / 8.0).abs() < 1e-12,
+        "{:?}",
+        graph.stats
+    );
+}
+
+#[test]
+fn reachability_walks_over_approximated_edges_and_chains_render() {
+    let files = load();
+    let graph = CallGraph::build(&files);
+
+    let drive = node(&graph, "engine.rs", "drive");
+    let step = node(&graph, "solver.rs", "Refiner::step");
+    let parent = graph.reachable(&[drive]);
+    // drive -> refine -> refiner.smooth (over-approx) -> Refiner::smooth
+    // -> Refiner::step: the walk crosses precise and over-approximated
+    // edges alike.
+    assert!(parent.contains_key(&step));
+    let chain = graph.chain(&parent, step);
+    assert_eq!(
+        chain,
+        vec!["drive", "refine", "Refiner::smooth", "Refiner::step"]
+    );
+    // `Refiner::run` has no incoming edges from `drive`.
+    let run = node(&graph, "solver.rs", "Refiner::run");
+    assert!(!parent.contains_key(&run));
+}

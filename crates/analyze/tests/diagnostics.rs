@@ -1,15 +1,16 @@
 //! End-to-end pinning of the analyzer's diagnostics.
 //!
 //! The fixture files under `tests/fixtures/` seed one violation class per
-//! pass; the first test runs all four passes over them and pins the exact
+//! pass — including the transitive alloc/panic walks and every determinism
+//! source; the first test runs all five passes over them and pins the exact
 //! `file:line: lint: message` output, so any drift in detection or wording
-//! fails loudly. The second test asserts the workspace itself analyzes
-//! clean under the checked-in `analyze.toml` — the same invariant CI
-//! enforces with `cargo run -p quhe-analyze -- --workspace`.
+//! fails loudly. The last test asserts the workspace itself analyzes clean
+//! under the checked-in `analyze.toml` — the same invariant CI enforces
+//! with `cargo run -p quhe-analyze -- --workspace`.
 
 use std::path::{Path, PathBuf};
 
-use quhe_analyze::config::{AnalyzeConfig, PanicAllow};
+use quhe_analyze::config::{AllowEntry, AnalyzeConfig, PanicAllow};
 use quhe_analyze::scan::SourceFile;
 use quhe_analyze::{analyze, collect_workspace_files};
 
@@ -19,8 +20,10 @@ fn fixture_root() -> PathBuf {
 }
 
 /// A configuration scoped to the fixture files: the lock and panic passes
-/// look only at their own fixture, the pinned list is the fixture's own
-/// format string, and one allowlist entry exercises the exemption path.
+/// look only at their own fixture, the transitive passes get fixture roots,
+/// the pinned list is the fixture's own format string, and the allowlists
+/// exercise the exemption paths (including one deliberately stale
+/// determinism entry, whose diagnostic is pinned below).
 fn fixture_config() -> AnalyzeConfig {
     AnalyzeConfig {
         hot_functions: Vec::new(),
@@ -32,16 +35,33 @@ fn fixture_config() -> AnalyzeConfig {
             reason: "fixture: exercises the allowlist path".to_string(),
         }],
         pinned: vec!["quhe-fixture/v1".to_string()],
+        panic_roots: vec!["fixtures/transitive_panic.rs::seeded_entry".to_string()],
+        determinism_roots: vec!["fixtures/determinism.rs::seeded_det_root".to_string()],
+        determinism_allow: vec![
+            AllowEntry {
+                file: "fixtures/determinism.rs".to_string(),
+                pattern: "index.iter()".to_string(),
+                reason: "fixture: exercises the justified-allow path".to_string(),
+            },
+            AllowEntry {
+                file: "fixtures/determinism.rs".to_string(),
+                pattern: "seeded-stale-pattern".to_string(),
+                reason: "fixture: deliberately stale".to_string(),
+            },
+        ],
     }
 }
 
 fn load_fixtures() -> Vec<SourceFile> {
     let root = fixture_root();
     [
+        "fixtures/determinism.rs",
         "fixtures/hot_path_alloc.rs",
         "fixtures/lock_discipline.rs",
         "fixtures/panic_discipline.rs",
         "fixtures/pinned_contract.rs",
+        "fixtures/transitive_alloc.rs",
+        "fixtures/transitive_panic.rs",
     ]
     .iter()
     .map(|rel| SourceFile::load(&root, rel).expect("fixture file must load"))
@@ -53,6 +73,41 @@ fn seeded_fixtures_produce_the_pinned_diagnostics() {
     let diags = analyze(&load_fixtures(), &fixture_config());
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
     let expected = vec![
+        "analyze.toml:0: config: stale [[allow.determinism]] entry: \
+         `fixtures/determinism.rs` (pattern `seeded-stale-pattern`) matches no site",
+        "fixtures/determinism.rs:12: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `Instant::now()`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:12; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:13: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `SystemTime::now()`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:13; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:14: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `thread::current()`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:14; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:15: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `env::var()`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:15; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:17: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `for _ in seen`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:17; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:20: determinism: determinism root `seeded_det_root` \
+         reaches nondeterminism source `index.keys()`: seeded_det_root -> \
+         seeded_det_helper at fixtures/determinism.rs:20; make it order- and \
+         host-independent, or annotate with `// quhe-analyze: allow(determinism)` \
+         plus a justified [[allow.determinism]] entry in analyze.toml",
+        "fixtures/determinism.rs:24: determinism: `index.values()` carries \
+         `// quhe-analyze: allow(determinism)` but no justifying \
+         [[allow.determinism]] entry in analyze.toml matches fixtures/determinism.rs:24",
         "fixtures/hot_path_alloc.rs:8: hot-path-alloc: allocation-shaped call `Vec::new` \
          in hot-path function `seeded_hot` (annotate the line with \
          `// quhe-analyze: allow(alloc)` if intended)",
@@ -93,6 +148,15 @@ fn seeded_fixtures_produce_the_pinned_diagnostics() {
          embedded in a literal; reference its const instead",
         "fixtures/pinned_contract.rs:25: pinned-contract: call to deprecated shim \
          `legacy_format` from non-test code",
+        "fixtures/transitive_alloc.rs:11: hot-path-alloc: hot path \
+         `seeded_transitive_hot` reaches allocation-shaped call `.to_vec()`: \
+         seeded_transitive_hot -> seeded_transitive_helper allocates at \
+         fixtures/transitive_alloc.rs:11 (annotate the line with \
+         `// quhe-analyze: allow(alloc)` if intended)",
+        "fixtures/transitive_panic.rs:11: panic-discipline: serve entry `seeded_entry` \
+         reaches `.unwrap()`: seeded_entry -> seeded_step panics at \
+         fixtures/transitive_panic.rs:11; return a structured `QuheError` or add a \
+         justified [[allow.panic]] entry in analyze.toml",
     ];
     assert_eq!(
         rendered,
@@ -107,10 +171,14 @@ fn each_fixture_trips_only_its_own_pass() {
     let diags = analyze(&load_fixtures(), &fixture_config());
     for diag in &diags {
         let expected_lint = match diag.file.as_str() {
+            "analyze.toml" => "config",
+            "fixtures/determinism.rs" => "determinism",
             "fixtures/hot_path_alloc.rs" => "hot-path-alloc",
             "fixtures/lock_discipline.rs" => "lock-discipline",
             "fixtures/panic_discipline.rs" => "panic-discipline",
             "fixtures/pinned_contract.rs" => "pinned-contract",
+            "fixtures/transitive_alloc.rs" => "hot-path-alloc",
+            "fixtures/transitive_panic.rs" => "panic-discipline",
             other => panic!("diagnostic in unexpected file `{other}`: {diag}"),
         };
         assert_eq!(diag.lint.name(), expected_lint, "{diag}");
@@ -118,11 +186,34 @@ fn each_fixture_trips_only_its_own_pass() {
 }
 
 #[test]
-fn the_exercised_allowlist_entry_is_not_reported_stale() {
+fn transitive_findings_carry_their_call_chain() {
     let diags = analyze(&load_fixtures(), &fixture_config());
+    let alloc = diags
+        .iter()
+        .find(|d| d.file == "fixtures/transitive_alloc.rs")
+        .expect("transitive alloc finding");
+    assert_eq!(
+        alloc.chain,
+        vec!["seeded_transitive_hot", "seeded_transitive_helper"]
+    );
+    let panic = diags
+        .iter()
+        .find(|d| d.file == "fixtures/transitive_panic.rs")
+        .expect("transitive panic finding");
+    assert_eq!(panic.chain, vec!["seeded_entry", "seeded_step"]);
+}
+
+#[test]
+fn the_exercised_allowlist_entries_are_not_reported_stale() {
+    let diags = analyze(&load_fixtures(), &fixture_config());
+    let config_diags: Vec<_> = diags.iter().filter(|d| d.file == "analyze.toml").collect();
+    // The only config diagnostic is the deliberately stale determinism
+    // entry; the exercised panic and determinism allows are consumed.
+    assert_eq!(config_diags.len(), 1, "{config_diags:?}");
     assert!(
-        diags.iter().all(|d| d.file != "analyze.toml"),
-        "fixture config should produce no config diagnostics: {diags:?}"
+        config_diags[0].message.contains("seeded-stale-pattern"),
+        "{}",
+        config_diags[0].message
     );
 }
 

@@ -1,0 +1,11 @@
+//! Call-graph fixture: free functions and cross-module calls. This file is
+//! analyzer test data; it is never compiled.
+
+pub fn drive(xs: &[f64]) -> f64 {
+    let prepared = normalize(xs);
+    solver::refine(prepared) + geometry::area(prepared)
+}
+
+fn normalize(x: &[f64]) -> f64 {
+    x[0]
+}

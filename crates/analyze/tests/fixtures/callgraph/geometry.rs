@@ -1,0 +1,22 @@
+//! Call-graph fixture: names shadowed across modules — `helper` exists here
+//! and in `solver.rs`, and `Patch::smooth` shares its name with the
+//! `Smooth` trait method. This file is analyzer test data; it is never
+//! compiled.
+
+pub struct Patch {
+    extent: f64,
+}
+
+impl Patch {
+    fn smooth(&self, x: f64) -> f64 {
+        x * self.extent
+    }
+}
+
+pub fn area(x: f64) -> f64 {
+    helper(x) * 2.0
+}
+
+fn helper(x: f64) -> f64 {
+    x - 1.0
+}

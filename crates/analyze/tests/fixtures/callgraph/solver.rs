@@ -1,0 +1,36 @@
+//! Call-graph fixture: inherent and trait methods, a shadowed free
+//! function, and an untyped receiver that over-approximates. This file is
+//! analyzer test data; it is never compiled.
+
+pub struct Refiner {
+    passes: usize,
+}
+
+impl Refiner {
+    pub fn run(&self, x: f64) -> f64 {
+        self.step(x) + helper(x)
+    }
+
+    fn step(&self, x: f64) -> f64 {
+        x * 0.5
+    }
+}
+
+pub trait Smooth {
+    fn smooth(&self, x: f64) -> f64;
+}
+
+impl Smooth for Refiner {
+    fn smooth(&self, x: f64) -> f64 {
+        Refiner::step(self, x)
+    }
+}
+
+pub fn refine(x: f64) -> f64 {
+    let refiner = Refiner { passes: 1 };
+    refiner.smooth(x)
+}
+
+fn helper(x: f64) -> f64 {
+    x + 1.0
+}

@@ -1,0 +1,26 @@
+//! Seeded violations for the determinism pass: one site per nondeterminism
+//! source class, one justified allow (exercised by the test config), one
+//! allow comment without a justifying entry, and the test config carries a
+//! deliberately stale entry. This file is analyzer test data; it is never
+//! compiled.
+
+pub fn seeded_det_root(seen: &HashSet<u64>) -> u64 {
+    seeded_det_helper(seen)
+}
+
+fn seeded_det_helper(seen: &HashSet<u64>) -> u64 {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let worker = thread::current();
+    let host = std::env::var("QUHE_SEED");
+    let mut index: HashMap<u64, u64> = HashMap::new();
+    for key in seen {
+        index.insert(*key, *key);
+    }
+    let first = index.keys().next().copied().unwrap_or(0);
+    // quhe-analyze: allow(determinism)
+    let justified = index.iter().count() as u64;
+    // quhe-analyze: allow(determinism)
+    let unjustified = index.values().count() as u64;
+    first + justified + unjustified
+}

@@ -1,0 +1,13 @@
+//! Seeded violation for the transitive half of the hot-path allocation
+//! lint: the annotated root is itself clean; the helper it calls allocates.
+//! This file is analyzer test data; it is never compiled.
+
+// quhe-analyze: hot-path
+pub fn seeded_transitive_hot(xs: &[f64]) -> f64 {
+    seeded_transitive_helper(xs)
+}
+
+fn seeded_transitive_helper(xs: &[f64]) -> f64 {
+    let staged = xs.to_vec();
+    staged[0]
+}

@@ -1,0 +1,12 @@
+//! Seeded violation for the transitive half of the panic-discipline lint:
+//! the entry point lives outside the configured panic paths and is listed
+//! under `[panics] roots` in the test config; the helper it reaches panics.
+//! This file is analyzer test data; it is never compiled.
+
+pub fn seeded_entry(flag: Option<u32>) -> u32 {
+    seeded_step(flag)
+}
+
+fn seeded_step(flag: Option<u32>) -> u32 {
+    flag.unwrap()
+}

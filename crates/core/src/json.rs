@@ -452,7 +452,7 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number tokens are ASCII")
+            .map_err(|_| self.error("malformed number"))?
             .to_string();
         // Validate the token by parsing it; the raw text is what's stored.
         raw.parse::<f64>()

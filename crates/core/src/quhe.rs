@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 
-use crate::error::QuheResult;
+use crate::error::{QuheError, QuheResult};
 use crate::metrics::MethodMetrics;
 use crate::params::QuheConfig;
 use crate::problem::Problem;
@@ -275,8 +275,13 @@ impl QuheAlgorithm {
             }
         }
 
-        let stage2 = last_stage2.expect("at least one outer iteration ran");
-        let stage3 = last_stage3.expect("at least one outer iteration ran");
+        // `validate()` rejects a zero iteration budget, so the loop above ran
+        // at least once; a structured error beats asserting that here.
+        let (Some(stage2), Some(stage3)) = (last_stage2, last_stage3) else {
+            return Err(QuheError::InvalidConfig {
+                reason: "max_outer_iterations must be at least 1".to_string(),
+            });
+        };
         let metrics = MethodMetrics::evaluate(problem, &vars)?;
         Ok(QuheOutcome {
             objective: metrics.objective,

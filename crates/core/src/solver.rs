@@ -831,16 +831,13 @@ impl Solver for OccrSolver {
         vars.server_frequency = stage3.server_frequency.clone();
         vars.delay_bound = stage3.delay_bound;
         let metrics = MethodMetrics::evaluate(&problem, &vars)?;
+        // Unlike the one-shot baselines, OCCR runs an iterative descent: its
+        // convergence verdict is Stage 3's, not an unconditional `true`.
+        let converged = stage3.converged;
         let mut report = baseline_report(self.name(), spec, vars, metrics, wall)
             .with_stage1(stage1)
             .with_stage3(stage3);
-        // Unlike the one-shot baselines, OCCR runs an iterative descent: its
-        // convergence verdict is Stage 3's, not an unconditional `true`.
-        report.converged = report
-            .stage3
-            .as_ref()
-            .expect("stage 3 just recorded")
-            .converged;
+        report.converged = converged;
         Ok(report.instrumented(spec.instrumentation()))
     }
 }

